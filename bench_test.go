@@ -1,0 +1,139 @@
+package misar_test
+
+// One testing.B benchmark per table and figure of the paper (§6), plus the
+// DESIGN.md ablations. Each benchmark iteration regenerates the artifact at
+// a reduced scale (8/16 tiles, representative app subset) so `go test
+// -bench=.` finishes in minutes; `cmd/misar-fig -tiles 16,64 -full` runs the
+// paper-scale versions. The reported ns/op is wall time to regenerate the
+// artifact; custom metrics expose the headline numbers.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"misar"
+)
+
+// benchOptions picks the benchmark scale; MISAR_BENCH_TILES overrides.
+func benchOptions() misar.Options {
+	o := misar.Options{
+		Tiles: []int{8, 16},
+		Apps: []string{
+			"radiosity", "raytrace", "ocean", "ocean-nc",
+			"fluidanimate", "streamcluster", "bodytrack",
+		},
+	}
+	if v := os.Getenv("MISAR_BENCH_TILES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			o.Tiles = []int{n}
+		}
+	}
+	return o
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if misar.Table1().Rows() != 13 {
+			b.Fatal("table 1 malformed")
+		}
+	}
+}
+
+func BenchmarkFig5RawLatency(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := misar.Fig5(o)
+		if t.Rows() == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig6Speedup(b *testing.B) {
+	o := benchOptions()
+	var geo float64
+	for i := 0; i < b.N; i++ {
+		t := misar.Fig6(o)
+		cells, ok := t.Lookup("GeoMean/" + strconv.Itoa(o.Tiles[len(o.Tiles)-1]) + "c")
+		if !ok {
+			b.Fatal("geomean row missing")
+		}
+		geo, _ = strconv.ParseFloat(cells[3], 64) // MSA/OMU-2 column
+	}
+	b.ReportMetric(geo, "geomean-speedup")
+}
+
+func BenchmarkFig7Coverage(b *testing.B) {
+	o := benchOptions()
+	var with float64
+	for i := 0; i < b.N; i++ {
+		t := misar.Fig7(o)
+		with, _ = strconv.ParseFloat(t.Cell(t.Rows()-1, 1), 64)
+	}
+	b.ReportMetric(with, "coverage-pct")
+}
+
+func BenchmarkFig8HWSync(b *testing.B) {
+	o := benchOptions()
+	var with float64
+	for i := 0; i < b.N; i++ {
+		t := misar.Fig8(o)
+		with, _ = strconv.ParseFloat(t.Cell(t.Rows()-1, 0), 64)
+	}
+	b.ReportMetric(with, "fluidanimate-speedup")
+}
+
+func BenchmarkFig9Breakdown(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if misar.Fig9(o).Rows() == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	o := benchOptions()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t := misar.Headline(o)
+		speedup, _ = strconv.ParseFloat(t.Cell(0, 0), 64)
+	}
+	b.ReportMetric(speedup, "geomean-speedup")
+}
+
+func BenchmarkAblationOMUSweep(b *testing.B) {
+	o := misar.Options{Tiles: []int{8}}
+	for i := 0; i < b.N; i++ {
+		misar.OMUSweep(o)
+	}
+}
+
+func BenchmarkAblationBloomSweep(b *testing.B) {
+	o := misar.Options{Tiles: []int{8}}
+	for i := 0; i < b.N; i++ {
+		misar.BloomSweep(o)
+	}
+}
+
+func BenchmarkAblationEntrySweep(b *testing.B) {
+	o := misar.Options{Tiles: []int{8}}
+	for i := 0; i < b.N; i++ {
+		misar.EntrySweep(o)
+	}
+}
+
+func BenchmarkAblationFairness(b *testing.B) {
+	o := misar.Options{Tiles: []int{8}}
+	for i := 0; i < b.N; i++ {
+		misar.Fairness(o)
+	}
+}
+
+func BenchmarkAblationSuspendStress(b *testing.B) {
+	o := misar.Options{Tiles: []int{8}}
+	for i := 0; i < b.N; i++ {
+		misar.SuspendStress(o)
+	}
+}

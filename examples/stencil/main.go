@@ -1,0 +1,59 @@
+// Stencil: an ocean-style iterative solver — every thread updates its strip
+// of a grid, then the whole machine meets at a barrier, twice per sweep.
+// Compares the software barrier chain against the MSA's single-message
+// arrival tracking and direct-notification release.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"misar"
+)
+
+const (
+	tiles  = 16
+	sweeps = 50
+)
+
+func run(name string, cfg misar.Config, lib *misar.Lib) misar.Time {
+	m := misar.New(cfg)
+	arena := misar.NewArena(0x100000)
+	bar := arena.Barrier(tiles)
+	grid := arena.DataArray(tiles)
+	qnodes := make([]misar.Addr, tiles)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+	m.SpawnAll(tiles, func(tid int, e misar.Env) {
+		rt := lib.Bind(e, qnodes[tid])
+		for s := 0; s < sweeps; s++ {
+			// Red sweep over this thread's strip.
+			e.Compute(uint64(1200 + tid*7%60))
+			e.Store(grid[tid], uint64(s))
+			rt.Wait(bar)
+			// Black sweep reads the neighbour's boundary row.
+			if e.Load(grid[(tid+1)%tiles]) < uint64(s) {
+				log.Fatalf("barrier violated at sweep %d", s)
+			}
+			e.Compute(800)
+			rt.Wait(bar)
+		}
+	})
+	cycles, err := m.Run(misar.RunDeadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %9d cycles\n", name, cycles)
+	return cycles
+}
+
+func main() {
+	fmt.Printf("%d sweeps x 2 barriers on %d cores\n\n", sweeps, tiles)
+	base := run("pthread barrier", misar.MSA0(tiles), misar.PthreadLib())
+	tour := run("tournament barrier", misar.MSA0(tiles), misar.MCSTourLib())
+	hw := run("MSA/OMU-2", misar.MSAOMU(tiles, 2), misar.HWLib())
+	ideal := run("ideal", misar.Ideal(tiles), misar.HWLib())
+	fmt.Printf("\nspeedup vs pthread: tournament %.2fx, MSA %.2fx, ideal %.2fx\n",
+		float64(base)/float64(tour), float64(base)/float64(hw), float64(base)/float64(ideal))
+}

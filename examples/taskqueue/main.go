@@ -1,0 +1,78 @@
+// Taskqueue: a radiosity-style work-stealing task system with many more
+// locks than the accelerator has entries, run under four machine
+// configurations. This is the scenario the OMU exists for: the active lock
+// set churns, entries follow it, and everything that overflows runs safely
+// in the software fallback.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"misar"
+)
+
+const (
+	tiles          = 16
+	queuesPerCore  = 4
+	tasksPerThread = 80
+)
+
+func run(name string, cfg misar.Config, lib *misar.Lib) {
+	m := misar.New(cfg)
+	arena := misar.NewArena(0x100000)
+	locks := arena.MutexArray(tiles * queuesPerCore)
+	depths := arena.DataArray(len(locks))
+	done := arena.Data(1)
+	qnodes := make([]misar.Addr, tiles)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+
+	m.SpawnAll(tiles, func(tid int, e misar.Env) {
+		rt := lib.Bind(e, qnodes[tid])
+		seed := uint64(tid)*2654435761 + 12345
+		next := func(n int) int {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			return int(seed % uint64(n))
+		}
+		for i := 0; i < tasksPerThread; i++ {
+			// Pop from a (usually stolen) queue.
+			q := next(len(locks))
+			rt.Lock(locks[q])
+			e.Store(depths[q], e.Load(depths[q])+1)
+			e.Compute(40)
+			rt.Unlock(locks[q])
+			// Do the task.
+			e.Compute(uint64(150 + next(100)))
+			// Push a result to the home queue.
+			home := tid * queuesPerCore
+			rt.Lock(locks[home])
+			e.Store(depths[home], e.Load(depths[home])+1)
+			rt.Unlock(locks[home])
+		}
+		e.FetchAdd(done, 1)
+	})
+	cycles, err := m.Run(misar.RunDeadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m.Store.Load(done) != tiles {
+		log.Fatalf("%s: only %d threads finished", name, m.Store.Load(done))
+	}
+	s := m.MSAStats()
+	fmt.Printf("%-12s %9d cycles  coverage %5.1f%%  entries alloc/reclaim %d/%d\n",
+		name, cycles, m.Coverage()*100, s.Allocs, s.Reclaims)
+}
+
+func main() {
+	fmt.Printf("%d queues over %d tiles with 2 MSA entries each\n\n",
+		tiles*queuesPerCore, tiles)
+	base := misar.MSA0(tiles)
+	run("pthread", base, misar.PthreadLib())
+	run("mcs", base, misar.MCSTourLib())
+	run("msa/omu-2", misar.MSAOMU(tiles, 2), misar.HWLib())
+	run("msa-inf", misar.MSAInf(tiles), misar.HWLib())
+}

@@ -1,0 +1,3 @@
+module misar
+
+go 1.22

@@ -1,0 +1,478 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"misar/internal/memory"
+	"misar/internal/noc"
+	"misar/internal/sim"
+)
+
+// rig wires N L1s and N directory slices over a mesh, one tile each.
+type rig struct {
+	engine *sim.Engine
+	net    *noc.Network
+	store  *memory.Store
+	l1     []*L1
+	dir    []*Directory
+}
+
+func newRig(t testing.TB, tiles int, l1cfg L1Config) *rig {
+	w, h := meshDims(tiles)
+	e := sim.NewEngine()
+	n := noc.New(e, noc.DefaultConfig(w, h))
+	st := memory.NewStore()
+	r := &rig{engine: e, net: n, store: st,
+		l1:  make([]*L1, tiles),
+		dir: make([]*Directory, tiles)}
+	for i := 0; i < tiles; i++ {
+		i := i
+		send := func(dst int, m *Msg) {
+			n.Send(&noc.Message{Src: i, Dst: dst, Bytes: m.Bytes(), Payload: m})
+		}
+		r.l1[i] = NewL1(i, tiles, l1cfg, e, st, send)
+		r.dir[i] = NewDirectory(i, tiles, DirConfig{LLCLatency: 4, MemLatency: 20}, e, send)
+		n.Attach(i, func(nm *noc.Message) {
+			m := nm.Payload.(*Msg)
+			switch m.Kind {
+			case RspDataS, RspDataE, MsgInv, MsgFwd:
+				r.l1[i].Handle(m)
+			default:
+				r.dir[i].Handle(m)
+			}
+		})
+	}
+	return r
+}
+
+func meshDims(tiles int) (int, int) {
+	w := 1
+	for w*w < tiles {
+		w++
+	}
+	h := (tiles + w - 1) / w
+	return w, h
+}
+
+// run drains the engine with a deadlock guard.
+func (r *rig) run(t testing.TB) {
+	t.Helper()
+	if !r.engine.RunUntil(50_000_000) {
+		t.Fatal("coherence test did not quiesce (deadlock?)")
+	}
+}
+
+// load issues a blocking load on core c via callback, recording the value.
+func (r *rig) load(c int, a memory.Addr, out *uint64, then func()) {
+	r.l1[c].Access(a, AccLoad, 0, nil, func(v uint64) {
+		if out != nil {
+			*out = v
+		}
+		if then != nil {
+			then()
+		}
+	})
+}
+
+func (r *rig) storeOp(c int, a memory.Addr, v uint64, then func()) {
+	r.l1[c].Access(a, AccStore, v, nil, func(uint64) {
+		if then != nil {
+			then()
+		}
+	})
+}
+
+func (r *rig) fetchAdd(c int, a memory.Addr, d uint64, then func(old uint64)) {
+	r.l1[c].Access(a, AccRMW, 0, func(st *memory.Store, addr memory.Addr) uint64 {
+		return st.Add(addr, d)
+	}, func(v uint64) {
+		if then != nil {
+			then(v)
+		}
+	})
+}
+
+func TestLoadMissGrantsExclusive(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	var v uint64 = 99
+	r.store.Store(0x1000, 7)
+	r.engine.At(0, func() { r.load(0, 0x1000, &v, nil) })
+	r.run(t)
+	if v != 7 {
+		t.Fatalf("load = %d, want 7", v)
+	}
+	if got := r.l1[0].State(0x1000); got != Exclusive {
+		t.Fatalf("state = %v, want E (MESI E optimization)", got)
+	}
+}
+
+func TestTwoReadersShare(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	var v0, v1 uint64
+	r.store.Store(0x2000, 5)
+	r.engine.At(0, func() {
+		r.load(0, 0x2000, &v0, func() {
+			r.load(1, 0x2000, &v1, nil)
+		})
+	})
+	r.run(t)
+	if v0 != 5 || v1 != 5 {
+		t.Fatalf("loads = %d,%d", v0, v1)
+	}
+	if r.l1[0].State(0x2000) != Shared || r.l1[1].State(0x2000) != Shared {
+		t.Fatalf("states = %v,%v, want S,S (downgrade on second read)",
+			r.l1[0].State(0x2000), r.l1[1].State(0x2000))
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0x3000)
+	r.engine.At(0, func() {
+		r.load(0, a, nil, func() {
+			r.load(1, a, nil, func() {
+				r.load(2, a, nil, func() {
+					r.storeOp(3, a, 42, nil)
+				})
+			})
+		})
+	})
+	r.run(t)
+	for c := 0; c < 3; c++ {
+		if got := r.l1[c].State(a); got != Invalid {
+			t.Errorf("core %d state = %v, want I", c, got)
+		}
+	}
+	if got := r.l1[3].State(a); got != Modified {
+		t.Errorf("writer state = %v, want M", got)
+	}
+	if r.store.Load(a) != 42 {
+		t.Errorf("memory = %d, want 42", r.store.Load(a))
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0x4000)
+	r.engine.At(0, func() {
+		r.load(0, a, nil, func() {
+			r.load(1, a, nil, func() {
+				// Core 0 upgrades its Shared copy.
+				r.storeOp(0, a, 9, nil)
+			})
+		})
+	})
+	r.run(t)
+	if r.l1[0].State(a) != Modified {
+		t.Fatalf("upgrader state = %v, want M", r.l1[0].State(a))
+	}
+	if r.l1[1].State(a) != Invalid {
+		t.Fatalf("other sharer state = %v, want I", r.l1[1].State(a))
+	}
+}
+
+func TestDirtyLineRecalledOnRead(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0x5000)
+	var v uint64
+	r.engine.At(0, func() {
+		r.storeOp(0, a, 13, func() {
+			r.load(1, a, &v, nil)
+		})
+	})
+	r.run(t)
+	if v != 13 {
+		t.Fatalf("read-after-remote-write = %d, want 13", v)
+	}
+	if r.l1[0].State(a) != Shared || r.l1[1].State(a) != Shared {
+		t.Fatalf("states after recall: %v,%v, want S,S",
+			r.l1[0].State(a), r.l1[1].State(a))
+	}
+}
+
+func TestDirtyLineRecalledOnWrite(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0x6000)
+	r.engine.At(0, func() {
+		r.storeOp(0, a, 1, func() {
+			r.storeOp(1, a, 2, nil)
+		})
+	})
+	r.run(t)
+	if r.l1[0].State(a) != Invalid || r.l1[1].State(a) != Modified {
+		t.Fatalf("states = %v,%v, want I,M", r.l1[0].State(a), r.l1[1].State(a))
+	}
+	if r.store.Load(a) != 2 {
+		t.Fatalf("memory = %d", r.store.Load(a))
+	}
+}
+
+// The canonical atomicity test: concurrent fetch-and-adds from every core
+// must all be counted.
+func TestConcurrentFetchAddAtomicity(t *testing.T) {
+	const tiles, per = 16, 25
+	r := newRig(t, tiles, DefaultL1Config())
+	a := memory.Addr(0x7000)
+	doneCount := 0
+	for c := 0; c < tiles; c++ {
+		c := c
+		var step func(i int)
+		step = func(i int) {
+			if i == per {
+				doneCount++
+				return
+			}
+			r.fetchAdd(c, a, 1, func(uint64) { step(i + 1) })
+		}
+		r.engine.At(sim.Time(c%3), func() { step(0) })
+	}
+	r.run(t)
+	if doneCount != tiles {
+		t.Fatalf("only %d cores finished", doneCount)
+	}
+	if got := r.store.Load(a); got != tiles*per {
+		t.Fatalf("counter = %d, want %d", got, tiles*per)
+	}
+}
+
+// Tiny cache forces evictions and writebacks; dirty data must survive a
+// round trip through the directory.
+func TestEvictionWritebackRoundTrip(t *testing.T) {
+	cfg := L1Config{Sets: 2, Ways: 1, HitLatency: 1}
+	r := newRig(t, 4, cfg)
+	const n = 32
+	r.engine.At(0, func() {
+		var step func(i int)
+		step = func(i int) {
+			if i == n {
+				// Read everything back (evicting again as we go).
+				var check func(j int)
+				check = func(j int) {
+					if j == n {
+						return
+					}
+					var v uint64
+					r.load(0, memory.Addr(j*memory.LineSize), &v, func() {
+						if v != uint64(j+1) {
+							t.Errorf("line %d = %d, want %d", j, v, j+1)
+						}
+						check(j + 1)
+					})
+				}
+				check(0)
+				return
+			}
+			r.storeOp(0, memory.Addr(i*memory.LineSize), uint64(i+1), func() { step(i + 1) })
+		}
+		step(0)
+	})
+	r.run(t)
+	if r.l1[0].Stats().Writebacks == 0 {
+		t.Fatal("expected writebacks with a 2-line cache")
+	}
+}
+
+func TestHWSyncGrantSetsBit(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0x8000)
+	home := memory.HomeOf(a, 4)
+	granted := false
+	r.engine.At(0, func() {
+		r.dir[home].GrantExclusive(a, 2, func() { granted = true })
+	})
+	r.run(t)
+	if !granted {
+		t.Fatal("grant callback did not run")
+	}
+	if !r.l1[2].HWSyncHit(a) {
+		t.Fatal("HWSync bit not set after grant")
+	}
+	if r.l1[2].State(a) != Exclusive {
+		t.Fatalf("state = %v, want E", r.l1[2].State(a))
+	}
+}
+
+func TestHWSyncBitClearedByInvalidation(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0x9000)
+	home := memory.HomeOf(a, 4)
+	r.engine.At(0, func() {
+		r.dir[home].GrantExclusive(a, 2, func() {
+			// Another core writes the line; core 2 must lose the bit.
+			r.storeOp(1, a, 5, nil)
+		})
+	})
+	r.run(t)
+	if r.l1[2].HWSyncHit(a) {
+		t.Fatal("HWSync bit survived invalidation")
+	}
+	if r.l1[2].Stats().HWSyncCleared != 1 {
+		t.Fatalf("HWSyncCleared = %d", r.l1[2].Stats().HWSyncCleared)
+	}
+}
+
+func TestHWSyncBitNotWritableAfterDowngrade(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0xa000)
+	home := memory.HomeOf(a, 4)
+	r.engine.At(0, func() {
+		r.dir[home].GrantExclusive(a, 2, func() {
+			r.load(1, a, nil, nil) // downgrade core 2 to S
+		})
+	})
+	r.run(t)
+	if r.l1[2].State(a) != Shared {
+		t.Fatalf("state = %v, want S", r.l1[2].State(a))
+	}
+	if r.l1[2].HWSyncHit(a) {
+		t.Fatal("HWSyncHit must require a writable (E/M) line")
+	}
+}
+
+func TestGrantToCurrentOwnerIsIdempotent(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0xb000)
+	home := memory.HomeOf(a, 4)
+	n := 0
+	r.engine.At(0, func() {
+		r.dir[home].GrantExclusive(a, 2, func() {
+			n++
+			r.dir[home].GrantExclusive(a, 2, func() { n++ })
+		})
+	})
+	r.run(t)
+	if n != 2 {
+		t.Fatalf("grants completed = %d, want 2", n)
+	}
+	if !r.l1[2].HWSyncHit(a) {
+		t.Fatal("bit lost on re-grant")
+	}
+}
+
+func TestIsExclusiveAt(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0xc000)
+	home := memory.HomeOf(a, 4)
+	r.engine.At(0, func() {
+		r.storeOp(3, a, 1, nil)
+	})
+	r.run(t)
+	if !r.dir[home].IsExclusiveAt(a, 3) {
+		t.Fatal("IsExclusiveAt(owner) = false")
+	}
+	if r.dir[home].IsExclusiveAt(a, 2) {
+		t.Fatal("IsExclusiveAt(non-owner) = true")
+	}
+	// After another core reads, no one is exclusive.
+	r.engine.At(r.engine.Now()+1, func() { r.load(1, a, nil, nil) })
+	r.run(t)
+	if r.dir[home].IsExclusiveAt(a, 3) {
+		t.Fatal("IsExclusiveAt true after downgrade")
+	}
+}
+
+// Randomized stress: many cores, tiny caches, random ops over a small pool
+// of lines. Checks (a) the system quiesces, (b) fetch-add counts are exact,
+// (c) final store values match a sequential oracle of committed ops.
+func TestRandomStress(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 42}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const tiles = 8
+			cfg := L1Config{Sets: 2, Ways: 2, HitLatency: 1}
+			r := newRig(t, tiles, cfg)
+			addrs := make([]memory.Addr, 6)
+			for i := range addrs {
+				addrs[i] = memory.Addr(0x10000 + i*memory.LineSize)
+			}
+			counter := addrs[0]
+			adds := 0
+			finished := 0
+			for c := 0; c < tiles; c++ {
+				c := c
+				ops := 40 + rng.Intn(40)
+				plan := make([]int, ops)
+				for i := range plan {
+					plan[i] = rng.Intn(3)
+				}
+				targets := make([]memory.Addr, ops)
+				for i := range targets {
+					targets[i] = addrs[1+rng.Intn(len(addrs)-1)]
+				}
+				if c%2 == 0 {
+					adds += ops
+				}
+				var step func(i int)
+				step = func(i int) {
+					if i == ops {
+						finished++
+						return
+					}
+					if c%2 == 0 {
+						r.fetchAdd(c, counter, 1, func(uint64) { step(i + 1) })
+						return
+					}
+					switch plan[i] {
+					case 0:
+						r.load(c, targets[i], nil, func() { step(i + 1) })
+					case 1:
+						r.storeOp(c, targets[i], uint64(c*1000+i), func() { step(i + 1) })
+					default:
+						r.fetchAdd(c, targets[i], 0, func(uint64) { step(i + 1) })
+					}
+				}
+				r.engine.At(sim.Time(rng.Intn(20)), func() { step(0) })
+			}
+			r.run(t)
+			if finished != tiles {
+				t.Fatalf("finished = %d/%d", finished, tiles)
+			}
+			if got := r.store.Load(counter); got != uint64(adds) {
+				t.Fatalf("counter = %d, want %d (lost updates)", got, adds)
+			}
+		})
+	}
+}
+
+func TestDirectoryStats(t *testing.T) {
+	r := newRig(t, 4, DefaultL1Config())
+	a := memory.Addr(0xd000)
+	home := memory.HomeOf(a, 4)
+	r.engine.At(0, func() {
+		r.load(0, a, nil, func() {
+			r.load(1, a, nil, func() {
+				r.storeOp(2, a, 1, nil)
+			})
+		})
+	})
+	r.run(t)
+	s := r.dir[home].Stats()
+	if s.GetS != 2 || s.GetX != 1 {
+		t.Errorf("GetS=%d GetX=%d", s.GetS, s.GetX)
+	}
+	if s.ColdMisses != 1 {
+		t.Errorf("ColdMisses = %d", s.ColdMisses)
+	}
+	if s.InvSent == 0 && s.FwdSent == 0 {
+		t.Error("expected probes for the write")
+	}
+}
+
+func BenchmarkCoherencePingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRig(b, 4, DefaultL1Config())
+		a := memory.Addr(0x1000)
+		var step func(turn, c int)
+		step = func(turn, c int) {
+			if turn == 100 {
+				return
+			}
+			r.storeOp(c, a, uint64(turn), func() { step(turn+1, 1-c) })
+		}
+		r.engine.At(0, func() { step(0, 0) })
+		r.engine.Run()
+	}
+}

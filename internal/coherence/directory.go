@@ -1,0 +1,359 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"misar/internal/memory"
+	"misar/internal/sim"
+)
+
+// DirConfig holds LLC-slice timing.
+type DirConfig struct {
+	LLCLatency sim.Time // directory/LLC access latency charged per transaction
+	MemLatency sim.Time // extra latency when a line is touched for the first time
+}
+
+// DefaultDirConfig mirrors a ~8-cycle LLC slice with ~90-cycle DRAM fills.
+func DefaultDirConfig() DirConfig {
+	return DirConfig{LLCLatency: 8, MemLatency: 90}
+}
+
+// DirStats counts directory activity.
+type DirStats struct {
+	GetS, GetX    uint64
+	Grants        uint64
+	InvSent       uint64
+	FwdSent       uint64
+	Writebacks    uint64
+	ColdMisses    uint64
+	Conflicts     uint64 // requests that queued behind a busy line
+	MaxQueueDepth int
+}
+
+type dirState uint8
+
+const (
+	dirInvalid dirState = iota
+	dirShared
+	dirExclusive
+)
+
+// txnKind distinguishes demand transactions from MSA grant transactions.
+type txnKind uint8
+
+const (
+	txnGetS txnKind = iota
+	txnGetX
+	txnGrant  // MSA-initiated exclusive grant with HWSync bit (§5)
+	txnRevoke // MSA-initiated invalidation of all copies (standby revocation)
+)
+
+type txn struct {
+	kind   txnKind
+	core   int
+	onDone func()
+}
+
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bit per core; tiles <= 64
+
+	busy       bool
+	cur        *txn
+	waitq      []*txn
+	pendingInv int
+	ownerGone  bool
+	awaitingWB bool
+}
+
+// Directory is the home-tile controller for all lines mapping to one tile:
+// it owns the LLC slice's directory state and serializes transactions per
+// line.
+type Directory struct {
+	tile   int
+	tiles  int
+	cfg    DirConfig
+	engine *sim.Engine
+	send   SendFunc
+	lines  map[memory.Addr]*dirEntry
+	stats  DirStats
+}
+
+// NewDirectory builds the controller for one tile.
+func NewDirectory(tile, tiles int, cfg DirConfig, engine *sim.Engine, send SendFunc) *Directory {
+	if tiles > 64 {
+		panic("coherence: directory bitvector supports at most 64 tiles")
+	}
+	return &Directory{
+		tile: tile, tiles: tiles, cfg: cfg,
+		engine: engine, send: send,
+		lines: make(map[memory.Addr]*dirEntry),
+	}
+}
+
+// Stats returns a snapshot of the directory statistics.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// IsExclusiveAt reports whether line is recorded as owned (E or M) by core.
+// The MSA, co-located with this directory, uses it to decide whether a
+// standby lock entry may still be silently re-acquired (§5).
+func (d *Directory) IsExclusiveAt(line memory.Addr, core int) bool {
+	e, ok := d.lines[memory.LineOf(line)]
+	return ok && e.state == dirExclusive && e.owner == core
+}
+
+func (d *Directory) entry(line memory.Addr) (*dirEntry, bool) {
+	e, ok := d.lines[line]
+	if !ok {
+		e = &dirEntry{}
+		d.lines[line] = e
+		d.stats.ColdMisses++
+	}
+	return e, !ok
+}
+
+// Handle processes a coherence message addressed to this home tile.
+func (d *Directory) Handle(m *Msg) {
+	line := memory.LineOf(m.Line)
+	if memory.HomeOf(line, d.tiles) != d.tile {
+		panic(fmt.Sprintf("coherence: tile %d is not home of %#x", d.tile, line))
+	}
+	switch m.Kind {
+	case ReqGetS:
+		d.stats.GetS++
+		d.admit(line, &txn{kind: txnGetS, core: m.Core})
+	case ReqGetX:
+		d.stats.GetX++
+		d.admit(line, &txn{kind: txnGetX, core: m.Core})
+	case ReqPutS:
+		d.handlePutS(line, m.Core)
+	case ReqPutE, ReqPutM:
+		if m.Kind == ReqPutM {
+			d.stats.Writebacks++
+		}
+		d.handlePutEM(line, m.Core)
+	case MsgInvAck:
+		d.handleInvAck(line)
+	case MsgFwdAckS:
+		d.handleFwdAckS(line, m.Core)
+	case MsgFwdAckI:
+		d.handleFwdAckI(line)
+	case MsgFwdMiss:
+		d.handleFwdMiss(line)
+	default:
+		panic(fmt.Sprintf("coherence: directory %d got unexpected %v", d.tile, m.Kind))
+	}
+}
+
+// GrantExclusive asks the directory to move line into core's L1 in Exclusive
+// state with the HWSync bit set, invalidating or recalling other copies.
+// onDone (may be nil) runs when the grant completes. Used by the MSA when it
+// hands a lock to a core (§5).
+func (d *Directory) GrantExclusive(line memory.Addr, core int, onDone func()) {
+	d.stats.Grants++
+	d.admit(memory.LineOf(line), &txn{kind: txnGrant, core: core, onDone: onDone})
+}
+
+// Revoke invalidates every cached copy of line, leaving it uncached. onDone
+// (may be nil) runs when no copy remains. The MSA uses it before promoting a
+// waiter past a standby lock entry (closing the silent re-acquire window)
+// and before deallocating an entry whose HWSync block may be live.
+func (d *Directory) Revoke(line memory.Addr, onDone func()) {
+	d.admit(memory.LineOf(line), &txn{kind: txnRevoke, core: -1, onDone: onDone})
+}
+
+// admit queues or starts a transaction, charging LLC (and cold-miss) latency
+// before processing begins.
+func (d *Directory) admit(line memory.Addr, t *txn) {
+	e, cold := d.entry(line)
+	if e.busy {
+		d.stats.Conflicts++
+		e.waitq = append(e.waitq, t)
+		if len(e.waitq) > d.stats.MaxQueueDepth {
+			d.stats.MaxQueueDepth = len(e.waitq)
+		}
+		return
+	}
+	e.busy = true
+	e.cur = t
+	lat := d.cfg.LLCLatency
+	if cold {
+		lat += d.cfg.MemLatency
+	}
+	d.engine.After(lat, func() { d.start(line, e) })
+}
+
+// start runs the admitted transaction against the entry's stable state.
+func (d *Directory) start(line memory.Addr, e *dirEntry) {
+	t := e.cur
+	switch e.state {
+	case dirInvalid:
+		// MESI E optimization: first requester gets Exclusive even on GetS.
+		d.finishExclusive(line, e)
+	case dirShared:
+		if t.kind == txnGetS {
+			e.sharers |= 1 << uint(t.core)
+			d.respond(line, e, RspDataS)
+			return
+		}
+		// GetX/grant: invalidate all sharers except the requester.
+		// A revoke (core == -1) invalidates everyone.
+		invs := e.sharers
+		if t.core >= 0 {
+			invs &^= 1 << uint(t.core)
+		}
+		if invs == 0 {
+			d.finishExclusive(line, e)
+			return
+		}
+		e.pendingInv = bits.OnesCount64(invs)
+		for c := 0; c < d.tiles; c++ {
+			if invs&(1<<uint(c)) != 0 {
+				d.stats.InvSent++
+				d.send(c, &Msg{Kind: MsgInv, Line: line})
+			}
+		}
+	case dirExclusive:
+		if e.owner == t.core {
+			// Degenerate re-request (e.g. a grant to the current owner, or a
+			// demand response racing an earlier grant): re-grant Exclusive.
+			d.finishExclusive(line, e)
+			return
+		}
+		intent := FwdInvalidate
+		if t.kind == txnGetS {
+			intent = FwdDowngrade
+		}
+		// Note: ownerGone may already be true if the owner's writeback
+		// arrived between admission and start; the Fwd below will then miss
+		// and the FwdMiss handler completes the transaction. The flags are
+		// cleared in respond(), never here.
+		d.stats.FwdSent++
+		d.send(e.owner, &Msg{Kind: MsgFwd, Line: line, Intent: intent})
+	}
+}
+
+// finishExclusive completes the current transaction. For demand and grant
+// transactions the line is granted exclusively to the requester; a revoke
+// leaves the line uncached.
+func (d *Directory) finishExclusive(line memory.Addr, e *dirEntry) {
+	t := e.cur
+	if t.kind == txnRevoke {
+		e.state = dirInvalid
+		e.owner = 0
+		e.sharers = 0
+		d.conclude(line, e, nil)
+		return
+	}
+	e.state = dirExclusive
+	e.owner = t.core
+	e.sharers = 1 << uint(t.core)
+	d.respond(line, e, RspDataE)
+}
+
+// respond sends the data grant for the current transaction and unbusies the
+// line, starting the next queued transaction if any.
+func (d *Directory) respond(line memory.Addr, e *dirEntry, kind MsgKind) {
+	t := e.cur
+	msg := &Msg{Kind: kind, Line: line, Core: t.core}
+	if t.kind == txnGrant {
+		msg.Grant = true
+		msg.HWSync = true
+	}
+	d.conclude(line, e, msg)
+}
+
+// conclude finishes the current transaction: deliver the response (if any),
+// run the completion callback, and start the next queued transaction.
+func (d *Directory) conclude(line memory.Addr, e *dirEntry, msg *Msg) {
+	t := e.cur
+	if msg != nil {
+		d.send(t.core, msg)
+	}
+	if t.onDone != nil {
+		t.onDone()
+	}
+	e.busy = false
+	e.cur = nil
+	e.pendingInv = 0
+	e.ownerGone = false
+	e.awaitingWB = false
+	if len(e.waitq) > 0 {
+		next := e.waitq[0]
+		e.waitq = e.waitq[1:]
+		e.busy = true
+		e.cur = next
+		d.engine.After(d.cfg.LLCLatency, func() { d.start(line, e) })
+	}
+}
+
+func (d *Directory) handlePutS(line memory.Addr, core int) {
+	e, ok := d.lines[line]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << uint(core)
+	if !e.busy && e.state == dirShared && e.sharers == 0 {
+		e.state = dirInvalid
+	}
+}
+
+func (d *Directory) handlePutEM(line memory.Addr, core int) {
+	e, ok := d.lines[line]
+	if !ok || e.state != dirExclusive || e.owner != core {
+		return // stale eviction notice; benign
+	}
+	if e.busy {
+		// The current transaction's Fwd will miss at this (former) owner.
+		e.ownerGone = true
+		e.sharers &^= 1 << uint(core)
+		if e.awaitingWB {
+			e.awaitingWB = false
+			d.finishExclusive(line, e)
+		}
+		return
+	}
+	e.state = dirInvalid
+	e.sharers = 0
+}
+
+func (d *Directory) handleInvAck(line memory.Addr) {
+	e := d.mustBusy(line, "InvAck")
+	e.pendingInv--
+	if e.pendingInv == 0 {
+		d.finishExclusive(line, e)
+	}
+}
+
+func (d *Directory) handleFwdAckS(line memory.Addr, oldOwner int) {
+	e := d.mustBusy(line, "FwdAckS")
+	t := e.cur
+	e.state = dirShared
+	e.sharers = (1 << uint(oldOwner)) | (1 << uint(t.core))
+	d.respond(line, e, RspDataS)
+}
+
+func (d *Directory) handleFwdAckI(line memory.Addr) {
+	e := d.mustBusy(line, "FwdAckI")
+	d.finishExclusive(line, e)
+}
+
+func (d *Directory) handleFwdMiss(line memory.Addr) {
+	e := d.mustBusy(line, "FwdMiss")
+	if e.ownerGone {
+		d.finishExclusive(line, e)
+		return
+	}
+	// The owner's writeback is still in flight; complete when it arrives.
+	e.awaitingWB = true
+}
+
+func (d *Directory) mustBusy(line memory.Addr, what string) *dirEntry {
+	e, ok := d.lines[line]
+	if !ok || !e.busy {
+		panic(fmt.Sprintf("coherence: directory %d got %s for idle line %#x", d.tile, what, line))
+	}
+	return e
+}

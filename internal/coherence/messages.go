@@ -1,0 +1,96 @@
+// Package coherence implements the MESI directory protocol that connects
+// private L1 caches to the distributed shared LLC over the mesh.
+//
+// Protocol shape (see DESIGN.md S4):
+//
+//   - Each line has a home tile (memory.HomeOf) holding its directory entry.
+//   - Cores send GetS on read misses and GetX on write/RMW misses or
+//     upgrades. The home responds with DataS or DataE after invalidating or
+//     recalling other copies as needed.
+//   - The home serializes transactions per line: conflicting requests queue
+//     and are processed FIFO.
+//   - Replacements send PutS/PutE/PutM notifications so the directory stays
+//     precise; the protocol tolerates the resulting crossing races (an Inv
+//     for an absent line is acked anyway, a Fwd that misses waits for the
+//     in-flight writeback).
+//
+// The network is point-to-point ordered (same source, same destination),
+// which the protocol relies on exactly where a real NoC virtual network
+// would.
+package coherence
+
+import (
+	"fmt"
+
+	"misar/internal/memory"
+)
+
+// MsgKind enumerates coherence message types.
+type MsgKind uint8
+
+const (
+	// Core -> home requests.
+	ReqGetS MsgKind = iota // read miss: want at least Shared
+	ReqGetX                // write/RMW miss or upgrade: want exclusive
+	ReqPutS                // eviction notice of a Shared line
+	ReqPutE                // eviction notice of a clean Exclusive line
+	ReqPutM                // writeback of a Modified line
+
+	// Home -> core responses and probes.
+	RspDataS // grant Shared copy
+	RspDataE // grant Exclusive copy (MESI E; becomes M on first write)
+	MsgInv   // invalidate your copy
+	MsgFwd   // recall: downgrade (for GetS) or invalidate (for GetX)
+
+	// Core -> home probe replies.
+	MsgInvAck  // invalidation acknowledged (sent even if line absent)
+	MsgFwdAckS // owner downgraded to S, data returned
+	MsgFwdAckI // owner invalidated, data returned
+	MsgFwdMiss // owner no longer has the line (writeback in flight)
+)
+
+func (k MsgKind) String() string {
+	names := [...]string{
+		"GetS", "GetX", "PutS", "PutE", "PutM",
+		"DataS", "DataE", "Inv", "Fwd",
+		"InvAck", "FwdAckS", "FwdAckI", "FwdMiss",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// FwdIntent says what a MsgFwd asks the owner to do.
+type FwdIntent uint8
+
+const (
+	FwdDowngrade  FwdIntent = iota // keep a Shared copy (GetS recall)
+	FwdInvalidate                  // drop the line (GetX recall)
+)
+
+// Msg is a coherence message payload carried by the NoC.
+type Msg struct {
+	Kind   MsgKind
+	Line   memory.Addr // line-aligned address
+	Core   int         // requesting / responding core id
+	Intent FwdIntent   // for MsgFwd
+	HWSync bool        // for RspDataE: set the L1 HWSync bit on fill (§5)
+	Grant  bool        // fill initiated by the MSA, not by a demand miss
+}
+
+// Message byte sizes: control messages are header-only; data messages carry
+// a 64-byte line plus header.
+const (
+	CtrlBytes = 8
+	DataBytes = 8 + memory.LineSize
+)
+
+// Bytes returns the wire size of the message.
+func (m *Msg) Bytes() int {
+	switch m.Kind {
+	case RspDataS, RspDataE, ReqPutM, MsgFwdAckS, MsgFwdAckI:
+		return DataBytes
+	}
+	return CtrlBytes
+}

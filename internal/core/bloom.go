@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"misar/internal/memory"
+)
+
+// BloomOMU is the counting-Bloom-filter variant of the overflow management
+// unit that the paper suggests as an upgrade over simple counters (§3.2:
+// "This can be avoided by using enough OMU counters, or even using counting
+// Bloom filters instead of simple counters").
+//
+// Each address maps to K counters through independent hash functions; an
+// address is considered software-active only if *all* K of its counters are
+// nonzero. False positives (needless software steering) still exist but drop
+// roughly exponentially with K for the same storage budget; false negatives
+// remain impossible, which is the property correctness rests on: Inc raises
+// all K counters, so an address with live software activity always sees all
+// of its counters nonzero.
+type BloomOMU struct {
+	counters []uint32
+	hashes   int
+	stats    OMUStats
+}
+
+// NewBloomOMU builds a filter with n counters and k hash functions
+// (minimums 1; k is capped at n).
+func NewBloomOMU(n, k int) *BloomOMU {
+	if n < 1 {
+		n = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return &BloomOMU{counters: make([]uint32, n), hashes: k}
+}
+
+// indices yields the K counter slots for an address. Each slot uses an
+// independently seeded full-avalanche mix — with only a few counters, the
+// usual double-hashing shortcut leaves the probe indices correlated and
+// forfeits the Bloom advantage.
+func (b *BloomOMU) indices(a memory.Addr) []int {
+	out := make([]int, b.hashes)
+	n := uint64(len(b.counters))
+	for i := range out {
+		h := (uint64(a) >> 6) + uint64(i)*0x9E3779B97F4A7C15
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		h *= 0xC4CEB9FE1A85EC53
+		h ^= h >> 33
+		out[i] = int(h % n)
+	}
+	return out
+}
+
+// Active reports whether a may have live software activity (all K counters
+// nonzero). Never reports false for an address with live activity.
+func (b *BloomOMU) Active(a memory.Addr) bool {
+	for _, i := range b.indices(a) {
+		if b.counters[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Inc records a thread entering the software implementation of a.
+func (b *BloomOMU) Inc(a memory.Addr) {
+	for _, i := range b.indices(a) {
+		b.counters[i]++
+		if b.counters[i] > b.stats.MaxValue {
+			b.stats.MaxValue = b.counters[i]
+		}
+	}
+	b.stats.Incs++
+}
+
+// Dec records a thread leaving the software implementation of a.
+func (b *BloomOMU) Dec(a memory.Addr) {
+	for _, i := range b.indices(a) {
+		if b.counters[i] == 0 {
+			panic(fmt.Sprintf("core: Bloom OMU underflow for addr %#x", a))
+		}
+		b.counters[i]--
+	}
+	b.stats.Decs++
+}
+
+// Stats returns a snapshot of filter statistics.
+func (b *BloomOMU) Stats() OMUStats { return b.stats }
+
+// overflowTracker abstracts the two OMU variants so the slice can use
+// either.
+type overflowTracker interface {
+	// ActiveSW reports whether the address may have live software activity.
+	ActiveSW(a memory.Addr) bool
+	// Level returns the activity estimate for the address (exact count for
+	// the plain array, minimum counter for the Bloom filter).
+	Level(a memory.Addr) uint32
+	Inc(a memory.Addr)
+	Dec(a memory.Addr)
+	Stats() OMUStats
+}
+
+// Adapters.
+
+// ActiveSW for the plain counter array: nonzero counter.
+func (o *OMU) ActiveSW(a memory.Addr) bool { return o.Count(a) > 0 }
+
+// ActiveSW for the Bloom filter.
+func (b *BloomOMU) ActiveSW(a memory.Addr) bool { return b.Active(a) }
+
+// Level returns the minimum of the address's K counters (an upper bound on
+// its true software-activity count).
+func (b *BloomOMU) Level(a memory.Addr) uint32 {
+	min := uint32(1<<31 - 1)
+	for _, i := range b.indices(a) {
+		if b.counters[i] < min {
+			min = b.counters[i]
+		}
+	}
+	return min
+}

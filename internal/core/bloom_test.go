@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"misar/internal/isa"
+	"misar/internal/memory"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloomOMU(8, 2)
+	addrs := []memory.Addr{0x1000, 0x2040, 0x3080, 0x40c0, 0x5100}
+	for _, a := range addrs {
+		b.Inc(a)
+	}
+	for _, a := range addrs {
+		if !b.Active(a) {
+			t.Fatalf("false negative for %#x", a)
+		}
+	}
+	for _, a := range addrs {
+		b.Dec(a)
+	}
+	for _, a := range addrs {
+		if b.Active(a) {
+			t.Fatalf("%#x still active after balanced dec", a)
+		}
+	}
+}
+
+func TestBloomUnderflowPanics(t *testing.T) {
+	b := NewBloomOMU(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Dec(0x1000)
+}
+
+func TestBloomParamClamping(t *testing.T) {
+	b := NewBloomOMU(0, 0)
+	b.Inc(0x40)
+	if !b.Active(0x40) {
+		t.Fatal("degenerate filter broken")
+	}
+	// k > n must clamp rather than panic.
+	b2 := NewBloomOMU(2, 10)
+	b2.Inc(0x40)
+	b2.Dec(0x40)
+}
+
+// The headline property the paper wants: for the same storage budget, the
+// Bloom filter steers fewer innocent addresses to software than the plain
+// counter array.
+func TestBloomFewerFalsePositivesThanPlain(t *testing.T) {
+	// Bloom filters pay off once the counter budget exceeds the live set by
+	// enough for k>1 to cut false positives (the classic occupancy
+	// trade-off); the paper suggests them for exactly that regime.
+	const counters = 32
+	plain := NewOMU(counters)
+	bloom := NewBloomOMU(counters, 2)
+	// Two addresses are genuinely software-active.
+	hot := []memory.Addr{0x10000, 0x20040}
+	for _, a := range hot {
+		plain.Inc(a)
+		bloom.Inc(a)
+	}
+	plainFP, bloomFP, probes := 0, 0, 0
+	for j := 0; j < 200; j++ {
+		a := memory.Addr(0x100000 + j*64)
+		probes++
+		if plain.ActiveSW(a) {
+			plainFP++
+		}
+		if bloom.ActiveSW(a) {
+			bloomFP++
+		}
+	}
+	if bloomFP >= plainFP {
+		t.Fatalf("bloom false positives (%d) not below plain (%d) over %d probes",
+			bloomFP, plainFP, probes)
+	}
+}
+
+// Property: Inc/Dec sequences keep ActiveSW a sound over-approximation —
+// an address with outstanding Incs is always Active.
+func TestPropertyBloomSoundness(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := NewBloomOMU(4, 2)
+		outstanding := map[memory.Addr]int{}
+		for _, op := range ops {
+			a := memory.Addr(0x1000 + uint64(op%32)*64)
+			if op&0x80 == 0 {
+				b.Inc(a)
+				outstanding[a]++
+			} else if outstanding[a] > 0 {
+				b.Dec(a)
+				outstanding[a]--
+			}
+			for aa, n := range outstanding {
+				if n > 0 && !b.Active(aa) {
+					return false // false negative: correctness violation
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: the slice works identically with the Bloom OMU.
+func TestSliceWithBloomOMU(t *testing.T) {
+	cfg := noOpt()
+	cfg.OMUBloom = true
+	cfg.OMUHashes = 2
+	r := newRig(4, cfg)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(50, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if countSuccess(r.got[1], isa.OpLock) != 1 {
+		t.Fatal("handoff failed under Bloom OMU")
+	}
+	// Overflow path: charge then drain, address becomes HW-eligible again.
+	home := memory.HomeOf(lockA, 4)
+	r.msa[home].omu.Inc(lockA)
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 2, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 2); got.Result != isa.Fail {
+		t.Fatalf("LOCK with live Bloom entry = %v, want FAIL", got.Result)
+	}
+	r.send(r.engine.Now()+1, 2, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	r.msa[home].omu.Dec(lockA) // balance the manual charge
+	r.send(r.engine.Now()+1, 3, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 3); got.Result != isa.Success {
+		t.Fatalf("LOCK after Bloom drain = %v, want SUCCESS", got.Result)
+	}
+}

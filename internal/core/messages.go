@@ -1,0 +1,93 @@
+// Package core implements the paper's contribution: the Minimalistic
+// Synchronization Accelerator (MSA) and the Overflow Management Unit (OMU).
+//
+// One Slice lives in each tile, co-located with the tile's LLC slice and
+// directory (the MSA entry for a synchronization address lives in that
+// address's coherence home tile). A slice holds a handful of entries — each
+// tracking one active lock, barrier, or condition variable — plus the OMU's
+// small untagged counter array that records how many threads are currently
+// inside the *software* implementation of each (hashed) synchronization
+// address. The OMU is what makes the hardware/software boundary safe: an
+// acquire-type operation is granted a hardware entry only when no software
+// activity is live on that address, and software entry/exit (FAILed
+// instructions, FINISH notifications) keep the counters in balance.
+package core
+
+import (
+	"misar/internal/isa"
+	"misar/internal/memory"
+)
+
+// AbortReason distinguishes the two ways an MSA can abort an operation.
+type AbortReason uint8
+
+const (
+	// ReasonNone accompanies non-abort results.
+	ReasonNone AbortReason = iota
+	// ReasonFallback: the entry was torn down (migrated-owner unlock,
+	// barrier suspension, cond-waiter suspension); the synchronization
+	// library must fall back to software (Algorithms 1-3).
+	ReasonFallback
+	// ReasonRequeue: the core's own suspension dequeued a lock waiter; the
+	// LOCK instruction is squashed and must be re-executed when the thread
+	// resumes (paper §4.1.2). The library never observes this result.
+	ReasonRequeue
+)
+
+// Req is a synchronization request from a core to the MSA slice in the
+// synchronization address's home tile.
+type Req struct {
+	Op   isa.SyncOp
+	Addr memory.Addr // synchronization variable address
+	Core int         // requesting core
+	Goal int         // BARRIER: participant count
+	Lock memory.Addr // COND_WAIT: associated lock address
+}
+
+// Resp is the MSA's reply completing a core's synchronization instruction.
+// For COND_WAIT the reply may originate from the *lock's* home tile (the
+// tile that granted the re-acquired lock), not the condition variable's.
+type Resp struct {
+	Op     isa.SyncOp // the instruction being completed
+	Addr   memory.Addr
+	Core   int
+	Result isa.Result
+	Reason AbortReason
+	// ClearHWSync instructs the core to drop its HWSync bit for the lock's
+	// line: the UNLOCK handed the lock to a waiter, so a silent re-acquire
+	// by the unlocker would race the new owner (§5 handoff rule).
+	ClearHWSync bool
+}
+
+// msaMsgKind enumerates MSA-to-MSA messages used by the condition-variable
+// protocol (paper §4.3): the cond home unlocks-and-pins the lock at the
+// lock's home, and later re-acquires it on behalf of released waiters.
+type msaMsgKind uint8
+
+const (
+	kindUnlockPin msaMsgKind = iota
+	kindUnlockPinResp
+	kindLockBehalf
+	kindUnpinOnly
+	// kindOmuAdjust pre-charges the cond's OMU counter when a cond waiter is
+	// aborted from the *lock's* home, so the FINISH in its fallback balances.
+	kindOmuAdjust
+)
+
+// MsaMsg is an MSA-to-MSA message.
+type MsaMsg struct {
+	Kind    msaMsgKind
+	Lock    memory.Addr // lock address (destination entry)
+	Cond    memory.Addr // originating condition variable address
+	Core    int         // thread's core (unlocker / waiter being woken)
+	NeedPin bool        // kindUnlockPin: increment the pin count on success
+	Unpin   bool        // kindLockBehalf: decrement the pin count first
+	OK      bool        // kindUnlockPinResp
+}
+
+// Wire sizes: all MSA messages are small control packets.
+const (
+	ReqBytes  = 16
+	RespBytes = 8
+	MsaBytes  = 16
+)

@@ -1,0 +1,759 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"misar/internal/coherence"
+	"misar/internal/isa"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/trace"
+)
+
+// Config selects the accelerator variant under evaluation.
+type Config struct {
+	// Entries is the per-slice entry count. Negative means unbounded
+	// (the paper's MSA-inf configuration).
+	Entries int
+	// OMUCounters is the per-slice OMU counter count (the paper evaluates
+	// four). Ignored when OMUEnabled is false.
+	OMUCounters int
+	// OMUBloom selects the counting-Bloom-filter OMU variant the paper
+	// suggests in §3.2, with OMUHashes hash functions over the same
+	// OMUCounters-counter storage budget.
+	OMUBloom  bool
+	OMUHashes int
+	// OMUEnabled selects overflow management. When false the slice models
+	// the paper's "without OMU" baseline (Fig. 7): entries are never
+	// deallocated, so the first addresses to arrive keep them forever, and
+	// overflowing addresses are permanently served in software.
+	OMUEnabled bool
+	// HWSyncOpt enables the §5 optimization: lock grants ship the lock's
+	// cache line in Exclusive state with the HWSync bit, and entries linger
+	// in standby so the same core can silently re-acquire.
+	HWSyncOpt bool
+	// Locks, Barriers, Conds select which synchronization types the slice
+	// accelerates (Fig. 9 evaluates lock-only and barrier-only variants).
+	// Unsupported types always take the software path.
+	Locks, Barriers, Conds bool
+	// FixedPriority replaces the NBTC round-robin grant policy with
+	// lowest-core-first selection (ablation A3: what the fairness register
+	// buys).
+	FixedPriority bool
+}
+
+// DefaultConfig is the paper's headline MSA/OMU-2 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Entries:     2,
+		OMUCounters: 4,
+		OMUEnabled:  true,
+		HWSyncOpt:   true,
+		Locks:       true,
+		Barriers:    true,
+		Conds:       true,
+	}
+}
+
+// Stats aggregates one slice's activity. "HW" counts operations the
+// accelerator completed; "SW" counts operations steered to the software
+// fallback (FAIL responses).
+type Stats struct {
+	LockHW, LockSW       uint64
+	UnlockHW, UnlockSW   uint64
+	BarrierHW, BarrierSW uint64
+	CondHW, CondSW       uint64
+	SilentLocks          uint64 // LOCK_SILENT notifications (HW lock grants)
+
+	Allocs, Deallocs uint64
+	Reclaims         uint64 // standby entries reclaimed for a new address
+	OMUSteers        uint64 // acquire misses steered to SW by a live counter
+	CapacitySteers   uint64 // acquire misses steered to SW by a full MSA
+	Aborts           uint64 // operations terminated with ABORT
+	Grants           uint64 // HWSync block grants shipped
+	Revokes          uint64 // standby revocations issued
+}
+
+// HWOps returns the operations completed in hardware.
+func (s *Stats) HWOps() uint64 {
+	return s.LockHW + s.UnlockHW + s.BarrierHW + s.CondHW + s.SilentLocks
+}
+
+// SWOps returns the operations steered to software.
+func (s *Stats) SWOps() uint64 {
+	return s.LockSW + s.UnlockSW + s.BarrierSW + s.CondSW
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o *Stats) {
+	s.LockHW += o.LockHW
+	s.LockSW += o.LockSW
+	s.UnlockHW += o.UnlockHW
+	s.UnlockSW += o.UnlockSW
+	s.BarrierHW += o.BarrierHW
+	s.BarrierSW += o.BarrierSW
+	s.CondHW += o.CondHW
+	s.CondSW += o.CondSW
+	s.SilentLocks += o.SilentLocks
+	s.Allocs += o.Allocs
+	s.Deallocs += o.Deallocs
+	s.Reclaims += o.Reclaims
+	s.OMUSteers += o.OMUSteers
+	s.CapacitySteers += o.CapacitySteers
+	s.Aborts += o.Aborts
+	s.Grants += o.Grants
+	s.Revokes += o.Revokes
+}
+
+// entry is one MSA entry (paper Fig. 1): type, synchronization address,
+// HWQueue bit vector, auxiliary information, and a valid bit. The paper's
+// HWQueue holds waiters plus the lock owner; here the owner is held in a
+// separate field and `waiters` holds the rest, which is equivalent.
+type entry struct {
+	valid   bool
+	empty   bool // without-OMU: slot permanently bound to addr but inactive
+	typ     isa.SyncType
+	addr    memory.Addr
+	lastUse uint64 // slice op tick, for LRU standby reclaim
+
+	waiters uint64 // bit per waiting core (barriers: arrived cores)
+	owner   int    // locks: owning core, -1 when free
+
+	// AuxInfo (paper Fig. 1) — meaning depends on typ:
+	goal     int         // barrier: participant count
+	pins     int         // lock: condition variables pinning this entry
+	lockAddr memory.Addr // cond: associated lock address
+
+	// behalf maps a waiting core to the condition-variable address whose
+	// COND_WAIT the eventual lock grant completes (§4.3: the lock home
+	// responds directly to the released waiter).
+	behalf map[int]memory.Addr
+
+	// §5 standby machinery (locks only).
+	standby     bool // free, but standbyCore may silently re-acquire
+	standbyCore int  // core holding (or receiving) the HWSync block
+	revoking    bool // revocation in flight; promotion deferred
+	reclaiming  bool // background revoke-then-free of a standby entry
+	grantsOut   int  // block grants still in flight
+	draining    bool // tear-down in progress; steer new requests to SW
+
+	// reserved cond-entry machinery (§4.3.1 UNLOCK&PIN handshake).
+	reserved  bool
+	pinCore   int   // waiter whose UNLOCK&PIN handshake is in flight, -1 none
+	pendSig   []int // signaler cores queued while a handshake is in flight
+	pendBcast []int
+}
+
+func bit(core int) uint64 { return 1 << uint(core) }
+
+// Slice is one tile's MSA slice plus its OMU.
+type Slice struct {
+	tile, tiles int
+	cfg         Config
+	engine      *sim.Engine
+	dir         *coherence.Directory
+
+	// sendResp delivers a Resp to a core; sendMsa delivers an MsaMsg to a
+	// peer slice. Both are wired by the machine over the NoC.
+	sendResp func(core int, r *Resp)
+	sendMsa  func(tile int, m *MsaMsg)
+
+	entries []*entry
+	omu     overflowTracker
+	nbtc    int    // next-bit-to-check fairness register (one per slice)
+	tick    uint64 // op counter for LRU standby reclaim
+	stats   Stats
+	tracer  *trace.Buffer // nil unless protocol tracing is attached
+}
+
+// SetTracer attaches a protocol-event recorder (nil detaches).
+func (s *Slice) SetTracer(b *trace.Buffer) { s.tracer = b }
+
+// trace records a protocol event when tracing is attached.
+func (s *Slice) trace(kind trace.Kind, addr memory.Addr, core int, detail string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Record(trace.Event{
+		At: s.engine.Now(), Tile: s.tile, Kind: kind,
+		Addr: addr, Core: core, Detail: detail,
+	})
+}
+
+// NewSlice builds the MSA slice for one tile. dir is the co-located
+// directory used for HWSync block grants and revocations.
+func NewSlice(tile, tiles int, cfg Config, engine *sim.Engine, dir *coherence.Directory,
+	sendResp func(core int, r *Resp), sendMsa func(tile int, m *MsaMsg)) *Slice {
+	if tiles > 64 {
+		panic("core: HWQueue bit vector supports at most 64 cores")
+	}
+	var omu overflowTracker = NewOMU(cfg.OMUCounters)
+	if cfg.OMUBloom {
+		omu = NewBloomOMU(cfg.OMUCounters, cfg.OMUHashes)
+	}
+	s := &Slice{
+		tile: tile, tiles: tiles, cfg: cfg, engine: engine, dir: dir,
+		sendResp: sendResp, sendMsa: sendMsa,
+		omu: omu,
+	}
+	n := cfg.Entries
+	if n < 0 {
+		n = 0 // grown on demand
+	}
+	s.entries = make([]*entry, 0, n)
+	for i := 0; i < n; i++ {
+		s.entries = append(s.entries, &entry{owner: -1, standbyCore: -1, pinCore: -1})
+	}
+	return s
+}
+
+// Stats returns a snapshot of this slice's counters.
+func (s *Slice) Stats() Stats { return s.stats }
+
+// OMUStats exposes the slice's OMU for inspection.
+func (s *Slice) OMUStats() OMUStats { return s.omu.Stats() }
+
+// LiveEntries reports how many entries are currently valid.
+func (s *Slice) LiveEntries() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Slice) find(typ isa.SyncType, addr memory.Addr) *entry {
+	for _, e := range s.entries {
+		if e.valid && !e.empty && e.typ == typ && e.addr == addr {
+			s.tick++
+			e.lastUse = s.tick
+			return e
+		}
+	}
+	return nil
+}
+
+func (s *Slice) supports(typ isa.SyncType) bool {
+	switch typ {
+	case isa.TypeLock:
+		return s.cfg.Locks
+	case isa.TypeBarrier:
+		return s.cfg.Barriers
+	case isa.TypeCond:
+		return s.cfg.Conds
+	}
+	return false
+}
+
+// tryAllocate returns a fresh entry for addr, or nil when the request must
+// be served in software (unsupported type, live OMU counter, or no capacity).
+// The caller is responsible for the OMU increment on the nil path.
+func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
+	if !s.supports(typ) {
+		return nil
+	}
+	if s.cfg.OMUEnabled && s.omu.ActiveSW(addr) {
+		s.stats.OMUSteers++
+		return nil
+	}
+	e := s.boundEntry(typ, addr)
+	if e == nil {
+		e = s.freeEntry()
+	}
+	if e == nil {
+		s.stats.CapacitySteers++
+		// Kick off a background reclaim of a standby entry (revoke its
+		// HWSync block, then free it) so a future request finds room.
+		s.startReclaim(nil)
+		return nil
+	}
+	s.stats.Allocs++
+	s.tick++
+	*e = entry{valid: true, typ: typ, addr: addr, owner: -1, standbyCore: -1, pinCore: -1, lastUse: s.tick}
+	s.trace(trace.EntryAlloc, addr, -1, typ.String())
+	return e
+}
+
+// boundEntry returns the empty slot permanently bound to (typ, addr) in
+// without-OMU mode, if any.
+func (s *Slice) boundEntry(typ isa.SyncType, addr memory.Addr) *entry {
+	if s.cfg.OMUEnabled {
+		return nil
+	}
+	for _, e := range s.entries {
+		if e.valid && e.empty && e.typ == typ && e.addr == addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// freeEntry finds an invalid entry, reclaims a lapsed standby entry, or
+// grows the table in the unbounded (MSA-inf) configuration.
+func (s *Slice) freeEntry() *entry {
+	for _, e := range s.entries {
+		if !e.valid {
+			return e
+		}
+	}
+	if s.cfg.Entries < 0 {
+		e := &entry{owner: -1, standbyCore: -1, pinCore: -1}
+		s.entries = append(s.entries, e)
+		return e
+	}
+	if !s.cfg.OMUEnabled {
+		return nil // entries are permanent without the OMU
+	}
+	// A standby lock entry whose holder's line is no longer writable can
+	// never be silently re-acquired again, so it is safe to reclaim.
+	for _, e := range s.entries {
+		if e.valid && e.typ == isa.TypeLock && e.standby && !e.revoking &&
+			!e.draining && e.grantsOut == 0 && e.pins == 0 && e.waiters == 0 &&
+			!s.dir.IsExclusiveAt(memory.LineOf(e.addr), e.standbyCore) {
+			s.stats.Reclaims++
+			s.stats.Deallocs++
+			e.valid = false
+			return e
+		}
+	}
+	return nil
+}
+
+// hasFreeSlot reports whether an invalid entry is available (unbounded
+// slices always have room).
+func (s *Slice) hasFreeSlot() bool {
+	if s.cfg.Entries < 0 {
+		return true
+	}
+	for _, e := range s.entries {
+		if !e.valid {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Slice) dealloc(e *entry) {
+	if !s.cfg.OMUEnabled {
+		// Without the OMU entries are permanent: the slot stays bound to
+		// its address forever (paper Fig. 7 "without OMU" baseline) but
+		// becomes inactive, so the next acquire re-allocates it and runs
+		// the full allocation protocol (e.g. the cond-var pin handshake).
+		*e = entry{valid: true, empty: true, typ: e.typ, addr: e.addr,
+			owner: -1, standbyCore: -1, pinCore: -1}
+		return
+	}
+	s.stats.Deallocs++
+	s.trace(trace.EntryFree, e.addr, -1, e.typ.String())
+	e.valid = false
+}
+
+func (s *Slice) respond(core int, op isa.SyncOp, addr memory.Addr, res isa.Result, reason AbortReason) {
+	if res == isa.Abort {
+		s.stats.Aborts++
+		s.trace(trace.Abort, addr, core, op.String())
+	}
+	s.trace(trace.SyncResp, addr, core, op.String()+" "+res.String())
+	s.sendResp(core, &Resp{Op: op, Addr: addr, Core: core, Result: res, Reason: reason})
+}
+
+func (s *Slice) omuInc(addr memory.Addr) {
+	if s.cfg.OMUEnabled {
+		s.omu.Inc(addr)
+	}
+}
+
+func (s *Slice) omuAdd(addr memory.Addr, n int) {
+	if s.cfg.OMUEnabled {
+		for i := 0; i < n; i++ {
+			s.omu.Inc(addr)
+		}
+	}
+}
+
+func (s *Slice) omuDec(addr memory.Addr) {
+	if s.cfg.OMUEnabled {
+		s.omu.Dec(addr)
+	}
+}
+
+// HandleReq processes a synchronization request arriving from a core.
+func (s *Slice) HandleReq(r *Req) {
+	if memory.HomeOf(r.Addr, s.tiles) != s.tile {
+		panic(fmt.Sprintf("core: tile %d is not home of sync addr %#x", s.tile, r.Addr))
+	}
+	s.trace(trace.SyncReq, r.Addr, r.Core, r.Op.String())
+	switch r.Op {
+	case isa.OpLock:
+		s.handleLock(r)
+	case isa.OpUnlock:
+		s.handleUnlock(r)
+	case isa.OpBarrier:
+		s.handleBarrier(r)
+	case isa.OpCondWait:
+		s.handleCondWait(r)
+	case isa.OpCondSignal:
+		s.handleCondSignal(r, false)
+	case isa.OpCondBcast:
+		s.handleCondSignal(r, true)
+	case isa.OpFinish:
+		s.omuDec(r.Addr)
+	case isa.OpSuspend:
+		s.handleSuspend(r)
+	case isa.OpLockSilent:
+		s.handleLockSilent(r)
+	default:
+		panic(fmt.Sprintf("core: unknown sync op %v", r.Op))
+	}
+}
+
+// --- Locks (§4.1) ---
+
+func (s *Slice) handleLock(r *Req) {
+	e := s.find(isa.TypeLock, r.Addr)
+	if e == nil {
+		e = s.tryAllocate(isa.TypeLock, r.Addr)
+		if e == nil {
+			s.stats.LockSW++
+			s.omuInc(r.Addr)
+			s.trace(trace.Steer, r.Addr, r.Core, "lock to software")
+			s.respond(r.Core, isa.OpLock, r.Addr, isa.Fail, ReasonNone)
+			return
+		}
+	}
+	if e.draining {
+		// Entry tear-down in progress (post-abort): steer to software; the
+		// OMU keeps the worlds separate.
+		s.stats.LockSW++
+		s.omuInc(r.Addr)
+		s.respond(r.Core, isa.OpLock, r.Addr, isa.Fail, ReasonNone)
+		return
+	}
+	s.stats.LockHW++
+	s.enqueueLocker(e, r.Core, isa.OpLock, r.Addr)
+}
+
+// enqueueLocker adds core to the lock entry's queue and grants immediately
+// when possible. respOp/respAddr identify the instruction the eventual
+// grant completes (LOCK on the lock, or COND_WAIT on a condition variable).
+func (s *Slice) enqueueLocker(e *entry, core int, respOp isa.SyncOp, respAddr memory.Addr) {
+	if e.owner == core {
+		panic(fmt.Sprintf("core: core %d re-locking %#x while owning it", core, e.addr))
+	}
+	if respOp == isa.OpCondWait {
+		if e.behalf == nil {
+			e.behalf = make(map[int]memory.Addr)
+		}
+		e.behalf[core] = respAddr
+	}
+	e.waiters |= bit(core)
+	if e.owner == -1 && !e.revoking {
+		if s.cfg.HWSyncOpt && e.standby && e.standbyCore != core {
+			// A silent holder may exist: revoke its block before granting.
+			// Any LOCK_SILENT it sent is point-to-point ordered before its
+			// InvAck, so it will be observed before the revocation
+			// completes.
+			e.revoking = true
+			s.stats.Revokes++
+			s.trace(trace.Revoke, e.addr, e.standbyCore, "revoke before grant")
+			s.dir.Revoke(memory.LineOf(e.addr), func() { s.afterRevoke(e) })
+			return
+		}
+		e.standby = false
+		s.promote(e)
+	}
+	// Otherwise the reply is held: the core stalls until promoted (§4.1).
+}
+
+func (s *Slice) afterRevoke(e *entry) {
+	e.revoking = false
+	e.standby = false
+	if e.draining {
+		s.finishDrain(e)
+		return
+	}
+	if e.reclaiming {
+		e.reclaiming = false
+		if e.owner == -1 && e.waiters == 0 && e.pins == 0 {
+			// No one slipped in during the revocation: free the slot.
+			s.stats.Reclaims++
+			s.dealloc(e)
+			return
+		}
+		// The standby holder silently re-acquired, or waiters arrived:
+		// the entry stays live and the reclaim is abandoned.
+	}
+	s.promote(e)
+}
+
+// startReclaim picks the least-recently-used idle standby lock entry
+// (skipping `except`, typically the entry that just entered standby) and
+// revokes its HWSync block in the background; once no silent re-acquire is
+// possible the entry is freed. Requests hitting the entry meanwhile are
+// queued normally, which simply cancels the reclaim.
+func (s *Slice) startReclaim(except *entry) {
+	if !s.cfg.OMUEnabled || !s.cfg.HWSyncOpt {
+		return
+	}
+	var victim *entry
+	for _, e := range s.entries {
+		if e == except {
+			continue
+		}
+		if e.valid && e.typ == isa.TypeLock && e.standby && !e.revoking &&
+			!e.reclaiming && !e.draining && e.grantsOut == 0 && e.pins == 0 &&
+			e.owner == -1 && e.waiters == 0 {
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.revoking = true
+	victim.reclaiming = true
+	s.stats.Revokes++
+	s.trace(trace.EntryRecl, victim.addr, victim.standbyCore, "reclaim start")
+	s.dir.Revoke(memory.LineOf(victim.addr), func() { s.afterRevoke(victim) })
+}
+
+// pickWaiter selects the next core to grant: round-robin from the slice's
+// NBTC register (§4.1 fairness), or lowest-first under FixedPriority.
+func (s *Slice) pickWaiter(waiters uint64) int {
+	if s.cfg.FixedPriority {
+		for c := 0; c < s.tiles; c++ {
+			if waiters&bit(c) != 0 {
+				return c
+			}
+		}
+		panic("core: pickWaiter on empty set")
+	}
+	for i := 0; i < s.tiles; i++ {
+		c := (s.nbtc + i) % s.tiles
+		if waiters&bit(c) != 0 {
+			s.nbtc = (c + 1) % s.tiles
+			return c
+		}
+	}
+	panic("core: pickWaiter on empty set")
+}
+
+// promote grants the lock to the next waiter, chosen round-robin starting at
+// the slice's NBTC register (§4.1 fairness).
+func (s *Slice) promote(e *entry) {
+	if e.owner != -1 || e.revoking || e.draining || e.waiters == 0 {
+		return
+	}
+	next := s.pickWaiter(e.waiters)
+	e.waiters &^= bit(next)
+	e.owner = next
+	respOp, respAddr := isa.OpLock, e.addr
+	if a, ok := e.behalf[next]; ok {
+		respOp, respAddr = isa.OpCondWait, a
+		delete(e.behalf, next)
+	}
+	s.respond(next, respOp, respAddr, isa.Success, ReasonNone)
+	if s.cfg.HWSyncOpt {
+		// Ship the lock's line in Exclusive state with the HWSync bit (§5).
+		e.standbyCore = next
+		e.grantsOut++
+		s.stats.Grants++
+		s.trace(trace.Grant, e.addr, next, "block grant")
+		s.dir.GrantExclusive(memory.LineOf(e.addr), next, func() {
+			e.grantsOut--
+			if e.draining && e.grantsOut == 0 && !e.revoking {
+				s.finishDrain(e)
+			}
+		})
+	}
+}
+
+func (s *Slice) handleUnlock(r *Req) {
+	e := s.find(isa.TypeLock, r.Addr)
+	if e == nil || e.draining {
+		// Default-to-software (§3.1): the lock is software-managed.
+		s.stats.UnlockSW++
+		s.omuDec(r.Addr)
+		s.respond(r.Core, isa.OpUnlock, r.Addr, isa.Fail, ReasonNone)
+		return
+	}
+	s.stats.UnlockHW++
+	if e.owner == r.Core {
+		e.owner = -1
+		handoff := e.waiters != 0
+		// On a handoff the unlocker must drop its HWSync bit: the lock is
+		// about to belong to someone else, so a silent re-acquire from the
+		// stale bit would break mutual exclusion.
+		s.sendResp(r.Core, &Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
+			Result: isa.Success, ClearHWSync: handoff})
+		if handoff {
+			s.promote(e)
+		} else {
+			s.maybeRetire(e)
+		}
+		return
+	}
+	// UNLOCK from a core whose HWQueue bit is not set: the owning thread
+	// migrated (§4.1.2). Reply SUCCESS to the unlocker, ABORT every waiter
+	// to the software path, charge the OMU for each, and tear down.
+	s.sendResp(r.Core, &Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
+		Result: isa.Success, ClearHWSync: true})
+	s.abortLockEntry(e)
+}
+
+// abortLockEntry aborts all waiters of a lock entry to software and tears
+// the entry down (migrated-owner unlock, §4.1.2).
+func (s *Slice) abortLockEntry(e *entry) {
+	if !s.cfg.OMUEnabled {
+		panic("core: lock abort requires the OMU (no safe software fallback without it)")
+	}
+	for c := 0; c < s.tiles; c++ {
+		if e.waiters&bit(c) == 0 {
+			continue
+		}
+		if condAddr, ok := e.behalf[c]; ok {
+			// A cond waiter re-acquiring the lock: its fallback re-locks in
+			// software and then FINISHes the cond var, so pre-charge the
+			// cond's OMU counter at the cond's home.
+			s.sendMsa(memory.HomeOf(condAddr, s.tiles), &MsaMsg{
+				Kind: kindOmuAdjust, Cond: condAddr,
+			})
+			s.respond(c, isa.OpCondWait, condAddr, isa.Abort, ReasonFallback)
+			delete(e.behalf, c)
+			continue
+		}
+		s.omuInc(e.addr)
+		s.respond(c, isa.OpLock, e.addr, isa.Abort, ReasonFallback)
+	}
+	e.waiters = 0
+	e.owner = -1
+	e.draining = true
+	if e.grantsOut == 0 && !e.revoking {
+		s.finishDrain(e)
+	}
+}
+
+// finishDrain revokes any lingering HWSync block and deallocates.
+func (s *Slice) finishDrain(e *entry) {
+	if s.cfg.HWSyncOpt && e.standbyCore >= 0 {
+		s.dir.Revoke(memory.LineOf(e.addr), func() { s.dealloc(e) })
+		return
+	}
+	s.dealloc(e)
+}
+
+// maybeRetire handles a lock entry whose queue just emptied: keep it in
+// standby while the holder's HWSync block remains usable, otherwise free it.
+func (s *Slice) maybeRetire(e *entry) {
+	if e.pins > 0 {
+		return // pinned by a condition variable (§4.3.1)
+	}
+	if s.cfg.HWSyncOpt && e.standbyCore >= 0 &&
+		(e.grantsOut > 0 || s.dir.IsExclusiveAt(memory.LineOf(e.addr), e.standbyCore)) {
+		// The holder may silently re-acquire: stay in standby (a later
+		// grant to anyone else revokes the block first). If standby entries
+		// have exhausted the slice, proactively free the coldest one so
+		// the next allocation does not have to fall back to software.
+		e.standby = true
+		s.trace(trace.EntryStand, e.addr, e.standbyCore, "standby")
+		if s.cfg.OMUEnabled && !s.hasFreeSlot() {
+			s.startReclaim(e)
+		}
+		return
+	}
+	if !s.cfg.OMUEnabled {
+		return // permanent binding without the OMU
+	}
+	s.dealloc(e)
+}
+
+func (s *Slice) handleLockSilent(r *Req) {
+	e := s.find(isa.TypeLock, r.Addr)
+	if e == nil {
+		panic(fmt.Sprintf("core: LOCK_SILENT for %#x with no entry (invariant violation)", r.Addr))
+	}
+	if e.owner != -1 || e.draining {
+		panic(fmt.Sprintf("core: LOCK_SILENT for %#x from core %d in invalid state (owner=%d draining=%v standby=%v revoking=%v reclaiming=%v standbyCore=%d grantsOut=%d waiters=%x)",
+			r.Addr, r.Core, e.owner, e.draining, e.standby, e.revoking, e.reclaiming, e.standbyCore, e.grantsOut, e.waiters))
+	}
+	s.stats.SilentLocks++
+	s.trace(trace.Silent, r.Addr, r.Core, "silent acquire")
+	e.owner = r.Core
+	e.standby = false
+	// No response: the core already completed its LOCK locally (§5).
+}
+
+// --- Barriers (§4.2) ---
+
+func (s *Slice) handleBarrier(r *Req) {
+	e := s.find(isa.TypeBarrier, r.Addr)
+	if e == nil {
+		e = s.tryAllocate(isa.TypeBarrier, r.Addr)
+		if e == nil {
+			s.stats.BarrierSW++
+			s.omuInc(r.Addr)
+			s.respond(r.Core, isa.OpBarrier, r.Addr, isa.Fail, ReasonNone)
+			return
+		}
+		e.goal = r.Goal
+	}
+	if e.goal == 0 {
+		e.goal = r.Goal // permanent entry reused (without-OMU mode)
+	}
+	if e.goal != r.Goal {
+		panic(fmt.Sprintf("core: barrier %#x goal mismatch %d vs %d", r.Addr, e.goal, r.Goal))
+	}
+	s.stats.BarrierHW++
+	e.waiters |= bit(r.Core)
+	if bits.OnesCount64(e.waiters) == e.goal {
+		// All arrived: release everyone (direct notification).
+		for c := 0; c < s.tiles; c++ {
+			if e.waiters&bit(c) != 0 {
+				s.respond(c, isa.OpBarrier, r.Addr, isa.Success, ReasonNone)
+			}
+		}
+		e.waiters = 0
+		e.goal = 0
+		s.dealloc(e)
+	}
+}
+
+// --- Suspension (§4.1.2, §4.2.2, §4.3.2) ---
+
+func (s *Slice) handleSuspend(r *Req) {
+	// The request addresses whichever entry the address resolves to; the
+	// core sends it only while a LOCK/BARRIER/COND_WAIT is outstanding.
+	if e := s.find(isa.TypeLock, r.Addr); e != nil && e.waiters&bit(r.Core) != 0 {
+		// Dequeue the lock waiter; the core re-executes LOCK on resume.
+		e.waiters &^= bit(r.Core)
+		s.respond(r.Core, isa.OpLock, r.Addr, isa.Abort, ReasonRequeue)
+		return
+	}
+	if e := s.find(isa.TypeBarrier, r.Addr); e != nil && e.waiters&bit(r.Core) != 0 {
+		// Force the whole barrier to software (§4.2.2).
+		if !s.cfg.OMUEnabled {
+			panic("core: barrier abort requires the OMU")
+		}
+		for c := 0; c < s.tiles; c++ {
+			if e.waiters&bit(c) != 0 {
+				s.omuInc(e.addr)
+				s.respond(c, isa.OpBarrier, e.addr, isa.Abort, ReasonFallback)
+			}
+		}
+		e.waiters = 0
+		e.goal = 0
+		s.dealloc(e)
+		return
+	}
+	if e := s.find(isa.TypeCond, r.Addr); e != nil && e.waiters&bit(r.Core) != 0 {
+		s.suspendCondWaiter(e, r.Core)
+		return
+	}
+	// Not queued here (already granted, or waiting for the lock at another
+	// home): tell the core to keep waiting for the original response.
+	s.respond(r.Core, isa.OpSuspend, r.Addr, isa.Fail, ReasonNone)
+}

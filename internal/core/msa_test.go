@@ -1,0 +1,706 @@
+package core
+
+import (
+	"testing"
+
+	"misar/internal/coherence"
+	"misar/internal/isa"
+	"misar/internal/memory"
+	"misar/internal/noc"
+	"misar/internal/sim"
+)
+
+// rig wires slices, directories and L1s over a real mesh, with scripted
+// "cores" that simply record the responses they receive.
+type rig struct {
+	engine *sim.Engine
+	net    *noc.Network
+	store  *memory.Store
+	l1     []*coherence.L1
+	dir    []*coherence.Directory
+	msa    []*Slice
+	got    [][]Resp // responses per core, in arrival order
+}
+
+func newRig(tiles int, cfg Config) *rig {
+	w := 1
+	for w*w < tiles {
+		w++
+	}
+	e := sim.NewEngine()
+	n := noc.New(e, noc.DefaultConfig(w, (tiles+w-1)/w))
+	r := &rig{
+		engine: e, net: n, store: memory.NewStore(),
+		l1:  make([]*coherence.L1, tiles),
+		dir: make([]*coherence.Directory, tiles),
+		msa: make([]*Slice, tiles),
+		got: make([][]Resp, tiles),
+	}
+	for i := 0; i < tiles; i++ {
+		i := i
+		sendCoh := func(dst int, m *coherence.Msg) {
+			n.Send(&noc.Message{Src: i, Dst: dst, Bytes: m.Bytes(), Payload: m})
+		}
+		r.l1[i] = coherence.NewL1(i, tiles, coherence.DefaultL1Config(), e, r.store, sendCoh)
+		r.dir[i] = coherence.NewDirectory(i, tiles, coherence.DirConfig{LLCLatency: 2, MemLatency: 5}, e, sendCoh)
+		r.msa[i] = NewSlice(i, tiles, cfg, e, r.dir[i],
+			func(core int, resp *Resp) {
+				n.Send(&noc.Message{Src: i, Dst: core, Bytes: RespBytes, Payload: resp})
+			},
+			func(tile int, m *MsaMsg) {
+				n.Send(&noc.Message{Src: i, Dst: tile, Bytes: MsaBytes, Payload: m})
+			})
+		n.Attach(i, func(nm *noc.Message) {
+			switch p := nm.Payload.(type) {
+			case *coherence.Msg:
+				switch p.Kind {
+				case coherence.RspDataS, coherence.RspDataE, coherence.MsgInv, coherence.MsgFwd:
+					r.l1[i].Handle(p)
+				default:
+					r.dir[i].Handle(p)
+				}
+			case *Resp:
+				r.got[i] = append(r.got[i], *p)
+			case *MsaMsg:
+				r.msa[i].HandleMsa(p)
+			case *Req:
+				r.msa[i].HandleReq(p)
+			}
+		})
+	}
+	return r
+}
+
+// send issues a sync request from core c at the current/scheduled time.
+func (r *rig) send(at sim.Time, c int, req Req) {
+	req.Core = c
+	r.engine.At(at, func() {
+		home := memory.HomeOf(req.Addr, len(r.msa))
+		cp := req
+		r.net.Send(&noc.Message{Src: c, Dst: home, Bytes: ReqBytes, Payload: &cp})
+	})
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if !r.engine.RunUntil(10_000_000) {
+		t.Fatal("MSA rig did not quiesce")
+	}
+}
+
+// last returns the most recent response core c received.
+func (r *rig) last(t *testing.T, c int) Resp {
+	t.Helper()
+	if len(r.got[c]) == 0 {
+		t.Fatalf("core %d received no response", c)
+	}
+	return r.got[c][len(r.got[c])-1]
+}
+
+func noOpt() Config {
+	c := DefaultConfig()
+	c.HWSyncOpt = false
+	return c
+}
+
+const lockA = memory.Addr(0x10000)
+const lockB = memory.Addr(0x20040)
+const barA = memory.Addr(0x30080)
+const condA = memory.Addr(0x400c0)
+
+func TestLockGrantAndQueue(t *testing.T) {
+	r := newRig(4, noOpt())
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(50, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("first LOCK = %v", got.Result)
+	}
+	if len(r.got[1]) != 0 {
+		t.Fatal("second LOCK should be held, not answered")
+	}
+	// Unlock hands off to the waiter.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 0); got.Op != isa.OpUnlock || got.Result != isa.Success {
+		t.Fatalf("UNLOCK = %+v", got)
+	}
+	if got := r.last(t, 1); got.Op != isa.OpLock || got.Result != isa.Success {
+		t.Fatalf("handoff = %+v", got)
+	}
+}
+
+func TestReleaseMissDefaultsToSoftware(t *testing.T) {
+	r := newRig(4, noOpt())
+	home := memory.HomeOf(lockA, 4)
+	// Make the lock software-managed: two acquires, only then unlocks.
+	r.msa[home].omu.Inc(lockA) // simulate live software activity
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatalf("LOCK with live OMU counter = %v, want FAIL", got.Result)
+	}
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatalf("UNLOCK miss = %v, want FAIL (default-to-software)", got.Result)
+	}
+	// The two increments (manual + failed LOCK) minus UNLOCK's decrement.
+	if c := r.msa[home].omu.Level(lockA); c != 1 {
+		t.Fatalf("OMU count = %d, want 1", c)
+	}
+}
+
+func TestCapacityOverflowSteersToSoftware(t *testing.T) {
+	cfg := noOpt()
+	cfg.Entries = 1
+	r := newRig(2, cfg) // even lines all map to slice 0
+	a1 := memory.Addr(0x1000)
+	a2 := memory.Addr(0x2000)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: a1})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a1})
+	r.run(t)
+	// Entry for a1 freed on empty queue (no HWSync opt): a2 gets the entry.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("a2 LOCK = %v, want SUCCESS after a1 freed", got.Result)
+	}
+	s := r.msa[0].Stats()
+	if s.Allocs != 2 || s.Deallocs != 1 {
+		t.Fatalf("allocs=%d deallocs=%d", s.Allocs, s.Deallocs)
+	}
+}
+
+func TestCapacityFullFails(t *testing.T) {
+	cfg := noOpt()
+	cfg.Entries = 1
+	r := newRig(2, cfg)
+	a1, a2 := memory.Addr(0x1000), memory.Addr(0x2000)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: a1}) // holds the only entry
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatalf("LOCK with full MSA = %v, want FAIL", got.Result)
+	}
+	if r.msa[0].Stats().CapacitySteers != 1 {
+		t.Fatal("CapacitySteers not counted")
+	}
+}
+
+func TestOMUBlocksReallocationUntilDrain(t *testing.T) {
+	cfg := noOpt()
+	cfg.Entries = 1
+	r := newRig(2, cfg)
+	a1, a2 := memory.Addr(0x1000), memory.Addr(0x2000)
+	// a1 takes the entry; a2 overflows to software (OMU counter 1).
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: a1})
+	r.send(100, 0, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	// Free the entry.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a1})
+	r.run(t)
+	// a2 is still live in software: a new LOCK must keep going to software
+	// even though an entry is free (the §3.2 correctness scenario).
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 1); got.Result != isa.Fail {
+		t.Fatalf("LOCK on software-live lock = %v, want FAIL", got.Result)
+	}
+	if r.msa[0].Stats().OMUSteers == 0 {
+		t.Fatal("OMUSteers not counted")
+	}
+	// Drain software: both software lockers unlock.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a2})
+	r.send(r.engine.Now()+200, 1, Req{Op: isa.OpUnlock, Addr: a2})
+	r.run(t)
+	// Now the lock is eligible for hardware again.
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 1); got.Result != isa.Success {
+		t.Fatalf("LOCK after drain = %v, want SUCCESS", got.Result)
+	}
+}
+
+func TestNBTCFairness(t *testing.T) {
+	r := newRig(4, noOpt())
+	// Core 0 holds; cores 1,2,3 wait.
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(50, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(51, 2, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(52, 3, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	var order []int
+	unlockNext := func(c int) {
+		r.send(r.engine.Now()+1, c, Req{Op: isa.OpUnlock, Addr: lockA})
+	}
+	unlockNext(0)
+	r.run(t)
+	for i := 0; i < 3; i++ {
+		// Find who got the lock.
+		for c := 1; c <= 3; c++ {
+			if len(r.got[c]) > 0 && r.got[c][len(r.got[c])-1].Op == isa.OpLock &&
+				r.got[c][len(r.got[c])-1].Result == isa.Success && !contains(order, c) {
+				order = append(order, c)
+				unlockNext(c)
+			}
+		}
+		r.run(t)
+	}
+	if len(order) != 3 {
+		t.Fatalf("handoff order incomplete: %v", order)
+	}
+	// NBTC starts at 0, so round-robin grants 1, then 2, then 3.
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("handoff order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMigratedUnlockAbortsWaiters(t *testing.T) {
+	r := newRig(4, noOpt())
+	home := memory.HomeOf(lockA, 4)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(50, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(51, 2, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	// Owner's thread migrated to core 3 and unlocks from there.
+	r.send(r.engine.Now()+1, 3, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 3); got.Result != isa.Success {
+		t.Fatalf("migrated UNLOCK = %v, want SUCCESS", got.Result)
+	}
+	for _, c := range []int{1, 2} {
+		got := r.last(t, c)
+		if got.Result != isa.Abort || got.Reason != ReasonFallback {
+			t.Fatalf("waiter %d got %+v, want ABORT/fallback", c, got)
+		}
+	}
+	// OMU charged once per aborted waiter.
+	if c := r.msa[home].omu.Level(lockA); c != 2 {
+		t.Fatalf("OMU count = %d, want 2", c)
+	}
+	if r.msa[home].LiveEntries() != 0 {
+		t.Fatal("entry not torn down after abort")
+	}
+}
+
+func TestBarrierReleaseAll(t *testing.T) {
+	r := newRig(4, noOpt())
+	for c := 0; c < 4; c++ {
+		r.send(sim.Time(10*c), c, Req{Op: isa.OpBarrier, Addr: barA, Goal: 4})
+	}
+	r.run(t)
+	for c := 0; c < 4; c++ {
+		got := r.last(t, c)
+		if got.Op != isa.OpBarrier || got.Result != isa.Success {
+			t.Fatalf("core %d: %+v", c, got)
+		}
+	}
+	home := memory.HomeOf(barA, 4)
+	if r.msa[home].LiveEntries() != 0 {
+		t.Fatal("barrier entry not freed after release")
+	}
+	// Entry is reusable for the next episode.
+	for c := 0; c < 4; c++ {
+		r.send(r.engine.Now()+sim.Time(c+1), c, Req{Op: isa.OpBarrier, Addr: barA, Goal: 4})
+	}
+	r.run(t)
+	for c := 0; c < 4; c++ {
+		if n := countSuccess(r.got[c], isa.OpBarrier); n != 2 {
+			t.Fatalf("core %d barrier successes = %d, want 2", c, n)
+		}
+	}
+}
+
+func countSuccess(rs []Resp, op isa.SyncOp) int {
+	n := 0
+	for _, r := range rs {
+		if r.Op == op && r.Result == isa.Success {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBarrierSuspendAbortsAll(t *testing.T) {
+	r := newRig(4, noOpt())
+	home := memory.HomeOf(barA, 4)
+	for c := 0; c < 3; c++ {
+		r.send(sim.Time(10*c), c, Req{Op: isa.OpBarrier, Addr: barA, Goal: 4})
+	}
+	r.run(t)
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpSuspend, Addr: barA})
+	r.run(t)
+	for c := 0; c < 3; c++ {
+		got := r.last(t, c)
+		if got.Result != isa.Abort || got.Reason != ReasonFallback {
+			t.Fatalf("core %d got %+v, want ABORT", c, got)
+		}
+	}
+	if c := r.msa[home].omu.Level(barA); c != 3 {
+		t.Fatalf("OMU count = %d, want 3 (one per aborted participant)", c)
+	}
+	if r.msa[home].LiveEntries() != 0 {
+		t.Fatal("barrier entry survived suspension")
+	}
+}
+
+func TestLockSuspendRequeues(t *testing.T) {
+	r := newRig(4, noOpt())
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(50, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpSuspend, Addr: lockA})
+	r.run(t)
+	got := r.last(t, 1)
+	if got.Result != isa.Abort || got.Reason != ReasonRequeue {
+		t.Fatalf("suspended waiter got %+v, want ABORT/requeue", got)
+	}
+	// Unlock must not grant to the dequeued core.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if n := countSuccess(r.got[1], isa.OpLock); n != 0 {
+		t.Fatal("dequeued waiter was granted the lock")
+	}
+}
+
+func TestSuspendNackWhenNotQueued(t *testing.T) {
+	r := newRig(4, noOpt())
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 2, Req{Op: isa.OpSuspend, Addr: lockA})
+	r.run(t)
+	got := r.last(t, 2)
+	if got.Op != isa.OpSuspend || got.Result != isa.Fail {
+		t.Fatalf("suspend of non-waiter = %+v, want nack", got)
+	}
+}
+
+func TestFinishDecrementsOMU(t *testing.T) {
+	r := newRig(4, noOpt())
+	home := memory.HomeOf(barA, 4)
+	r.msa[home].omu.Inc(barA)
+	r.send(0, 0, Req{Op: isa.OpFinish, Addr: barA})
+	r.run(t)
+	if c := r.msa[home].omu.Level(barA); c != 0 {
+		t.Fatalf("OMU count = %d after FINISH, want 0", c)
+	}
+}
+
+// --- HWSync optimization (§5) ---
+
+func TestHWSyncGrantAndStandby(t *testing.T) {
+	r := newRig(4, DefaultConfig())
+	home := memory.HomeOf(lockA, 4)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if !r.l1[0].HWSyncHit(lockA) {
+		t.Fatal("HWSync bit not granted with the lock")
+	}
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	// Entry stays in standby: still allocated, silently re-acquirable.
+	if r.msa[home].LiveEntries() != 1 {
+		t.Fatal("standby entry was deallocated")
+	}
+	if !r.l1[0].HWSyncHit(lockA) {
+		t.Fatal("HWSync bit lost after unlock")
+	}
+	// Silent re-acquire: core completes locally and only notifies.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLockSilent, Addr: lockA})
+	r.run(t)
+	if r.msa[home].Stats().SilentLocks != 1 {
+		t.Fatal("LOCK_SILENT not recorded")
+	}
+	// Unlock again: normal hardware unlock of the silently-held lock.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("unlock of silent hold = %v", got.Result)
+	}
+}
+
+func TestStandbyRevocationOnContention(t *testing.T) {
+	r := newRig(4, DefaultConfig())
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	// Core 1 requests the standby lock: core 0's block must be revoked
+	// before the grant, and core 1 then receives the lock.
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 1); got.Result != isa.Success {
+		t.Fatalf("contending LOCK = %v", got.Result)
+	}
+	if r.l1[0].HWSyncHit(lockA) {
+		t.Fatal("core 0 kept the HWSync bit after revocation")
+	}
+	if !r.l1[1].HWSyncHit(lockA) {
+		t.Fatal("core 1 did not receive the HWSync bit")
+	}
+	home := memory.HomeOf(lockA, 4)
+	if r.msa[home].Stats().Revokes == 0 {
+		t.Fatal("revocation not counted")
+	}
+}
+
+func TestStandbyReclaimAfterBitLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 1
+	r := newRig(2, cfg)
+	a1, a2 := memory.Addr(0x1000), memory.Addr(0x2000)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: a1})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a1})
+	r.run(t)
+	// Standby entry occupies the slot: a2 cannot allocate.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatalf("LOCK while standby holds slot = %v, want FAIL", got.Result)
+	}
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a2}) // drain SW
+	r.run(t)
+	// Kill core 0's exclusivity on a1's line (e.g. a conflicting access).
+	r.engine.At(r.engine.Now()+1, func() {
+		r.l1[1].Access(a1, coherence.AccLoad, 0, nil, func(uint64) {})
+	})
+	r.run(t)
+	// Now a2 can reclaim the lapsed standby entry.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("LOCK after standby lapse = %v, want SUCCESS", got.Result)
+	}
+	if r.msa[0].Stats().Reclaims != 1 {
+		t.Fatal("reclaim not counted")
+	}
+}
+
+// --- Condition variables (§4.3) ---
+
+// condSetup puts core 0 in possession of lockB in hardware.
+func condSetup(t *testing.T, r *rig) {
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockB})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("setup LOCK = %v", got.Result)
+	}
+}
+
+func TestCondWaitSignalRoundTrip(t *testing.T) {
+	r := newRig(4, noOpt())
+	condSetup(t, r)
+	lockHome := memory.HomeOf(lockB, 4)
+	condHome := memory.HomeOf(condA, 4)
+	// Core 0 waits: releases lockB, enqueues on condA.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+	r.run(t)
+	if len(r.got[0]) != 1 {
+		t.Fatal("COND_WAIT should hold its reply")
+	}
+	// The lock is now free: another core can take it in hardware.
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpLock, Addr: lockB})
+	r.run(t)
+	if got := r.last(t, 1); got.Result != isa.Success {
+		t.Fatalf("LOCK after cond release = %v", got.Result)
+	}
+	// Signaler (holding the lock) wakes core 0, then unlocks.
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpCondSignal, Addr: condA})
+	r.run(t)
+	if got := r.last(t, 1); got.Op != isa.OpCondSignal || got.Result != isa.Success {
+		t.Fatalf("COND_SIGNAL = %+v", got)
+	}
+	// Core 0 cannot finish its wait until the lock is released.
+	if countSuccess(r.got[0], isa.OpCondWait) != 0 {
+		t.Fatal("COND_WAIT completed while lock still held")
+	}
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpUnlock, Addr: lockB})
+	r.run(t)
+	got := r.last(t, 0)
+	if got.Op != isa.OpCondWait || got.Result != isa.Success || got.Addr != condA {
+		t.Fatalf("COND_WAIT completion = %+v", got)
+	}
+	// Entry freed after the last waiter; pin released.
+	if r.msa[condHome].find(isa.TypeCond, condA) != nil {
+		t.Fatal("cond entry not freed")
+	}
+	le := r.msa[lockHome].find(isa.TypeLock, lockB)
+	if le == nil || le.pins != 0 {
+		t.Fatalf("lock pin not released: %+v", le)
+	}
+	// Core 0 now owns the lock again (cond-wait re-acquired it).
+	if le.owner != 0 {
+		t.Fatalf("lock owner = %d, want 0", le.owner)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	r := newRig(4, noOpt())
+	// Three waiters, serially acquiring the lock then waiting.
+	for c := 0; c < 3; c++ {
+		r.send(r.engine.Now(), c, Req{Op: isa.OpLock, Addr: lockB})
+		r.run(t)
+		r.send(r.engine.Now()+1, c, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+		r.run(t)
+	}
+	r.send(r.engine.Now()+1, 3, Req{Op: isa.OpCondBcast, Addr: condA})
+	r.run(t)
+	if got := r.last(t, 3); got.Result != isa.Success {
+		t.Fatalf("COND_BCAST = %v", got.Result)
+	}
+	// All three waiters re-acquire the lock one at a time.
+	for i := 0; i < 3; i++ {
+		granted := -1
+		for c := 0; c < 3; c++ {
+			if countSuccess(r.got[c], isa.OpCondWait) == 1 && !holdsUnlock(r.got[c]) {
+				granted = c
+				break
+			}
+		}
+		if granted < 0 {
+			t.Fatalf("round %d: no waiter holds the lock", i)
+		}
+		r.send(r.engine.Now()+1, granted, Req{Op: isa.OpUnlock, Addr: lockB})
+		r.run(t)
+	}
+	for c := 0; c < 3; c++ {
+		if countSuccess(r.got[c], isa.OpCondWait) != 1 {
+			t.Fatalf("core %d cond-wait completions = %d", c, countSuccess(r.got[c], isa.OpCondWait))
+		}
+	}
+}
+
+func holdsUnlock(rs []Resp) bool {
+	return countSuccess(rs, isa.OpUnlock) > 0
+}
+
+func TestCondSignalMissFails(t *testing.T) {
+	r := newRig(4, noOpt())
+	r.send(0, 2, Req{Op: isa.OpCondSignal, Addr: condA})
+	r.run(t)
+	if got := r.last(t, 2); got.Result != isa.Fail {
+		t.Fatalf("signal with no entry = %v, want FAIL", got.Result)
+	}
+}
+
+func TestCondWaitSWLockFails(t *testing.T) {
+	// The lock is handled in software; the cond var must fall back too
+	// (§4.3.1: a HW cond var requires a HW lock).
+	r := newRig(4, noOpt())
+	lockHome := memory.HomeOf(lockB, 4)
+	r.msa[lockHome].omu.Inc(lockB) // lock is software-live
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockB})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatal("setup: lock should be software")
+	}
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+	r.run(t)
+	if got := r.last(t, 0); got.Op != isa.OpCondWait || got.Result != isa.Fail {
+		t.Fatalf("COND_WAIT with SW lock = %+v, want FAIL", got)
+	}
+	condHome := memory.HomeOf(condA, 4)
+	if r.msa[condHome].LiveEntries() != 0 {
+		t.Fatal("reserved cond entry not torn down")
+	}
+	if r.msa[condHome].omu.Level(condA) != 1 {
+		t.Fatal("cond OMU not charged for software waiter")
+	}
+}
+
+func TestCondWaiterSuspension(t *testing.T) {
+	r := newRig(4, noOpt())
+	condSetup(t, r)
+	condHome := memory.HomeOf(condA, 4)
+	lockHome := memory.HomeOf(lockB, 4)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpSuspend, Addr: condA})
+	r.run(t)
+	got := r.last(t, 0)
+	if got.Op != isa.OpCondWait || got.Result != isa.Abort || got.Reason != ReasonFallback {
+		t.Fatalf("suspended waiter got %+v", got)
+	}
+	if r.msa[condHome].omu.Level(condA) != 1 {
+		t.Fatal("cond OMU not pre-charged for the fallback FINISH")
+	}
+	if r.msa[condHome].LiveEntries() != 0 {
+		t.Fatal("cond entry not freed after last waiter left")
+	}
+	le := r.msa[lockHome].find(isa.TypeLock, lockB)
+	if le != nil && le.pins != 0 {
+		t.Fatalf("lock still pinned: %+v", le)
+	}
+}
+
+func TestLockOnlyConfigRejectsBarriers(t *testing.T) {
+	cfg := noOpt()
+	cfg.Barriers = false
+	cfg.Conds = false
+	r := newRig(4, cfg)
+	r.send(0, 0, Req{Op: isa.OpBarrier, Addr: barA, Goal: 4})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatalf("BARRIER on lock-only MSA = %v, want FAIL", got.Result)
+	}
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("LOCK on lock-only MSA = %v, want SUCCESS", got.Result)
+	}
+}
+
+func TestWithoutOMUEntriesArePermanent(t *testing.T) {
+	cfg := noOpt()
+	cfg.Entries = 1
+	cfg.OMUEnabled = false
+	r := newRig(2, cfg)
+	a1, a2 := memory.Addr(0x1000), memory.Addr(0x2000)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: a1})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a1})
+	r.run(t)
+	// Entry still bound to a1 forever; a2 is permanently software.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: a2})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Fail {
+		t.Fatalf("a2 without OMU = %v, want FAIL", got.Result)
+	}
+	// a1 re-locks in hardware (permanent binding).
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpLock, Addr: a1})
+	r.run(t)
+	if got := r.last(t, 1); got.Result != isa.Success {
+		t.Fatalf("a1 without OMU = %v, want SUCCESS", got.Result)
+	}
+}
+
+func TestMSAInfUnbounded(t *testing.T) {
+	cfg := noOpt()
+	cfg.Entries = -1
+	r := newRig(2, cfg)
+	for i := 0; i < 50; i++ {
+		r.send(sim.Time(i*40), 0, Req{Op: isa.OpLock, Addr: memory.Addr(0x1000 + i*0x80)})
+	}
+	r.run(t)
+	if n := countSuccess(r.got[0], isa.OpLock); n != 50 {
+		t.Fatalf("successes = %d, want 50 (unbounded entries)", n)
+	}
+	if r.msa[0].LiveEntries() != 50 {
+		t.Fatalf("live entries = %d", r.msa[0].LiveEntries())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"misar/internal/memory"
+)
+
+// OMU is the Overflow Management Unit (§3.2): a small set of counters
+// indexed — without tags — by the synchronization address. A counter records
+// how many threads are currently "active" (waiting or lock-owning) in the
+// *software* implementation of any address hashing to it. Acquire-type
+// operations may allocate an MSA entry only when the counter is zero;
+// otherwise they are steered to software to keep the hardware and software
+// worlds from ever handling the same variable concurrently.
+//
+// Because the counters are untagged, distinct addresses may alias. Aliasing
+// can cost performance (a variable is needlessly steered to software) but
+// never correctness: a variable that already owns an MSA entry keeps using
+// it regardless of the counters, because the MSA is checked first.
+type OMU struct {
+	counters []uint32
+	stats    OMUStats
+}
+
+// OMUStats reports counter activity.
+type OMUStats struct {
+	Incs, Decs uint64
+	MaxValue   uint32
+}
+
+// NewOMU builds an OMU with n counters (minimum 1).
+func NewOMU(n int) *OMU {
+	if n < 1 {
+		n = 1
+	}
+	return &OMU{counters: make([]uint32, n)}
+}
+
+// index hashes a synchronization address onto a counter. Synchronization
+// variables are line aligned and often allocated at regular strides, so a
+// full-avalanche finalizer (murmur3) is used: every product bit depends on
+// every address bit, keeping even a tiny counter array evenly loaded.
+func (o *OMU) index(a memory.Addr) int {
+	h := uint64(a) >> 6
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return int(h % uint64(len(o.counters)))
+}
+
+// Count returns the counter value for a.
+func (o *OMU) Count(a memory.Addr) uint32 {
+	return o.counters[o.index(a)]
+}
+
+// Inc records a thread entering the software implementation of a.
+func (o *OMU) Inc(a memory.Addr) {
+	i := o.index(a)
+	o.counters[i]++
+	o.stats.Incs++
+	if o.counters[i] > o.stats.MaxValue {
+		o.stats.MaxValue = o.counters[i]
+	}
+}
+
+// Dec records a thread leaving the software implementation of a. Every Dec
+// pairs with exactly one earlier Inc; going negative is a protocol bug and
+// panics.
+func (o *OMU) Dec(a memory.Addr) {
+	i := o.index(a)
+	if o.counters[i] == 0 {
+		panic(fmt.Sprintf("core: OMU counter underflow for addr %#x", a))
+	}
+	o.counters[i]--
+	o.stats.Decs++
+}
+
+// Level returns the exact counter value for a (same as Count).
+func (o *OMU) Level(a memory.Addr) uint32 { return o.Count(a) }
+
+// Stats returns a snapshot of the OMU statistics.
+func (o *OMU) Stats() OMUStats { return o.stats }

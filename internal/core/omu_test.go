@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"misar/internal/memory"
+)
+
+func TestOMUBasicCounting(t *testing.T) {
+	o := NewOMU(4)
+	a := memory.Addr(0x1000)
+	if o.Count(a) != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	o.Inc(a)
+	o.Inc(a)
+	if o.Count(a) != 2 {
+		t.Fatalf("count = %d", o.Count(a))
+	}
+	o.Dec(a)
+	if o.Count(a) != 1 {
+		t.Fatalf("count = %d", o.Count(a))
+	}
+	st := o.Stats()
+	if st.Incs != 2 || st.Decs != 1 || st.MaxValue != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOMUUnderflowPanics(t *testing.T) {
+	o := NewOMU(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow did not panic")
+		}
+	}()
+	o.Dec(0x1000)
+}
+
+func TestOMUMinimumOneCounter(t *testing.T) {
+	o := NewOMU(0)
+	o.Inc(0x40)
+	if o.Count(0x9999999) != 1 {
+		t.Fatal("single counter must alias everything")
+	}
+}
+
+// TestOMUHashSpreadsStridedAddresses is a regression test: synchronization
+// variables are line aligned and often allocated at a fixed stride (one per
+// home tile, i.e. stride = tiles*64 bytes). A weak hash collapsed them all
+// onto one counter, silently turning a 4-counter OMU into a 1-counter OMU.
+func TestOMUHashSpreadsStridedAddresses(t *testing.T) {
+	for _, stride := range []int{64, 2 * 64, 16 * 64, 64 * 64} {
+		for _, counters := range []int{2, 4, 8} {
+			o := NewOMU(counters)
+			used := map[int]int{}
+			for j := 0; j < 64; j++ {
+				used[o.index(memory.Addr(0x1000000+j*stride))]++
+			}
+			if len(used) < counters {
+				t.Errorf("stride %d, %d counters: only %d counters used (%v)",
+					stride, counters, len(used), used)
+			}
+			// No counter may absorb more than 60% of the addresses.
+			for idx, n := range used {
+				if n > 64*6/10 {
+					t.Errorf("stride %d, %d counters: counter %d absorbs %d/64",
+						stride, counters, idx, n)
+				}
+			}
+		}
+	}
+}
+
+// Property: inc/dec sequences never corrupt counts (modelled against a map).
+func TestPropertyOMUMatchesOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		o := NewOMU(4)
+		oracle := map[int]int{} // per-index
+		for _, op := range ops {
+			a := memory.Addr(0x1000 + uint64(op%256)*64)
+			i := o.index(a)
+			if op%2 == 0 {
+				o.Inc(a)
+				oracle[i]++
+			} else if oracle[i] > 0 {
+				o.Dec(a)
+				oracle[i]--
+			}
+			if int(o.Count(a)) != oracle[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"misar/internal/coherence"
+	"misar/internal/isa"
+	"misar/internal/memory"
+)
+
+// Regression tests for bugs found during bring-up. Each reproduces the
+// original failing scenario at the MSA protocol level.
+
+// Without the OMU, a condition variable entry that empties must be
+// re-allocatable by the same address with a fresh pin handshake (the
+// original code reused it in place, skipping the UNLOCK&PIN and eventually
+// underflowing the lock's pin count).
+func TestWithoutOMUCondReuseRepins(t *testing.T) {
+	cfg := noOpt()
+	cfg.OMUEnabled = false
+	cfg.Entries = 4
+	r := newRig(4, cfg)
+	lockHome := memory.HomeOf(lockB, 4)
+	for round := 0; round < 3; round++ {
+		// Core 0 takes the lock and waits on the cond.
+		r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: lockB})
+		r.run(t)
+		r.send(r.engine.Now()+1, 0, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+		r.run(t)
+		le := r.msa[lockHome].find(isa.TypeLock, lockB)
+		if le == nil || le.pins != 1 {
+			t.Fatalf("round %d: lock pins = %+v, want 1", round, le)
+		}
+		// Core 1 signals; core 0 re-acquires and unlocks.
+		r.send(r.engine.Now()+1, 1, Req{Op: isa.OpCondSignal, Addr: condA})
+		r.run(t)
+		if got := r.last(t, 0); got.Op != isa.OpCondWait || got.Result != isa.Success {
+			t.Fatalf("round %d: wait completion = %+v", round, got)
+		}
+		le = r.msa[lockHome].find(isa.TypeLock, lockB)
+		if le == nil || le.pins != 0 {
+			t.Fatalf("round %d: pins after unpin = %+v", round, le)
+		}
+		r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockB})
+		r.run(t)
+	}
+}
+
+// A standby entry's slot must be reclaimable by LRU order: the least
+// recently used standby entry is revoked, not the most recent.
+func TestStandbyReclaimIsLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 2
+	r := newRig(2, cfg) // even lines home at slice 0
+	a1, a2, a3 := memory.Addr(0x1000), memory.Addr(0x2000), memory.Addr(0x3000)
+	lockUnlock := func(c int, a memory.Addr) {
+		r.send(r.engine.Now()+1, c, Req{Op: isa.OpLock, Addr: a})
+		r.run(t)
+		r.send(r.engine.Now()+1, c, Req{Op: isa.OpUnlock, Addr: a})
+		r.run(t)
+	}
+	lockUnlock(0, a1) // a1 standby, oldest
+	lockUnlock(0, a2) // a2 standby, newer; slice now full (proactive reclaim kicks in)
+	r.run(t)
+	// Allow background reclaim of a1 (the LRU victim) to finish.
+	if !r.engine.RunUntil(r.engine.Now() + 5000) {
+		t.Fatal("did not quiesce")
+	}
+	if r.msa[0].find(isa.TypeLock, a2) == nil {
+		t.Fatal("recently used standby entry was reclaimed instead of LRU")
+	}
+	// a3 must find a free slot immediately (a1 was reclaimed proactively).
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpLock, Addr: a3})
+	r.run(t)
+	if got := r.last(t, 0); got.Result != isa.Success {
+		t.Fatalf("a3 LOCK = %v, want SUCCESS after proactive reclaim", got.Result)
+	}
+}
+
+// An UNLOCK that hands the lock to a waiter must instruct the releaser to
+// clear its HWSync bit; otherwise its next LOCK silently re-acquires a lock
+// that now belongs to the waiter (found by the machine-level stress test).
+func TestHandoffClearsReleaserBit(t *testing.T) {
+	r := newRig(4, DefaultConfig())
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpLock, Addr: lockA}) // waiter
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	// The unlock response must carry the clear flag.
+	var unlockResp *Resp
+	for i := range r.got[0] {
+		if r.got[0][i].Op == isa.OpUnlock {
+			unlockResp = &r.got[0][i]
+		}
+	}
+	if unlockResp == nil || !unlockResp.ClearHWSync {
+		t.Fatalf("handoff unlock response = %+v, want ClearHWSync", unlockResp)
+	}
+	// And an unlock with no waiters must not clear (standby keeps the bit).
+	r.send(r.engine.Now()+1, 1, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	var second *Resp
+	for i := range r.got[1] {
+		if r.got[1][i].Op == isa.OpUnlock {
+			second = &r.got[1][i]
+		}
+	}
+	if second == nil || second.ClearHWSync {
+		t.Fatalf("idle unlock response = %+v, want no clear", second)
+	}
+}
+
+// A LOCK_SILENT racing a standby revocation must be honoured: the silent
+// holder wins the lock and the revocation's requester waits.
+func TestSilentRacesRevocation(t *testing.T) {
+	r := newRig(4, DefaultConfig())
+	home := memory.HomeOf(lockA, 4)
+	// Core 0 owns the standby entry with the block+bit.
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if !r.l1[0].HWSyncHit(lockA) {
+		t.Fatal("setup: no standby bit")
+	}
+	// Core 1's LOCK and core 0's LOCK_SILENT race: inject both in the same
+	// cycle. The silent notification is point-to-point ordered before core
+	// 0's invalidation ack, so core 0 must own and core 1 must wait.
+	now := r.engine.Now() + 1
+	r.send(now, 1, Req{Op: isa.OpLock, Addr: lockA})
+	r.send(now, 0, Req{Op: isa.OpLockSilent, Addr: lockA})
+	r.run(t)
+	e := r.msa[home].find(isa.TypeLock, lockA)
+	if e == nil || e.owner != 0 {
+		t.Fatalf("entry owner = %+v, want core 0 (silent winner)", e)
+	}
+	if countSuccess(r.got[1], isa.OpLock) != 1 {
+		// Core 1 acquired once at setup... it did not: setup used core 0.
+		t.Log("waiter correctly held")
+	}
+	// Core 0 releases; core 1 must now get the lock.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockA})
+	r.run(t)
+	if countSuccess(r.got[1], isa.OpLock) != 1 {
+		t.Fatal("waiter never granted after silent holder released")
+	}
+}
+
+// Pinned lock entries must survive queue emptiness (§4.3.1) and retire only
+// after the unpin.
+func TestPinBlocksRetirement(t *testing.T) {
+	r := newRig(4, noOpt())
+	lockHome := memory.HomeOf(lockB, 4)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockB})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+	r.run(t)
+	// Lock is free (released by the cond wait) and unowned, but pinned.
+	e := r.msa[lockHome].find(isa.TypeLock, lockB)
+	if e == nil {
+		t.Fatal("pinned lock entry was deallocated")
+	}
+	if e.owner != -1 || e.pins != 1 {
+		t.Fatalf("entry = owner %d pins %d", e.owner, e.pins)
+	}
+	// Wake the waiter (LOCK&UNPIN path) and release.
+	r.send(r.engine.Now()+1, 2, Req{Op: isa.OpCondSignal, Addr: condA})
+	r.run(t)
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: lockB})
+	r.run(t)
+	e = r.msa[lockHome].find(isa.TypeLock, lockB)
+	if e != nil && e.pins != 0 {
+		t.Fatalf("pins = %d after unpin", e.pins)
+	}
+}
+
+// Reserved cond entries must hold signals until the UNLOCK&PIN handshake
+// resolves, then deliver them (a signal sent under the mutex is never lost).
+func TestSignalDuringReservationDelivered(t *testing.T) {
+	r := newRig(4, noOpt())
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: lockB})
+	r.run(t)
+	// Inject COND_WAIT and a COND_SIGNAL in the same cycle: the signal can
+	// arrive at the cond home while the reservation is in flight.
+	now := r.engine.Now() + 1
+	r.send(now, 0, Req{Op: isa.OpCondWait, Addr: condA, Lock: lockB})
+	r.send(now, 2, Req{Op: isa.OpCondSignal, Addr: condA})
+	r.run(t)
+	// Whatever the interleaving, the system must not deadlock and the
+	// signaler must get an answer.
+	if len(r.got[2]) == 0 {
+		t.Fatal("signaler never answered")
+	}
+	// If the signal was queued and delivered, core 0's wait completed.
+	sig := r.last(t, 2)
+	if sig.Result == isa.Success && countSuccess(r.got[0], isa.OpCondWait) != 1 {
+		t.Fatal("delivered signal did not complete the wait")
+	}
+}
+
+// The directory's IsExclusiveAt must reflect reality after the full
+// grant/revoke cycle (used by standby retirement decisions).
+func TestStandbyRetireAfterBitLossViaEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 2
+	r := newRig(2, cfg)
+	a1 := memory.Addr(0x1000)
+	r.send(0, 0, Req{Op: isa.OpLock, Addr: a1})
+	r.run(t)
+	// Another core writes the lock line's neighbour... actually write the
+	// line itself via a plain store (models an unrelated program bug or a
+	// reused address): core 1 takes exclusive ownership.
+	r.engine.At(r.engine.Now()+1, func() {
+		r.l1[1].Access(a1, coherence.AccStore, 0, nil, func(uint64) {})
+	})
+	r.run(t)
+	// Unlock now: holder's line is gone, so no standby; entry must retire.
+	r.send(r.engine.Now()+1, 0, Req{Op: isa.OpUnlock, Addr: a1})
+	r.run(t)
+	if r.msa[0].find(isa.TypeLock, a1) != nil {
+		t.Fatal("entry stayed in standby without a usable block")
+	}
+}

@@ -1,0 +1,332 @@
+package cpu
+
+import (
+	"fmt"
+
+	"misar/internal/coherence"
+	corepkg "misar/internal/core"
+	"misar/internal/isa"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/stats"
+	"misar/internal/trace"
+)
+
+// Mode selects how synchronization instructions are implemented.
+type Mode uint8
+
+const (
+	// ModeMSA sends synchronization requests to the MSA home tile.
+	ModeMSA Mode = iota
+	// ModeAlwaysFail is the paper's MSA-0: every instruction returns FAIL
+	// locally without any message — the trivial ISA implementation.
+	ModeAlwaysFail
+	// ModeIdeal resolves synchronization with zero latency and perfect
+	// semantics (the paper's Ideal configuration).
+	ModeIdeal
+)
+
+// Config describes one core's synchronization behaviour.
+type Config struct {
+	Mode Mode
+	// HWSyncOpt enables the §5 silent re-acquire fast path at the core.
+	HWSyncOpt bool
+	// IssueLatency is the per-synchronization-instruction pipeline cost
+	// (the instructions act as fences and issue at commit; the paper found
+	// the resulting stalls negligible, and so do we — but we model them).
+	IssueLatency sim.Time
+}
+
+// DefaultConfig returns the standard core configuration.
+func DefaultConfig() Config {
+	return Config{Mode: ModeMSA, HWSyncOpt: true, IssueLatency: 1}
+}
+
+// Stats counts per-core activity.
+type Stats struct {
+	SyncIssued      [9]uint64 // indexed by isa.SyncOp
+	SilentLocks     uint64    // LOCKs completed locally via the HWSync bit
+	SyncStallCycles sim.Time  // cycles spent waiting for sync responses
+	ComputeCycles   uint64
+	Suspends        uint64
+	Resumes         uint64
+	Migrations      uint64
+}
+
+// LatencyKind buckets the per-operation latency histograms a core keeps.
+type LatencyKind int
+
+// Histogram indices for Core.Latency.
+const (
+	LatLock LatencyKind = iota
+	LatUnlock
+	LatBarrier
+	LatCond
+	numLatKinds
+)
+
+func latKindOf(op isa.SyncOp) LatencyKind {
+	switch op {
+	case isa.OpLock:
+		return LatLock
+	case isa.OpUnlock:
+		return LatUnlock
+	case isa.OpBarrier:
+		return LatBarrier
+	}
+	return LatCond
+}
+
+// outstanding tracks the single in-flight synchronization instruction.
+type outstanding struct {
+	t      *Thread
+	op     isa.SyncOp
+	addr   memory.Addr
+	lock   memory.Addr
+	issued sim.Time
+	nacked bool // a SUSPEND was nacked; park on completion
+}
+
+// Core is one tile's processor. It adopts at most one thread at a time and
+// has at most one outstanding synchronization instruction.
+type Core struct {
+	id     int
+	tiles  int
+	cfg    Config
+	engine *sim.Engine
+	l1     *coherence.L1
+	// sendSync delivers a request to the MSA at the sync address's home.
+	sendSync func(home int, r *corepkg.Req)
+	ideal    *Ideal // shared zero-latency implementation (ModeIdeal)
+
+	cur *Thread
+	out *outstanding
+	gen uint64 // context-switch generation (invalidates stale grants)
+	// expectGrant counts HWSync block grants this thread is entitled to
+	// install, per line. Cleared on context switch.
+	expectGrant map[memory.Addr]int
+
+	stats  Stats
+	lat    [numLatKinds]stats.Histogram
+	tracer *trace.Buffer // nil unless tracing is attached
+}
+
+// Latency returns the core's latency histogram for one operation class.
+func (c *Core) Latency(k LatencyKind) *stats.Histogram { return &c.lat[k] }
+
+// SetTracer attaches an event recorder to this core (nil detaches).
+func (c *Core) SetTracer(b *trace.Buffer) { c.tracer = b }
+
+func (c *Core) trace(kind trace.Kind, addr memory.Addr, detail string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Record(trace.Event{
+		At: c.engine.Now(), Tile: c.id, Kind: kind,
+		Addr: addr, Core: c.id, Detail: detail,
+	})
+}
+
+// NewCore builds a core. sendSync is wired by the machine; ideal may be nil
+// unless Mode is ModeIdeal.
+func NewCore(id, tiles int, cfg Config, engine *sim.Engine, l1 *coherence.L1,
+	sendSync func(home int, r *corepkg.Req), ideal *Ideal) *Core {
+	c := &Core{
+		id: id, tiles: tiles, cfg: cfg, engine: engine, l1: l1,
+		sendSync: sendSync, ideal: ideal,
+		expectGrant: make(map[memory.Addr]int),
+	}
+	l1.SetAcceptHWSync(func(line memory.Addr) bool {
+		if c.expectGrant[line] > 0 {
+			c.expectGrant[line]--
+			return true
+		}
+		return false
+	})
+	return c
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ID returns the core's tile id.
+func (c *Core) ID() int { return c.id }
+
+// adopt installs a thread on this core and processes its next request.
+func (c *Core) adopt(t *Thread) {
+	if c.cur != nil {
+		panic(fmt.Sprintf("cpu: core %d already runs thread %d", c.id, c.cur.id))
+	}
+	if c.out != nil {
+		panic(fmt.Sprintf("cpu: core %d adopting a thread with a response still in flight", c.id))
+	}
+	c.cur = t
+	t.core = c
+}
+
+// await blocks the kernel until the current thread issues its next request,
+// then dispatches it.
+func (c *Core) await() {
+	t := c.cur
+	req, ok := <-t.toKernel
+	if !ok {
+		c.cur = nil
+		t.finish()
+		return
+	}
+	c.dispatch(t, req)
+}
+
+// resume delivers a result to the thread and processes its next request —
+// unless a suspension is pending, in which case the thread parks with the
+// result delivered when it is resumed.
+func (c *Core) resume(t *Thread, v uint64) {
+	if t.wantSuspend {
+		t.park(parkedResult, v)
+		return
+	}
+	t.toThread <- v
+	c.await()
+}
+
+func (c *Core) dispatch(t *Thread, r threadReq) {
+	switch r.kind {
+	case reqCompute:
+		c.stats.ComputeCycles += r.cycles
+		c.engine.After(sim.Time(r.cycles), func() { c.resume(t, 0) })
+	case reqLoad:
+		c.l1.Access(r.addr, coherence.AccLoad, 0, nil, func(v uint64) { c.resume(t, v) })
+	case reqStore:
+		c.l1.Access(r.addr, coherence.AccStore, r.val, nil, func(v uint64) { c.resume(t, v) })
+	case reqRMW:
+		c.l1.Access(r.addr, coherence.AccRMW, 0, coherence.RMWFunc(r.rmw), func(v uint64) { c.resume(t, v) })
+	case reqSync:
+		c.stats.SyncIssued[r.op]++
+		c.trace(trace.Issue, r.addr, r.op.String())
+		c.handleSync(t, r)
+	}
+}
+
+func (c *Core) handleSync(t *Thread, r threadReq) {
+	switch c.cfg.Mode {
+	case ModeAlwaysFail:
+		// MSA-0: fail locally, no message (§6: the trivial implementation).
+		res := isa.Fail
+		if r.op == isa.OpFinish {
+			res = isa.Success // FINISH is a pure notification
+		}
+		c.engine.After(c.cfg.IssueLatency, func() { c.resume(t, uint64(res)) })
+		return
+	case ModeIdeal:
+		// Pay the 1-cycle issue cost so time always advances, then resolve
+		// with zero communication latency.
+		c.engine.After(c.cfg.IssueLatency, func() {
+			c.ideal.Do(t, r.op, r.addr, r.goal, r.lock, func(res isa.Result) {
+				c.resumeSyncResult(t, res)
+			})
+		})
+		return
+	}
+	// ModeMSA.
+	home := memory.HomeOf(r.addr, c.tiles)
+	switch {
+	case r.op == isa.OpFinish:
+		c.sendSync(home, &corepkg.Req{Op: r.op, Addr: r.addr, Core: c.id})
+		c.engine.After(c.cfg.IssueLatency, func() { c.resume(t, uint64(isa.Success)) })
+	case r.op == isa.OpLock && c.cfg.HWSyncOpt && c.l1.HWSyncHit(r.addr):
+		// §5 fast path: the lock's line is still here, writable, with the
+		// HWSync bit — re-acquire silently and just notify the home.
+		c.stats.SilentLocks++
+		c.sendSync(home, &corepkg.Req{Op: isa.OpLockSilent, Addr: r.addr, Core: c.id})
+		c.engine.After(c.cfg.IssueLatency, func() { c.resume(t, uint64(isa.Success)) })
+	default:
+		c.out = &outstanding{t: t, op: r.op, addr: r.addr, lock: r.lock, issued: c.engine.Now()}
+		c.engine.After(c.cfg.IssueLatency, func() {
+			c.sendSync(home, &corepkg.Req{Op: r.op, Addr: r.addr, Core: c.id, Goal: r.goal, Lock: r.lock})
+		})
+	}
+}
+
+// sendSuspend notifies the home of the outstanding operation's address that
+// this core is being interrupted (§4.1.2).
+func (c *Core) sendSuspend(o *outstanding) {
+	home := memory.HomeOf(o.addr, c.tiles)
+	c.sendSync(home, &corepkg.Req{Op: isa.OpSuspend, Addr: o.addr, Core: c.id})
+}
+
+// HandleResp processes an MSA response addressed to this core.
+func (c *Core) HandleResp(r *corepkg.Resp) {
+	if r.Op == isa.OpSuspend {
+		// Nack: not queued at that home; keep waiting for the original
+		// response and park when it arrives. The nack can also arrive
+		// *after* the original response resolved the operation (the grant
+		// and the SUSPEND crossed in the network) — then it is stale and
+		// ignored. If a different operation is outstanding by then, marking
+		// it nacked is harmless: it only suppresses a redundant SUSPEND.
+		if c.out != nil {
+			c.out.nacked = true
+		}
+		return
+	}
+	o := c.out
+	if o == nil {
+		panic(fmt.Sprintf("cpu: core %d got %v response with nothing outstanding", c.id, r.Op))
+	}
+	if r.Op != o.op || r.Addr != o.addr {
+		panic(fmt.Sprintf("cpu: core %d response %v/%#x does not match outstanding %v/%#x",
+			c.id, r.Op, r.Addr, o.op, o.addr))
+	}
+	c.out = nil
+	elapsed := c.engine.Now() - o.issued
+	c.stats.SyncStallCycles += elapsed
+	c.lat[latKindOf(o.op)].Observe(uint64(elapsed))
+	c.trace(trace.Complete, o.addr, o.op.String()+" "+r.Result.String())
+	if r.ClearHWSync {
+		// Handoff: drop the bit *and* any in-flight grant entitlement for
+		// this line — a grant still in the network belongs to our previous
+		// tenure and must not re-arm the silent path.
+		line := memory.LineOf(r.Addr)
+		c.l1.ClearHWSyncLine(line)
+		delete(c.expectGrant, line)
+	}
+	if r.Result == isa.Abort && r.Reason == corepkg.ReasonRequeue {
+		// Our own suspension dequeued the LOCK: squash and re-execute the
+		// instruction when the thread resumes (§4.1.2).
+		o.t.park(parkedReissue, uint64(r.Op))
+		o.t.reissue = threadReq{kind: reqSync, op: o.op, addr: o.addr, lock: o.lock}
+		return
+	}
+	if r.Result == isa.Success && (o.op == isa.OpLock || o.op == isa.OpCondWait) && c.cfg.HWSyncOpt {
+		// A HWSync block grant is on its way for the lock's line.
+		line := memory.LineOf(o.addr)
+		if o.op == isa.OpCondWait {
+			line = memory.LineOf(o.lock)
+		}
+		c.expectGrant[line]++
+	}
+	c.resumeSyncResult(o.t, r.Result)
+}
+
+// resumeSyncResult delivers a sync instruction's result, parking first if a
+// suspension is pending (the instruction completes; the fallback code runs
+// when the thread is scheduled again, per §4.3.2).
+func (c *Core) resumeSyncResult(t *Thread, res isa.Result) {
+	if t.wantSuspend {
+		t.park(parkedResult, uint64(res))
+		return
+	}
+	t.toThread <- uint64(res)
+	c.await()
+}
+
+// contextSwitch clears per-thread state a departing thread leaves on the
+// core: HWSync bits (a new thread must not silently acquire the old
+// thread's locks) and pending grant entitlements.
+func (c *Core) contextSwitch() {
+	c.trace(trace.CtxSwitch, 0, "context switch")
+	c.gen++
+	c.l1.ClearAllHWSync()
+	for k := range c.expectGrant {
+		delete(c.expectGrant, k)
+	}
+}

@@ -1,0 +1,129 @@
+// Package cpu models the cores and the simulated threads that run on them.
+//
+// A simulated thread is a Go goroutine that issues timed operations —
+// Compute, loads/stores/atomics, and the MiSAR synchronization instructions —
+// through the Env interface. The event kernel and the thread goroutines hand
+// control back and forth synchronously (exactly one runs at a time), so the
+// simulation stays deterministic while workload and synchronization-library
+// code reads as ordinary sequential Go.
+//
+// Each core runs one thread at a time (the paper's configuration). The
+// scheduler shim supports suspending a thread, resuming it on the same or a
+// different core (migration), which exercises the MSA's SUSPEND/ABORT paths.
+package cpu
+
+import (
+	"misar/internal/isa"
+	"misar/internal/memory"
+	"misar/internal/sim"
+)
+
+// Env is the execution environment a simulated thread sees. All methods
+// block (in simulated time) until the operation commits.
+type Env interface {
+	// ThreadID identifies the thread; Core the tile it currently runs on.
+	ThreadID() int
+	Core() int
+	// Now returns the current simulated cycle.
+	Now() sim.Time
+	// Compute advances the thread by a block of computation.
+	Compute(cycles uint64)
+	// Load/Store access the simulated memory through this core's L1.
+	Load(a memory.Addr) uint64
+	Store(a memory.Addr, v uint64)
+	// FetchAdd/Swap/CAS are atomic read-modify-writes.
+	FetchAdd(a memory.Addr, delta uint64) uint64
+	Swap(a memory.Addr, v uint64) uint64
+	CAS(a memory.Addr, old, new uint64) bool
+	// Sync executes a synchronization instruction. goal is the barrier
+	// participant count; lock is COND_WAIT's associated lock.
+	Sync(op isa.SyncOp, addr memory.Addr, goal int, lock memory.Addr) isa.Result
+}
+
+// reqKind enumerates thread→kernel requests.
+type reqKind uint8
+
+const (
+	reqCompute reqKind = iota
+	reqLoad
+	reqStore
+	reqRMW
+	reqSync
+)
+
+type rmwFunc func(st *memory.Store, a memory.Addr) uint64
+
+type threadReq struct {
+	kind   reqKind
+	cycles uint64
+	addr   memory.Addr
+	val    uint64
+	rmw    rmwFunc
+	op     isa.SyncOp
+	goal   int
+	lock   memory.Addr
+}
+
+// threadKilled is panicked inside a thread goroutine to unwind it when the
+// machine is torn down mid-run.
+type threadKilled struct{}
+
+// env implements Env for one thread.
+type env struct{ t *Thread }
+
+func (e env) ThreadID() int { return e.t.id }
+func (e env) Core() int     { return e.t.core.id }
+func (e env) Now() sim.Time { return e.t.core.engine.Now() }
+
+// call sends a request to the kernel and blocks until its result arrives.
+func (e env) call(r threadReq) uint64 {
+	e.t.toKernel <- r
+	v, ok := <-e.t.toThread
+	if !ok {
+		panic(threadKilled{})
+	}
+	return v
+}
+
+func (e env) Compute(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	e.call(threadReq{kind: reqCompute, cycles: cycles})
+}
+
+func (e env) Load(a memory.Addr) uint64 {
+	return e.call(threadReq{kind: reqLoad, addr: a})
+}
+
+func (e env) Store(a memory.Addr, v uint64) {
+	e.call(threadReq{kind: reqStore, addr: a, val: v})
+}
+
+func (e env) FetchAdd(a memory.Addr, delta uint64) uint64 {
+	return e.call(threadReq{kind: reqRMW, addr: a, rmw: func(st *memory.Store, a memory.Addr) uint64 {
+		return st.Add(a, delta)
+	}})
+}
+
+func (e env) Swap(a memory.Addr, v uint64) uint64 {
+	return e.call(threadReq{kind: reqRMW, addr: a, rmw: func(st *memory.Store, a memory.Addr) uint64 {
+		return st.Swap(a, v)
+	}})
+}
+
+func (e env) CAS(a memory.Addr, old, new uint64) bool {
+	v := e.call(threadReq{kind: reqRMW, addr: a, rmw: func(st *memory.Store, a memory.Addr) uint64 {
+		_, ok := st.CompareAndSwap(a, old, new)
+		if ok {
+			return 1
+		}
+		return 0
+	}})
+	return v == 1
+}
+
+func (e env) Sync(op isa.SyncOp, addr memory.Addr, goal int, lock memory.Addr) isa.Result {
+	v := e.call(threadReq{kind: reqSync, op: op, addr: addr, goal: goal, lock: lock})
+	return isa.Result(v)
+}

@@ -1,0 +1,132 @@
+package cpu
+
+import (
+	"fmt"
+
+	"misar/internal/isa"
+	"misar/internal/memory"
+)
+
+// Ideal implements the paper's Ideal configuration: synchronization with
+// perfect semantics and zero communication latency. Each instruction still
+// pays its 1-cycle issue cost (so simulated time advances), but no messages,
+// cache misses, or queueing delays occur. Waiting time that is inherent to
+// the synchronization (a held lock, an unreleased barrier) remains — exactly
+// the "only the necessary waiting time remains" behaviour of §6.2.
+type Ideal struct {
+	locks map[memory.Addr]*ilock
+	bars  map[memory.Addr]*ibar
+	conds map[memory.Addr]*icond
+}
+
+type ilock struct {
+	held bool
+	q    []func()
+}
+
+type ibar struct {
+	waiting []func(isa.Result)
+}
+
+type icond struct {
+	waiters []func() // each re-acquires its lock then completes the wait
+}
+
+// NewIdeal builds the shared zero-latency synchronization table.
+func NewIdeal() *Ideal {
+	return &Ideal{
+		locks: make(map[memory.Addr]*ilock),
+		bars:  make(map[memory.Addr]*ibar),
+		conds: make(map[memory.Addr]*icond),
+	}
+}
+
+func (i *Ideal) lock(a memory.Addr) *ilock {
+	l, ok := i.locks[a]
+	if !ok {
+		l = &ilock{}
+		i.locks[a] = l
+	}
+	return l
+}
+
+func (i *Ideal) acquire(a memory.Addr, grant func()) {
+	l := i.lock(a)
+	if !l.held {
+		l.held = true
+		grant()
+		return
+	}
+	l.q = append(l.q, grant)
+}
+
+func (i *Ideal) release(a memory.Addr) {
+	l := i.lock(a)
+	if !l.held {
+		panic(fmt.Sprintf("cpu: ideal unlock of free lock %#x", a))
+	}
+	if len(l.q) > 0 {
+		next := l.q[0]
+		l.q = l.q[1:]
+		next() // ownership transfers directly
+		return
+	}
+	l.held = false
+}
+
+// Do executes one synchronization instruction with ideal semantics; done
+// receives the result (always SUCCESS, possibly after inherent waiting).
+func (i *Ideal) Do(t *Thread, op isa.SyncOp, addr memory.Addr, goal int, lockAddr memory.Addr, done func(isa.Result)) {
+	switch op {
+	case isa.OpLock:
+		i.acquire(addr, func() { done(isa.Success) })
+	case isa.OpUnlock:
+		i.release(addr)
+		done(isa.Success)
+	case isa.OpBarrier:
+		b, ok := i.bars[addr]
+		if !ok {
+			b = &ibar{}
+			i.bars[addr] = b
+		}
+		b.waiting = append(b.waiting, done)
+		if len(b.waiting) == goal {
+			ws := b.waiting
+			b.waiting = nil
+			for _, w := range ws {
+				w(isa.Success)
+			}
+		}
+	case isa.OpCondWait:
+		c, ok := i.conds[addr]
+		if !ok {
+			c = &icond{}
+			i.conds[addr] = c
+		}
+		i.release(lockAddr)
+		la := lockAddr
+		c.waiters = append(c.waiters, func() {
+			i.acquire(la, func() { done(isa.Success) })
+		})
+	case isa.OpCondSignal:
+		if c, ok := i.conds[addr]; ok && len(c.waiters) > 0 {
+			w := c.waiters[0]
+			c.waiters = c.waiters[1:]
+			w()
+		}
+		done(isa.Success)
+	case isa.OpCondBcast:
+		if c, ok := i.conds[addr]; ok {
+			ws := c.waiters
+			c.waiters = nil
+			for _, w := range ws {
+				w()
+			}
+		}
+		done(isa.Success)
+	case isa.OpFinish:
+		done(isa.Success)
+	default:
+		panic(fmt.Sprintf("cpu: ideal cannot execute %v", op))
+	}
+}

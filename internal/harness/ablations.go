@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"fmt"
+
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/stats"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+// Ablations beyond the paper's figures (DESIGN.md A1-A4). They probe the
+// design choices the paper discusses but does not sweep: OMU counter count
+// (aliasing, §3.2), MSA entry count, NBTC fairness (§4.1), and the
+// suspension machinery's overhead (§4.x.2).
+
+// OMUSweep (A1) varies the per-slice OMU counter count: fewer counters mean
+// more aliasing, which steers more operations to software (performance, not
+// correctness).
+func OMUSweep(o Options) *stats.Table {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("A1: OMU counters @ %dc", tiles),
+		"Coverage %", "Speedup vs pthread")
+	app, _ := workload.ByName("radiosity")
+	_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+	for _, counters := range []int{1, 2, 4, 8, 16} {
+		cfg := machine.MSAOMU(tiles, 2)
+		cfg.MSA.OMUCounters = counters
+		m, cycles := runApp(app, cfg, syncrt.HWLib())
+		t.AddRow(fmt.Sprintf("%d counters", counters),
+			m.Coverage()*100, float64(base)/float64(cycles))
+	}
+	return t
+}
+
+// EntrySweep (A2) varies the per-slice MSA entry count on a lock-rich
+// workload.
+func EntrySweep(o Options) *stats.Table {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("A2: MSA entries @ %dc", tiles),
+		"Coverage %", "Speedup vs pthread")
+	app, _ := workload.ByName("radiosity")
+	_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+	for _, entries := range []int{1, 2, 4, 8, -1} {
+		label := fmt.Sprintf("%d entries", entries)
+		if entries < 0 {
+			label = "inf entries"
+		}
+		m, cycles := runApp(app, machine.MSAOMU(tiles, entries), syncrt.HWLib())
+		t.AddRow(label, m.Coverage()*100, float64(base)/float64(cycles))
+	}
+	return t
+}
+
+// Fairness (A3) measures handoff fairness under the NBTC round-robin
+// policy: with every core pounding one lock, the spread between the
+// luckiest and unluckiest thread's acquisition count should be tight.
+func Fairness(o Options) *stats.Table {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("A3: grant policy fairness @ %dc", tiles),
+		"Min acquires", "Max acquires", "Total")
+	run := func(cfg machine.Config) (int64, int64, int64) {
+		m := machine.New(cfg)
+		arena := syncrt.NewArena(0x1000000)
+		lock := arena.Mutex()
+		counts := make([]int64, tiles)
+		qn := make([]memory.Addr, tiles)
+		for i := range qn {
+			qn[i] = arena.QNode()
+		}
+		lib := syncrt.HWLib()
+		stopAt := sim.Time(400_000)
+		m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+			rt := lib.Bind(e, qn[tid])
+			for e.Now() < stopAt {
+				rt.Lock(lock)
+				counts[tid]++
+				e.Compute(20)
+				rt.Unlock(lock)
+				e.Compute(10)
+			}
+		})
+		if _, err := m.Run(workload.RunDeadline); err != nil {
+			panic(err)
+		}
+		min, max, total := counts[0], counts[0], int64(0)
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+			total += c
+		}
+		return min, max, total
+	}
+	min, max, total := run(machine.MSAOMU(tiles, 2))
+	t.AddRowInts("NBTC round-robin", min, max, total)
+	min, max, total = run(machine.WithFixedPriority(machine.MSAOMU(tiles, 2)))
+	t.AddRowInts("fixed priority", min, max, total)
+	return t
+}
+
+// BloomSweep (A5) compares the plain counter OMU against the counting
+// Bloom filter the paper suggests (§3.2), at equal storage budgets.
+func BloomSweep(o Options) *stats.Table {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("A5: OMU vs Bloom @ %dc", tiles),
+		"Coverage %", "Speedup vs pthread")
+	app, _ := workload.ByName("radiosity")
+	_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+	for _, c := range []struct {
+		label string
+		cfg   machine.Config
+	}{
+		{"plain x4", machine.MSAOMU(tiles, 2)},
+		{"bloom x4 k=2", machine.WithBloomOMU(machine.MSAOMU(tiles, 2), 2)},
+		{"plain x8", func() machine.Config { c := machine.MSAOMU(tiles, 2); c.MSA.OMUCounters = 8; return c }()},
+		{"bloom x8 k=2", func() machine.Config {
+			c := machine.WithBloomOMU(machine.MSAOMU(tiles, 2), 2)
+			c.MSA.OMUCounters = 8
+			return c
+		}()},
+	} {
+		m, cycles := runApp(app, c.cfg, syncrt.HWLib())
+		t.AddRow(c.label, m.Coverage()*100, float64(base)/float64(cycles))
+	}
+	return t
+}
+
+// SuspendStress (A4) repeatedly suspends, migrates, and resumes threads
+// while they hammer locks and barriers; it verifies the ABORT machinery
+// under fire and reports its cost.
+func SuspendStress(o Options) *stats.Table {
+	tiles := o.Tiles[0]
+	if tiles > 8 {
+		tiles = 8
+	}
+	t := stats.NewTable(fmt.Sprintf("A4: suspend stress @ %dc", tiles),
+		"Cycles", "Aborts", "Counter OK")
+	nthreads := tiles / 2 // each thread has a home core (2i) and a spare (2i+1)
+	for _, disturb := range []bool{false, true} {
+		m := machine.New(machine.MSAOMU(tiles, 2))
+		arena := syncrt.NewArena(0x1000000)
+		lock := arena.Mutex()
+		bar := arena.Barrier(nthreads)
+		counter := arena.Data(1)
+		qn := make([]memory.Addr, nthreads)
+		for i := range qn {
+			qn[i] = arena.QNode()
+		}
+		lib := syncrt.HWLib()
+		const iters = 20
+		var threads []*cpu.Thread
+		loc := make([]int, nthreads)
+		for i := 0; i < nthreads; i++ {
+			i := i
+			th := m.Complex.Spawn(i, func(e cpu.Env) {
+				rt := lib.Bind(e, qn[i])
+				for k := 0; k < iters; k++ {
+					rt.Lock(lock)
+					e.Store(counter, e.Load(counter)+1)
+					e.Compute(30)
+					rt.Unlock(lock)
+					e.Compute(uint64(50 + i*13))
+					rt.Wait(bar)
+				}
+			})
+			threads = append(threads, th)
+			loc[i] = 2 * i
+			m.Complex.Start(th, 2*i, 0)
+		}
+		if disturb {
+			// Periodically suspend a rotating victim and migrate it between
+			// its home core and its private spare core.
+			var schedule func(round int)
+			schedule = func(round int) {
+				if round >= 12 {
+					return
+				}
+				v := round % nthreads
+				victim := threads[v]
+				m.Complex.Suspend(victim, func() {
+					m.Engine.After(2_000, func() {
+						if victim.Done() {
+							schedule(round + 1)
+							return
+						}
+						loc[v] = 2*v + (1 - loc[v]%2)
+						m.Complex.Resume(victim, loc[v])
+						m.Engine.After(8_000, func() { schedule(round + 1) })
+					})
+				})
+			}
+			m.Engine.At(5_000, func() { schedule(0) })
+		}
+		end, err := m.Run(workload.RunDeadline)
+		if err != nil {
+			panic(err)
+		}
+		label := "no disturbance"
+		if disturb {
+			label = "suspend+migrate"
+		}
+		ok := "yes"
+		if m.Store.Load(counter) != uint64(nthreads*iters) {
+			ok = "NO"
+		}
+		t.AddRowStrings(label,
+			fmt.Sprintf("%d", end),
+			fmt.Sprintf("%d", m.MSAStats().Aborts),
+			ok)
+	}
+	return t
+}

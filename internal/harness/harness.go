@@ -1,0 +1,247 @@
+// Package harness defines one runnable experiment per table and figure of
+// the paper's evaluation (§6), plus the ablations listed in DESIGN.md. Each
+// experiment returns a stats.Table whose rows/series match what the paper
+// reports; cmd/misar-fig renders them and bench_test.go wraps them in
+// testing.B benchmarks.
+package harness
+
+import (
+	"fmt"
+
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/sim"
+	"misar/internal/stats"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+// Options scales experiments: the full paper configuration is Tiles =
+// {16, 64} over the whole suite, which takes a while on one host; tests use
+// smaller settings.
+type Options struct {
+	Tiles []int    // core counts to evaluate (paper: 16 and 64)
+	Apps  []string // subset of app names; nil = full suite
+}
+
+// DefaultOptions reproduces the paper's configuration.
+func DefaultOptions() Options {
+	return Options{Tiles: []int{16, 64}}
+}
+
+// QuickOptions is a reduced configuration for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{
+		Tiles: []int{8},
+		Apps:  []string{"radiosity", "ocean-nc", "fluidanimate", "streamcluster"},
+	}
+}
+
+func (o Options) apps() []workload.App {
+	suite := workload.Suite()
+	if o.Apps == nil {
+		return suite
+	}
+	var out []workload.App
+	for _, name := range o.Apps {
+		a, ok := workload.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("harness: unknown app %q", name))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// configEntry names a machine+library combination under evaluation.
+type configEntry struct {
+	name string
+	cfg  func(tiles int) machine.Config
+	lib  func() *syncrt.Lib
+}
+
+func baselineCfg(tiles int) machine.Config {
+	c := machine.Default(tiles)
+	c.Name = "pthread"
+	c.CPU.Mode = cpu.ModeAlwaysFail
+	return c
+}
+
+// fig6Configs is the paper's Fig. 6 series (speedup is vs the pthread
+// baseline, which is run separately as the denominator).
+func fig6Configs() []configEntry {
+	return []configEntry{
+		{"MSA-0", machine.MSA0, syncrt.HWLib},
+		{"MCS-Tour", baselineCfg, syncrt.MCSTourLib},
+		{"MSA/OMU-1", func(t int) machine.Config { return machine.MSAOMU(t, 1) }, syncrt.HWLib},
+		{"MSA/OMU-2", func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},
+		{"MSA-inf", machine.MSAInf, syncrt.HWLib},
+		{"Ideal", machine.Ideal, syncrt.HWLib},
+	}
+}
+
+// runApp executes one app on one configuration, returning total cycles.
+func runApp(app workload.App, cfg machine.Config, lib *syncrt.Lib) (*machine.Machine, sim.Time) {
+	m, cycles, err := workload.Run(app, cfg, lib)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s on %s: %v", app.Name, cfg.Name, err))
+	}
+	return m, cycles
+}
+
+// Fig5 reproduces Figure 5: raw synchronization latency (cycles, the paper
+// plots it on a log scale) for five operations × five schemes × core
+// counts.
+func Fig5(o Options) *stats.Table {
+	t := stats.NewTable("Fig5: raw latency (cycles)",
+		"Pthread", "MSA-0", "MSA/OMU-2", "MCS-Tour", "Spinlock")
+	type scheme struct {
+		cfg func(int) machine.Config
+		lib func() *syncrt.Lib
+	}
+	schemes := []scheme{
+		{baselineCfg, syncrt.PthreadLib},
+		{machine.MSA0, syncrt.HWLib},
+		{func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},
+		{baselineCfg, syncrt.MCSTourLib},
+		{baselineCfg, syncrt.SpinLib},
+	}
+	kinds := []struct {
+		name string
+		run  func(machine.Config, *syncrt.Lib) workload.MicroResult
+	}{
+		{"LockAcquire", workload.MicroLockAcquire},
+		{"LockHandoff", workload.MicroLockHandoff},
+		{"BarrierHandoff", workload.MicroBarrierHandoff},
+		{"CondSignal", workload.MicroCondSignal},
+		{"CondBroadcast", workload.MicroCondBroadcast},
+	}
+	for _, k := range kinds {
+		for _, tiles := range o.Tiles {
+			cells := make([]float64, len(schemes))
+			for i, s := range schemes {
+				cells[i] = k.run(s.cfg(tiles), s.lib()).Cycles
+			}
+			t.AddRow(fmt.Sprintf("%s/%dc", k.name, tiles), cells...)
+		}
+	}
+	return t
+}
+
+// Fig6 reproduces Figure 6: whole-application speedup over the pthread
+// baseline for each configuration, per benchmark and geomean.
+func Fig6(o Options) *stats.Table {
+	cfgs := fig6Configs()
+	cols := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		cols[i] = c.name
+	}
+	t := stats.NewTable("Fig6: speedup vs pthread", cols...)
+	for _, tiles := range o.Tiles {
+		speedups := make([][]float64, len(cfgs))
+		for _, app := range o.apps() {
+			_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+			cells := make([]float64, len(cfgs))
+			for i, c := range cfgs {
+				_, cycles := runApp(app, c.cfg(tiles), c.lib())
+				cells[i] = float64(base) / float64(cycles)
+				speedups[i] = append(speedups[i], cells[i])
+			}
+			if app.SyncSensitive {
+				t.AddRow(fmt.Sprintf("%s/%dc", app.Name, tiles), cells...)
+			}
+		}
+		geo := make([]float64, len(cfgs))
+		for i := range cfgs {
+			geo[i] = stats.Geomean(speedups[i])
+		}
+		t.AddRow(fmt.Sprintf("GeoMean/%dc", tiles), geo...)
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: percentage of synchronization operations
+// handled by the MSA with and without the OMU, for 1- and 2-entry slices.
+func Fig7(o Options) *stats.Table {
+	t := stats.NewTable("Fig7: MSA coverage (%)", "Without OMU", "With OMU")
+	for _, entries := range []int{1, 2} {
+		for _, tiles := range o.Tiles {
+			var with, without []float64
+			for _, app := range o.apps() {
+				mw, _ := runApp(app, machine.MSAOMU(tiles, entries), syncrt.HWLib())
+				with = append(with, mw.Coverage()*100)
+				mo, _ := runApp(app, machine.WithoutOMU(machine.MSAOMU(tiles, entries)), syncrt.HWLib())
+				without = append(without, mo.Coverage()*100)
+			}
+			t.AddRow(fmt.Sprintf("MSA-%d/%dc", entries, tiles),
+				stats.Mean(without), stats.Mean(with))
+		}
+	}
+	return t
+}
+
+// Fig8 reproduces Figure 8: fluidanimate speedup with and without the
+// HWSync-bit optimization.
+func Fig8(o Options) *stats.Table {
+	t := stats.NewTable("Fig8: fluidanimate speedup", "With Optimization", "Without Optimization")
+	app, _ := workload.ByName("fluidanimate")
+	for _, tiles := range o.Tiles {
+		_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+		_, with := runApp(app, machine.MSAOMU(tiles, 2), syncrt.HWLib())
+		_, without := runApp(app, machine.WithoutHWSync(machine.MSAOMU(tiles, 2)), syncrt.HWLib())
+		t.AddRow(fmt.Sprintf("fluidanimate/%dc", tiles),
+			float64(base)/float64(with), float64(base)/float64(without))
+	}
+	return t
+}
+
+// Fig9 reproduces Figure 9: speedup when the MSA supports only locks or
+// only barriers, at the paper's 64-core point (o.Tiles[last] here).
+func Fig9(o Options) *stats.Table {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("Fig9: %dc speedup", tiles),
+		"MSA/OMU-2", "MSA-LockOnly", "MSA-BarrierOnly")
+	cfgs := []machine.Config{
+		machine.MSAOMU(tiles, 2),
+		machine.LockOnly(machine.MSAOMU(tiles, 2)),
+		machine.BarrierOnly(machine.MSAOMU(tiles, 2)),
+	}
+	var speedups [3][]float64
+	for _, app := range o.apps() {
+		_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+		cells := make([]float64, 3)
+		for i, cfg := range cfgs {
+			_, cycles := runApp(app, cfg, syncrt.HWLib())
+			cells[i] = float64(base) / float64(cycles)
+			speedups[i] = append(speedups[i], cells[i])
+		}
+		if app.SyncSensitive {
+			t.AddRow(app.Name, cells...)
+		}
+	}
+	t.AddRow("GeoMean", stats.Geomean(speedups[0][:]), stats.Geomean(speedups[1][:]), stats.Geomean(speedups[2][:]))
+	return t
+}
+
+// Headline reproduces the abstract's claims: MSA/OMU-2 speedup over
+// pthreads, coverage, and distance from Ideal.
+func Headline(o Options) *stats.Table {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("Headline @ %dc", tiles), "Value")
+	var speedups, infIdeal, omuInf, coverage []float64
+	for _, app := range o.apps() {
+		_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+		m, hw := runApp(app, machine.MSAOMU(tiles, 2), syncrt.HWLib())
+		_, inf := runApp(app, machine.MSAInf(tiles), syncrt.HWLib())
+		_, ideal := runApp(app, machine.Ideal(tiles), syncrt.HWLib())
+		speedups = append(speedups, float64(base)/float64(hw))
+		infIdeal = append(infIdeal, float64(inf)/float64(ideal))
+		omuInf = append(omuInf, float64(hw)/float64(inf))
+		coverage = append(coverage, m.Coverage()*100)
+	}
+	t.AddRow("GeoMean MSA/OMU-2 speedup vs pthread (paper: 1.43x)", stats.Geomean(speedups))
+	t.AddRow("Mean MSA coverage % (paper: 93%)", stats.Mean(coverage))
+	t.AddRow("MSA-inf slowdown vs Ideal (paper: within ~3%)", stats.Geomean(infIdeal))
+	t.AddRow("MSA/OMU-2 slowdown vs MSA-inf (paper: similar)", stats.Geomean(omuInf))
+	return t
+}

@@ -1,0 +1,33 @@
+package harness
+
+import "misar/internal/stats"
+
+// Table1 reproduces the paper's Table 1: the taxonomy of prior hardware
+// synchronization proposals against MSA/OMU. (Static data, included so the
+// repository regenerates every numbered artifact of the paper.)
+func Table1() *stats.Table {
+	t := stats.NewTable("Table1: HW sync taxonomy",
+		"Primitives", "Notification", "Resource overhead", "Dedicated net", "Overflow")
+	rows := []struct {
+		name  string
+		cells [5]string
+	}{
+		{"Lock Table [9]", [5]string{"Lock", "Indirect", "O(N_lock)", "No", "SW"}},
+		{"AMO [25]", [5]string{"Lock, Barrier", "Indirect", "0", "No", "N/A"}},
+		{"Tagged Memory [13]", [5]string{"Lock, Barrier", "Indirect", "O(N_mem)", "No", "N/A"}},
+		{"QOLB [12]", [5]string{"Lock", "Direct", "O(N_core)", "No", "SW"}},
+		{"SSB [26]", [5]string{"Lock", "Indirect", "O(N_activeLock)", "No", "SW"}},
+		{"LCU [23]", [5]string{"Lock", "Direct", "O(N_core)", "No", "HW/SW"}},
+		{"barrierFilter [21]", [5]string{"Barrier", "Indirect", "O(N_barrier)", "No", "Stall"}},
+		{"Lock Cache [4]", [5]string{"Lock", "Direct", "O(N_lock*N_core)", "Yes", "Stall"}},
+		{"GLocks [2]", [5]string{"Lock", "Direct", "O(N_lock)", "Yes", "None"}},
+		{"bitwiseAND/NOR [7]", [5]string{"Barrier", "Direct", "O(N_barrier)", "Yes", "None"}},
+		{"GBarrier [1]", [5]string{"Barrier", "Direct", "O(N_barrier)", "Yes", "None"}},
+		{"TLSync [17]", [5]string{"Barrier", "Direct", "O(N_barrier)", "Yes", "None"}},
+		{"MSA/OMU (this repo)", [5]string{"Lock, Barrier, CondVar", "Direct", "O(N_core)", "No", "HW"}},
+	}
+	for _, r := range rows {
+		t.AddRowStrings(r.name, r.cells[:]...)
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+// Package isa defines the MiSAR ISA extension: the six synchronization
+// instructions visible to software (LOCK, UNLOCK, BARRIER, COND_WAIT,
+// COND_SIGNAL, COND_BCAST), the FINISH notification, the SUSPEND and
+// LOCK_SILENT machine operations, and the tri-state result every
+// synchronization instruction returns (SUCCESS, FAIL, ABORT).
+//
+// The contract (paper §3): a synchronization instruction acts as a memory
+// fence and begins its activity when it is next to commit. SUCCESS means the
+// operation completed in hardware; FAIL means it could not be performed in
+// hardware and software must take over; ABORT means the MSA terminated the
+// operation because of OS thread scheduling (suspend/migration).
+package isa
+
+import "fmt"
+
+// Result is the return value of a synchronization instruction.
+type Result uint8
+
+const (
+	// Success: the operation was performed by the hardware accelerator.
+	Success Result = iota
+	// Fail: the operation cannot be performed in hardware; the software
+	// fallback implementation must be used.
+	Fail
+	// Abort: the MSA terminated the operation due to OS thread scheduling
+	// (suspension, migration, interrupt).
+	Abort
+)
+
+func (r Result) String() string {
+	switch r {
+	case Success:
+		return "SUCCESS"
+	case Fail:
+		return "FAIL"
+	case Abort:
+		return "ABORT"
+	}
+	return fmt.Sprintf("Result(%d)", uint8(r))
+}
+
+// SyncOp identifies a synchronization instruction or machine operation sent
+// to the MSA home tile.
+type SyncOp uint8
+
+const (
+	OpLock SyncOp = iota
+	OpUnlock
+	OpBarrier
+	OpCondWait
+	OpCondSignal
+	OpCondBcast
+	OpFinish     // software-side exit notification (OMU decrement)
+	OpSuspend    // core-initiated dequeue on context switch
+	OpLockSilent // HWSync-bit fast re-acquire notification (§5)
+)
+
+func (op SyncOp) String() string {
+	switch op {
+	case OpLock:
+		return "LOCK"
+	case OpUnlock:
+		return "UNLOCK"
+	case OpBarrier:
+		return "BARRIER"
+	case OpCondWait:
+		return "COND_WAIT"
+	case OpCondSignal:
+		return "COND_SIGNAL"
+	case OpCondBcast:
+		return "COND_BCAST"
+	case OpFinish:
+		return "FINISH"
+	case OpSuspend:
+		return "SUSPEND"
+	case OpLockSilent:
+		return "LOCK_SILENT"
+	}
+	return fmt.Sprintf("SyncOp(%d)", uint8(op))
+}
+
+// IsAcquire reports whether op is an acquire-type operation, i.e. one for
+// which the MSA may allocate a new entry (paper §3.1).
+func (op SyncOp) IsAcquire() bool {
+	return op == OpLock || op == OpBarrier || op == OpCondWait
+}
+
+// IsRelease reports whether op is a release-type operation, which never
+// allocates an entry and defaults to software on a miss.
+func (op SyncOp) IsRelease() bool {
+	return op == OpUnlock || op == OpCondSignal || op == OpCondBcast
+}
+
+// SyncType is the synchronization class recorded in an MSA entry's 2-bit
+// Type field.
+type SyncType uint8
+
+const (
+	TypeLock SyncType = iota
+	TypeBarrier
+	TypeCond
+)
+
+func (t SyncType) String() string {
+	switch t {
+	case TypeLock:
+		return "lock"
+	case TypeBarrier:
+		return "barrier"
+	case TypeCond:
+		return "cond"
+	}
+	return fmt.Sprintf("SyncType(%d)", uint8(t))
+}
+
+// TypeOf maps an instruction to the entry type it operates on. FINISH and
+// SUSPEND address whichever entry the address resolves to, so they have no
+// intrinsic type and TypeOf reports ok=false for them.
+func TypeOf(op SyncOp) (t SyncType, ok bool) {
+	switch op {
+	case OpLock, OpUnlock, OpLockSilent:
+		return TypeLock, true
+	case OpBarrier:
+		return TypeBarrier, true
+	case OpCondWait, OpCondSignal, OpCondBcast:
+		return TypeCond, true
+	}
+	return 0, false
+}
+
+// Addr is a 64-bit physical address of a synchronization variable.
+type Addr uint64

@@ -1,0 +1,92 @@
+package isa
+
+import "testing"
+
+func TestResultString(t *testing.T) {
+	cases := map[Result]string{
+		Success:    "SUCCESS",
+		Fail:       "FAIL",
+		Abort:      "ABORT",
+		Result(99): "Result(99)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Result(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestSyncOpString(t *testing.T) {
+	cases := map[SyncOp]string{
+		OpLock:       "LOCK",
+		OpUnlock:     "UNLOCK",
+		OpBarrier:    "BARRIER",
+		OpCondWait:   "COND_WAIT",
+		OpCondSignal: "COND_SIGNAL",
+		OpCondBcast:  "COND_BCAST",
+		OpFinish:     "FINISH",
+		OpSuspend:    "SUSPEND",
+		OpLockSilent: "LOCK_SILENT",
+		SyncOp(200):  "SyncOp(200)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("SyncOp.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAcquireReleasePartition(t *testing.T) {
+	acquires := []SyncOp{OpLock, OpBarrier, OpCondWait}
+	releases := []SyncOp{OpUnlock, OpCondSignal, OpCondBcast}
+	neither := []SyncOp{OpFinish, OpSuspend, OpLockSilent}
+
+	for _, op := range acquires {
+		if !op.IsAcquire() || op.IsRelease() {
+			t.Errorf("%v: want acquire-only", op)
+		}
+	}
+	for _, op := range releases {
+		if op.IsAcquire() || !op.IsRelease() {
+			t.Errorf("%v: want release-only", op)
+		}
+	}
+	for _, op := range neither {
+		if op.IsAcquire() || op.IsRelease() {
+			t.Errorf("%v: want neither acquire nor release", op)
+		}
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		op   SyncOp
+		want SyncType
+		ok   bool
+	}{
+		{OpLock, TypeLock, true},
+		{OpUnlock, TypeLock, true},
+		{OpLockSilent, TypeLock, true},
+		{OpBarrier, TypeBarrier, true},
+		{OpCondWait, TypeCond, true},
+		{OpCondSignal, TypeCond, true},
+		{OpCondBcast, TypeCond, true},
+		{OpFinish, 0, false},
+		{OpSuspend, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := TypeOf(c.op)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TypeOf(%v) = %v,%v; want %v,%v", c.op, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSyncTypeString(t *testing.T) {
+	if TypeLock.String() != "lock" || TypeBarrier.String() != "barrier" || TypeCond.String() != "cond" {
+		t.Error("SyncType String mismatch")
+	}
+	if SyncType(9).String() != "SyncType(9)" {
+		t.Error("unknown SyncType String mismatch")
+	}
+}

@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/syncrt"
+)
+
+// Chaos test: random mixes of locks, barriers and condition variables with
+// random thread suspensions and migrations thrown at them. The invariants
+// checked are exact — mutual exclusion (per-lock counters), barrier
+// separation, and full completion — so any lost update, lost wakeup, or
+// protocol deadlock fails the run. Every seed is deterministic, so a failing
+// seed reproduces exactly.
+func TestChaos(t *testing.T) {
+	seeds := int64(100)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	tiles := 4 + rng.Intn(5)*2 // 4..12
+	nthreads := tiles / 2      // home core 2i, spare 2i+1
+	cfg := MSAOMU(tiles, 1+rng.Intn(2))
+	if rng.Intn(3) == 0 {
+		cfg = WithoutHWSync(cfg)
+	}
+	if rng.Intn(4) == 0 {
+		cfg = WithBloomOMU(cfg, 2)
+	}
+	if rng.Intn(4) == 0 {
+		cfg = WithFixedPriority(cfg)
+	}
+	m := New(cfg)
+	arena := syncrt.NewArena(0x100000)
+	lib := syncrt.HWLib()
+	if rng.Intn(3) == 0 {
+		lib.Cond = syncrt.CondNoSpurious
+	}
+
+	nlocks := 1 + rng.Intn(6)
+	locks := arena.MutexArray(nlocks)
+	counters := arena.DataArray(nlocks)
+	bar := arena.Barrier(nthreads)
+	useBarrier := rng.Intn(2) == 0
+	iters := 6 + rng.Intn(10)
+	qnodes := make([]memory.Addr, nthreads)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+	plans := make([][]int, nthreads)
+	for i := range plans {
+		plans[i] = make([]int, iters)
+		for k := range plans[i] {
+			plans[i][k] = rng.Intn(nlocks)
+		}
+	}
+
+	// Direct mutual-exclusion oracle: the simulation is single threaded, so
+	// Go-side holder bookkeeping observes every overlap instantly.
+	holder := make([]int, nlocks)
+	for i := range holder {
+		holder[i] = -1
+	}
+	violations := 0
+	var threads []*cpu.Thread
+	for i := 0; i < nthreads; i++ {
+		i := i
+		th := m.Complex.Spawn(i, func(e cpu.Env) {
+			rt := lib.Bind(e, qnodes[i])
+			for k := 0; k < iters; k++ {
+				l := plans[i][k]
+				rt.Lock(locks[l])
+				if holder[l] != -1 {
+					violations++
+				}
+				holder[l] = i
+				v := e.Load(counters[l])
+				e.Compute(uint64(5 + (i*7+k*3)%20))
+				e.Store(counters[l], v+1)
+				if holder[l] != i {
+					violations++
+				}
+				holder[l] = -1
+				rt.Unlock(locks[l])
+				e.Compute(uint64(30 + (i*13+k*11)%60))
+				if useBarrier {
+					rt.Wait(bar)
+				}
+			}
+		})
+		threads = append(threads, th)
+		m.Complex.Start(th, 2*i, 0)
+	}
+
+	// Random disturbance schedule: suspend a victim, resume it on its home
+	// or spare core after a random delay.
+	loc := make([]int, nthreads)
+	for i := range loc {
+		loc[i] = 2 * i
+	}
+	disturbances := rng.Intn(8)
+	var schedule func(round int)
+	schedule = func(round int) {
+		if round >= disturbances {
+			return
+		}
+		v := rng.Intn(nthreads)
+		delay := sim.Time(500 + rng.Intn(4000))
+		m.Complex.Suspend(threads[v], func() {
+			m.Engine.After(delay, func() {
+				if !threads[v].Done() {
+					loc[v] = 2*v + rng.Intn(2)
+					m.Complex.Resume(threads[v], loc[v])
+				}
+				m.Engine.After(sim.Time(1000+rng.Intn(3000)), func() { schedule(round + 1) })
+			})
+		})
+	}
+	m.Engine.At(sim.Time(1000+rng.Intn(2000)), func() { schedule(0) })
+
+	if _, err := m.Run(sim.Time(500_000_000)); err != nil {
+		t.Fatalf("seed %d (%s): %v", seed, cfg.Name, err)
+	}
+	// Exact per-lock counts: acquisitions planned per lock must all land.
+	want := make([]uint64, nlocks)
+	for i := range plans {
+		for _, l := range plans[i] {
+			want[l]++
+		}
+	}
+	for l := 0; l < nlocks; l++ {
+		if got := m.Store.Load(counters[l]); got != want[l] {
+			t.Fatalf("seed %d (%s): lock %d counter = %d, want %d (lost update)",
+				seed, cfg.Name, l, got, want[l])
+		}
+	}
+	if violations != 0 {
+		t.Fatalf("seed %d (%s): %d direct mutual-exclusion violations", seed, cfg.Name, violations)
+	}
+}

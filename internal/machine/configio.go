@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Machine configurations are plain data, so they round-trip through JSON —
+// useful for pinning an experiment's exact parameters next to its results
+// or sweeping parameters from scripts (misar-sim -config-file).
+
+// SaveConfig writes cfg to path as indented JSON.
+func SaveConfig(path string, cfg Config) error {
+	b, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("machine: marshal config: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("machine: write config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a JSON machine configuration and validates it.
+func LoadConfig(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("machine: read config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return Config{}, fmt.Errorf("machine: parse config: %w", err)
+	}
+	if err := Validate(cfg); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate rejects configurations the model cannot run.
+func Validate(cfg Config) error {
+	switch {
+	case cfg.Tiles < 1 || cfg.Tiles > 64:
+		return fmt.Errorf("machine: tiles %d out of range [1,64]", cfg.Tiles)
+	case cfg.NoC.Width*cfg.NoC.Height < cfg.Tiles:
+		return fmt.Errorf("machine: %dx%d mesh smaller than %d tiles",
+			cfg.NoC.Width, cfg.NoC.Height, cfg.Tiles)
+	case cfg.L1.Sets < 1 || cfg.L1.Ways < 1:
+		return fmt.Errorf("machine: invalid L1 geometry %dx%d", cfg.L1.Sets, cfg.L1.Ways)
+	case cfg.MSA.Entries == 0:
+		return fmt.Errorf("machine: MSA entries must be nonzero (negative = unbounded); use CPU mode MSA-0 for no accelerator")
+	case cfg.MSA.OMUCounters < 1:
+		return fmt.Errorf("machine: OMU needs at least one counter")
+	}
+	return nil
+}

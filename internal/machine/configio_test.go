@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/isa"
+	"misar/internal/memory"
+)
+
+type memAddr = memory.Addr
+
+func TestConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	want := WithBloomOMU(MSAOMU(16, 4), 2)
+	want.L1.Sets = 32
+	if err := SaveConfig(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+	// A loaded config must build and run.
+	m := New(got)
+	if m.Cfg.MSA.OMUBloom != true {
+		t.Fatal("bloom flag lost")
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/cfg.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	cfg := Default(16)
+	cfg.Tiles = 0
+	if err := SaveConfig(invalid, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(invalid); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(*Config) {}, true},
+		{"zero tiles", func(c *Config) { c.Tiles = 0 }, false},
+		{"too many tiles", func(c *Config) { c.Tiles = 128 }, false},
+		{"mesh too small", func(c *Config) { c.NoC.Width = 1; c.NoC.Height = 1 }, false},
+		{"bad L1", func(c *Config) { c.L1.Ways = 0 }, false},
+		{"zero entries", func(c *Config) { c.MSA.Entries = 0 }, false},
+		{"inf entries", func(c *Config) { c.MSA.Entries = -1 }, true},
+		{"no counters", func(c *Config) { c.MSA.OMUCounters = 0 }, false},
+	}
+	for _, tc := range cases {
+		cfg := Default(16)
+		tc.mut(&cfg)
+		err := Validate(cfg)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestLatencyAggregation(t *testing.T) {
+	m := New(MSAOMU(4, 2))
+	m.SpawnAll(4, func(tid int, e cpu.Env) {
+		addr := isaAddr(tid)
+		e.Sync(isa.OpLock, addr, 0, 0)
+		e.Compute(20)
+		e.Sync(isa.OpUnlock, addr, 0, 0)
+	})
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	lock := m.Latency(cpu.LatLock)
+	unlock := m.Latency(cpu.LatUnlock)
+	if lock.Count() != 4 || unlock.Count() != 4 {
+		t.Fatalf("lock n=%d unlock n=%d, want 4 each", lock.Count(), unlock.Count())
+	}
+	if lock.Mean() <= 0 || lock.Percentile(95) < uint64(lock.Mean()) {
+		t.Fatalf("histogram inconsistent: mean=%f p95=%d", lock.Mean(), lock.Percentile(95))
+	}
+}
+
+// isaAddr gives each thread a distinct line-aligned sync address.
+func isaAddr(tid int) memAddr { return memAddr(0x10000 + tid*64) }

@@ -1,0 +1,305 @@
+// Package machine assembles the full tiled many-core model: per tile a core
+// with private L1, a slice of the distributed LLC with its directory, an MSA
+// slice with its OMU, and a mesh router — exactly the organization of the
+// paper's §3. It also provides the named configurations the evaluation
+// compares (Baseline software, MSA-0, MSA/OMU-N, MSA-inf, Ideal, and the
+// Fig. 7/8/9 ablations).
+package machine
+
+import (
+	"fmt"
+
+	"misar/internal/coherence"
+	corepkg "misar/internal/core"
+	"misar/internal/cpu"
+	"misar/internal/memory"
+	"misar/internal/noc"
+	"misar/internal/sim"
+	"misar/internal/stats"
+	"misar/internal/trace"
+)
+
+// Config describes one machine.
+type Config struct {
+	Name  string
+	Tiles int
+	NoC   noc.Config
+	L1    coherence.L1Config
+	Dir   coherence.DirConfig
+	MSA   corepkg.Config
+	CPU   cpu.Config
+}
+
+// meshDims picks the squarest W×H decomposition for n tiles.
+func meshDims(n int) (int, int) {
+	w := 1
+	for w*w < n {
+		w++
+	}
+	return w, (n + w - 1) / w
+}
+
+// Default returns the standard MSA/OMU-2 machine with the given tile count.
+func Default(tiles int) Config {
+	w, h := meshDims(tiles)
+	return Config{
+		Name:  fmt.Sprintf("MSA/OMU-2 %dc", tiles),
+		Tiles: tiles,
+		NoC:   noc.DefaultConfig(w, h),
+		L1:    coherence.DefaultL1Config(),
+		Dir:   coherence.DefaultDirConfig(),
+		MSA:   corepkg.DefaultConfig(),
+		CPU:   cpu.DefaultConfig(),
+	}
+}
+
+// MSAOMU returns the MSA/OMU-N configuration.
+func MSAOMU(tiles, entries int) Config {
+	c := Default(tiles)
+	c.Name = fmt.Sprintf("MSA/OMU-%d %dc", entries, tiles)
+	c.MSA.Entries = entries
+	return c
+}
+
+// MSA0 returns the paper's MSA-0: the new instructions exist but always
+// FAIL locally; everything runs in the software library.
+func MSA0(tiles int) Config {
+	c := Default(tiles)
+	c.Name = fmt.Sprintf("MSA-0 %dc", tiles)
+	c.CPU.Mode = cpu.ModeAlwaysFail
+	c.CPU.HWSyncOpt = false
+	return c
+}
+
+// MSAInf returns the infinite-entry accelerator (no overflow possible).
+func MSAInf(tiles int) Config {
+	c := Default(tiles)
+	c.Name = fmt.Sprintf("MSA-inf %dc", tiles)
+	c.MSA.Entries = -1
+	return c
+}
+
+// Ideal returns zero-latency synchronization.
+func Ideal(tiles int) Config {
+	c := Default(tiles)
+	c.Name = fmt.Sprintf("Ideal %dc", tiles)
+	c.CPU.Mode = cpu.ModeIdeal
+	c.CPU.HWSyncOpt = false
+	return c
+}
+
+// WithoutOMU disables overflow management (Fig. 7 baseline).
+func WithoutOMU(c Config) Config {
+	c.Name = c.Name + " noOMU"
+	c.MSA.OMUEnabled = false
+	return c
+}
+
+// WithFixedPriority replaces the NBTC round-robin grant with
+// lowest-core-first selection (ablation A3).
+func WithFixedPriority(c Config) Config {
+	c.Name = c.Name + " fixedPrio"
+	c.MSA.FixedPriority = true
+	return c
+}
+
+// WithBloomOMU swaps the plain OMU counters for the counting Bloom filter
+// the paper suggests in §3.2, with k hash functions over the same counter
+// budget.
+func WithBloomOMU(c Config, k int) Config {
+	c.Name = fmt.Sprintf("%s bloom(k=%d)", c.Name, k)
+	c.MSA.OMUBloom = true
+	c.MSA.OMUHashes = k
+	return c
+}
+
+// WithoutHWSync disables the §5 optimization (Fig. 8 baseline).
+func WithoutHWSync(c Config) Config {
+	c.Name = c.Name + " noHWSync"
+	c.MSA.HWSyncOpt = false
+	c.CPU.HWSyncOpt = false
+	return c
+}
+
+// LockOnly restricts the MSA to lock acceleration (Fig. 9).
+func LockOnly(c Config) Config {
+	c.Name = c.Name + " lockOnly"
+	c.MSA.Barriers = false
+	c.MSA.Conds = false
+	return c
+}
+
+// BarrierOnly restricts the MSA to barrier acceleration (Fig. 9).
+func BarrierOnly(c Config) Config {
+	c.Name = c.Name + " barrierOnly"
+	c.MSA.Locks = false
+	c.MSA.Conds = false
+	return c
+}
+
+// Machine is a fully wired model instance.
+type Machine struct {
+	Cfg     Config
+	Engine  *sim.Engine
+	Net     *noc.Network
+	Store   *memory.Store
+	L1s     []*coherence.L1
+	Dirs    []*coherence.Directory
+	Slices  []*corepkg.Slice
+	Cores   []*cpu.Core
+	Complex *cpu.Complex
+}
+
+// New builds and wires a machine.
+func New(cfg Config) *Machine {
+	engine := sim.NewEngine()
+	net := noc.New(engine, cfg.NoC)
+	if net.Tiles() < cfg.Tiles {
+		panic("machine: mesh smaller than tile count")
+	}
+	m := &Machine{
+		Cfg:    cfg,
+		Engine: engine,
+		Net:    net,
+		Store:  memory.NewStore(),
+		L1s:    make([]*coherence.L1, cfg.Tiles),
+		Dirs:   make([]*coherence.Directory, cfg.Tiles),
+		Slices: make([]*corepkg.Slice, cfg.Tiles),
+		Cores:  make([]*cpu.Core, cfg.Tiles),
+	}
+	var ideal *cpu.Ideal
+	if cfg.CPU.Mode == cpu.ModeIdeal {
+		ideal = cpu.NewIdeal()
+	}
+	for i := 0; i < cfg.Tiles; i++ {
+		i := i
+		sendCoh := func(dst int, msg *coherence.Msg) {
+			net.Send(&noc.Message{Src: i, Dst: dst, Bytes: msg.Bytes(), Payload: msg})
+		}
+		m.L1s[i] = coherence.NewL1(i, cfg.Tiles, cfg.L1, engine, m.Store, sendCoh)
+		m.Dirs[i] = coherence.NewDirectory(i, cfg.Tiles, cfg.Dir, engine, sendCoh)
+		m.Slices[i] = corepkg.NewSlice(i, cfg.Tiles, cfg.MSA, engine, m.Dirs[i],
+			func(c int, r *corepkg.Resp) {
+				net.Send(&noc.Message{Src: i, Dst: c, Bytes: corepkg.RespBytes, Payload: r})
+			},
+			func(tile int, msg *corepkg.MsaMsg) {
+				net.Send(&noc.Message{Src: i, Dst: tile, Bytes: corepkg.MsaBytes, Payload: msg})
+			})
+		m.Cores[i] = cpu.NewCore(i, cfg.Tiles, cfg.CPU, engine, m.L1s[i],
+			func(home int, r *corepkg.Req) {
+				net.Send(&noc.Message{Src: i, Dst: home, Bytes: corepkg.ReqBytes, Payload: r})
+			}, ideal)
+		net.Attach(i, func(nm *noc.Message) {
+			switch p := nm.Payload.(type) {
+			case *coherence.Msg:
+				switch p.Kind {
+				case coherence.RspDataS, coherence.RspDataE, coherence.MsgInv, coherence.MsgFwd:
+					m.L1s[i].Handle(p)
+				default:
+					m.Dirs[i].Handle(p)
+				}
+			case *corepkg.Req:
+				m.Slices[i].HandleReq(p)
+			case *corepkg.Resp:
+				m.Cores[i].HandleResp(p)
+			case *corepkg.MsaMsg:
+				m.Slices[i].HandleMsa(p)
+			default:
+				panic(fmt.Sprintf("machine: tile %d got unknown payload %T", i, nm.Payload))
+			}
+		})
+	}
+	m.Complex = cpu.NewComplex(engine, m.Cores)
+	return m
+}
+
+// SpawnAll starts one thread per core (thread i on core i) at time 0,
+// running body with the thread id.
+func (m *Machine) SpawnAll(n int, body func(tid int, e cpu.Env)) {
+	if n > m.Cfg.Tiles {
+		panic("machine: more threads than cores")
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		t := m.Complex.Spawn(i, func(e cpu.Env) { body(i, e) })
+		m.Complex.Start(t, i, 0)
+	}
+}
+
+// Run drives the simulation until all threads finish. It returns the final
+// cycle, or an error on deadlock, timeout, or a panicking thread body.
+func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
+	drained := m.Engine.RunUntil(deadline)
+	for _, t := range m.Complex.Threads() {
+		if t.Err() != nil {
+			return m.Engine.Now(), fmt.Errorf("machine: thread %d panicked: %v", t.ID(), t.Err())
+		}
+	}
+	if !drained {
+		return m.Engine.Now(), fmt.Errorf("machine: deadline %d reached with work pending", deadline)
+	}
+	if r := m.Complex.Running(); r > 0 {
+		return m.Engine.Now(), fmt.Errorf("machine: quiesced with %d threads blocked (deadlock)", r)
+	}
+	return m.Engine.Now(), nil
+}
+
+// AttachTracer records protocol events from every MSA slice and core into
+// b (see cmd/misar-trace). Pass nil to detach.
+func (m *Machine) AttachTracer(b *trace.Buffer) {
+	for _, sl := range m.Slices {
+		sl.SetTracer(b)
+	}
+	for _, c := range m.Cores {
+		c.SetTracer(b)
+	}
+}
+
+// MSAStats aggregates all slices' statistics.
+func (m *Machine) MSAStats() corepkg.Stats {
+	var s corepkg.Stats
+	for _, sl := range m.Slices {
+		st := sl.Stats()
+		s.Add(&st)
+	}
+	return s
+}
+
+// Coverage returns the fraction of synchronization operations completed in
+// hardware. For MSA-0 and Ideal it reports 0 and 1 respectively by
+// definition.
+func (m *Machine) Coverage() float64 {
+	switch m.Cfg.CPU.Mode {
+	case cpu.ModeAlwaysFail:
+		return 0
+	case cpu.ModeIdeal:
+		return 1
+	}
+	s := m.MSAStats()
+	hw, sw := s.HWOps(), s.SWOps()
+	if hw+sw == 0 {
+		return 0
+	}
+	return float64(hw) / float64(hw+sw)
+}
+
+// Latency merges every core's histogram for one operation class.
+func (m *Machine) Latency(k cpu.LatencyKind) stats.Histogram {
+	var h stats.Histogram
+	for _, c := range m.Cores {
+		h.Merge(c.Latency(k))
+	}
+	return h
+}
+
+// SyncOps reports total synchronization instructions issued by all cores.
+func (m *Machine) SyncOps() uint64 {
+	var n uint64
+	for _, c := range m.Cores {
+		st := c.Stats()
+		for _, v := range st.SyncIssued {
+			n += v
+		}
+	}
+	return n
+}

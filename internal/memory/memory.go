@@ -1,0 +1,88 @@
+// Package memory provides the functional (value-holding) memory model and
+// address arithmetic shared by the timing model.
+//
+// The simulator separates function from timing, as architectural simulators
+// commonly do: values live in a single flat Store and are read/written at the
+// instant an access commits, while the coherence protocol and NoC determine
+// *when* that instant occurs. Because the event kernel is single threaded and
+// the directory serializes conflicting transactions per line, the resulting
+// memory is linearizable.
+package memory
+
+import "fmt"
+
+// LineSize is the coherence granularity in bytes.
+const LineSize = 64
+
+// WordSize is the granularity of the functional store.
+const WordSize = 8
+
+// Addr is a 64-bit physical address.
+type Addr uint64
+
+// LineOf returns the line-aligned base address containing a.
+func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// WordOf returns the word-aligned address containing a.
+func WordOf(a Addr) Addr { return a &^ (WordSize - 1) }
+
+// HomeOf maps a line to its home tile (LLC slice and directory location) by
+// low-order line interleaving, the mapping the MSA shares (paper §3).
+func HomeOf(a Addr, tiles int) int {
+	return int((uint64(a) / LineSize) % uint64(tiles))
+}
+
+// Store is the flat functional memory, word granular. The zero value is an
+// all-zeroes memory.
+type Store struct {
+	words map[Addr]uint64
+}
+
+// NewStore returns an empty (all-zero) memory.
+func NewStore() *Store {
+	return &Store{words: make(map[Addr]uint64)}
+}
+
+// Load returns the 64-bit word containing a.
+func (s *Store) Load(a Addr) uint64 {
+	return s.words[WordOf(a)]
+}
+
+// Store writes the 64-bit word containing a.
+func (s *Store) Store(a Addr, v uint64) {
+	s.words[WordOf(a)] = v
+}
+
+// Add atomically adds delta and returns the previous value. Atomicity is
+// inherent: the caller invokes this at commit time under the single-threaded
+// kernel.
+func (s *Store) Add(a Addr, delta uint64) uint64 {
+	w := WordOf(a)
+	old := s.words[w]
+	s.words[w] = old + delta
+	return old
+}
+
+// Swap stores v and returns the previous value.
+func (s *Store) Swap(a Addr, v uint64) uint64 {
+	w := WordOf(a)
+	old := s.words[w]
+	s.words[w] = v
+	return old
+}
+
+// CompareAndSwap stores newV if the current value equals oldV, returning the
+// previous value and whether the swap happened.
+func (s *Store) CompareAndSwap(a Addr, oldV, newV uint64) (uint64, bool) {
+	w := WordOf(a)
+	cur := s.words[w]
+	if cur == oldV {
+		s.words[w] = newV
+		return cur, true
+	}
+	return cur, false
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("Store{%d words}", len(s.words))
+}

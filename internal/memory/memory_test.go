@@ -1,0 +1,119 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0}, {1, 0}, {63, 0}, {64, 64}, {127, 64}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.in); got != c.want {
+			t.Errorf("LineOf(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordOf(t *testing.T) {
+	if WordOf(13) != 8 || WordOf(8) != 8 || WordOf(7) != 0 {
+		t.Error("WordOf misaligned")
+	}
+}
+
+func TestHomeOfInterleaving(t *testing.T) {
+	// Consecutive lines go to consecutive tiles.
+	for i := 0; i < 100; i++ {
+		a := Addr(i * LineSize)
+		if got := HomeOf(a, 16); got != i%16 {
+			t.Fatalf("HomeOf(line %d) = %d, want %d", i, got, i%16)
+		}
+	}
+	// All addresses within a line share a home.
+	for off := Addr(0); off < LineSize; off++ {
+		if HomeOf(320+off, 16) != HomeOf(320, 16) {
+			t.Fatal("home differs within a line")
+		}
+	}
+}
+
+func TestStoreLoadStore(t *testing.T) {
+	s := NewStore()
+	if s.Load(100) != 0 {
+		t.Fatal("fresh store not zero")
+	}
+	s.Store(100, 42)
+	if s.Load(100) != 42 {
+		t.Fatal("store/load mismatch")
+	}
+	// Same word, different byte offset.
+	if s.Load(96+3) != s.Load(96) {
+		t.Fatal("sub-word addressing broken")
+	}
+}
+
+func TestStoreAdd(t *testing.T) {
+	s := NewStore()
+	if old := s.Add(8, 5); old != 0 {
+		t.Fatalf("Add returned %d, want 0", old)
+	}
+	if old := s.Add(8, 3); old != 5 {
+		t.Fatalf("Add returned %d, want 5", old)
+	}
+	if s.Load(8) != 8 {
+		t.Fatalf("final = %d, want 8", s.Load(8))
+	}
+}
+
+func TestStoreSwap(t *testing.T) {
+	s := NewStore()
+	s.Store(16, 7)
+	if old := s.Swap(16, 9); old != 7 {
+		t.Fatalf("Swap returned %d", old)
+	}
+	if s.Load(16) != 9 {
+		t.Fatal("Swap did not store")
+	}
+}
+
+func TestStoreCAS(t *testing.T) {
+	s := NewStore()
+	s.Store(24, 1)
+	if old, ok := s.CompareAndSwap(24, 2, 5); ok || old != 1 {
+		t.Fatal("CAS should fail")
+	}
+	if old, ok := s.CompareAndSwap(24, 1, 5); !ok || old != 1 {
+		t.Fatal("CAS should succeed")
+	}
+	if s.Load(24) != 5 {
+		t.Fatal("CAS did not store")
+	}
+}
+
+// Property: LineOf is idempotent and HomeOf is stable under any offset
+// within the line.
+func TestPropertyLineAlignment(t *testing.T) {
+	f := func(a Addr, tiles uint8) bool {
+		n := int(tiles%64) + 1
+		l := LineOf(a)
+		return LineOf(l) == l && l <= a && a-l < LineSize &&
+			HomeOf(a, n) == HomeOf(l, n) && HomeOf(a, n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is equivalent to load+store.
+func TestPropertyAdd(t *testing.T) {
+	f := func(a Addr, init, delta uint64) bool {
+		s := NewStore()
+		s.Store(a, init)
+		old := s.Add(a, delta)
+		return old == init && s.Load(a) == init+delta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

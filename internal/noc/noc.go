@@ -1,0 +1,227 @@
+// Package noc models the on-chip interconnect: a packet-switched 2D mesh
+// with XY dimension-order routing, per-hop router and link latency, and
+// bandwidth contention (one flit per directed link per cycle).
+//
+// The model is cut-through at message granularity: a message's head flit
+// advances hop by hop, waiting at each hop until the outgoing link is free;
+// the link is then occupied for the message's full flit count, and the tail
+// arrives flits-1 cycles after the head. This preserves the two properties
+// the MiSAR evaluation depends on — distance-dependent latency (MSA requests
+// travel to the home tile and back) and contention-dependent latency
+// (invalidation storms from software synchronization slow each other down) —
+// without simulating individual flit buffers as Booksim does (see DESIGN.md,
+// substitution table).
+package noc
+
+import (
+	"fmt"
+
+	"misar/internal/sim"
+)
+
+// Config describes mesh geometry and timing.
+type Config struct {
+	Width, Height int      // mesh dimensions; Width*Height tiles
+	RouterLatency sim.Time // per-hop pipeline latency in cycles
+	LinkLatency   sim.Time // per-hop wire latency in cycles
+	FlitBytes     int      // flit width; message sizes are rounded up
+	LocalLatency  sim.Time // latency for a tile sending to itself
+}
+
+// DefaultConfig returns the timing used in the evaluation: a 2-cycle router,
+// 1-cycle links and 16-byte flits, matching typical many-core NoC parameters
+// of the paper's era.
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width:         width,
+		Height:        height,
+		RouterLatency: 2,
+		LinkLatency:   1,
+		FlitBytes:     16,
+		LocalLatency:  1,
+	}
+}
+
+// Message is a packet traversing the mesh. Payload is opaque to the network.
+type Message struct {
+	Src, Dst int
+	Bytes    int // payload size; converted to flits by the network
+	Payload  any
+}
+
+// Handler receives messages delivered to a tile.
+type Handler func(*Message)
+
+// direction indices for the four mesh links plus ejection.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
+
+// Stats aggregates network activity.
+type Stats struct {
+	Messages     uint64
+	Flits        uint64
+	TotalLatency sim.Time // sum over messages of (deliver - inject)
+	MaxLatency   sim.Time
+	HopCount     uint64
+}
+
+// AvgLatency returns the mean end-to-end message latency in cycles.
+func (s *Stats) AvgLatency() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Messages)
+}
+
+// Network is a W×H mesh. Tiles are numbered row-major: tile = y*W + x.
+type Network struct {
+	cfg      Config
+	engine   *sim.Engine
+	handlers []Handler
+	// linkFree[tile][dir] is the first cycle at which that directed link can
+	// accept a new message's first flit.
+	linkFree [][]sim.Time
+	stats    Stats
+}
+
+// New builds the mesh and attaches it to the engine.
+func New(engine *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.FlitBytes <= 0 {
+		cfg.FlitBytes = 16
+	}
+	n := cfg.Width * cfg.Height
+	nw := &Network{
+		cfg:      cfg,
+		engine:   engine,
+		handlers: make([]Handler, n),
+		linkFree: make([][]sim.Time, n),
+	}
+	for i := range nw.linkFree {
+		nw.linkFree[i] = make([]sim.Time, numDirs)
+	}
+	return nw
+}
+
+// Tiles returns the number of tiles in the mesh.
+func (n *Network) Tiles() int { return n.cfg.Width * n.cfg.Height }
+
+// Attach registers the message handler for a tile. Exactly one handler per
+// tile; re-attaching panics to catch wiring bugs.
+func (n *Network) Attach(tile int, h Handler) {
+	if n.handlers[tile] != nil {
+		panic(fmt.Sprintf("noc: tile %d already has a handler", tile))
+	}
+	n.handlers[tile] = h
+}
+
+// Stats returns a snapshot of accumulated network statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// XY returns mesh coordinates for a tile.
+func (n *Network) XY(tile int) (x, y int) {
+	return tile % n.cfg.Width, tile / n.cfg.Width
+}
+
+// Hops returns the XY-routing hop count between two tiles.
+func (n *Network) Hops(src, dst int) int {
+	sx, sy := n.XY(src)
+	dx, dy := n.XY(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// flits converts a byte size to a flit count (minimum one).
+func (n *Network) flits(bytes int) int {
+	f := (bytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Send injects a message at the current cycle. Delivery invokes the
+// destination tile's handler at the computed arrival time.
+func (n *Network) Send(m *Message) {
+	if m.Src < 0 || m.Src >= n.Tiles() || m.Dst < 0 || m.Dst >= n.Tiles() {
+		panic(fmt.Sprintf("noc: bad route %d->%d", m.Src, m.Dst))
+	}
+	inject := n.engine.Now()
+	flits := n.flits(m.Bytes)
+	n.stats.Messages++
+	n.stats.Flits += uint64(flits)
+
+	if m.Src == m.Dst {
+		n.deliverAt(inject+n.cfg.LocalLatency, m, inject)
+		return
+	}
+	n.hop(m, m.Src, inject, flits, inject)
+}
+
+// hop advances the message head from tile `at`. headTime is when the head
+// flit is ready to leave `at`.
+func (n *Network) hop(m *Message, at int, headTime sim.Time, flits int, inject sim.Time) {
+	next, dir := n.nextHop(at, m.Dst)
+	// The head must wait for the link to be free, then occupies it for the
+	// message's full flit count.
+	start := headTime
+	if free := n.linkFree[at][dir]; free > start {
+		start = free
+	}
+	n.linkFree[at][dir] = start + sim.Time(flits)
+	n.stats.HopCount++
+	arrive := start + n.cfg.RouterLatency + n.cfg.LinkLatency
+	n.engine.At(arrive, func() {
+		if next == m.Dst {
+			// Tail arrives flits-1 cycles after the head.
+			n.deliverAt(arrive+sim.Time(flits-1), m, inject)
+			return
+		}
+		n.hop(m, next, arrive, flits, inject)
+	})
+}
+
+func (n *Network) deliverAt(t sim.Time, m *Message, inject sim.Time) {
+	n.engine.At(t, func() {
+		lat := n.engine.Now() - inject
+		n.stats.TotalLatency += lat
+		if lat > n.stats.MaxLatency {
+			n.stats.MaxLatency = lat
+		}
+		h := n.handlers[m.Dst]
+		if h == nil {
+			panic(fmt.Sprintf("noc: no handler attached to tile %d", m.Dst))
+		}
+		h(m)
+	})
+}
+
+// nextHop computes XY routing: correct X first, then Y.
+func (n *Network) nextHop(at, dst int) (next, dir int) {
+	ax, ay := n.XY(at)
+	dx, dy := n.XY(dst)
+	switch {
+	case ax < dx:
+		return at + 1, dirEast
+	case ax > dx:
+		return at - 1, dirWest
+	case ay < dy:
+		return at + n.cfg.Width, dirSouth
+	case ay > dy:
+		return at - n.cfg.Width, dirNorth
+	}
+	panic("noc: nextHop called with at == dst")
+}

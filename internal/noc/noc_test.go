@@ -1,0 +1,276 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"misar/internal/sim"
+)
+
+func newTestNet(w, h int) (*sim.Engine, *Network) {
+	e := sim.NewEngine()
+	n := New(e, DefaultConfig(w, h))
+	return e, n
+}
+
+func TestHops(t *testing.T) {
+	_, n := newTestNet(4, 4)
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 0},
+		{0, 3, 3},
+		{0, 15, 6},
+		{5, 6, 1},
+		{5, 9, 1},
+		{12, 3, 6},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	e, n := newTestNet(2, 2)
+	var at sim.Time
+	var got *Message
+	n.Attach(1, func(m *Message) { at, got = e.Now(), m })
+	for i := 0; i < 4; i++ {
+		if i != 1 {
+			n.Attach(i, func(*Message) { t.Error("stray delivery") })
+		}
+	}
+	e.At(10, func() { n.Send(&Message{Src: 1, Dst: 1, Bytes: 8, Payload: "x"}) })
+	e.Run()
+	if got == nil || got.Payload != "x" {
+		t.Fatal("message not delivered")
+	}
+	if at != 10+DefaultConfig(2, 2).LocalLatency {
+		t.Fatalf("local delivery at %d", at)
+	}
+}
+
+// Uncontended latency: hops*(router+link) + (flits-1) serialization.
+func TestUncontendedLatency(t *testing.T) {
+	e, n := newTestNet(4, 4)
+	cfg := DefaultConfig(4, 4)
+	var at sim.Time
+	n.Attach(15, func(m *Message) { at = e.Now() })
+	for i := 0; i < 15; i++ {
+		n.Attach(i, func(*Message) {})
+	}
+	e.At(0, func() { n.Send(&Message{Src: 0, Dst: 15, Bytes: 16}) })
+	e.Run()
+	hops := sim.Time(6)
+	want := hops*(cfg.RouterLatency+cfg.LinkLatency) + 0 // 1 flit
+	if at != want {
+		t.Fatalf("latency = %d, want %d", at, want)
+	}
+}
+
+func TestMultiFlitSerialization(t *testing.T) {
+	e, n := newTestNet(2, 1)
+	cfg := DefaultConfig(2, 1)
+	var at sim.Time
+	n.Attach(1, func(m *Message) { at = e.Now() })
+	n.Attach(0, func(*Message) {})
+	// 80 bytes = 5 flits at 16B/flit.
+	e.At(0, func() { n.Send(&Message{Src: 0, Dst: 1, Bytes: 80}) })
+	e.Run()
+	want := cfg.RouterLatency + cfg.LinkLatency + 4
+	if at != want {
+		t.Fatalf("latency = %d, want %d", at, want)
+	}
+}
+
+// Two messages on the same link must serialize: the second waits for the
+// first's flits to clear the link.
+func TestLinkContention(t *testing.T) {
+	e, n := newTestNet(2, 1)
+	cfg := DefaultConfig(2, 1)
+	var arrivals []sim.Time
+	n.Attach(1, func(m *Message) { arrivals = append(arrivals, e.Now()) })
+	n.Attach(0, func(*Message) {})
+	e.At(0, func() {
+		n.Send(&Message{Src: 0, Dst: 1, Bytes: 64}) // 4 flits
+		n.Send(&Message{Src: 0, Dst: 1, Bytes: 16}) // 1 flit
+	})
+	e.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d deliveries", len(arrivals))
+	}
+	perHop := cfg.RouterLatency + cfg.LinkLatency
+	if arrivals[0] != perHop+3 {
+		t.Errorf("first arrival %d, want %d", arrivals[0], perHop+3)
+	}
+	// Second message's head leaves at cycle 4 (after first's 4 flits).
+	if arrivals[1] != 4+perHop {
+		t.Errorf("second arrival %d, want %d", arrivals[1], 4+perHop)
+	}
+}
+
+func TestOppositeLinksIndependent(t *testing.T) {
+	e, n := newTestNet(2, 1)
+	var got0, got1 sim.Time
+	n.Attach(0, func(m *Message) { got0 = e.Now() })
+	n.Attach(1, func(m *Message) { got1 = e.Now() })
+	e.At(0, func() {
+		n.Send(&Message{Src: 0, Dst: 1, Bytes: 16})
+		n.Send(&Message{Src: 1, Dst: 0, Bytes: 16})
+	})
+	e.Run()
+	if got0 != got1 {
+		t.Fatalf("opposite-direction messages interfered: %d vs %d", got0, got1)
+	}
+}
+
+func TestXYRoutingDeterministicPath(t *testing.T) {
+	// In XY routing, 0->5 in a 2x4 mesh (w=2) goes east/west first then
+	// vertical; verify no panic and delivery happens for all pairs.
+	e, n := newTestNet(2, 4)
+	count := 0
+	for i := 0; i < 8; i++ {
+		n.Attach(i, func(*Message) { count++ })
+	}
+	e.At(0, func() {
+		for s := 0; s < 8; s++ {
+			for d := 0; d < 8; d++ {
+				n.Send(&Message{Src: s, Dst: d, Bytes: 8})
+			}
+		}
+	})
+	e.Run()
+	if count != 64 {
+		t.Fatalf("delivered %d, want 64", count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e, n := newTestNet(4, 4)
+	for i := 0; i < 16; i++ {
+		n.Attach(i, func(*Message) {})
+	}
+	e.At(0, func() {
+		n.Send(&Message{Src: 0, Dst: 15, Bytes: 32}) // 2 flits
+		n.Send(&Message{Src: 3, Dst: 3, Bytes: 8})   // local
+	})
+	e.Run()
+	s := n.Stats()
+	if s.Messages != 2 {
+		t.Errorf("Messages = %d", s.Messages)
+	}
+	if s.Flits != 3 {
+		t.Errorf("Flits = %d", s.Flits)
+	}
+	if s.AvgLatency() <= 0 {
+		t.Error("AvgLatency should be positive")
+	}
+	if s.MaxLatency < sim.Time(6*3) {
+		t.Errorf("MaxLatency = %d too small", s.MaxLatency)
+	}
+}
+
+func TestAttachTwicePanics(t *testing.T) {
+	_, n := newTestNet(2, 2)
+	n.Attach(0, func(*Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Attach did not panic")
+		}
+	}()
+	n.Attach(0, func(*Message) {})
+}
+
+func TestBadRoutePanics(t *testing.T) {
+	e, n := newTestNet(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad route did not panic")
+		}
+	}()
+	e.At(0, func() { n.Send(&Message{Src: 0, Dst: 99, Bytes: 8}) })
+	e.Run()
+}
+
+// Property: every message is delivered exactly once, to the right tile, and
+// latency is at least the uncontended minimum.
+func TestPropertyDeliveryAndMinLatency(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	f := func(pairs []uint16) bool {
+		e := sim.NewEngine()
+		n := New(e, cfg)
+		type rec struct {
+			dst int
+			lat sim.Time
+		}
+		var recs []rec
+		inject := make(map[*Message]sim.Time)
+		for i := 0; i < 16; i++ {
+			i := i
+			n.Attach(i, func(m *Message) {
+				recs = append(recs, rec{i, e.Now() - inject[m]})
+			})
+		}
+		var msgs []*Message
+		e.At(0, func() {
+			for _, p := range pairs {
+				src := int(p) % 16
+				dst := int(p>>4) % 16
+				m := &Message{Src: src, Dst: dst, Bytes: 8 + int(p%64)}
+				inject[m] = e.Now()
+				msgs = append(msgs, m)
+				n.Send(m)
+			}
+		})
+		e.Run()
+		if len(recs) != len(msgs) {
+			return false
+		}
+		for i, m := range msgs {
+			// With same-cycle injection and deterministic ordering,
+			// deliveries can reorder, so just check latency bound per
+			// message by recomputing min for its pair via any record.
+			_ = i
+			minLat := sim.Time(n.Hops(m.Src, m.Dst))*(cfg.RouterLatency+cfg.LinkLatency) + cfg.LocalLatency*boolToTime(m.Src == m.Dst)
+			found := false
+			for _, r := range recs {
+				if r.dst == m.Dst && r.lat >= minLat {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func boolToTime(b bool) sim.Time {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func BenchmarkMeshAllToAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		n := New(e, DefaultConfig(8, 8))
+		for t := 0; t < 64; t++ {
+			n.Attach(t, func(*Message) {})
+		}
+		e.At(0, func() {
+			for s := 0; s < 64; s++ {
+				n.Send(&Message{Src: s, Dst: (s * 7) % 64, Bytes: 16})
+			}
+		})
+		e.Run()
+	}
+}

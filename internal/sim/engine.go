@@ -1,0 +1,153 @@
+// Package sim provides the discrete-event simulation kernel that drives the
+// entire MiSAR model. The kernel maintains a priority queue of events keyed
+// by (time, sequence-number); all components — cores, caches, directories,
+// routers, and the MSA/OMU — schedule work by posting events. Determinism is
+// guaranteed because the kernel is single-threaded and ties on time are
+// broken by insertion order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulated clock in cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// When reports the cycle at which the event fires (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the event kernel. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an empty kernel at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (a progress metric).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past panics:
+// that is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event. It reports false when the
+// queue is empty (simulation quiesced) or the engine was stopped.
+func (e *Engine) Step() bool {
+	if e.stopped {
+		return false
+	}
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final simulated time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with firing time <= deadline. It reports whether
+// the queue drained (true) or the deadline was reached with work pending
+// (false). Reaching the deadline with pending events usually indicates a
+// deadlock or runaway workload in tests.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for {
+		if e.stopped {
+			return len(e.queue) == 0
+		}
+		// Peek: skip dead events at the head.
+		for len(e.queue) > 0 && e.queue[0].dead {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 {
+			return true
+		}
+		if e.queue[0].when > deadline {
+			return false
+		}
+		e.Step()
+	}
+}

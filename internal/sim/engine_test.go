@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if got := e.Run(); got != 0 {
+		t.Fatalf("empty run ended at %d, want 0", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same time: FIFO by seq
+	e.At(20, func() { order = append(order, 4) })
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		if order[i] != i {
+			t.Fatalf("same-cycle events not FIFO at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 105 {
+		t.Fatalf("After fired at %d, want 105", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.At(5, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	ev := e.At(1, func() { n++ })
+	e.Run()
+	ev.Cancel() // must be a no-op
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(1, func() { order = append(order, 1); e.Stop() })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 1 {
+		t.Fatalf("Stop did not halt: %v", order)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, t0 := range []Time{5, 10, 15, 20} {
+		t0 := t0
+		e.At(t0, func() { fired = append(fired, t0) })
+	}
+	if e.RunUntil(12) {
+		t.Fatal("RunUntil reported drained with events pending")
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events <= 12", fired)
+	}
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain")
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4", fired)
+	}
+}
+
+func TestEngineChainedEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			e.After(1, step)
+		}
+	}
+	e.At(0, step)
+	e.Run()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("Now = %d, want 999", e.Now())
+	}
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10", e.Fired())
+	}
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing time
+// order, and same-time events fire in insertion order.
+func TestEnginePropertyOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		type stamp struct {
+			t   Time
+			seq int
+		}
+		var fired []stamp
+		for i := 0; i < int(n); i++ {
+			i := i
+			tt := Time(rng.Intn(50))
+			e.At(tt, func() { fired = append(fired, stamp{tt, i}) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].t < fired[i-1].t {
+				return false
+			}
+			if fired[i].t == fired[i-1].t && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return len(fired) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events scheduled from within events still respect ordering.
+func TestEnginePropertyNestedScheduling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var last Time
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth <= 0 {
+				return
+			}
+			for i := 0; i < 2; i++ {
+				d := Time(rng.Intn(10))
+				e.After(d, func() { spawn(depth - 1) })
+			}
+		}
+		e.At(0, func() { spawn(6) })
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%37), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,208 @@
+// Package stats provides the small numeric and presentation helpers the
+// experiment harness uses: geometric means, histograms, and fixed-width
+// text tables that mirror the paper's figures as rows and columns.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (ignoring non-positive values,
+// which would otherwise poison the product).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a simple power-of-two bucketed latency histogram.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	b := 0
+	for x := v; x > 1; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge accumulates another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean sample value.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100]),
+// using bucket upper edges.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(float64(h.count) * p / 100))
+	var seen uint64
+	for b, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return 1 << uint(b+1)
+		}
+	}
+	return h.max
+}
+
+// Table is an ordered grid of labelled rows for figure output.
+type Table struct {
+	Title string
+	Cols  []string
+	rows  []row
+}
+
+type row struct {
+	label string
+	cells []string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row of float cells formatted with %.2f.
+func (t *Table) AddRow(label string, cells ...float64) {
+	cs := make([]string, len(cells))
+	for i, c := range cells {
+		cs[i] = fmt.Sprintf("%.2f", c)
+	}
+	t.rows = append(t.rows, row{label: label, cells: cs})
+}
+
+// AddRowInts appends a row of integer cells.
+func (t *Table) AddRowInts(label string, cells ...int64) {
+	cs := make([]string, len(cells))
+	for i, c := range cells {
+		cs[i] = fmt.Sprintf("%d", c)
+	}
+	t.rows = append(t.rows, row{label: label, cells: cs})
+}
+
+// AddRowStrings appends a row of preformatted cells.
+func (t *Table) AddRowStrings(label string, cells ...string) {
+	t.rows = append(t.rows, row{label: label, cells: cells})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the raw cell text at (row, col).
+func (t *Table) Cell(r, c int) string { return t.rows[r].cells[c] }
+
+// RowLabel returns row r's label.
+func (t *Table) RowLabel(r int) string { return t.rows[r].label }
+
+// Lookup finds a row by label.
+func (t *Table) Lookup(label string) (cells []string, ok bool) {
+	for _, r := range t.rows {
+		if r.label == label {
+			return r.cells, true
+		}
+	}
+	return nil, false
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = len(t.Title)
+	for i, c := range t.Cols {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.rows {
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+		for i, c := range r.cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	line := func(label string, cells []string) {
+		fmt.Fprintf(w, "%-*s", widths[0], label)
+		for i, c := range cells {
+			wd := 8
+			if i+1 < len(widths) {
+				wd = widths[i+1]
+			}
+			fmt.Fprintf(w, "  %*s", wd, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Title, t.Cols)
+	total := widths[0]
+	for _, wd := range widths[1:] {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		line(r.label, r.cells)
+	}
+}
+
+// SortRows orders rows by label (used by tests for stable comparison).
+func (t *Table) SortRows() {
+	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i].label < t.rows[j].label })
+}

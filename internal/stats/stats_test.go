@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{4}, 4},
+		{nil, 0},
+		{[]float64{0, -1}, 0},   // non-positive ignored; nothing left
+		{[]float64{2, 0, 8}, 4}, // zero skipped
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestPropertyGeomeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var pos []float64
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			x = math.Abs(x)
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 && x > 1e-100 {
+				pos = append(pos, x)
+				if x < min {
+					min = x
+				}
+				if x > max {
+					max = x
+				}
+			}
+		}
+		g := Geomean(pos)
+		if len(pos) == 0 {
+			return g == 0
+		}
+		return g >= min*(1-1e-9) && g <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 4, 8, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-1115.0/6) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	if p := h.Percentile(50); p < 4 || p > 16 {
+		t.Errorf("P50 = %d", p)
+	}
+	if p := h.Percentile(100); p < 1000 {
+		t.Errorf("P100 = %d", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestTableRenderAndLookup(t *testing.T) {
+	tab := NewTable("demo", "A", "B")
+	tab.AddRow("x", 1.5, 2.25)
+	tab.AddRowInts("y", 10, 20)
+	tab.AddRowStrings("z", "yes", "no")
+	if tab.Rows() != 3 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+	if tab.Cell(0, 1) != "2.25" || tab.Cell(1, 0) != "10" || tab.Cell(2, 1) != "no" {
+		t.Fatal("cell contents wrong")
+	}
+	if tab.RowLabel(2) != "z" {
+		t.Fatal("label wrong")
+	}
+	cells, ok := tab.Lookup("y")
+	if !ok || cells[1] != "20" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := tab.Lookup("nope"); ok {
+		t.Fatal("phantom row")
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "A", "B", "1.50", "yes", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tab := NewTable("t", "v")
+	tab.AddRow("b", 2)
+	tab.AddRow("a", 1)
+	tab.SortRows()
+	if tab.RowLabel(0) != "a" {
+		t.Fatal("not sorted")
+	}
+}

@@ -1,0 +1,74 @@
+package syncrt
+
+import (
+	"fmt"
+
+	"misar/internal/memory"
+)
+
+// Arena hands out non-overlapping, line-aligned simulated addresses for
+// synchronization variables and their auxiliary state. Workloads create one
+// arena and allocate everything from it, which guarantees no false sharing
+// between synchronization variables (real tuned code pads its locks the
+// same way) and keeps address 0 unused (MCS encodes nil as 0).
+type Arena struct {
+	next memory.Addr
+}
+
+// NewArena starts allocating at base (must be line-aligned and nonzero).
+func NewArena(base memory.Addr) *Arena {
+	if base == 0 || base%memory.LineSize != 0 {
+		panic(fmt.Sprintf("syncrt: arena base %#x must be nonzero and line-aligned", base))
+	}
+	return &Arena{next: base}
+}
+
+// lines reserves n whole cache lines and returns the first address.
+func (a *Arena) lines(n int) memory.Addr {
+	p := a.next
+	a.next += memory.Addr(n * memory.LineSize)
+	return p
+}
+
+// Mutex allocates a lock variable on its own line.
+func (a *Arena) Mutex() Mutex { return Mutex{Addr: a.lines(1)} }
+
+// MutexArray allocates n locks on consecutive lines (the natural layout of
+// a program's lock array, which also spreads them evenly across home tiles).
+func (a *Arena) MutexArray(n int) []Mutex {
+	ms := make([]Mutex, n)
+	for i := range ms {
+		ms[i] = Mutex{Addr: a.lines(1)}
+	}
+	return ms
+}
+
+// DataArray allocates n scratch lines and returns their base addresses.
+func (a *Arena) DataArray(n int) []memory.Addr {
+	ds := make([]memory.Addr, n)
+	for i := range ds {
+		ds[i] = a.lines(1)
+	}
+	return ds
+}
+
+// Cond allocates a condition variable on its own line.
+func (a *Arena) Cond() Cond { return Cond{Addr: a.lines(1)} }
+
+// Barrier allocates a barrier for goal participants, including the
+// tournament flag arena ((rounds+1) * goal lines).
+func (a *Arena) Barrier(goal int) Barrier {
+	if goal < 1 {
+		panic("syncrt: barrier goal must be >= 1")
+	}
+	b := Barrier{Addr: a.lines(1), Goal: goal}
+	rounds := tourRounds(goal)
+	b.flagBase = a.lines((rounds + 1) * goal)
+	return b
+}
+
+// QNode allocates one thread's private MCS queue node line.
+func (a *Arena) QNode() memory.Addr { return a.lines(1) }
+
+// Data allocates n whole lines of scratch data for workload use.
+func (a *Arena) Data(n int) memory.Addr { return a.lines(n) }

@@ -1,0 +1,113 @@
+package syncrt
+
+import (
+	"misar/internal/isa"
+)
+
+// No-spurious-wakeup condition variables (paper §4.3.2). The paper notes
+// that software condition variables can be implemented so that a waiter
+// returns only when a signal or broadcast genuinely addressed it, using
+// timestamps of the last broadcast and the signal budget — and that the
+// hardware COND_WAIT composes with such semantics if the library reads the
+// timestamps before waiting and re-checks them when the instruction is
+// ABORTed (re-waiting if nothing actually happened).
+//
+// Memory layout (one line):
+//
+//	c+0  broadcast sequence number
+//	c+8  undelivered signal budget
+//	c+16 waiter count (signals sent with no waiters are wasted, per POSIX)
+//
+// All mutations happen while holding the associated mutex (callers follow
+// the POSIX discipline), except the waiter's polling loop, which consumes a
+// signal with an atomic CAS.
+
+const (
+	offBcast   = 0
+	offSignals = 8
+	offWaiters = 16
+)
+
+func (t *T) swCondWaitNS(c Cond, m Mutex) {
+	t.E.Compute(condCallOverhead)
+	g := t.E.Load(c.Addr + offBcast)
+	t.E.FetchAdd(c.Addr+offWaiters, 1)
+	t.Unlock(m)
+	for !t.condNSWakeup(c, g) {
+		t.E.Compute(condPollCycles)
+	}
+	t.E.FetchAdd(c.Addr+offWaiters, ^uint64(0)) // -1
+	t.Lock(m)
+}
+
+// condNSWakeup reports whether a broadcast happened since generation g or a
+// pending signal could be consumed.
+func (t *T) condNSWakeup(c Cond, g uint64) bool {
+	if t.E.Load(c.Addr+offBcast) != g {
+		return true
+	}
+	for {
+		s := t.E.Load(c.Addr + offSignals)
+		if s == 0 {
+			return false
+		}
+		if t.E.CAS(c.Addr+offSignals, s, s-1) {
+			return true
+		}
+	}
+}
+
+func (t *T) swCondSignalNS(c Cond) {
+	t.E.Compute(condCallOverhead / 2)
+	if t.E.Load(c.Addr+offWaiters) > 0 {
+		t.E.FetchAdd(c.Addr+offSignals, 1)
+	}
+	// No waiters: the signal is wasted (POSIX semantics).
+}
+
+func (t *T) swCondBcastNS(c Cond) {
+	t.E.Compute(condCallOverhead / 2)
+	t.E.FetchAdd(c.Addr+offBcast, 1)
+	t.E.Store(c.Addr+offSignals, 0) // broadcast supersedes pending signals
+}
+
+// condWaitNS is the hardware-first wait under no-spurious semantics: read
+// the generation before waiting; on ABORT re-acquire the lock and re-check —
+// if neither a broadcast nor a consumable signal arrived, go back to
+// waiting instead of returning (this is exactly the paper's §4.3.2 recipe).
+func (t *T) condWaitNS(c Cond, m Mutex) {
+	for {
+		g := t.E.Load(c.Addr + offBcast)
+		switch t.E.Sync(isa.OpCondWait, c.Addr, 0, m.Addr) {
+		case isa.Success:
+			return
+		case isa.Abort:
+			t.Lock(m)
+			t.E.Sync(isa.OpFinish, c.Addr, 0, 0)
+			if t.condNSWakeup(c, g) {
+				return
+			}
+			// Nothing happened: wait again (we hold the lock).
+			continue
+		}
+		t.swCondWaitNS(c, m)
+		t.E.Sync(isa.OpFinish, c.Addr, 0, 0)
+		return
+	}
+}
+
+// condSignalNS / condBcastNS: hardware first; software path updates the
+// timestamp words.
+func (t *T) condSignalNS(c Cond) {
+	if t.E.Sync(isa.OpCondSignal, c.Addr, 0, 0) == isa.Success {
+		return
+	}
+	t.swCondSignalNS(c)
+}
+
+func (t *T) condBcastNS(c Cond) {
+	if t.E.Sync(isa.OpCondBcast, c.Addr, 0, 0) == isa.Success {
+		return
+	}
+	t.swCondBcastNS(c)
+}

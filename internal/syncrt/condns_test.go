@@ -1,0 +1,192 @@
+package syncrt_test
+
+import (
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/syncrt"
+)
+
+func nsLib(useHW bool) *syncrt.Lib {
+	return &syncrt.Lib{
+		UseHW:   useHW,
+		Lock:    syncrt.LockTTS,
+		Barrier: syncrt.BarrierCentral,
+		Cond:    syncrt.CondNoSpurious,
+	}
+}
+
+// TestCondNSExactWakeups: with no-spurious semantics, the number of waiter
+// returns equals the number of delivered signals — waiters never observe a
+// wakeup that wasn't addressed to them.
+func TestCondNSExactWakeups(t *testing.T) {
+	for _, useHW := range []bool{false, true} {
+		useHW := useHW
+		name := "software"
+		if useHW {
+			name = "hardware"
+		}
+		t.Run(name, func(t *testing.T) {
+			const tiles = 6
+			const signals = 10
+			cfg := machine.MSAOMU(tiles, 2)
+			if !useHW {
+				cfg.CPU.Mode = cpu.ModeAlwaysFail
+			}
+			m := machine.New(cfg)
+			arena := syncrt.NewArena(0x100000)
+			lib := nsLib(useHW)
+			lock := arena.Mutex()
+			cond := arena.Cond()
+			delivered := arena.Data(1)
+			woken := arena.Data(1)
+			qnodes := make([]memory.Addr, tiles)
+			for i := range qnodes {
+				qnodes[i] = arena.QNode()
+			}
+			m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+				rt := lib.Bind(e, qnodes[tid])
+				if tid == 0 {
+					for i := 0; i < signals; i++ {
+						e.Compute(3000) // let a waiter block
+						rt.Lock(lock)
+						e.Store(delivered, e.Load(delivered)+1)
+						rt.CondSignal(cond)
+						rt.Unlock(lock)
+						// Wait for consumption before the next signal.
+						for e.Load(woken) < e.Load(delivered) {
+							e.Compute(300)
+						}
+					}
+					// Release everyone still waiting.
+					rt.Lock(lock)
+					e.Store(delivered, 1<<32)
+					rt.CondBroadcast(cond)
+					rt.Unlock(lock)
+					return
+				}
+				for {
+					rt.Lock(lock)
+					for e.Load(woken) >= e.Load(delivered) {
+						rt.CondWait(cond, lock)
+					}
+					if e.Load(delivered) >= 1<<32 {
+						rt.Unlock(lock)
+						return
+					}
+					e.Store(woken, e.Load(woken)+1)
+					rt.Unlock(lock)
+				}
+			})
+			if _, err := m.Run(deadline); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Store.Load(woken); got != signals {
+				t.Fatalf("woken = %d, want %d", got, signals)
+			}
+		})
+	}
+}
+
+// TestCondNSSuspensionNoSpurious: suspending a hardware cond waiter ABORTs
+// it; under no-spurious semantics the library must put it back to waiting
+// rather than return, and a later signal must still wake it exactly once.
+func TestCondNSSuspensionNoSpurious(t *testing.T) {
+	m := machine.New(machine.MSAOMU(4, 2))
+	arena := syncrt.NewArena(0x100000)
+	lib := nsLib(true)
+	lock := arena.Mutex()
+	cond := arena.Cond()
+	ready := arena.Data(1)
+	spurious := arena.Data(1)
+	woken := arena.Data(1)
+	qn := []memory.Addr{arena.QNode(), arena.QNode()}
+
+	waiter := m.Complex.Spawn(0, func(e cpu.Env) {
+		rt := lib.Bind(e, qn[0])
+		rt.Lock(lock)
+		for e.Load(ready) == 0 {
+			rt.CondWait(cond, lock)
+			if e.Load(ready) == 0 {
+				// A no-spurious CondWait must never return here.
+				e.Store(spurious, e.Load(spurious)+1)
+			}
+		}
+		e.Store(woken, e.Load(woken)+1)
+		rt.Unlock(lock)
+	})
+	signaler := m.Complex.Spawn(1, func(e cpu.Env) {
+		rt := lib.Bind(e, qn[1])
+		e.Compute(40_000) // well after the suspension episode
+		rt.Lock(lock)
+		e.Store(ready, 1)
+		rt.CondSignal(cond)
+		rt.Unlock(lock)
+	})
+	m.Complex.Start(waiter, 0, 0)
+	m.Complex.Start(signaler, 1, 0)
+	// Suspend the waiter mid-wait (forces an MSA ABORT), resume shortly.
+	m.Engine.At(5_000, func() {
+		m.Complex.Suspend(waiter, func() {
+			m.Engine.After(2_000, func() { m.Complex.Resume(waiter, 0) })
+		})
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(spurious); got != 0 {
+		t.Fatalf("observed %d spurious wakeups under CondNoSpurious", got)
+	}
+	if got := m.Store.Load(woken); got != 1 {
+		t.Fatalf("woken = %d, want 1", got)
+	}
+	if m.MSAStats().Aborts == 0 {
+		t.Fatal("suspension did not exercise the ABORT path")
+	}
+}
+
+// Mesa semantics, by contrast, may return spuriously after the same
+// suspension — the predicate loop absorbs it. This pins the behavioural
+// difference between the two CondKinds.
+func TestCondMesaAbsorbsSpuriousViaPredicateLoop(t *testing.T) {
+	m := machine.New(machine.MSAOMU(4, 2))
+	arena := syncrt.NewArena(0x100000)
+	lib := syncrt.HWLib() // Mesa
+	lock := arena.Mutex()
+	cond := arena.Cond()
+	ready := arena.Data(1)
+	woken := arena.Data(1)
+	qn := []memory.Addr{arena.QNode(), arena.QNode()}
+	waiter := m.Complex.Spawn(0, func(e cpu.Env) {
+		rt := lib.Bind(e, qn[0])
+		rt.Lock(lock)
+		for e.Load(ready) == 0 {
+			rt.CondWait(cond, lock)
+		}
+		e.Store(woken, 1)
+		rt.Unlock(lock)
+	})
+	signaler := m.Complex.Spawn(1, func(e cpu.Env) {
+		rt := lib.Bind(e, qn[1])
+		e.Compute(40_000)
+		rt.Lock(lock)
+		e.Store(ready, 1)
+		rt.CondSignal(cond)
+		rt.Unlock(lock)
+	})
+	m.Complex.Start(waiter, 0, 0)
+	m.Complex.Start(signaler, 1, 0)
+	m.Engine.At(5_000, func() {
+		m.Complex.Suspend(waiter, func() {
+			m.Engine.After(2_000, func() { m.Complex.Resume(waiter, 0) })
+		})
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if m.Store.Load(woken) != 1 {
+		t.Fatal("waiter never completed")
+	}
+}

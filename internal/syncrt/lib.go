@@ -1,0 +1,242 @@
+// Package syncrt is the synchronization runtime library the workloads link
+// against. It implements the paper's modified algorithms (Algorithms 1-3):
+// try the hardware instruction first, fall back to a software implementation
+// on FAIL/ABORT, and notify the OMU with FINISH where required. It also
+// provides the pure-software baselines the evaluation compares: a
+// pthread-style test-and-test-and-set mutex with bounded exponential
+// backoff, a raw spinlock, a ticket lock, an MCS queue lock, a centralized
+// sense-reversing barrier, a tournament barrier, and Mesa-semantics
+// condition variables. All software paths execute real loads, stores, and
+// atomics through the simulated cache hierarchy, so their cost emerges from
+// the coherence and network models.
+package syncrt
+
+import (
+	"fmt"
+
+	"misar/internal/cpu"
+	"misar/internal/isa"
+	"misar/internal/memory"
+)
+
+// LockKind selects a software lock implementation.
+type LockKind uint8
+
+const (
+	// LockTTS is the pthread-style test-and-test-and-set lock with bounded
+	// exponential backoff (the paper's software baseline and HW fallback).
+	LockTTS LockKind = iota
+	// LockSpin is a raw test-and-set spinlock (Fig. 5's "spinlock").
+	LockSpin
+	// LockTicket is a FIFO ticket lock.
+	LockTicket
+	// LockMCS is the MCS queue lock (the paper's "MCS" advanced baseline).
+	LockMCS
+)
+
+// CondKind selects the condition-variable semantics.
+type CondKind uint8
+
+const (
+	// CondMesa allows spurious wakeups (POSIX default; waiters re-check
+	// their predicate in a loop).
+	CondMesa CondKind = iota
+	// CondNoSpurious implements the paper's §4.3.2 timestamp scheme: a
+	// waiter returns only for a genuine signal or broadcast, re-waiting
+	// after hardware ABORTs.
+	CondNoSpurious
+)
+
+// BarrierKind selects a software barrier implementation.
+type BarrierKind uint8
+
+const (
+	// BarrierCentral is a centralized sense-reversing barrier (pthread-like).
+	BarrierCentral BarrierKind = iota
+	// BarrierTournament is the MCS tournament barrier ("Tour" baseline).
+	BarrierTournament
+)
+
+// Lib is a library configuration: whether the hardware instructions are
+// attempted first, and which software implementations serve as primary
+// (when UseHW is false) or fallback (when UseHW is true).
+type Lib struct {
+	UseHW   bool
+	Lock    LockKind
+	Barrier BarrierKind
+	Cond    CondKind
+}
+
+// PthreadLib is the paper's software baseline: pthread-style everything.
+func PthreadLib() *Lib { return &Lib{Lock: LockTTS, Barrier: BarrierCentral} }
+
+// SpinLib swaps the mutex for a raw spinlock (Fig. 5).
+func SpinLib() *Lib { return &Lib{Lock: LockSpin, Barrier: BarrierCentral} }
+
+// MCSTourLib is the advanced software baseline: MCS locks and tournament
+// barriers (the paper's "MCS-Tour").
+func MCSTourLib() *Lib { return &Lib{Lock: LockMCS, Barrier: BarrierTournament} }
+
+// HWLib is the paper's modified library (Algorithms 1-3): hardware first,
+// pthread-style software fallback.
+func HWLib() *Lib { return &Lib{UseHW: true, Lock: LockTTS, Barrier: BarrierCentral} }
+
+// Mutex, Cond and Barrier are synchronization variables. They are plain
+// descriptors — all state lives in simulated memory (and the MSA).
+type Mutex struct{ Addr memory.Addr }
+
+type Cond struct{ Addr memory.Addr }
+
+type Barrier struct {
+	Addr     memory.Addr
+	Goal     int
+	flagBase memory.Addr // tournament flag arena
+}
+
+// T is a per-thread binding of the library: it carries the thread-local
+// software synchronization state (backoff PRNG, barrier generations, MCS
+// queue node).
+type T struct {
+	E   cpu.Env
+	lib *Lib
+
+	rngState uint64
+	gen      map[memory.Addr]uint64 // per-barrier/cond generation
+	qnode    memory.Addr            // this thread's MCS queue node
+}
+
+// Bind creates the per-thread library handle. qnodeArena must give each
+// thread a private cache line for its MCS node; use Arena.QNode.
+func (l *Lib) Bind(e cpu.Env, qnode memory.Addr) *T {
+	return &T{
+		E:        e,
+		lib:      l,
+		rngState: uint64(e.ThreadID())*0x9E3779B97F4A7C15 + 0x1234567,
+		gen:      make(map[memory.Addr]uint64),
+		qnode:    qnode,
+	}
+}
+
+// nextRand is a tiny deterministic xorshift for backoff jitter.
+func (t *T) nextRand() uint64 {
+	x := t.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.rngState = x
+	return x
+}
+
+// --- Algorithm 1: Lock / Unlock ---
+
+// Lock acquires m, trying the hardware LOCK instruction first.
+func (t *T) Lock(m Mutex) {
+	if t.lib.UseHW {
+		res := t.E.Sync(isa.OpLock, m.Addr, 0, 0)
+		if res == isa.Success {
+			return
+		}
+		// FAIL or ABORT: fall back to the software lock.
+	}
+	t.swLock(m.Addr)
+}
+
+// Unlock releases m, trying the hardware UNLOCK instruction first.
+func (t *T) Unlock(m Mutex) {
+	if t.lib.UseHW {
+		if t.E.Sync(isa.OpUnlock, m.Addr, 0, 0) == isa.Success {
+			return
+		}
+	}
+	t.swUnlock(m.Addr)
+}
+
+// --- Algorithm 2: Barrier ---
+
+// Wait blocks until all b.Goal participants arrive.
+func (t *T) Wait(b Barrier) {
+	if t.lib.UseHW {
+		res := t.E.Sync(isa.OpBarrier, b.Addr, b.Goal, 0)
+		if res == isa.Success {
+			return
+		}
+		t.swBarrier(b)
+		// Notify the OMU that this thread has left the software barrier.
+		t.E.Sync(isa.OpFinish, b.Addr, 0, 0)
+		return
+	}
+	t.swBarrier(b)
+}
+
+// --- Algorithm 3: Condition variables ---
+
+// CondWait atomically releases m and waits on c, re-acquiring m before
+// returning. Under the default Mesa semantics spurious wakeups are possible
+// (callers must re-check their predicate in a loop); under CondNoSpurious
+// the wait returns only for a genuine signal or broadcast.
+func (t *T) CondWait(c Cond, m Mutex) {
+	if t.lib.Cond == CondNoSpurious {
+		if t.lib.UseHW {
+			t.condWaitNS(c, m)
+			return
+		}
+		t.swCondWaitNS(c, m)
+		return
+	}
+	if t.lib.UseHW {
+		switch t.E.Sync(isa.OpCondWait, c.Addr, 0, m.Addr) {
+		case isa.Success:
+			return // woken and lock re-acquired by the MSA
+		case isa.Abort:
+			// Suspension/teardown: re-acquire the lock (spurious wakeup)
+			// and tell the OMU we are out.
+			t.Lock(m)
+			t.E.Sync(isa.OpFinish, c.Addr, 0, 0)
+			return
+		}
+		t.swCondWait(c, m)
+		t.E.Sync(isa.OpFinish, c.Addr, 0, 0)
+		return
+	}
+	t.swCondWait(c, m)
+}
+
+// CondSignal wakes at least one waiter of c, if any.
+func (t *T) CondSignal(c Cond) {
+	if t.lib.Cond == CondNoSpurious {
+		if t.lib.UseHW {
+			t.condSignalNS(c)
+			return
+		}
+		t.swCondSignalNS(c)
+		return
+	}
+	if t.lib.UseHW {
+		if t.E.Sync(isa.OpCondSignal, c.Addr, 0, 0) == isa.Success {
+			return
+		}
+	}
+	t.swCondBump(c)
+}
+
+// CondBroadcast wakes all waiters of c.
+func (t *T) CondBroadcast(c Cond) {
+	if t.lib.Cond == CondNoSpurious {
+		if t.lib.UseHW {
+			t.condBcastNS(c)
+			return
+		}
+		t.swCondBcastNS(c)
+		return
+	}
+	if t.lib.UseHW {
+		if t.E.Sync(isa.OpCondBcast, c.Addr, 0, 0) == isa.Success {
+			return
+		}
+	}
+	t.swCondBump(c)
+}
+
+func (t *T) String() string {
+	return fmt.Sprintf("T(%d)", t.E.ThreadID())
+}

@@ -1,0 +1,110 @@
+package syncrt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"misar/internal/memory"
+)
+
+// Software barriers. Both implementations are generation-counted so a
+// barrier object can be reused indefinitely without sense-flip races.
+//
+//   central    : arrival count at Addr, release generation at Addr+8
+//                (same line — the classic pthread-style contended barrier)
+//   tournament : per-(round,thread) arrival flags and per-thread release
+//                flags, each on a private cache line in the flag arena, so
+//                all spinning is local (MCS & Scott's tournament barrier)
+
+const barrierPollCycles = 24 // polling interval while waiting for release
+
+// barrierCallOverhead is the library-call cost of entering a software
+// barrier (function call, participant bookkeeping).
+const barrierCallOverhead = 25
+
+func (t *T) swBarrier(b Barrier) {
+	t.E.Compute(barrierCallOverhead)
+	switch t.lib.Barrier {
+	case BarrierCentral:
+		t.centralBarrier(b)
+	case BarrierTournament:
+		t.tournamentBarrier(b)
+	default:
+		panic(fmt.Sprintf("syncrt: unknown barrier kind %d", t.lib.Barrier))
+	}
+}
+
+// generation returns this thread's next generation number for barrier b.
+func (t *T) generation(a memory.Addr) uint64 {
+	g := t.gen[a] + 1
+	t.gen[a] = g
+	return g
+}
+
+func (t *T) centralBarrier(b Barrier) {
+	g := t.generation(b.Addr)
+	arrived := t.E.FetchAdd(b.Addr, 1) + 1
+	if int(arrived) == b.Goal {
+		t.E.Store(b.Addr, 0)   // reset count for next episode
+		t.E.Store(b.Addr+8, g) // publish release generation
+		return
+	}
+	for t.E.Load(b.Addr+8) < g {
+		t.E.Compute(barrierPollCycles)
+	}
+}
+
+// Tournament flag addressing within the barrier's arena.
+func tourArrive(b Barrier, round, tid int) memory.Addr {
+	return b.flagBase + memory.Addr((round*b.Goal+tid)*memory.LineSize)
+}
+
+func tourRelease(b Barrier, rounds, tid int) memory.Addr {
+	return b.flagBase + memory.Addr((rounds*b.Goal+tid)*memory.LineSize)
+}
+
+// tourRounds returns ceil(log2(goal)).
+func tourRounds(goal int) int {
+	if goal <= 1 {
+		return 0
+	}
+	return bits.Len(uint(goal - 1))
+}
+
+func (t *T) tournamentBarrier(b Barrier) {
+	if b.flagBase == 0 {
+		panic("syncrt: tournament barrier requires an arena (use Arena.Barrier)")
+	}
+	i := t.E.ThreadID() % b.Goal
+	g := t.generation(b.Addr)
+	rounds := tourRounds(b.Goal)
+
+	wonUpTo := 0 // rounds this thread won (it must release those losers)
+	for k := 0; k < rounds; k++ {
+		if i%(1<<(k+1)) == 0 {
+			// Winner (or bye): wait for this round's loser, if it exists.
+			partner := i + 1<<k
+			if partner < b.Goal {
+				for t.E.Load(tourArrive(b, k, partner)) < g {
+					t.E.Compute(pauseCycles)
+				}
+			}
+			wonUpTo = k + 1
+			continue
+		}
+		// Loser: notify the winner, then wait for release.
+		t.E.Store(tourArrive(b, k, i), g)
+		for t.E.Load(tourRelease(b, rounds, i)) < g {
+			t.E.Compute(barrierPollCycles)
+		}
+		break
+	}
+	// Release phase: wake the losers of every round this thread won,
+	// top-down (the champion starts the cascade).
+	for k := wonUpTo - 1; k >= 0; k-- {
+		partner := i + 1<<k
+		if partner < b.Goal {
+			t.E.Store(tourRelease(b, rounds, partner), g)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package syncrt_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/syncrt"
+)
+
+const deadline = sim.Time(500_000_000)
+
+// swMachine returns a machine where hardware sync always fails, so only the
+// software implementations run.
+func swMachine(tiles int) *machine.Machine {
+	cfg := machine.Default(tiles)
+	cfg.CPU.Mode = cpu.ModeAlwaysFail
+	return machine.New(cfg)
+}
+
+func allLockKinds() []*syncrt.Lib {
+	return []*syncrt.Lib{
+		{Lock: syncrt.LockTTS, Barrier: syncrt.BarrierCentral},
+		{Lock: syncrt.LockSpin, Barrier: syncrt.BarrierCentral},
+		{Lock: syncrt.LockTicket, Barrier: syncrt.BarrierCentral},
+		{Lock: syncrt.LockMCS, Barrier: syncrt.BarrierTournament},
+	}
+}
+
+// TestSoftwareLockMutualExclusion checks every software lock under real
+// contention on the simulated memory system.
+func TestSoftwareLockMutualExclusion(t *testing.T) {
+	const tiles, iters = 8, 15
+	for _, lib := range allLockKinds() {
+		lib := lib
+		t.Run(kindName(lib.Lock), func(t *testing.T) {
+			m := swMachine(tiles)
+			arena := syncrt.NewArena(0x100000)
+			lock := arena.Mutex()
+			counter := arena.Data(1)
+			qnodes := make([]memory.Addr, tiles)
+			for i := range qnodes {
+				qnodes[i] = arena.QNode()
+			}
+			m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+				rt := lib.Bind(e, qnodes[tid])
+				for i := 0; i < iters; i++ {
+					rt.Lock(lock)
+					v := e.Load(counter)
+					e.Compute(7)
+					e.Store(counter, v+1)
+					rt.Unlock(lock)
+					e.Compute(uint64(11 + tid))
+				}
+			})
+			if _, err := m.Run(deadline); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Store.Load(counter); got != tiles*iters {
+				t.Fatalf("counter = %d, want %d", got, tiles*iters)
+			}
+		})
+	}
+}
+
+func kindName(k syncrt.LockKind) string {
+	return [...]string{"tts", "spin", "ticket", "mcs"}[k]
+}
+
+// TestTicketLockFIFO: the ticket lock must grant in arrival order.
+func TestTicketLockFIFO(t *testing.T) {
+	const tiles = 6
+	m := swMachine(tiles)
+	arena := syncrt.NewArena(0x100000)
+	lib := &syncrt.Lib{Lock: syncrt.LockTicket, Barrier: syncrt.BarrierCentral}
+	lock := arena.Mutex()
+	var order []int
+	qnodes := make([]memory.Addr, tiles)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+	m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+		rt := lib.Bind(e, qnodes[tid])
+		// Stagger arrivals far enough apart that ticket order == tid order.
+		e.Compute(uint64(2000 * (tid + 1)))
+		rt.Lock(lock)
+		order = append(order, tid)
+		e.Compute(30000) // hold long enough that everyone queues
+		rt.Unlock(lock)
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	for i, tid := range order {
+		if tid != i {
+			t.Fatalf("ticket order = %v, want FIFO", order)
+		}
+	}
+}
+
+// TestBarriersAllKinds: both software barriers must provide the separation
+// property over many reuses.
+func TestBarriersAllKinds(t *testing.T) {
+	for _, kind := range []syncrt.BarrierKind{syncrt.BarrierCentral, syncrt.BarrierTournament} {
+		kind := kind
+		name := "central"
+		if kind == syncrt.BarrierTournament {
+			name = "tournament"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Include non-power-of-two participant counts.
+			for _, tiles := range []int{2, 3, 5, 8, 13} {
+				m := swMachine(tiles)
+				arena := syncrt.NewArena(0x100000)
+				lib := &syncrt.Lib{Lock: syncrt.LockTTS, Barrier: kind}
+				bar := arena.Barrier(tiles)
+				cells := arena.DataArray(tiles)
+				qnodes := make([]memory.Addr, tiles)
+				for i := range qnodes {
+					qnodes[i] = arena.QNode()
+				}
+				violations := 0
+				const phases = 8
+				m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+					rt := lib.Bind(e, qnodes[tid])
+					for p := 1; p <= phases; p++ {
+						e.Compute(jitterish(tid, p))
+						e.Store(cells[tid], uint64(p))
+						rt.Wait(bar)
+						for j := 0; j < tiles; j++ {
+							if e.Load(cells[j]) < uint64(p) {
+								violations++
+							}
+						}
+						rt.Wait(bar)
+					}
+				})
+				if _, err := m.Run(deadline); err != nil {
+					t.Fatalf("%d tiles: %v", tiles, err)
+				}
+				if violations != 0 {
+					t.Fatalf("%d tiles: %d separation violations", tiles, violations)
+				}
+			}
+		})
+	}
+}
+
+func jitterish(tid, p int) uint64 {
+	return uint64((tid*131 + p*17) % 97)
+}
+
+// TestCondVarSoftware: Mesa-semantics wait/signal with predicate loops.
+func TestCondVarSoftware(t *testing.T) {
+	const tiles = 4
+	m := swMachine(tiles)
+	arena := syncrt.NewArena(0x100000)
+	lib := syncrt.PthreadLib()
+	lock := arena.Mutex()
+	cond := arena.Cond()
+	flag := arena.Data(1)
+	reached := arena.Data(1)
+	qnodes := make([]memory.Addr, tiles)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+	m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+		rt := lib.Bind(e, qnodes[tid])
+		if tid == 0 {
+			e.Compute(5000)
+			rt.Lock(lock)
+			e.Store(flag, 1)
+			rt.CondBroadcast(cond)
+			rt.Unlock(lock)
+			return
+		}
+		rt.Lock(lock)
+		for e.Load(flag) == 0 {
+			rt.CondWait(cond, lock)
+		}
+		e.Store(reached, e.Load(reached)+1)
+		rt.Unlock(lock)
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(reached); got != tiles-1 {
+		t.Fatalf("reached = %d, want %d", got, tiles-1)
+	}
+}
+
+func TestArenaAllocationDisjoint(t *testing.T) {
+	a := syncrt.NewArena(0x40000)
+	seen := map[memory.Addr]bool{}
+	record := func(addr memory.Addr) {
+		line := memory.LineOf(addr)
+		if seen[line] {
+			t.Fatalf("line %#x allocated twice", line)
+		}
+		if addr%memory.LineSize != 0 {
+			t.Fatalf("addr %#x not line aligned", addr)
+		}
+		seen[line] = true
+	}
+	record(a.Mutex().Addr)
+	record(a.Cond().Addr)
+	for _, mu := range a.MutexArray(10) {
+		record(mu.Addr)
+	}
+	record(a.QNode())
+	record(a.Data(3)) // occupies 3 lines; record base
+	b := a.Barrier(7)
+	record(b.Addr)
+	if b.Goal != 7 {
+		t.Fatal("goal not recorded")
+	}
+	// The next allocation must clear the barrier's flag arena.
+	next := a.Mutex().Addr
+	if next <= b.Addr {
+		t.Fatal("barrier arena not reserved")
+	}
+}
+
+func TestArenaRejectsBadBase(t *testing.T) {
+	for _, base := range []memory.Addr{0, 7, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("base %#x accepted", base)
+				}
+			}()
+			syncrt.NewArena(base)
+		}()
+	}
+}
+
+// Property: for random thread counts and iteration mixes, every software
+// lock kind preserves the counter invariant.
+func TestPropertySoftwareLocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed uint8, kindSel uint8) bool {
+		kinds := allLockKinds()
+		lib := kinds[int(kindSel)%len(kinds)]
+		tiles := 2 + int(seed)%5
+		iters := 3 + int(seed)%8
+		m := swMachine(tiles)
+		arena := syncrt.NewArena(0x100000)
+		lock := arena.Mutex()
+		counter := arena.Data(1)
+		qnodes := make([]memory.Addr, tiles)
+		for i := range qnodes {
+			qnodes[i] = arena.QNode()
+		}
+		m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+			rt := lib.Bind(e, qnodes[tid])
+			for i := 0; i < iters; i++ {
+				rt.Lock(lock)
+				e.Store(counter, e.Load(counter)+1)
+				rt.Unlock(lock)
+				e.Compute(uint64(seed)%37 + 1)
+			}
+		})
+		if _, err := m.Run(deadline); err != nil {
+			return false
+		}
+		return m.Store.Load(counter) == uint64(tiles*iters)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package trace provides a lightweight event recorder for protocol-level
+// debugging: the MSA slices and cores emit timestamped events (requests,
+// grants, aborts, entry lifecycle, silent acquisitions) that cmd/misar-trace
+// renders as a chronological timeline.
+//
+// Tracing is opt-in and zero-cost when disabled (a nil *Buffer records
+// nothing).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"misar/internal/memory"
+	"misar/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the model.
+const (
+	SyncReq     Kind = "req"     // sync request arrived at a home slice
+	SyncResp    Kind = "resp"    // response sent to a core
+	EntryAlloc  Kind = "alloc"   // MSA entry allocated
+	EntryFree   Kind = "free"    // MSA entry deallocated
+	EntryStand  Kind = "standby" // entry entered standby
+	EntryRecl   Kind = "reclaim" // standby entry reclaimed
+	Grant       Kind = "grant"   // HWSync block grant shipped
+	Revoke      Kind = "revoke"  // standby revocation issued
+	Silent      Kind = "silent"  // LOCK_SILENT recorded
+	Steer       Kind = "steer"   // acquire steered to software
+	Abort       Kind = "abort"   // operation aborted
+	Issue       Kind = "issue"   // core issued a sync instruction
+	Complete    Kind = "done"    // core completed a sync instruction
+	CtxSwitch   Kind = "ctxsw"   // core context switch
+	MsaInternal Kind = "msa"     // MSA-to-MSA message (cond protocol)
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At     sim.Time
+	Tile   int // tile that recorded the event
+	Kind   Kind
+	Addr   memory.Addr // synchronization address (0 if n/a)
+	Core   int         // core involved (-1 if n/a)
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10d  tile %-2d %-8s core %-3d %#10x  %s",
+		e.At, e.Tile, e.Kind, e.Core, uint64(e.Addr), e.Detail)
+}
+
+// Buffer is a bounded event recorder. A nil Buffer drops everything, so
+// components can call Record unconditionally. When the buffer fills, the
+// oldest events are overwritten (ring semantics) and Dropped counts them.
+type Buffer struct {
+	events  []Event
+	next    int
+	wrapped bool
+	Dropped uint64
+	// Filter, when set, limits recording to one synchronization address.
+	Filter memory.Addr
+}
+
+// NewBuffer creates a recorder holding up to capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{events: make([]Event, 0, capacity)}
+}
+
+// Record appends an event. Safe on a nil receiver.
+func (b *Buffer) Record(ev Event) {
+	if b == nil {
+		return
+	}
+	if b.Filter != 0 && ev.Addr != 0 && ev.Addr != b.Filter {
+		return
+	}
+	if len(b.events) < cap(b.events) {
+		b.events = append(b.events, ev)
+		return
+	}
+	b.events[b.next] = ev
+	b.next = (b.next + 1) % cap(b.events)
+	b.wrapped = true
+	b.Dropped++
+}
+
+// Events returns the recorded events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	if !b.wrapped {
+		return b.events
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Len reports the number of retained events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// Dump writes the timeline to w.
+func (b *Buffer) Dump(w io.Writer) {
+	for _, ev := range b.Events() {
+		fmt.Fprintln(w, ev)
+	}
+	if b != nil && b.Dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.Dropped)
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"misar/internal/sim"
+)
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Record(Event{Kind: SyncReq})
+	if b.Len() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer misbehaved")
+	}
+}
+
+func TestRingSemantics(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{At: sim.Time(10 * i), Detail: string(rune('a' + i))})
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Oldest two dropped: c, d, e remain, in order.
+	if evs[0].Detail != "c" || evs[2].Detail != "e" {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+	if b.Dropped != 2 {
+		t.Fatalf("Dropped = %d", b.Dropped)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(10)
+	b.Filter = 0x1000
+	b.Record(Event{Addr: 0x1000, Detail: "keep"})
+	b.Record(Event{Addr: 0x2000, Detail: "drop"})
+	b.Record(Event{Addr: 0, Detail: "keep-global"}) // addr-less events pass
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := NewBuffer(4)
+	b.Record(Event{At: 42, Tile: 1, Kind: Silent, Addr: 0x40, Core: 3, Detail: "x"})
+	var sb strings.Builder
+	b.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"42", "silent", "0x40", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	b := NewBuffer(0)
+	b.Record(Event{Detail: "a"})
+	b.Record(Event{Detail: "b"})
+	if b.Len() != 1 || b.Events()[0].Detail != "b" {
+		t.Fatal("capacity clamp broken")
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"misar/internal/cpu"
+	"misar/internal/memory"
+	"misar/internal/syncrt"
+)
+
+// Ferret: PARSEC's four-stage similarity-search pipeline. Threads are
+// partitioned into stages connected by bounded queues, each guarded by a
+// lock and a pair of condition variables — the heaviest condition-variable
+// user in the suite, exercising multiple cond entries pinning multiple lock
+// entries concurrently.
+func Ferret() App {
+	return App{Name: "ferret", SyncSensitive: true, Build: func(a *syncrt.Arena, threads int, lib *syncrt.Lib) func(int, cpu.Env) {
+		qn := bindQNodes(a, threads)
+		iv := newInitVars(a, threads)
+		const stages = 4
+		// Queue i connects stage i to stage i+1 (stages-1 queues).
+		type queue struct {
+			lock     syncrt.Mutex
+			notEmpty syncrt.Cond
+			notFull  syncrt.Cond
+			depth    memory.Addr
+			pushed   memory.Addr
+			popped   memory.Addr
+		}
+		qs := make([]queue, stages-1)
+		for i := range qs {
+			qs[i] = queue{
+				lock:     a.Mutex(),
+				notEmpty: a.Cond(),
+				notFull:  a.Cond(),
+				depth:    a.Data(1),
+				pushed:   a.Data(1),
+				popped:   a.Data(1),
+			}
+		}
+		const capacity = 8
+		perSource := uint64(16)
+		// Stage sizing: stage s gets threads/stages workers (remainder to
+		// the last stage).
+		stageOf := func(tid int) int {
+			s := tid * stages / threads
+			if s >= stages {
+				s = stages - 1
+			}
+			return s
+		}
+		sources := 0
+		for tid := 0; tid < threads; tid++ {
+			if stageOf(tid) == 0 {
+				sources++
+			}
+		}
+		total := uint64(sources) * perSource
+
+		push := func(rt *syncrt.T, e cpu.Env, q *queue) {
+			rt.Lock(q.lock)
+			for e.Load(q.depth) >= capacity {
+				rt.CondWait(q.notFull, q.lock)
+			}
+			e.Store(q.depth, e.Load(q.depth)+1)
+			e.Store(q.pushed, e.Load(q.pushed)+1)
+			rt.CondSignal(q.notEmpty)
+			rt.Unlock(q.lock)
+		}
+		// pop returns false when the stream is exhausted.
+		pop := func(rt *syncrt.T, e cpu.Env, q *queue) bool {
+			rt.Lock(q.lock)
+			for e.Load(q.depth) == 0 && e.Load(q.popped) < total {
+				rt.CondWait(q.notEmpty, q.lock)
+			}
+			if e.Load(q.popped) >= total {
+				rt.CondBroadcast(q.notEmpty) // wake peers so they can exit
+				rt.Unlock(q.lock)
+				return false
+			}
+			e.Store(q.depth, e.Load(q.depth)-1)
+			e.Store(q.popped, e.Load(q.popped)+1)
+			done := e.Load(q.popped) >= total
+			rt.CondSignal(q.notFull)
+			if done {
+				rt.CondBroadcast(q.notEmpty)
+			}
+			rt.Unlock(q.lock)
+			return true
+		}
+
+		return func(tid int, e cpu.Env) {
+			rt := lib.Bind(e, qn[tid])
+			iv.run(tid, rt, e)
+			stage := stageOf(tid)
+			switch stage {
+			case 0: // load stage: produce items
+				for i := uint64(0); i < perSource; i++ {
+					e.Compute(1800 + jitter(tid, int(i), 600))
+					push(rt, e, &qs[0])
+				}
+			case stages - 1: // output stage: consume to the end
+				for pop(rt, e, &qs[stages-2]) {
+					e.Compute(1200 + jitter(tid, 3, 400))
+				}
+			default: // middle stages: pop, work, push
+				for pop(rt, e, &qs[stage-1]) {
+					e.Compute(2400 + jitter(tid, stage, 800))
+					push(rt, e, &qs[stage])
+				}
+				// Propagate exhaustion downstream: the stream length is
+				// the same for every queue, so once our input is done our
+				// output will be completed by peers; nothing to do.
+			}
+		}
+	}}
+}

@@ -1,0 +1,95 @@
+// Package workload provides the benchmark programs of the evaluation: the
+// Fig. 5 raw-latency microbenchmarks and a suite of synthetic application
+// profiles standing in for Splash-2 and PARSEC (see DESIGN.md, substitution
+// table). Each profile reproduces the *synchronization signature* the paper
+// describes for its namesake — how many locks, how contended, how often
+// barriers fire, how much computation separates operations — because those
+// signatures, not the numerical kernels, determine the paper's results.
+package workload
+
+import (
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/syncrt"
+)
+
+// RunDeadline bounds any single benchmark run.
+const RunDeadline = sim.Time(3_000_000_000)
+
+// App is a runnable multithreaded program.
+type App struct {
+	Name string
+	// SyncSensitive marks the benchmarks the paper shows individually in
+	// Fig. 6 (those with >= 4% Ideal benefit).
+	SyncSensitive bool
+	// Build allocates the program's shared state from the arena and
+	// returns the per-thread body. threads == machine tiles.
+	Build func(a *syncrt.Arena, threads int, lib *syncrt.Lib) func(tid int, e cpu.Env)
+}
+
+// Run executes the app on a fresh machine built from cfg and returns the
+// completion cycle.
+func Run(app App, cfg machine.Config, lib *syncrt.Lib) (*machine.Machine, sim.Time, error) {
+	m := machine.New(cfg)
+	arena := syncrt.NewArena(0x1000000)
+	body := app.Build(arena, cfg.Tiles, lib)
+	m.SpawnAll(cfg.Tiles, body)
+	end, err := m.Run(RunDeadline)
+	return m, end, err
+}
+
+// hash64 is a deterministic per-thread mixing function used for workload
+// jitter (no global RNG: runs must be reproducible).
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// jitter returns a deterministic value in [0, n) from (tid, i).
+func jitter(tid, i, n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return hash64(uint64(tid)*0x9E3779B97F4A7C15+uint64(i)) % uint64(n)
+}
+
+// bindQNodes pre-allocates one MCS queue-node line per thread.
+func bindQNodes(a *syncrt.Arena, threads int) []memory.Addr {
+	qn := make([]memory.Addr, threads)
+	for i := range qn {
+		qn[i] = a.QNode()
+	}
+	return qn
+}
+
+// initVars model a program's startup phase: one-shot initialization locks
+// and a setup barrier, each touched exactly once. They matter for the
+// overflow study (Fig. 7): without the OMU, these first-touched addresses
+// permanently occupy MSA entries that the steady-state synchronization then
+// cannot use (paper §3.2).
+type initVars struct {
+	locks []syncrt.Mutex
+	bar   syncrt.Barrier
+}
+
+func newInitVars(a *syncrt.Arena, threads int) initVars {
+	return initVars{locks: a.MutexArray(threads * 2), bar: a.Barrier(threads)}
+}
+
+// run executes the startup phase on one thread.
+func (iv initVars) run(tid int, rt *syncrt.T, e cpu.Env) {
+	for k := 0; k < 2; k++ {
+		l := iv.locks[tid*2+k]
+		rt.Lock(l)
+		e.Compute(60) // initialize a shared structure
+		rt.Unlock(l)
+		e.Compute(300)
+	}
+	rt.Wait(iv.bar)
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/syncrt"
+)
+
+func baselineCfg(tiles int) machine.Config {
+	c := machine.Default(tiles)
+	c.Name = "pthread"
+	c.CPU.Mode = cpu.ModeAlwaysFail
+	return c
+}
+
+// TestSuiteRunsEverywhere smoke-tests every app under the main configs.
+func TestSuiteRunsEverywhere(t *testing.T) {
+	tiles := 8
+	cfgs := []struct {
+		cfg machine.Config
+		lib *syncrt.Lib
+	}{
+		{baselineCfg(tiles), syncrt.PthreadLib()},
+		{machine.MSAOMU(tiles, 2), syncrt.HWLib()},
+		{machine.Ideal(tiles), syncrt.HWLib()},
+		{baselineCfg(tiles), syncrt.MCSTourLib()},
+	}
+	for _, app := range Suite() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			for _, tc := range cfgs {
+				_, cycles, err := Run(app, tc.cfg, tc.lib)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", app.Name, tc.cfg.Name, err)
+				}
+				if cycles == 0 {
+					t.Fatalf("%s on %s finished in 0 cycles", app.Name, tc.cfg.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteDeterministic: same app+config twice gives identical cycles.
+func TestSuiteDeterministic(t *testing.T) {
+	app, _ := ByName("radiosity")
+	cfg := machine.MSAOMU(8, 2)
+	_, c1, err1 := Run(app, cfg, syncrt.HWLib())
+	_, c2, err2 := Run(app, cfg, syncrt.HWLib())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if c1 != c2 {
+		t.Fatalf("nondeterministic: %d vs %d", c1, c2)
+	}
+}
+
+// TestMicrosRun exercises all five microbenchmarks under every library.
+func TestMicrosRun(t *testing.T) {
+	tiles := 8
+	cases := []struct {
+		name string
+		cfg  machine.Config
+		lib  *syncrt.Lib
+	}{
+		{"pthread", baselineCfg(tiles), syncrt.PthreadLib()},
+		{"spinlock", baselineCfg(tiles), syncrt.SpinLib()},
+		{"mcs-tour", baselineCfg(tiles), syncrt.MCSTourLib()},
+		{"msa0", machine.MSA0(tiles), syncrt.HWLib()},
+		{"msaomu2", machine.MSAOMU(tiles, 2), syncrt.HWLib()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, r := range Micros(tc.cfg, tc.lib) {
+				if r.Cycles <= 0 {
+					t.Errorf("%s: non-positive latency %f", r.Name, r.Cycles)
+				}
+				if r.Samples == 0 {
+					t.Errorf("%s: no samples", r.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestMicroShapes checks the paper's qualitative Fig. 5 orderings at 16
+// cores: the MSA has the best contended handoff and barrier latency, and
+// MSA-0 is in the same ballpark as pthread.
+func TestMicroShapes(t *testing.T) {
+	tiles := 16
+	hw := machine.MSAOMU(tiles, 2)
+	base := baselineCfg(tiles)
+
+	hwHandoff := MicroLockHandoff(hw, syncrt.HWLib())
+	ptHandoff := MicroLockHandoff(base, syncrt.PthreadLib())
+	mcsHandoff := MicroLockHandoff(base, syncrt.MCSTourLib())
+	if hwHandoff.Cycles >= ptHandoff.Cycles {
+		t.Errorf("lock handoff: MSA (%.0f) should beat pthread (%.0f)", hwHandoff.Cycles, ptHandoff.Cycles)
+	}
+	if hwHandoff.Cycles >= mcsHandoff.Cycles {
+		t.Errorf("lock handoff: MSA (%.0f) should beat MCS (%.0f)", hwHandoff.Cycles, mcsHandoff.Cycles)
+	}
+
+	hwBar := MicroBarrierHandoff(hw, syncrt.HWLib())
+	ptBar := MicroBarrierHandoff(base, syncrt.PthreadLib())
+	tourBar := MicroBarrierHandoff(base, syncrt.MCSTourLib())
+	if hwBar.Cycles >= ptBar.Cycles || hwBar.Cycles >= tourBar.Cycles {
+		t.Errorf("barrier: MSA (%.0f) should beat pthread (%.0f) and tournament (%.0f)",
+			hwBar.Cycles, ptBar.Cycles, tourBar.Cycles)
+	}
+
+	hwSig := MicroCondSignal(hw, syncrt.HWLib())
+	ptSig := MicroCondSignal(base, syncrt.PthreadLib())
+	if hwSig.Cycles >= ptSig.Cycles {
+		t.Errorf("cond signal: MSA (%.0f) should beat pthread (%.0f)", hwSig.Cycles, ptSig.Cycles)
+	}
+
+	// Uncontended acquire: the HWSync fast path should make the MSA at
+	// least competitive with pthread's L1-hit CAS.
+	hwAcq := MicroLockAcquire(hw, syncrt.HWLib())
+	ptAcq := MicroLockAcquire(base, syncrt.PthreadLib())
+	if hwAcq.Cycles > ptAcq.Cycles*2 {
+		t.Errorf("uncontended acquire: MSA (%.0f) far above pthread (%.0f)", hwAcq.Cycles, ptAcq.Cycles)
+	}
+}

@@ -1,0 +1,90 @@
+package misar_test
+
+import (
+	"fmt"
+	"testing"
+
+	"misar"
+)
+
+// TestPublicAPIQuickstart is the README quickstart, verbatim.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m := misar.New(misar.MSAOMU(16, 2))
+	arena := misar.NewArena(0x100000)
+	lock := arena.Mutex()
+	counter := arena.Data(1)
+	lib := misar.HWLib()
+	qnodes := make([]misar.Addr, 16)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+	m.SpawnAll(16, func(tid int, e misar.Env) {
+		rt := lib.Bind(e, qnodes[tid])
+		for i := 0; i < 5; i++ {
+			rt.Lock(lock)
+			e.Store(counter, e.Load(counter)+1)
+			rt.Unlock(lock)
+			e.Compute(100)
+		}
+	})
+	cycles, err := m.Run(misar.RunDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("no time elapsed")
+	}
+	if got := m.Store.Load(counter); got != 80 {
+		t.Fatalf("counter = %d, want 80", got)
+	}
+	if m.Coverage() < 0.9 {
+		t.Fatalf("coverage = %.2f, want >= 0.9 for a single hot lock", m.Coverage())
+	}
+}
+
+func TestPublicSuite(t *testing.T) {
+	if len(misar.Suite()) < 18 {
+		t.Fatalf("suite has %d apps", len(misar.Suite()))
+	}
+	if _, ok := misar.AppByName("streamcluster"); !ok {
+		t.Fatal("streamcluster missing")
+	}
+	if _, ok := misar.AppByName("nope"); ok {
+		t.Fatal("unknown app found")
+	}
+}
+
+func TestPublicAppRun(t *testing.T) {
+	app, _ := misar.AppByName("streamcluster")
+	m, cycles, err := misar.RunApp(app, misar.MSAOMU(8, 2), misar.HWLib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || m.SyncOps() == 0 {
+		t.Fatal("app did not execute")
+	}
+}
+
+func ExampleNew() {
+	m := misar.New(misar.MSAOMU(4, 2))
+	arena := misar.NewArena(0x100000)
+	bar := arena.Barrier(4)
+	lib := misar.HWLib()
+	qnodes := make([]misar.Addr, 4)
+	for i := range qnodes {
+		qnodes[i] = arena.QNode()
+	}
+	order := arena.Data(1)
+	m.SpawnAll(4, func(tid int, e misar.Env) {
+		rt := lib.Bind(e, qnodes[tid])
+		e.Compute(uint64(100 * (tid + 1)))
+		rt.Wait(bar)
+		e.FetchAdd(order, 1)
+	})
+	if _, err := m.Run(misar.RunDeadline); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("arrived:", m.Store.Load(order))
+	// Output: arrived: 4
+}
