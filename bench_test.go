@@ -6,14 +6,24 @@ package misar_test
 // -bench=.` finishes in minutes; `cmd/misar-fig -tiles 16,64 -full` runs the
 // paper-scale versions. The reported ns/op is wall time to regenerate the
 // artifact; custom metrics expose the headline numbers.
+//
+// Figure benchmarks run through a harness.Runner; pass
+// `go test -bench=. -args -parallel 8` to regenerate with 8 simulations in
+// flight (default 1, i.e. the serial baseline — so ns/op comparisons
+// against older revisions stay meaningful). A fresh Runner is built per
+// iteration so memoization never carries across b.N iterations. With -v,
+// each completed simulation is logged with its wall-clock.
 
 import (
+	"flag"
 	"os"
 	"strconv"
 	"testing"
 
 	"misar"
 )
+
+var benchParallel = flag.Int("parallel", 1, "Runner worker-pool size for figure benchmarks")
 
 // benchOptions picks the benchmark scale; MISAR_BENCH_TILES overrides.
 func benchOptions() misar.Options {
@@ -32,6 +42,25 @@ func benchOptions() misar.Options {
 	return o
 }
 
+// benchRunner builds a fresh worker pool for one iteration, logging
+// per-simulation wall-clock when the test runs verbose.
+func benchRunner(b *testing.B) *misar.Runner {
+	r := misar.NewRunner(*benchParallel)
+	if testing.Verbose() {
+		r.SetProgress(func(ev misar.ProgressEvent) {
+			b.Logf("[%3d/%3d] %s in %v", ev.Done, ev.Unique, ev.Label, ev.Elapsed)
+		})
+	}
+	return r
+}
+
+func must(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if misar.Table1().Rows() != 13 {
@@ -43,7 +72,8 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFig5RawLatency(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		t := misar.Fig5(o)
+		t, err := benchRunner(b).Fig5(o)
+		must(b, err)
 		if t.Rows() == 0 {
 			b.Fatal("empty figure")
 		}
@@ -54,7 +84,8 @@ func BenchmarkFig6Speedup(b *testing.B) {
 	o := benchOptions()
 	var geo float64
 	for i := 0; i < b.N; i++ {
-		t := misar.Fig6(o)
+		t, err := benchRunner(b).Fig6(o)
+		must(b, err)
 		cells, ok := t.Lookup("GeoMean/" + strconv.Itoa(o.Tiles[len(o.Tiles)-1]) + "c")
 		if !ok {
 			b.Fatal("geomean row missing")
@@ -68,7 +99,8 @@ func BenchmarkFig7Coverage(b *testing.B) {
 	o := benchOptions()
 	var with float64
 	for i := 0; i < b.N; i++ {
-		t := misar.Fig7(o)
+		t, err := benchRunner(b).Fig7(o)
+		must(b, err)
 		with, _ = strconv.ParseFloat(t.Cell(t.Rows()-1, 1), 64)
 	}
 	b.ReportMetric(with, "coverage-pct")
@@ -78,7 +110,8 @@ func BenchmarkFig8HWSync(b *testing.B) {
 	o := benchOptions()
 	var with float64
 	for i := 0; i < b.N; i++ {
-		t := misar.Fig8(o)
+		t, err := benchRunner(b).Fig8(o)
+		must(b, err)
 		with, _ = strconv.ParseFloat(t.Cell(t.Rows()-1, 0), 64)
 	}
 	b.ReportMetric(with, "fluidanimate-speedup")
@@ -87,7 +120,9 @@ func BenchmarkFig8HWSync(b *testing.B) {
 func BenchmarkFig9Breakdown(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		if misar.Fig9(o).Rows() == 0 {
+		t, err := benchRunner(b).Fig9(o)
+		must(b, err)
+		if t.Rows() == 0 {
 			b.Fatal("empty figure")
 		}
 	}
@@ -97,43 +132,70 @@ func BenchmarkHeadline(b *testing.B) {
 	o := benchOptions()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		t := misar.Headline(o)
+		t, err := benchRunner(b).Headline(o)
+		must(b, err)
 		speedup, _ = strconv.ParseFloat(t.Cell(0, 0), 64)
 	}
 	b.ReportMetric(speedup, "geomean-speedup")
 }
 
-func BenchmarkAblationOMUSweep(b *testing.B) {
-	o := misar.Options{Tiles: []int{8}}
+// BenchmarkFigSweepShared regenerates Fig6-Fig9 plus Headline through one
+// shared Runner per iteration — the whole-evaluation regeneration path of
+// cmd/misar-fig, where the memoization cache collapses the repeated
+// pthread baselines. The memo-hit count is reported as a metric.
+func BenchmarkFigSweepShared(b *testing.B) {
+	o := benchOptions()
+	var hits float64
 	for i := 0; i < b.N; i++ {
-		misar.OMUSweep(o)
+		r := benchRunner(b)
+		for _, fig := range []func(misar.Options) (*misar.Table, error){
+			r.Fig6, r.Fig7, r.Fig8, r.Fig9, r.Headline,
+		} {
+			_, err := fig(o)
+			must(b, err)
+		}
+		st := r.Stats()
+		hits = float64(st.Submitted - st.Unique)
+	}
+	b.ReportMetric(hits, "memo-hits")
+}
+
+func BenchmarkAblationOMUSweep(b *testing.B) {
+	o := misar.Options{Tiles: []int{8}, Parallel: *benchParallel}
+	for i := 0; i < b.N; i++ {
+		_, err := misar.OMUSweep(o)
+		must(b, err)
 	}
 }
 
 func BenchmarkAblationBloomSweep(b *testing.B) {
-	o := misar.Options{Tiles: []int{8}}
+	o := misar.Options{Tiles: []int{8}, Parallel: *benchParallel}
 	for i := 0; i < b.N; i++ {
-		misar.BloomSweep(o)
+		_, err := misar.BloomSweep(o)
+		must(b, err)
 	}
 }
 
 func BenchmarkAblationEntrySweep(b *testing.B) {
-	o := misar.Options{Tiles: []int{8}}
+	o := misar.Options{Tiles: []int{8}, Parallel: *benchParallel}
 	for i := 0; i < b.N; i++ {
-		misar.EntrySweep(o)
+		_, err := misar.EntrySweep(o)
+		must(b, err)
 	}
 }
 
 func BenchmarkAblationFairness(b *testing.B) {
 	o := misar.Options{Tiles: []int{8}}
 	for i := 0; i < b.N; i++ {
-		misar.Fairness(o)
+		_, err := misar.Fairness(o)
+		must(b, err)
 	}
 }
 
 func BenchmarkAblationSuspendStress(b *testing.B) {
 	o := misar.Options{Tiles: []int{8}}
 	for i := 0; i < b.N; i++ {
-		misar.SuspendStress(o)
+		_, err := misar.SuspendStress(o)
+		must(b, err)
 	}
 }

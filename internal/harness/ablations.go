@@ -17,52 +17,139 @@ import (
 // (aliasing, §3.2), MSA entry count, NBTC fairness (§4.1), and the
 // suspension machinery's overhead (§4.x.2).
 
+func OMUSweep(o Options) (*stats.Table, error)   { return NewRunner(o.Parallel).OMUSweep(o) }
+func EntrySweep(o Options) (*stats.Table, error) { return NewRunner(o.Parallel).EntrySweep(o) }
+func BloomSweep(o Options) (*stats.Table, error) { return NewRunner(o.Parallel).BloomSweep(o) }
+
+// probeApp returns the lock-rich workload the sweeps probe with.
+func probeApp() (workload.App, error) {
+	app, ok := workload.ByName("radiosity")
+	if !ok {
+		return workload.App{}, fmt.Errorf("harness: radiosity missing from suite")
+	}
+	return app, nil
+}
+
 // OMUSweep (A1) varies the per-slice OMU counter count: fewer counters mean
 // more aliasing, which steers more operations to software (performance, not
 // correctness).
-func OMUSweep(o Options) *stats.Table {
+func (r *Runner) OMUSweep(o Options) (*stats.Table, error) {
 	tiles := o.Tiles[len(o.Tiles)-1]
 	t := stats.NewTable(fmt.Sprintf("A1: OMU counters @ %dc", tiles),
 		"Coverage %", "Speedup vs pthread")
-	app, _ := workload.ByName("radiosity")
-	_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
-	for _, counters := range []int{1, 2, 4, 8, 16} {
+	app, err := probeApp()
+	if err != nil {
+		return nil, err
+	}
+	baseRun := r.App(app, baselineCfg(tiles), syncrt.PthreadLib())
+	counterSet := []int{1, 2, 4, 8, 16}
+	runs := make([]*Run, len(counterSet))
+	for i, counters := range counterSet {
 		cfg := machine.MSAOMU(tiles, 2)
 		cfg.MSA.OMUCounters = counters
-		m, cycles := runApp(app, cfg, syncrt.HWLib())
+		runs[i] = r.App(app, cfg, syncrt.HWLib())
+	}
+	_, base, err := baseRun.App()
+	if err != nil {
+		return nil, err
+	}
+	for i, counters := range counterSet {
+		m, cycles, err := runs[i].App()
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%d counters", counters),
 			m.Coverage()*100, float64(base)/float64(cycles))
 	}
-	return t
+	return t, nil
 }
 
 // EntrySweep (A2) varies the per-slice MSA entry count on a lock-rich
 // workload.
-func EntrySweep(o Options) *stats.Table {
+func (r *Runner) EntrySweep(o Options) (*stats.Table, error) {
 	tiles := o.Tiles[len(o.Tiles)-1]
 	t := stats.NewTable(fmt.Sprintf("A2: MSA entries @ %dc", tiles),
 		"Coverage %", "Speedup vs pthread")
-	app, _ := workload.ByName("radiosity")
-	_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
-	for _, entries := range []int{1, 2, 4, 8, -1} {
+	app, err := probeApp()
+	if err != nil {
+		return nil, err
+	}
+	baseRun := r.App(app, baselineCfg(tiles), syncrt.PthreadLib())
+	entrySet := []int{1, 2, 4, 8, -1}
+	runs := make([]*Run, len(entrySet))
+	for i, entries := range entrySet {
+		runs[i] = r.App(app, machine.MSAOMU(tiles, entries), syncrt.HWLib())
+	}
+	_, base, err := baseRun.App()
+	if err != nil {
+		return nil, err
+	}
+	for i, entries := range entrySet {
 		label := fmt.Sprintf("%d entries", entries)
 		if entries < 0 {
 			label = "inf entries"
 		}
-		m, cycles := runApp(app, machine.MSAOMU(tiles, entries), syncrt.HWLib())
+		m, cycles, err := runs[i].App()
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(label, m.Coverage()*100, float64(base)/float64(cycles))
 	}
-	return t
+	return t, nil
+}
+
+// BloomSweep (A5) compares the plain counter OMU against the counting
+// Bloom filter the paper suggests (§3.2), at equal storage budgets.
+func (r *Runner) BloomSweep(o Options) (*stats.Table, error) {
+	tiles := o.Tiles[len(o.Tiles)-1]
+	t := stats.NewTable(fmt.Sprintf("A5: OMU vs Bloom @ %dc", tiles),
+		"Coverage %", "Speedup vs pthread")
+	app, err := probeApp()
+	if err != nil {
+		return nil, err
+	}
+	baseRun := r.App(app, baselineCfg(tiles), syncrt.PthreadLib())
+	variants := []struct {
+		label string
+		cfg   machine.Config
+	}{
+		{"plain x4", machine.MSAOMU(tiles, 2)},
+		{"bloom x4 k=2", machine.WithBloomOMU(machine.MSAOMU(tiles, 2), 2)},
+		{"plain x8", func() machine.Config { c := machine.MSAOMU(tiles, 2); c.MSA.OMUCounters = 8; return c }()},
+		{"bloom x8 k=2", func() machine.Config {
+			c := machine.WithBloomOMU(machine.MSAOMU(tiles, 2), 2)
+			c.MSA.OMUCounters = 8
+			return c
+		}()},
+	}
+	runs := make([]*Run, len(variants))
+	for i, v := range variants {
+		runs[i] = r.App(app, v.cfg, syncrt.HWLib())
+	}
+	_, base, err := baseRun.App()
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		m, cycles, err := runs[i].App()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.label, m.Coverage()*100, float64(base)/float64(cycles))
+	}
+	return t, nil
 }
 
 // Fairness (A3) measures handoff fairness under the NBTC round-robin
 // policy: with every core pounding one lock, the spread between the
-// luckiest and unluckiest thread's acquisition count should be tight.
-func Fairness(o Options) *stats.Table {
+// luckiest and unluckiest thread's acquisition count should be tight. The
+// two runs build machines inline (they are not workload-suite apps), so
+// this experiment executes serially.
+func Fairness(o Options) (*stats.Table, error) {
 	tiles := o.Tiles[len(o.Tiles)-1]
 	t := stats.NewTable(fmt.Sprintf("A3: grant policy fairness @ %dc", tiles),
 		"Min acquires", "Max acquires", "Total")
-	run := func(cfg machine.Config) (int64, int64, int64) {
+	run := func(cfg machine.Config) (int64, int64, int64, error) {
 		m := machine.New(cfg)
 		arena := syncrt.NewArena(0x1000000)
 		lock := arena.Mutex()
@@ -84,7 +171,7 @@ func Fairness(o Options) *stats.Table {
 			}
 		})
 		if _, err := m.Run(workload.RunDeadline); err != nil {
-			panic(err)
+			return 0, 0, 0, fmt.Errorf("harness: fairness on %s: %w", cfg.Name, err)
 		}
 		min, max, total := counts[0], counts[0], int64(0)
 		for _, c := range counts {
@@ -96,46 +183,26 @@ func Fairness(o Options) *stats.Table {
 			}
 			total += c
 		}
-		return min, max, total
+		return min, max, total, nil
 	}
-	min, max, total := run(machine.MSAOMU(tiles, 2))
+	min, max, total, err := run(machine.MSAOMU(tiles, 2))
+	if err != nil {
+		return nil, err
+	}
 	t.AddRowInts("NBTC round-robin", min, max, total)
-	min, max, total = run(machine.WithFixedPriority(machine.MSAOMU(tiles, 2)))
-	t.AddRowInts("fixed priority", min, max, total)
-	return t
-}
-
-// BloomSweep (A5) compares the plain counter OMU against the counting
-// Bloom filter the paper suggests (§3.2), at equal storage budgets.
-func BloomSweep(o Options) *stats.Table {
-	tiles := o.Tiles[len(o.Tiles)-1]
-	t := stats.NewTable(fmt.Sprintf("A5: OMU vs Bloom @ %dc", tiles),
-		"Coverage %", "Speedup vs pthread")
-	app, _ := workload.ByName("radiosity")
-	_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
-	for _, c := range []struct {
-		label string
-		cfg   machine.Config
-	}{
-		{"plain x4", machine.MSAOMU(tiles, 2)},
-		{"bloom x4 k=2", machine.WithBloomOMU(machine.MSAOMU(tiles, 2), 2)},
-		{"plain x8", func() machine.Config { c := machine.MSAOMU(tiles, 2); c.MSA.OMUCounters = 8; return c }()},
-		{"bloom x8 k=2", func() machine.Config {
-			c := machine.WithBloomOMU(machine.MSAOMU(tiles, 2), 2)
-			c.MSA.OMUCounters = 8
-			return c
-		}()},
-	} {
-		m, cycles := runApp(app, c.cfg, syncrt.HWLib())
-		t.AddRow(c.label, m.Coverage()*100, float64(base)/float64(cycles))
+	min, max, total, err = run(machine.WithFixedPriority(machine.MSAOMU(tiles, 2)))
+	if err != nil {
+		return nil, err
 	}
-	return t
+	t.AddRowInts("fixed priority", min, max, total)
+	return t, nil
 }
 
 // SuspendStress (A4) repeatedly suspends, migrates, and resumes threads
 // while they hammer locks and barriers; it verifies the ABORT machinery
-// under fire and reports its cost.
-func SuspendStress(o Options) *stats.Table {
+// under fire and reports its cost. Like Fairness, it builds its machines
+// inline and executes serially.
+func SuspendStress(o Options) (*stats.Table, error) {
 	tiles := o.Tiles[0]
 	if tiles > 8 {
 		tiles = 8
@@ -200,7 +267,7 @@ func SuspendStress(o Options) *stats.Table {
 		}
 		end, err := m.Run(workload.RunDeadline)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness: suspend stress (disturb=%v): %w", disturb, err)
 		}
 		label := "no disturbance"
 		if disturb {
@@ -215,5 +282,5 @@ func SuspendStress(o Options) *stats.Table {
 			fmt.Sprintf("%d", m.MSAStats().Aborts),
 			ok)
 	}
-	return t
+	return t, nil
 }

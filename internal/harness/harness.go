@@ -3,6 +3,16 @@
 // experiment returns a stats.Table whose rows/series match what the paper
 // reports; cmd/misar-fig renders them and bench_test.go wraps them in
 // testing.B benchmarks.
+//
+// Experiments execute through a Runner: a worker pool with a memoization
+// cache, so sweeps run in parallel and shared runs (notably the pthread
+// baseline, which Fig6/Fig8/Fig9/Headline all normalize against) are
+// simulated exactly once per Runner. The package-level Fig* functions are
+// conveniences that build a private Runner from Options.Parallel; to share
+// the cache across several figures, build one Runner and call its methods.
+// Tables are assembled on the calling goroutine in the same row/column
+// order as the original serial implementation, so serial (Parallel <= 1)
+// and parallel runs render byte-identical output.
 package harness
 
 import (
@@ -10,7 +20,6 @@ import (
 
 	"misar/internal/cpu"
 	"misar/internal/machine"
-	"misar/internal/sim"
 	"misar/internal/stats"
 	"misar/internal/syncrt"
 	"misar/internal/workload"
@@ -22,6 +31,11 @@ import (
 type Options struct {
 	Tiles []int    // core counts to evaluate (paper: 16 and 64)
 	Apps  []string // subset of app names; nil = full suite
+	// Parallel is the worker-pool size used when a package-level Fig*
+	// function builds its own Runner; values < 1 (including the zero
+	// value) mean serial. Figures invoked as Runner methods use that
+	// Runner's pool instead.
+	Parallel int
 }
 
 // DefaultOptions reproduces the paper's configuration.
@@ -37,20 +51,20 @@ func QuickOptions() Options {
 	}
 }
 
-func (o Options) apps() []workload.App {
+func (o Options) appList() ([]workload.App, error) {
 	suite := workload.Suite()
 	if o.Apps == nil {
-		return suite
+		return suite, nil
 	}
 	var out []workload.App
 	for _, name := range o.Apps {
 		a, ok := workload.ByName(name)
 		if !ok {
-			panic(fmt.Sprintf("harness: unknown app %q", name))
+			return nil, fmt.Errorf("harness: unknown app %q", name)
 		}
 		out = append(out, a)
 	}
-	return out
+	return out, nil
 }
 
 // configEntry names a machine+library combination under evaluation.
@@ -80,19 +94,20 @@ func fig6Configs() []configEntry {
 	}
 }
 
-// runApp executes one app on one configuration, returning total cycles.
-func runApp(app workload.App, cfg machine.Config, lib *syncrt.Lib) (*machine.Machine, sim.Time) {
-	m, cycles, err := workload.Run(app, cfg, lib)
-	if err != nil {
-		panic(fmt.Sprintf("harness: %s on %s: %v", app.Name, cfg.Name, err))
-	}
-	return m, cycles
-}
+// Package-level conveniences: each builds a private Runner sized by
+// o.Parallel and runs the figure through it.
+
+func Fig5(o Options) (*stats.Table, error)     { return NewRunner(o.Parallel).Fig5(o) }
+func Fig6(o Options) (*stats.Table, error)     { return NewRunner(o.Parallel).Fig6(o) }
+func Fig7(o Options) (*stats.Table, error)     { return NewRunner(o.Parallel).Fig7(o) }
+func Fig8(o Options) (*stats.Table, error)     { return NewRunner(o.Parallel).Fig8(o) }
+func Fig9(o Options) (*stats.Table, error)     { return NewRunner(o.Parallel).Fig9(o) }
+func Headline(o Options) (*stats.Table, error) { return NewRunner(o.Parallel).Headline(o) }
 
 // Fig5 reproduces Figure 5: raw synchronization latency (cycles, the paper
 // plots it on a log scale) for five operations × five schemes × core
 // counts.
-func Fig5(o Options) *stats.Table {
+func (r *Runner) Fig5(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Fig5: raw latency (cycles)",
 		"Pthread", "MSA-0", "MSA/OMU-2", "MCS-Tour", "Spinlock")
 	type scheme struct {
@@ -108,7 +123,7 @@ func Fig5(o Options) *stats.Table {
 	}
 	kinds := []struct {
 		name string
-		run  func(machine.Config, *syncrt.Lib) workload.MicroResult
+		run  MicroFn
 	}{
 		{"LockAcquire", workload.MicroLockAcquire},
 		{"LockHandoff", workload.MicroLockHandoff},
@@ -116,39 +131,80 @@ func Fig5(o Options) *stats.Table {
 		{"CondSignal", workload.MicroCondSignal},
 		{"CondBroadcast", workload.MicroCondBroadcast},
 	}
+	type tableRow struct {
+		label string
+		runs  []*Run
+	}
+	var rows []tableRow
 	for _, k := range kinds {
 		for _, tiles := range o.Tiles {
-			cells := make([]float64, len(schemes))
+			runs := make([]*Run, len(schemes))
 			for i, s := range schemes {
-				cells[i] = k.run(s.cfg(tiles), s.lib()).Cycles
+				runs[i] = r.Micro(k.name, k.run, s.cfg(tiles), s.lib())
 			}
-			t.AddRow(fmt.Sprintf("%s/%dc", k.name, tiles), cells...)
+			rows = append(rows, tableRow{fmt.Sprintf("%s/%dc", k.name, tiles), runs})
 		}
 	}
-	return t
+	for _, row := range rows {
+		cells := make([]float64, len(row.runs))
+		for i, run := range row.runs {
+			res, err := run.Micro()
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = res.Cycles
+		}
+		t.AddRow(row.label, cells...)
+	}
+	return t, nil
 }
 
 // Fig6 reproduces Figure 6: whole-application speedup over the pthread
 // baseline for each configuration, per benchmark and geomean.
-func Fig6(o Options) *stats.Table {
+func (r *Runner) Fig6(o Options) (*stats.Table, error) {
 	cfgs := fig6Configs()
+	apps, err := o.appList()
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]string, len(cfgs))
 	for i, c := range cfgs {
 		cols[i] = c.name
 	}
 	t := stats.NewTable("Fig6: speedup vs pthread", cols...)
-	for _, tiles := range o.Tiles {
+	type appRow struct {
+		app  workload.App
+		base *Run
+		runs []*Run
+	}
+	rowsByTiles := make([][]appRow, len(o.Tiles))
+	for ti, tiles := range o.Tiles {
+		for _, app := range apps {
+			ar := appRow{app: app, base: r.App(app, baselineCfg(tiles), syncrt.PthreadLib())}
+			for _, c := range cfgs {
+				ar.runs = append(ar.runs, r.App(app, c.cfg(tiles), c.lib()))
+			}
+			rowsByTiles[ti] = append(rowsByTiles[ti], ar)
+		}
+	}
+	for ti, tiles := range o.Tiles {
 		speedups := make([][]float64, len(cfgs))
-		for _, app := range o.apps() {
-			_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
+		for _, ar := range rowsByTiles[ti] {
+			_, base, err := ar.base.App()
+			if err != nil {
+				return nil, err
+			}
 			cells := make([]float64, len(cfgs))
-			for i, c := range cfgs {
-				_, cycles := runApp(app, c.cfg(tiles), c.lib())
+			for i, run := range ar.runs {
+				_, cycles, err := run.App()
+				if err != nil {
+					return nil, err
+				}
 				cells[i] = float64(base) / float64(cycles)
 				speedups[i] = append(speedups[i], cells[i])
 			}
-			if app.SyncSensitive {
-				t.AddRow(fmt.Sprintf("%s/%dc", app.Name, tiles), cells...)
+			if ar.app.SyncSensitive {
+				t.AddRow(fmt.Sprintf("%s/%dc", ar.app.Name, tiles), cells...)
 			}
 		}
 		geo := make([]float64, len(cfgs))
@@ -157,47 +213,96 @@ func Fig6(o Options) *stats.Table {
 		}
 		t.AddRow(fmt.Sprintf("GeoMean/%dc", tiles), geo...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces Figure 7: percentage of synchronization operations
 // handled by the MSA with and without the OMU, for 1- and 2-entry slices.
-func Fig7(o Options) *stats.Table {
+func (r *Runner) Fig7(o Options) (*stats.Table, error) {
+	apps, err := o.appList()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig7: MSA coverage (%)", "Without OMU", "With OMU")
+	type pointRow struct {
+		label         string
+		with, without []*Run
+	}
+	var rows []pointRow
 	for _, entries := range []int{1, 2} {
 		for _, tiles := range o.Tiles {
-			var with, without []float64
-			for _, app := range o.apps() {
-				mw, _ := runApp(app, machine.MSAOMU(tiles, entries), syncrt.HWLib())
-				with = append(with, mw.Coverage()*100)
-				mo, _ := runApp(app, machine.WithoutOMU(machine.MSAOMU(tiles, entries)), syncrt.HWLib())
-				without = append(without, mo.Coverage()*100)
+			row := pointRow{label: fmt.Sprintf("MSA-%d/%dc", entries, tiles)}
+			for _, app := range apps {
+				row.with = append(row.with, r.App(app, machine.MSAOMU(tiles, entries), syncrt.HWLib()))
+				row.without = append(row.without, r.App(app, machine.WithoutOMU(machine.MSAOMU(tiles, entries)), syncrt.HWLib()))
 			}
-			t.AddRow(fmt.Sprintf("MSA-%d/%dc", entries, tiles),
-				stats.Mean(without), stats.Mean(with))
+			rows = append(rows, row)
 		}
 	}
-	return t
+	for _, row := range rows {
+		var with, without []float64
+		for i := range row.with {
+			mw, _, err := row.with[i].App()
+			if err != nil {
+				return nil, err
+			}
+			with = append(with, mw.Coverage()*100)
+			mo, _, err := row.without[i].App()
+			if err != nil {
+				return nil, err
+			}
+			without = append(without, mo.Coverage()*100)
+		}
+		t.AddRow(row.label, stats.Mean(without), stats.Mean(with))
+	}
+	return t, nil
 }
 
 // Fig8 reproduces Figure 8: fluidanimate speedup with and without the
 // HWSync-bit optimization.
-func Fig8(o Options) *stats.Table {
+func (r *Runner) Fig8(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Fig8: fluidanimate speedup", "With Optimization", "Without Optimization")
-	app, _ := workload.ByName("fluidanimate")
-	for _, tiles := range o.Tiles {
-		_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
-		_, with := runApp(app, machine.MSAOMU(tiles, 2), syncrt.HWLib())
-		_, without := runApp(app, machine.WithoutHWSync(machine.MSAOMU(tiles, 2)), syncrt.HWLib())
+	app, ok := workload.ByName("fluidanimate")
+	if !ok {
+		return nil, fmt.Errorf("harness: fluidanimate missing from suite")
+	}
+	type tileRuns struct {
+		base, with, without *Run
+	}
+	runs := make([]tileRuns, len(o.Tiles))
+	for i, tiles := range o.Tiles {
+		runs[i] = tileRuns{
+			base:    r.App(app, baselineCfg(tiles), syncrt.PthreadLib()),
+			with:    r.App(app, machine.MSAOMU(tiles, 2), syncrt.HWLib()),
+			without: r.App(app, machine.WithoutHWSync(machine.MSAOMU(tiles, 2)), syncrt.HWLib()),
+		}
+	}
+	for i, tiles := range o.Tiles {
+		_, base, err := runs[i].base.App()
+		if err != nil {
+			return nil, err
+		}
+		_, with, err := runs[i].with.App()
+		if err != nil {
+			return nil, err
+		}
+		_, without, err := runs[i].without.App()
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("fluidanimate/%dc", tiles),
 			float64(base)/float64(with), float64(base)/float64(without))
 	}
-	return t
+	return t, nil
 }
 
 // Fig9 reproduces Figure 9: speedup when the MSA supports only locks or
 // only barriers, at the paper's 64-core point (o.Tiles[last] here).
-func Fig9(o Options) *stats.Table {
+func (r *Runner) Fig9(o Options) (*stats.Table, error) {
+	apps, err := o.appList()
+	if err != nil {
+		return nil, err
+	}
 	tiles := o.Tiles[len(o.Tiles)-1]
 	t := stats.NewTable(fmt.Sprintf("Fig9: %dc speedup", tiles),
 		"MSA/OMU-2", "MSA-LockOnly", "MSA-BarrierOnly")
@@ -206,34 +311,81 @@ func Fig9(o Options) *stats.Table {
 		machine.LockOnly(machine.MSAOMU(tiles, 2)),
 		machine.BarrierOnly(machine.MSAOMU(tiles, 2)),
 	}
-	var speedups [3][]float64
-	for _, app := range o.apps() {
-		_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
-		cells := make([]float64, 3)
+	type appRow struct {
+		app  workload.App
+		base *Run
+		runs [3]*Run
+	}
+	rows := make([]appRow, 0, len(apps))
+	for _, app := range apps {
+		ar := appRow{app: app, base: r.App(app, baselineCfg(tiles), syncrt.PthreadLib())}
 		for i, cfg := range cfgs {
-			_, cycles := runApp(app, cfg, syncrt.HWLib())
+			ar.runs[i] = r.App(app, cfg, syncrt.HWLib())
+		}
+		rows = append(rows, ar)
+	}
+	var speedups [3][]float64
+	for _, ar := range rows {
+		_, base, err := ar.base.App()
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]float64, 3)
+		for i, run := range ar.runs {
+			_, cycles, err := run.App()
+			if err != nil {
+				return nil, err
+			}
 			cells[i] = float64(base) / float64(cycles)
 			speedups[i] = append(speedups[i], cells[i])
 		}
-		if app.SyncSensitive {
-			t.AddRow(app.Name, cells...)
+		if ar.app.SyncSensitive {
+			t.AddRow(ar.app.Name, cells...)
 		}
 	}
 	t.AddRow("GeoMean", stats.Geomean(speedups[0][:]), stats.Geomean(speedups[1][:]), stats.Geomean(speedups[2][:]))
-	return t
+	return t, nil
 }
 
 // Headline reproduces the abstract's claims: MSA/OMU-2 speedup over
 // pthreads, coverage, and distance from Ideal.
-func Headline(o Options) *stats.Table {
+func (r *Runner) Headline(o Options) (*stats.Table, error) {
+	apps, err := o.appList()
+	if err != nil {
+		return nil, err
+	}
 	tiles := o.Tiles[len(o.Tiles)-1]
 	t := stats.NewTable(fmt.Sprintf("Headline @ %dc", tiles), "Value")
+	type appRow struct {
+		base, hw, inf, ideal *Run
+	}
+	rows := make([]appRow, 0, len(apps))
+	for _, app := range apps {
+		rows = append(rows, appRow{
+			base:  r.App(app, baselineCfg(tiles), syncrt.PthreadLib()),
+			hw:    r.App(app, machine.MSAOMU(tiles, 2), syncrt.HWLib()),
+			inf:   r.App(app, machine.MSAInf(tiles), syncrt.HWLib()),
+			ideal: r.App(app, machine.Ideal(tiles), syncrt.HWLib()),
+		})
+	}
 	var speedups, infIdeal, omuInf, coverage []float64
-	for _, app := range o.apps() {
-		_, base := runApp(app, baselineCfg(tiles), syncrt.PthreadLib())
-		m, hw := runApp(app, machine.MSAOMU(tiles, 2), syncrt.HWLib())
-		_, inf := runApp(app, machine.MSAInf(tiles), syncrt.HWLib())
-		_, ideal := runApp(app, machine.Ideal(tiles), syncrt.HWLib())
+	for _, ar := range rows {
+		_, base, err := ar.base.App()
+		if err != nil {
+			return nil, err
+		}
+		m, hw, err := ar.hw.App()
+		if err != nil {
+			return nil, err
+		}
+		_, inf, err := ar.inf.App()
+		if err != nil {
+			return nil, err
+		}
+		_, ideal, err := ar.ideal.App()
+		if err != nil {
+			return nil, err
+		}
 		speedups = append(speedups, float64(base)/float64(hw))
 		infIdeal = append(infIdeal, float64(inf)/float64(ideal))
 		omuInf = append(omuInf, float64(hw)/float64(inf))
@@ -243,5 +395,5 @@ func Headline(o Options) *stats.Table {
 	t.AddRow("Mean MSA coverage % (paper: 93%)", stats.Mean(coverage))
 	t.AddRow("MSA-inf slowdown vs Ideal (paper: within ~3%)", stats.Geomean(infIdeal))
 	t.AddRow("MSA/OMU-2 slowdown vs MSA-inf (paper: similar)", stats.Geomean(omuInf))
-	return t
+	return t, nil
 }

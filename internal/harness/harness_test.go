@@ -4,9 +4,21 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"misar/internal/stats"
 )
 
 func quick() Options { return QuickOptions() }
+
+// runFig executes a figure, failing the test on error.
+func runFig(t *testing.T, fig func(Options) (*stats.Table, error), o Options) *stats.Table {
+	t.Helper()
+	tab, err := fig(o)
+	if err != nil {
+		t.Fatalf("figure failed: %v", err)
+	}
+	return tab
+}
 
 func cellFloat(t *testing.T, cell string) float64 {
 	t.Helper()
@@ -32,7 +44,7 @@ func TestTable1Static(t *testing.T) {
 }
 
 func TestFig5Quick(t *testing.T) {
-	tab := Fig5(Options{Tiles: []int{8}})
+	tab := runFig(t, Fig5, Options{Tiles: []int{8}})
 	if tab.Rows() != 5 {
 		t.Fatalf("rows = %d, want 5", tab.Rows())
 	}
@@ -52,7 +64,7 @@ func TestFig5Quick(t *testing.T) {
 }
 
 func TestFig6Quick(t *testing.T) {
-	tab := Fig6(quick())
+	tab := runFig(t, Fig6, quick())
 	cells, ok := tab.Lookup("GeoMean/8c")
 	if !ok {
 		t.Fatal("GeoMean row missing")
@@ -73,8 +85,15 @@ func TestFig6Quick(t *testing.T) {
 	}
 }
 
+func TestFig6UnknownAppIsError(t *testing.T) {
+	_, err := Fig6(Options{Tiles: []int{8}, Apps: []string{"no-such-app"}})
+	if err == nil || !strings.Contains(err.Error(), "no-such-app") {
+		t.Fatalf("want unknown-app error, got %v", err)
+	}
+}
+
 func TestFig7Quick(t *testing.T) {
-	tab := Fig7(quick())
+	tab := runFig(t, Fig7, quick())
 	for r := 0; r < tab.Rows(); r++ {
 		without := cellFloat(t, tab.Cell(r, 0))
 		with := cellFloat(t, tab.Cell(r, 1))
@@ -89,7 +108,7 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestFig8Quick(t *testing.T) {
-	tab := Fig8(Options{Tiles: []int{8}})
+	tab := runFig(t, Fig8, Options{Tiles: []int{8}})
 	with := cellFloat(t, tab.Cell(0, 0))
 	without := cellFloat(t, tab.Cell(0, 1))
 	if with <= without {
@@ -98,7 +117,7 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
-	tab := Fig9(quick())
+	tab := runFig(t, Fig9, quick())
 	// streamcluster (barrier app): lock-only loses the win.
 	cells, ok := tab.Lookup("streamcluster")
 	if !ok {
@@ -117,19 +136,19 @@ func TestFig9Quick(t *testing.T) {
 
 func TestAblationsQuick(t *testing.T) {
 	o := Options{Tiles: []int{8}}
-	if tab := OMUSweep(o); tab.Rows() != 5 {
+	if tab := runFig(t, OMUSweep, o); tab.Rows() != 5 {
 		t.Error("OMU sweep rows")
 	}
-	if tab := EntrySweep(o); tab.Rows() != 5 {
+	if tab := runFig(t, EntrySweep, o); tab.Rows() != 5 {
 		t.Error("entry sweep rows")
 	}
-	ftab := Fairness(o)
+	ftab := runFig(t, Fairness, o)
 	min := cellFloat(t, ftab.Cell(0, 0))
 	max := cellFloat(t, ftab.Cell(0, 1))
 	if max > min*1.5+8 {
 		t.Errorf("NBTC fairness poor: min=%.0f max=%.0f", min, max)
 	}
-	stab := SuspendStress(o)
+	stab := runFig(t, SuspendStress, o)
 	for r := 0; r < stab.Rows(); r++ {
 		if stab.Cell(r, 2) != "yes" {
 			t.Errorf("%s: counter check failed", stab.RowLabel(r))
@@ -142,7 +161,7 @@ func TestAblationsQuick(t *testing.T) {
 }
 
 func TestHeadlineQuick(t *testing.T) {
-	tab := Headline(quick())
+	tab := runFig(t, Headline, quick())
 	if tab.Rows() != 4 {
 		t.Fatal("headline rows")
 	}
@@ -153,5 +172,27 @@ func TestHeadlineQuick(t *testing.T) {
 	}
 	if coverage < 60 {
 		t.Errorf("headline coverage %.1f%% too low", coverage)
+	}
+}
+
+// TestSharedRunnerMemoizesAcrossFigures drives Fig8 and Headline through
+// one Runner: the pthread baseline and the MSA/OMU-2 run for fluidanimate
+// appear in both, so the shared cache must record fewer unique simulations
+// than submissions.
+func TestSharedRunnerMemoizesAcrossFigures(t *testing.T) {
+	o := Options{Tiles: []int{8}, Apps: []string{"fluidanimate"}}
+	r := NewRunner(4)
+	runFig(t, r.Fig8, o)
+	runFig(t, r.Headline, o)
+	st := r.Stats()
+	// Fig8 submits 3 runs, Headline 4; baseline and MSA/OMU-2 are shared.
+	if st.Submitted != 7 {
+		t.Errorf("submitted = %d, want 7", st.Submitted)
+	}
+	if st.Unique != 5 {
+		t.Errorf("unique = %d, want 5 (baseline and MSA/OMU-2 shared)", st.Unique)
+	}
+	if st.Done != st.Unique {
+		t.Errorf("done = %d, want %d", st.Done, st.Unique)
 	}
 }

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"misar/internal/machine"
+	"misar/internal/sim"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+// Runner is a parallel, memoizing experiment executor. Submitting a run
+// returns a *Run future immediately; a pool of up to Workers() goroutines
+// executes the simulations in the background. Each unique
+// (experiment kind, app, config, tiles, library) combination is simulated
+// exactly once per Runner — repeated submissions (the pthread baseline
+// appears in Fig6, Fig8, Fig9 and Headline) share one future. This is safe
+// because every simulation builds a fresh machine.Machine and the
+// single-threaded event kernel in internal/sim makes the result a pure
+// function of (app, config, library).
+//
+// A Runner may be shared across figures (cmd/misar-fig builds one per
+// invocation) and across goroutines.
+type Runner struct {
+	workers int
+	sem     chan struct{} // worker slots
+
+	mu        sync.Mutex
+	cache     map[runKey]*Run
+	progress  func(ProgressEvent)
+	submitted int // all submissions, including memo hits
+	unique    int // distinct simulations started
+	finished  int // distinct simulations completed
+}
+
+// runKey identifies one unique simulation. The cfg and lib fields are full
+// value fingerprints, so ablation configs that tweak a parameter without
+// renaming (e.g. OMUSweep mutating OMUCounters) never alias.
+type runKey struct {
+	kind string // "app:<name>" or "micro:<operation>"
+	cfg  string
+	lib  string
+}
+
+func keyFor(kind string, cfg machine.Config, lib *syncrt.Lib) runKey {
+	return runKey{kind: kind, cfg: fmt.Sprintf("%+v", cfg), lib: fmt.Sprintf("%+v", *lib)}
+}
+
+// ProgressEvent describes one completed simulation. Done/Unique/Submitted
+// are the runner-wide counters at completion time.
+type ProgressEvent struct {
+	Label     string        // e.g. "streamcluster on MSA/OMU-2 64c"
+	Elapsed   time.Duration // wall-clock of this simulation
+	Err       error         // non-nil if the run failed
+	Done      int           // unique simulations finished so far
+	Unique    int           // unique simulations submitted so far
+	Submitted int           // total submissions, including memo hits
+}
+
+// RunnerStats summarizes a Runner's activity so far.
+type RunnerStats struct {
+	Submitted int // total submissions, including memo hits
+	Unique    int // distinct simulations started
+	Done      int // distinct simulations completed
+}
+
+// Run is a future for one submitted simulation. The same *Run is returned
+// to every submitter of the same key; results must be treated as read-only.
+type Run struct {
+	label  string
+	done   chan struct{}
+	m      *machine.Machine
+	cycles sim.Time
+	micro  workload.MicroResult
+	err    error
+}
+
+// App blocks until the run completes and returns the finished machine (for
+// stats such as Coverage) and the completion cycle.
+func (r *Run) App() (*machine.Machine, sim.Time, error) {
+	<-r.done
+	return r.m, r.cycles, r.err
+}
+
+// Micro blocks until the run completes and returns the microbenchmark
+// measurement.
+func (r *Run) Micro() (workload.MicroResult, error) {
+	<-r.done
+	return r.micro, r.err
+}
+
+// NewRunner returns a Runner executing at most workers simulations
+// concurrently; workers < 1 means 1 (serial).
+func NewRunner(workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   make(map[runKey]*Run),
+	}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// SetProgress registers fn to be called after each unique simulation
+// completes. Calls are serialized under the Runner's lock, so fn must not
+// call back into the Runner.
+func (r *Runner) SetProgress(fn func(ProgressEvent)) {
+	r.mu.Lock()
+	r.progress = fn
+	r.mu.Unlock()
+}
+
+// Stats returns the submission/memoization counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerStats{Submitted: r.submitted, Unique: r.unique, Done: r.finished}
+}
+
+// submit returns the future for key, starting fn at most once. Submission
+// never blocks: the goroutine waits for a worker slot, so figures can
+// enqueue an entire sweep before collecting any result.
+func (r *Runner) submit(key runKey, label string, fn func(run *Run) error) *Run {
+	r.mu.Lock()
+	r.submitted++
+	if existing, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return existing
+	}
+	run := &Run{label: label, done: make(chan struct{})}
+	r.cache[key] = run
+	r.unique++
+	r.mu.Unlock()
+
+	go func() {
+		r.sem <- struct{}{}
+		start := time.Now()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					run.err = fmt.Errorf("harness: %s: panic: %v", label, p)
+				}
+			}()
+			run.err = fn(run)
+		}()
+		elapsed := time.Since(start)
+		<-r.sem
+		close(run.done)
+
+		r.mu.Lock()
+		r.finished++
+		if r.progress != nil {
+			r.progress(ProgressEvent{
+				Label:     label,
+				Elapsed:   elapsed,
+				Err:       run.err,
+				Done:      r.finished,
+				Unique:    r.unique,
+				Submitted: r.submitted,
+			})
+		}
+		r.mu.Unlock()
+	}()
+	return run
+}
+
+// App submits one application run. Submissions of the same
+// (app, config, library) share a single simulation.
+func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run {
+	label := fmt.Sprintf("%s on %s", app.Name, cfg.Name)
+	return r.submit(keyFor("app:"+app.Name, cfg, lib), label, func(run *Run) error {
+		m, cycles, err := workload.Run(app, cfg, lib)
+		if err != nil {
+			return fmt.Errorf("harness: %s on %s: %w", app.Name, cfg.Name, err)
+		}
+		run.m, run.cycles = m, cycles
+		return nil
+	})
+}
+
+// MicroFn is one of the workload.Micro* measurement functions.
+type MicroFn func(machine.Config, *syncrt.Lib) workload.MicroResult
+
+// Micro submits one Fig. 5 microbenchmark, memoized by
+// (operation, config, library).
+func (r *Runner) Micro(op string, fn MicroFn, cfg machine.Config, lib *syncrt.Lib) *Run {
+	label := fmt.Sprintf("%s on %s", op, cfg.Name)
+	return r.submit(keyFor("micro:"+op, cfg, lib), label, func(run *Run) error {
+		run.micro = fn(cfg, lib)
+		return nil
+	})
+}

@@ -102,23 +102,31 @@ func (e *Engine) After(d Time, fn func()) *Event {
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// pruneDead discards cancelled events at the head of the queue. Every
+// queue consumer goes through this one helper, so dead events are handled
+// uniformly: they never fire, never advance the clock, and never count in
+// Fired — whether they are met by Step, RunUntil, or a deadline check.
+func (e *Engine) pruneDead() {
+	for len(e.queue) > 0 && e.queue[0].dead {
+		heap.Pop(&e.queue)
+	}
+}
+
 // Step executes the single earliest pending event. It reports false when the
 // queue is empty (simulation quiesced) or the engine was stopped.
 func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.when
-		e.fired++
-		ev.fn()
-		return true
+	e.pruneDead()
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
@@ -135,15 +143,9 @@ func (e *Engine) Run() Time {
 // deadlock or runaway workload in tests.
 func (e *Engine) RunUntil(deadline Time) bool {
 	for {
-		if e.stopped {
+		e.pruneDead()
+		if e.stopped || len(e.queue) == 0 {
 			return len(e.queue) == 0
-		}
-		// Peek: skip dead events at the head.
-		for len(e.queue) > 0 && e.queue[0].dead {
-			heap.Pop(&e.queue)
-		}
-		if len(e.queue) == 0 {
-			return true
 		}
 		if e.queue[0].when > deadline {
 			return false

@@ -157,6 +157,81 @@ func TestEngineFiredCounter(t *testing.T) {
 	}
 }
 
+// Cancel-at-head during RunUntil: a dead event at the queue head must not
+// fire, must not advance the clock, must not count in Fired, and must not
+// make RunUntil misreport drained/pending.
+func TestEngineRunUntilCancelAtHead(t *testing.T) {
+	e := NewEngine()
+	headFired := false
+	head := e.At(10, func() { headFired = true })
+	var tail []Time
+	e.At(20, func() { tail = append(tail, e.Now()) })
+	e.At(5, func() { head.Cancel() })
+
+	// Deadline lands between the dead head (10) and the live tail (20):
+	// RunUntil must prune the head, then stop at the tail without firing it.
+	if e.RunUntil(15) {
+		t.Fatal("RunUntil(15) reported drained with a live event at 20")
+	}
+	if headFired {
+		t.Fatal("cancelled head event fired")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5: a dead event must not advance the clock", e.Now())
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1: dead events must not count as fired", e.Fired())
+	}
+	if !e.RunUntil(25) {
+		t.Fatal("RunUntil(25) should drain")
+	}
+	if len(tail) != 1 || tail[0] != 20 || e.Fired() != 2 {
+		t.Fatalf("tail = %v, Fired = %d; want [20], 2", tail, e.Fired())
+	}
+}
+
+// A queue holding only cancelled events counts as drained, including past
+// the deadline and after Stop.
+func TestEngineRunUntilAllDeadDrains(t *testing.T) {
+	e := NewEngine()
+	evs := []*Event{e.At(10, func() {}), e.At(20, func() {}), e.At(30, func() {})}
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	if !e.RunUntil(5) {
+		t.Fatal("all-dead queue should report drained even before the deadline")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", e.Fired())
+	}
+
+	e2 := NewEngine()
+	var late *Event
+	e2.At(1, func() { e2.Stop(); late.Cancel() })
+	late = e2.At(50, func() {})
+	if !e2.RunUntil(100) {
+		t.Fatal("stopped engine whose only pending event is dead should report drained")
+	}
+}
+
+// Step must skip dead events without firing them or counting them.
+func TestEngineStepSkipsDead(t *testing.T) {
+	e := NewEngine()
+	dead := e.At(3, func() { t.Error("dead event fired") })
+	dead.Cancel()
+	fired := false
+	e.At(7, func() { fired = true })
+	if !e.Step() {
+		t.Fatal("Step should fire the live event")
+	}
+	if !fired || e.Fired() != 1 || e.Now() != 7 {
+		t.Fatalf("fired=%v Fired=%d Now=%d; want true, 1, 7", fired, e.Fired(), e.Now())
+	}
+	if e.Step() {
+		t.Fatal("queue should be empty")
+	}
+}
+
 // Property: regardless of insertion order, events fire in nondecreasing time
 // order, and same-time events fire in insertion order.
 func TestEnginePropertyOrdering(t *testing.T) {

@@ -161,7 +161,10 @@ var (
 	RunApp = workload.Run
 )
 
-// Experiment harness: one entry per paper artifact.
+// Experiment harness: one entry per paper artifact. Each figure returns
+// (*stats.Table, error); Options.Parallel sizes the worker pool these
+// package-level entry points use. To share one memoization cache across
+// several figures, build a Runner and call its methods instead.
 var (
 	Table1         = harness.Table1
 	Fig5           = harness.Fig5
@@ -177,4 +180,17 @@ var (
 	SuspendStress  = harness.SuspendStress
 	DefaultOptions = harness.DefaultOptions
 	QuickOptions   = harness.QuickOptions
+	// NewRunner builds the parallel, memoizing experiment executor.
+	NewRunner = harness.NewRunner
+)
+
+// Runner is the parallel, memoizing experiment executor: a worker pool
+// that simulates each unique (app, config, tiles, library) combination
+// exactly once, sharing results (e.g. the pthread baseline) across
+// figures. ProgressEvent and RunnerStats expose its per-run reporting and
+// cache counters.
+type (
+	Runner        = harness.Runner
+	ProgressEvent = harness.ProgressEvent
+	RunnerStats   = harness.RunnerStats
 )
