@@ -1,0 +1,219 @@
+// Command misar-sim runs one benchmark on one machine configuration and
+// prints detailed statistics: cycles, speedup versus the software baseline,
+// MSA/OMU activity, coverage, and network/cache counters.
+//
+// Usage:
+//
+//	misar-sim -app streamcluster -tiles 64 -config msaomu2
+//	misar-sim -app fluidanimate -tiles 16 -config msaomu2-noopt -v
+//	misar-sim -list
+//
+// Configs: pthread, spinlock, mcs-tour, msa0, msaomu1, msaomu2, msaomu4,
+// msaomu2-noomu, msaomu2-noopt, msaomu2-lockonly, msaomu2-barrieronly,
+// msainf, ideal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"misar/internal/cpu"
+	"misar/internal/machine"
+	"misar/internal/syncrt"
+	"misar/internal/trace"
+	"misar/internal/workload"
+)
+
+type variant struct {
+	cfg func(tiles int) machine.Config
+	lib func() *syncrt.Lib
+}
+
+func variants() map[string]variant {
+	baseline := func(tiles int) machine.Config {
+		c := machine.Default(tiles)
+		c.Name = "software baseline"
+		c.CPU.Mode = cpu.ModeAlwaysFail
+		return c
+	}
+	return map[string]variant{
+		"pthread":  {baseline, syncrt.PthreadLib},
+		"spinlock": {baseline, syncrt.SpinLib},
+		"mcs-tour": {baseline, syncrt.MCSTourLib},
+		"msa0":     {machine.MSA0, syncrt.HWLib},
+		"msaomu1":  {func(t int) machine.Config { return machine.MSAOMU(t, 1) }, syncrt.HWLib},
+		"msaomu2":  {func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},
+		"msaomu4":  {func(t int) machine.Config { return machine.MSAOMU(t, 4) }, syncrt.HWLib},
+		"msaomu2-noomu": {func(t int) machine.Config {
+			return machine.WithoutOMU(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msaomu2-noopt": {func(t int) machine.Config {
+			return machine.WithoutHWSync(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msaomu2-lockonly": {func(t int) machine.Config {
+			return machine.LockOnly(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msaomu2-barrieronly": {func(t int) machine.Config {
+			return machine.BarrierOnly(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msainf": {machine.MSAInf, syncrt.HWLib},
+		"ideal":  {machine.Ideal, syncrt.HWLib},
+	}
+}
+
+func main() {
+	appName := flag.String("app", "streamcluster", "benchmark name (-list to enumerate)")
+	tiles := flag.Int("tiles", 16, "core count (<= 64)")
+	config := flag.String("config", "msaomu2", "machine configuration")
+	configFile := flag.String("config-file", "", "load the machine configuration from a JSON file (overrides -config/-tiles)")
+	saveConfig := flag.String("save-config", "", "write the resolved machine configuration to a JSON file and exit")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	verbose := flag.Bool("v", false, "print per-component statistics")
+	report := flag.String("report", "", "write a JSON metrics report to this file (enables metering)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range workload.Suite() {
+			marker := " "
+			if a.SyncSensitive {
+				marker = "*"
+			}
+			fmt.Printf("%s %s\n", marker, a.Name)
+		}
+		fmt.Println("(* = synchronization sensitive, shown individually in Fig. 6)")
+		return
+	}
+
+	app, ok := workload.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "misar-sim: unknown app %q (-list to enumerate)\n", *appName)
+		os.Exit(2)
+	}
+	v, ok := variants()[*config]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "misar-sim: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	cfg := v.cfg(*tiles)
+	if *configFile != "" {
+		var err error
+		cfg, err = machine.LoadConfig(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			os.Exit(2)
+		}
+	}
+	if *saveConfig != "" {
+		if err := machine.SaveConfig(*saveConfig, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *saveConfig)
+		return
+	}
+
+	// Baseline for the speedup denominator.
+	baseV := variants()["pthread"]
+	_, baseCycles, err := workload.Run(app, baseV.cfg(cfg.Tiles), baseV.lib())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-sim: baseline:", err)
+		os.Exit(1)
+	}
+
+	if *report != "" {
+		cfg.Metrics = true
+	}
+	lib := v.lib()
+
+	start := time.Now()
+	m := machine.New(cfg)
+	var buf *trace.Buffer
+	if *traceOut != "" {
+		buf = trace.NewBuffer(1_000_000)
+		m.AttachTracer(buf)
+	}
+	arena := syncrt.NewArena(0x1000000)
+	m.SpawnAll(cfg.Tiles, app.Build(arena, cfg.Tiles, lib))
+	cycles, err := m.Run(workload.RunDeadline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-sim:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("app            %s\n", app.Name)
+	fmt.Printf("machine        %s\n", m.Cfg.Name)
+	fmt.Printf("cycles         %d\n", cycles)
+	fmt.Printf("speedup        %.2fx vs pthread (%d cycles)\n",
+		float64(baseCycles)/float64(cycles), baseCycles)
+	fmt.Printf("sync ops       %d issued by cores\n", m.SyncOps())
+	fmt.Printf("coverage       %.1f%% handled in hardware\n", m.Coverage()*100)
+	s := m.MSAStats()
+	fmt.Printf("msa            lockHW=%d lockSW=%d barrierHW=%d barrierSW=%d condHW=%d condSW=%d silent=%d\n",
+		s.LockHW, s.LockSW, s.BarrierHW, s.BarrierSW, s.CondHW, s.CondSW, s.SilentLocks)
+	fmt.Printf("entries        allocs=%d deallocs=%d reclaims=%d grants=%d revokes=%d aborts=%d\n",
+		s.Allocs, s.Deallocs, s.Reclaims, s.Grants, s.Revokes, s.Aborts)
+	fmt.Printf("omu            steers=%d capacitySteers=%d\n", s.OMUSteers, s.CapacitySteers)
+	for _, lk := range []struct {
+		name string
+		kind cpu.LatencyKind
+	}{
+		{"lock", cpu.LatLock}, {"unlock", cpu.LatUnlock},
+		{"barrier", cpu.LatBarrier}, {"cond", cpu.LatCond},
+	} {
+		h := m.Latency(lk.kind)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("lat %-10s n=%-7d mean=%-8.1f p50<=%-8d p95<=%-8d max=%d\n",
+			lk.name, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Max())
+	}
+	ns := m.Net.Stats()
+	fmt.Printf("noc            msgs=%d flits=%d avgLat=%.1f maxLat=%d\n",
+		ns.Messages, ns.Flits, ns.AvgLatency(), ns.MaxLatency)
+	fmt.Printf("wall           %v (%.0f sim cycles/s)\n",
+		wall.Round(time.Millisecond), float64(cycles)/wall.Seconds())
+
+	if *report != "" {
+		rep := m.MetricsReport("app", app.Name, lib.Desc())
+		if err := rep.WriteJSONFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report         wrote %s (%d counters)\n", *report, len(rep.Metrics.Counters))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			os.Exit(1)
+		}
+		events := buf.Events()
+		if err := trace.WriteChrome(f, events); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace          wrote %s (%d events, %d dropped)\n", *traceOut, len(events), buf.Dropped)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-tile:")
+		for i := range m.Cores {
+			cs := m.Cores[i].Stats()
+			ls := m.L1s[i].Stats()
+			ds := m.Dirs[i].Stats()
+			os := m.Slices[i].OMUStats()
+			fmt.Printf("  tile %2d: syncStall=%-8d silent=%-5d l1hit=%d/%d dirReqs=%d omuIncs=%d\n",
+				i, cs.SyncStallCycles, cs.SilentLocks,
+				ls.Hits, ls.Hits+ls.Misses, ds.GetS+ds.GetX, os.Incs)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command misar-trace runs a benchmark with protocol tracing attached and
+// prints the chronological MSA event timeline: requests, grants, aborts,
+// entry lifecycle, silent acquisitions, and the condition-variable
+// MSA-to-MSA handshakes.
+//
+// Usage:
+//
+//	misar-trace -app fluidanimate -tiles 8 -last 40
+//	misar-trace -app streamcluster -tiles 16 -addr 0x1000040
+//	misar-trace -app fluidanimate -tiles 8 -format chrome > trace.json
+//
+// -format chrome emits the timeline as Chrome trace-event JSON on stdout,
+// loadable in ui.perfetto.dev or chrome://tracing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/syncrt"
+	"misar/internal/trace"
+	"misar/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "fluidanimate", "benchmark name")
+	tiles := flag.Int("tiles", 8, "core count")
+	entries := flag.Int("entries", 2, "MSA entries per slice")
+	capacity := flag.Int("buffer", 100_000, "event buffer capacity")
+	last := flag.Int("last", 100, "print only the last N events (0 = all)")
+	addr := flag.String("addr", "", "filter to one sync address (hex)")
+	format := flag.String("format", "text", "output format: text or chrome (trace-event JSON for Perfetto)")
+	flag.Parse()
+
+	if *format != "text" && *format != "chrome" {
+		fmt.Fprintf(os.Stderr, "misar-trace: unknown -format %q (want text or chrome)\n", *format)
+		os.Exit(2)
+	}
+
+	app, ok := workload.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "misar-trace: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	buf := trace.NewBuffer(*capacity)
+	if *addr != "" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(*addr, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "misar-trace: bad -addr %q\n", *addr)
+			os.Exit(2)
+		}
+		buf.SetFilter(memory.Addr(v))
+	}
+
+	cfg := machine.MSAOMU(*tiles, *entries)
+	m := machine.New(cfg)
+	m.AttachTracer(buf)
+	arena := syncrt.NewArena(0x1000000)
+	body := app.Build(arena, cfg.Tiles, syncrt.HWLib())
+	m.SpawnAll(cfg.Tiles, body)
+	cycles, err := m.Run(workload.RunDeadline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-trace:", err)
+		os.Exit(1)
+	}
+
+	events := buf.Events()
+	if *format == "chrome" {
+		if err := trace.WriteChrome(os.Stdout, events); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("# %s on %s: %d cycles, %d events recorded (%d dropped, %d filtered)\n",
+		app.Name, cfg.Name, cycles, len(events), buf.Dropped, buf.Filtered)
+	fmt.Printf("# %10s  %-7s %-8s %-8s %-11s detail\n", "cycle", "tile", "kind", "core", "addr")
+	if *last > 0 && len(events) > *last {
+		fmt.Printf("# ... %d earlier events elided (use -last 0 for all)\n", len(events)-*last)
+		events = events[len(events)-*last:]
+	}
+	for _, ev := range events {
+		fmt.Println(ev)
+	}
+}

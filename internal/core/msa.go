@@ -7,6 +7,7 @@ import (
 	"misar/internal/coherence"
 	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/metrics"
 	"misar/internal/sim"
 	"misar/internal/trace"
 )
@@ -165,10 +166,55 @@ type Slice struct {
 	tick    uint64 // op counter for LRU standby reclaim
 	stats   Stats
 	tracer  *trace.Buffer // nil unless protocol tracing is attached
+
+	met sliceMetrics
+	// swActive is an exact shadow of the per-address software-activity level,
+	// maintained only while metrics are attached. The OMU itself is untagged
+	// (that is the point of its hardware economy), so comparing a steer
+	// decision against this shadow classifies it as genuine or a false
+	// positive from counter aliasing / Bloom collision.
+	swActive map[memory.Addr]int
+}
+
+// sliceMetrics holds the slice's resolved per-tile instruments. All fields
+// are nil when metering is off; every method is nil-receiver safe, so the
+// hot paths below record unconditionally.
+type sliceMetrics struct {
+	allocs, deallocs     *metrics.Counter
+	standbys, reclaims   *metrics.Counter
+	omuSteers, capSteers *metrics.Counter
+	falseSteers          *metrics.Counter
+	silentLocks, aborts  *metrics.Counter
+	grants, revokes      *metrics.Counter
 }
 
 // SetTracer attaches a protocol-event recorder (nil detaches).
 func (s *Slice) SetTracer(b *trace.Buffer) { s.tracer = b }
+
+// SetMetrics resolves this slice's per-tile instruments from reg (nil
+// detaches and returns the slice to the zero-cost path).
+func (s *Slice) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.met = sliceMetrics{}
+		s.swActive = nil
+		return
+	}
+	n := func(metric string) string { return metrics.TileName("msa", s.tile, metric) }
+	s.met = sliceMetrics{
+		allocs:      reg.Counter(n("entry_allocs")),
+		deallocs:    reg.Counter(n("entry_deallocs")),
+		standbys:    reg.Counter(n("entry_standbys")),
+		reclaims:    reg.Counter(n("entry_reclaims")),
+		omuSteers:   reg.Counter(n("omu_steers")),
+		capSteers:   reg.Counter(n("capacity_steers")),
+		falseSteers: reg.Counter(n("omu_false_steers")),
+		silentLocks: reg.Counter(n("silent_locks")),
+		aborts:      reg.Counter(n("aborts")),
+		grants:      reg.Counter(n("grants")),
+		revokes:     reg.Counter(n("revokes")),
+	}
+	s.swActive = make(map[memory.Addr]int)
+}
 
 // trace records a protocol event when tracing is attached.
 func (s *Slice) trace(kind trace.Kind, addr memory.Addr, core int, detail string) {
@@ -257,6 +303,10 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	}
 	if s.cfg.OMUEnabled && s.omu.ActiveSW(addr) {
 		s.stats.OMUSteers++
+		s.met.omuSteers.Inc()
+		if s.swActive != nil && s.swActive[addr] == 0 {
+			s.met.falseSteers.Inc()
+		}
 		return nil
 	}
 	e := s.boundEntry(typ, addr)
@@ -265,12 +315,14 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	}
 	if e == nil {
 		s.stats.CapacitySteers++
+		s.met.capSteers.Inc()
 		// Kick off a background reclaim of a standby entry (revoke its
 		// HWSync block, then free it) so a future request finds room.
 		s.startReclaim(nil)
 		return nil
 	}
 	s.stats.Allocs++
+	s.met.allocs.Inc()
 	s.tick++
 	*e = entry{valid: true, typ: typ, addr: addr, owner: -1, standbyCore: -1, pinCore: -1, lastUse: s.tick}
 	s.trace(trace.EntryAlloc, addr, -1, typ.String())
@@ -315,6 +367,8 @@ func (s *Slice) freeEntry() *entry {
 			!s.dir.IsExclusiveAt(memory.LineOf(e.addr), e.standbyCore) {
 			s.stats.Reclaims++
 			s.stats.Deallocs++
+			s.met.reclaims.Inc()
+			s.met.deallocs.Inc()
 			e.valid = false
 			return e
 		}
@@ -347,6 +401,7 @@ func (s *Slice) dealloc(e *entry) {
 		return
 	}
 	s.stats.Deallocs++
+	s.met.deallocs.Inc()
 	s.trace(trace.EntryFree, e.addr, -1, e.typ.String())
 	e.valid = false
 }
@@ -354,6 +409,7 @@ func (s *Slice) dealloc(e *entry) {
 func (s *Slice) respond(core int, op isa.SyncOp, addr memory.Addr, res isa.Result, reason AbortReason) {
 	if res == isa.Abort {
 		s.stats.Aborts++
+		s.met.aborts.Inc()
 		s.trace(trace.Abort, addr, core, op.String())
 	}
 	s.trace(trace.SyncResp, addr, core, op.String()+" "+res.String())
@@ -363,20 +419,28 @@ func (s *Slice) respond(core int, op isa.SyncOp, addr memory.Addr, res isa.Resul
 func (s *Slice) omuInc(addr memory.Addr) {
 	if s.cfg.OMUEnabled {
 		s.omu.Inc(addr)
+		if s.swActive != nil {
+			s.swActive[addr]++
+		}
 	}
 }
 
 func (s *Slice) omuAdd(addr memory.Addr, n int) {
-	if s.cfg.OMUEnabled {
-		for i := 0; i < n; i++ {
-			s.omu.Inc(addr)
-		}
+	for i := 0; i < n; i++ {
+		s.omuInc(addr)
 	}
 }
 
 func (s *Slice) omuDec(addr memory.Addr) {
 	if s.cfg.OMUEnabled {
 		s.omu.Dec(addr)
+		if s.swActive != nil {
+			if s.swActive[addr] <= 1 {
+				delete(s.swActive, addr)
+			} else {
+				s.swActive[addr]--
+			}
+		}
 	}
 }
 
@@ -458,6 +522,7 @@ func (s *Slice) enqueueLocker(e *entry, core int, respOp isa.SyncOp, respAddr me
 			// completes.
 			e.revoking = true
 			s.stats.Revokes++
+			s.met.revokes.Inc()
 			s.trace(trace.Revoke, e.addr, e.standbyCore, "revoke before grant")
 			s.dir.Revoke(memory.LineOf(e.addr), func() { s.afterRevoke(e) })
 			return
@@ -480,6 +545,7 @@ func (s *Slice) afterRevoke(e *entry) {
 		if e.owner == -1 && e.waiters == 0 && e.pins == 0 {
 			// No one slipped in during the revocation: free the slot.
 			s.stats.Reclaims++
+			s.met.reclaims.Inc()
 			s.dealloc(e)
 			return
 		}
@@ -517,6 +583,7 @@ func (s *Slice) startReclaim(except *entry) {
 	victim.revoking = true
 	victim.reclaiming = true
 	s.stats.Revokes++
+	s.met.revokes.Inc()
 	s.trace(trace.EntryRecl, victim.addr, victim.standbyCore, "reclaim start")
 	s.dir.Revoke(memory.LineOf(victim.addr), func() { s.afterRevoke(victim) })
 }
@@ -562,6 +629,7 @@ func (s *Slice) promote(e *entry) {
 		e.standbyCore = next
 		e.grantsOut++
 		s.stats.Grants++
+		s.met.grants.Inc()
 		s.trace(trace.Grant, e.addr, next, "block grant")
 		s.dir.GrantExclusive(memory.LineOf(e.addr), next, func() {
 			e.grantsOut--
@@ -659,6 +727,7 @@ func (s *Slice) maybeRetire(e *entry) {
 		// have exhausted the slice, proactively free the coldest one so
 		// the next allocation does not have to fall back to software.
 		e.standby = true
+		s.met.standbys.Inc()
 		s.trace(trace.EntryStand, e.addr, e.standbyCore, "standby")
 		if s.cfg.OMUEnabled && !s.hasFreeSlot() {
 			s.startReclaim(e)
@@ -681,6 +750,7 @@ func (s *Slice) handleLockSilent(r *Req) {
 			r.Addr, r.Core, e.owner, e.draining, e.standby, e.revoking, e.reclaiming, e.standbyCore, e.grantsOut, e.waiters))
 	}
 	s.stats.SilentLocks++
+	s.met.silentLocks.Inc()
 	s.trace(trace.Silent, r.Addr, r.Core, "silent acquire")
 	e.owner = r.Core
 	e.standby = false

@@ -7,6 +7,7 @@ import (
 	corepkg "misar/internal/core"
 	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/metrics"
 	"misar/internal/sim"
 	"misar/internal/stats"
 	"misar/internal/trace"
@@ -47,6 +48,9 @@ type Stats struct {
 	SyncIssued      [9]uint64 // indexed by isa.SyncOp
 	SilentLocks     uint64    // LOCKs completed locally via the HWSync bit
 	SyncStallCycles sim.Time  // cycles spent waiting for sync responses
+	// SyncStallByKind breaks SyncStallCycles down by the class of the
+	// stalling instruction (indexed by LatencyKind).
+	SyncStallByKind [numLatKinds]sim.Time
 	ComputeCycles   uint64
 	Suspends        uint64
 	Resumes         uint64
@@ -106,9 +110,10 @@ type Core struct {
 	// install, per line. Cleared on context switch.
 	expectGrant map[memory.Addr]int
 
-	stats  Stats
-	lat    [numLatKinds]stats.Histogram
-	tracer *trace.Buffer // nil unless tracing is attached
+	stats   Stats
+	lat     [numLatKinds]stats.Histogram
+	tracer  *trace.Buffer     // nil unless tracing is attached
+	metrics *metrics.Registry // nil unless the machine is metered
 }
 
 // Latency returns the core's latency histogram for one operation class.
@@ -116,6 +121,15 @@ func (c *Core) Latency(k LatencyKind) *stats.Histogram { return &c.lat[k] }
 
 // SetTracer attaches an event recorder to this core (nil detaches).
 func (c *Core) SetTracer(b *trace.Buffer) { c.tracer = b }
+
+// SetMetrics attaches the machine's metrics registry (nil detaches). The
+// core itself records through its Stats struct either way; the registry is
+// exposed to the thread via Env.Metrics so the synchronization runtime can
+// resolve its own instruments.
+func (c *Core) SetMetrics(r *metrics.Registry) { c.metrics = r }
+
+// Metrics returns the attached registry (nil when metering is off).
+func (c *Core) Metrics() *metrics.Registry { return c.metrics }
 
 func (c *Core) trace(kind trace.Kind, addr memory.Addr, detail string) {
 	if c.tracer == nil {
@@ -279,6 +293,7 @@ func (c *Core) HandleResp(r *corepkg.Resp) {
 	c.out = nil
 	elapsed := c.engine.Now() - o.issued
 	c.stats.SyncStallCycles += elapsed
+	c.stats.SyncStallByKind[latKindOf(o.op)] += elapsed
 	c.lat[latKindOf(o.op)].Observe(uint64(elapsed))
 	c.trace(trace.Complete, o.addr, o.op.String()+" "+r.Result.String())
 	if r.ClearHWSync {

@@ -15,6 +15,7 @@ package cpu
 import (
 	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/metrics"
 	"misar/internal/sim"
 )
 
@@ -38,6 +39,10 @@ type Env interface {
 	// Sync executes a synchronization instruction. goal is the barrier
 	// participant count; lock is COND_WAIT's associated lock.
 	Sync(op isa.SyncOp, addr memory.Addr, goal int, lock memory.Addr) isa.Result
+	// Metrics returns the machine's metrics registry, or nil when metering
+	// is disabled. Library code resolves instruments through it once at bind
+	// time (a nil registry yields nil, zero-cost instruments).
+	Metrics() *metrics.Registry
 }
 
 // reqKind enumerates thread→kernel requests.
@@ -74,6 +79,8 @@ type env struct{ t *Thread }
 func (e env) ThreadID() int { return e.t.id }
 func (e env) Core() int     { return e.t.core.id }
 func (e env) Now() sim.Time { return e.t.core.engine.Now() }
+
+func (e env) Metrics() *metrics.Registry { return e.t.core.metrics }
 
 // call sends a request to the kernel and blocks until its result arrives.
 func (e env) call(r threadReq) uint64 {

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+
+	"misar/internal/machine"
+	"misar/internal/stats"
+	"misar/internal/syncrt"
+)
+
+// SyncOverhead builds the synchronization-overhead breakdown table through a
+// private Runner sized by o.Parallel.
+func SyncOverhead(o Options) (*stats.Table, error) { return NewRunner(o.Parallel).SyncOverhead(o) }
+
+// SyncOverhead derives a per-application synchronization cost breakdown from
+// the metrics counters of metered runs — no re-simulation and no extra
+// instrumentation passes; every column is arithmetic over one report:
+//
+//	SyncStall%  — core cycles spent synchronizing — hardware sync
+//	              instruction stalls plus time inside the software paths
+//	              (the syncrt.sw_* histogram sums) — as a share of
+//	              tiles x total cycles
+//	Lock%/Barrier%/Cond% — that cost split by operation class (Lock%
+//	              includes unlock)
+//	HW%         — share of synchronization operations completed by the MSA
+//	Steers      — operations steered to software by the OMU or by slice
+//	              capacity (the paper's overflow mechanism at work)
+//	SilentLocks — re-acquisitions satisfied core-locally by the HWSync bit
+//
+// It compares the pthread software baseline against MSA/OMU-2, so the table
+// shows both where the baseline's time goes and what the accelerator
+// eliminates. The runs are metered regardless of the Runner-wide metrics
+// setting; they memoize under the metered fingerprint.
+func (r *Runner) SyncOverhead(o Options) (*stats.Table, error) {
+	apps, err := o.appList()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("SyncOverhead: breakdown from metrics counters",
+		"SyncStall%", "Lock%", "Barrier%", "Cond%", "HW%", "Steers", "SilentLocks")
+	schemes := []configEntry{
+		{"pthread", baselineCfg, syncrt.PthreadLib},
+		{"MSA/OMU-2", func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},
+	}
+	type row struct {
+		label string
+		tiles int
+		run   *Run
+	}
+	var rows []row
+	for _, tiles := range o.Tiles {
+		for _, app := range apps {
+			for _, s := range schemes {
+				cfg := s.cfg(tiles)
+				cfg.Metrics = true
+				rows = append(rows, row{
+					label: fmt.Sprintf("%s/%dc %s", app.Name, tiles, s.name),
+					tiles: tiles,
+					run:   r.App(app, cfg, s.lib()),
+				})
+			}
+		}
+	}
+	for _, row := range rows {
+		if _, _, err := row.run.App(); err != nil {
+			return nil, err
+		}
+		rep := row.run.Report()
+		if rep == nil {
+			return nil, fmt.Errorf("harness: %s: metered run produced no report", row.label)
+		}
+		c := rep.Metrics.Counters
+		swSum := func(name string) uint64 { return rep.Metrics.Histograms[name].Sum }
+		coreCycles := float64(row.tiles) * float64(rep.Cycles)
+		pct := func(v uint64) float64 {
+			if coreCycles == 0 {
+				return 0
+			}
+			return float64(v) / coreCycles * 100
+		}
+		// Hardware stalls and software-path intervals are disjoint (a HW
+		// attempt's stall ends before its fallback's timer starts), so the
+		// classes sum cleanly.
+		lockCost := c["cpu.stall_lock_cycles"] + c["cpu.stall_unlock_cycles"] +
+			swSum("syncrt.sw_lock_cycles") + swSum("syncrt.sw_unlock_cycles")
+		barrierCost := c["cpu.stall_barrier_cycles"] + swSum("syncrt.sw_barrier_cycles")
+		condCost := c["cpu.stall_cond_cycles"] + swSum("syncrt.sw_cond_wait_cycles")
+		hw := c["msa.lock_hw"] + c["msa.unlock_hw"] + c["msa.barrier_hw"] + c["msa.cond_hw"]
+		sw := c["msa.lock_sw"] + c["msa.unlock_sw"] + c["msa.barrier_sw"] + c["msa.cond_sw"]
+		hwPct := 0.0
+		if hw+sw > 0 {
+			hwPct = float64(hw) / float64(hw+sw) * 100
+		}
+		t.AddRow(row.label,
+			pct(lockCost+barrierCost+condCost),
+			pct(lockCost),
+			pct(barrierCost),
+			pct(condCost),
+			hwPct,
+			float64(c["msa.omu_steers"]+c["msa.capacity_steers"]),
+			float64(c["msa.silent_locks"]))
+	}
+	return t, nil
+}

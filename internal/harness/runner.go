@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"misar/internal/machine"
+	"misar/internal/metrics"
 	"misar/internal/sim"
 	"misar/internal/syncrt"
 	"misar/internal/workload"
@@ -29,6 +30,8 @@ type Runner struct {
 
 	mu        sync.Mutex
 	cache     map[runKey]*Run
+	order     []*Run // unique runs in submission order, for Reports
+	metrics   bool   // meter every subsequently submitted run
 	progress  func(ProgressEvent)
 	submitted int // all submissions, including memo hits
 	unique    int // distinct simulations started
@@ -74,6 +77,7 @@ type Run struct {
 	m      *machine.Machine
 	cycles sim.Time
 	micro  workload.MicroResult
+	report *metrics.Report
 	err    error
 }
 
@@ -89,6 +93,13 @@ func (r *Run) App() (*machine.Machine, sim.Time, error) {
 func (r *Run) Micro() (workload.MicroResult, error) {
 	<-r.done
 	return r.micro, r.err
+}
+
+// Report blocks until the run completes and returns its metrics report, or
+// nil when the run was not metered (see Runner.EnableMetrics) or failed.
+func (r *Run) Report() *metrics.Report {
+	<-r.done
+	return r.report
 }
 
 // NewRunner returns a Runner executing at most workers simulations
@@ -116,6 +127,42 @@ func (r *Runner) SetProgress(fn func(ProgressEvent)) {
 	r.mu.Unlock()
 }
 
+// EnableMetrics makes every subsequently submitted run build its machine
+// with cfg.Metrics set, so each unique simulation produces a
+// *metrics.Report. Metered and unmetered submissions of the same experiment
+// memoize separately (the Metrics flag is part of the config fingerprint),
+// so flipping this mid-stream never hands a caller a report-less future.
+func (r *Runner) EnableMetrics() {
+	r.mu.Lock()
+	r.metrics = true
+	r.mu.Unlock()
+}
+
+func (r *Runner) metered() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
+}
+
+// Reports returns the reports of all unique metered runs in submission
+// order, blocking until each completes. Runs that were unmetered or failed
+// are skipped. Submission order is deterministic for a fixed figure set —
+// figures enqueue on the calling goroutine — so the returned slice is too,
+// regardless of worker count.
+func (r *Runner) Reports() []*metrics.Report {
+	r.mu.Lock()
+	runs := make([]*Run, len(r.order))
+	copy(runs, r.order)
+	r.mu.Unlock()
+	var reps []*metrics.Report
+	for _, run := range runs {
+		if rep := run.Report(); rep != nil {
+			reps = append(reps, rep)
+		}
+	}
+	return reps
+}
+
 // Stats returns the submission/memoization counters.
 func (r *Runner) Stats() RunnerStats {
 	r.mu.Lock()
@@ -135,6 +182,7 @@ func (r *Runner) submit(key runKey, label string, fn func(run *Run) error) *Run 
 	}
 	run := &Run{label: label, done: make(chan struct{})}
 	r.cache[key] = run
+	r.order = append(r.order, run)
 	r.unique++
 	r.mu.Unlock()
 
@@ -173,6 +221,9 @@ func (r *Runner) submit(key runKey, label string, fn func(run *Run) error) *Run 
 // App submits one application run. Submissions of the same
 // (app, config, library) share a single simulation.
 func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run {
+	if r.metered() {
+		cfg.Metrics = true
+	}
 	label := fmt.Sprintf("%s on %s", app.Name, cfg.Name)
 	return r.submit(keyFor("app:"+app.Name, cfg, lib), label, func(run *Run) error {
 		m, cycles, err := workload.Run(app, cfg, lib)
@@ -180,6 +231,7 @@ func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run
 			return fmt.Errorf("harness: %s on %s: %w", app.Name, cfg.Name, err)
 		}
 		run.m, run.cycles = m, cycles
+		run.report = m.MetricsReport("app", app.Name, lib.Desc())
 		return nil
 	})
 }
@@ -190,9 +242,13 @@ type MicroFn func(machine.Config, *syncrt.Lib) workload.MicroResult
 // Micro submits one Fig. 5 microbenchmark, memoized by
 // (operation, config, library).
 func (r *Runner) Micro(op string, fn MicroFn, cfg machine.Config, lib *syncrt.Lib) *Run {
+	if r.metered() {
+		cfg.Metrics = true
+	}
 	label := fmt.Sprintf("%s on %s", op, cfg.Name)
 	return r.submit(keyFor("micro:"+op, cfg, lib), label, func(run *Run) error {
 		run.micro = fn(cfg, lib)
+		run.report = run.micro.Report
 		return nil
 	})
 }

@@ -12,7 +12,9 @@ import (
 	"misar/internal/coherence"
 	corepkg "misar/internal/core"
 	"misar/internal/cpu"
+	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/metrics"
 	"misar/internal/noc"
 	"misar/internal/sim"
 	"misar/internal/stats"
@@ -28,6 +30,13 @@ type Config struct {
 	Dir   coherence.DirConfig
 	MSA   corepkg.Config
 	CPU   cpu.Config
+	// Metrics attaches a metrics.Registry to the machine: the MSA slices
+	// record per-tile instruments inline, and Run fills in machine-wide
+	// totals from the component statistics when the simulation finishes.
+	// A plain bool (rather than a registry pointer) keeps Config a pure
+	// value: it serializes to JSON and fingerprints deterministically for
+	// the experiment harness's memoization keys.
+	Metrics bool
 }
 
 // meshDims picks the squarest W×H decomposition for n tiles.
@@ -148,6 +157,10 @@ type Machine struct {
 	Slices  []*corepkg.Slice
 	Cores   []*cpu.Core
 	Complex *cpu.Complex
+	// Metrics is the machine's instrument registry (nil unless Cfg.Metrics).
+	Metrics *metrics.Registry
+
+	collected bool // machine-wide totals already folded into Metrics
 }
 
 // New builds and wires a machine.
@@ -209,6 +222,15 @@ func New(cfg Config) *Machine {
 			}
 		})
 	}
+	if cfg.Metrics {
+		m.Metrics = metrics.NewRegistry()
+		for _, sl := range m.Slices {
+			sl.SetMetrics(m.Metrics)
+		}
+		for _, c := range m.Cores {
+			c.SetMetrics(m.Metrics)
+		}
+	}
 	m.Complex = cpu.NewComplex(engine, m.Cores)
 	return m
 }
@@ -229,6 +251,7 @@ func (m *Machine) SpawnAll(n int, body func(tid int, e cpu.Env)) {
 // Run drives the simulation until all threads finish. It returns the final
 // cycle, or an error on deadlock, timeout, or a panicking thread body.
 func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
+	defer m.collectMetrics()
 	drained := m.Engine.RunUntil(deadline)
 	for _, t := range m.Complex.Threads() {
 		if t.Err() != nil {
@@ -242,6 +265,181 @@ func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
 		return m.Engine.Now(), fmt.Errorf("machine: quiesced with %d threads blocked (deadlock)", r)
 	}
 	return m.Engine.Now(), nil
+}
+
+// latNames labels the cpu.LatencyKind histogram classes for metric names.
+var latNames = [...]struct {
+	kind cpu.LatencyKind
+	name string
+}{
+	{cpu.LatLock, "lock"},
+	{cpu.LatUnlock, "unlock"},
+	{cpu.LatBarrier, "barrier"},
+	{cpu.LatCond, "cond"},
+}
+
+// collectMetrics folds machine-wide totals — MSA operation mix, OMU
+// activity, coherence message counts, core stall breakdown, NoC traffic —
+// from the component statistics into the registry. The MSA per-tile entry
+// and steer counters are recorded inline during simulation; everything
+// collected here already exists in a component Stats struct, so the hot
+// paths pay nothing for it. Idempotent; a no-op on an unmetered machine.
+func (m *Machine) collectMetrics() {
+	r := m.Metrics
+	if r == nil || m.collected {
+		return
+	}
+	m.collected = true
+
+	r.Gauge("sim.cycles").Observe(uint64(m.Engine.Now()))
+
+	// MSA operation mix (machine totals; per-tile entry/steer counters are
+	// recorded inline by the slices).
+	ms := m.MSAStats()
+	r.Counter("msa.lock_hw").Add(ms.LockHW)
+	r.Counter("msa.lock_sw").Add(ms.LockSW)
+	r.Counter("msa.unlock_hw").Add(ms.UnlockHW)
+	r.Counter("msa.unlock_sw").Add(ms.UnlockSW)
+	r.Counter("msa.barrier_hw").Add(ms.BarrierHW)
+	r.Counter("msa.barrier_sw").Add(ms.BarrierSW)
+	r.Counter("msa.cond_hw").Add(ms.CondHW)
+	r.Counter("msa.cond_sw").Add(ms.CondSW)
+	r.Counter("msa.silent_locks").Add(ms.SilentLocks)
+	r.Counter("msa.omu_steers").Add(ms.OMUSteers)
+	r.Counter("msa.capacity_steers").Add(ms.CapacitySteers)
+
+	for i, sl := range m.Slices {
+		os := sl.OMUStats()
+		r.Counter(metrics.TileName("omu", i, "incs")).Add(os.Incs)
+		r.Counter(metrics.TileName("omu", i, "decs")).Add(os.Decs)
+		r.Gauge(metrics.TileName("omu", i, "max_level")).Observe(uint64(os.MaxValue))
+	}
+
+	// Coherence message counts by type, plus directory pressure.
+	var l1 coherence.L1Stats
+	var dir coherence.DirStats
+	maxQueue := 0
+	for i := range m.L1s {
+		ls, ds := m.L1s[i].Stats(), m.Dirs[i].Stats()
+		l1.Loads += ls.Loads
+		l1.Stores += ls.Stores
+		l1.RMWs += ls.RMWs
+		l1.Hits += ls.Hits
+		l1.Misses += ls.Misses
+		l1.Evictions += ls.Evictions
+		l1.Writebacks += ls.Writebacks
+		l1.InvReceived += ls.InvReceived
+		l1.FwdReceived += ls.FwdReceived
+		l1.HWSyncSet += ls.HWSyncSet
+		l1.HWSyncCleared += ls.HWSyncCleared
+		dir.GetS += ds.GetS
+		dir.GetX += ds.GetX
+		dir.Grants += ds.Grants
+		dir.InvSent += ds.InvSent
+		dir.FwdSent += ds.FwdSent
+		dir.Writebacks += ds.Writebacks
+		dir.ColdMisses += ds.ColdMisses
+		dir.Conflicts += ds.Conflicts
+		if ds.MaxQueueDepth > maxQueue {
+			maxQueue = ds.MaxQueueDepth
+		}
+	}
+	r.Counter("l1.loads").Add(l1.Loads)
+	r.Counter("l1.stores").Add(l1.Stores)
+	r.Counter("l1.rmws").Add(l1.RMWs)
+	r.Counter("l1.hits").Add(l1.Hits)
+	r.Counter("l1.misses").Add(l1.Misses)
+	r.Counter("l1.evictions").Add(l1.Evictions)
+	r.Counter("l1.writebacks").Add(l1.Writebacks)
+	r.Counter("l1.inv_received").Add(l1.InvReceived)
+	r.Counter("l1.fwd_received").Add(l1.FwdReceived)
+	r.Counter("l1.hwsync_set").Add(l1.HWSyncSet)
+	r.Counter("l1.hwsync_cleared").Add(l1.HWSyncCleared)
+	r.Counter("dir.gets").Add(dir.GetS)
+	r.Counter("dir.getx").Add(dir.GetX)
+	r.Counter("dir.grants").Add(dir.Grants)
+	r.Counter("dir.inv_sent").Add(dir.InvSent)
+	r.Counter("dir.fwd_sent").Add(dir.FwdSent)
+	r.Counter("dir.writebacks").Add(dir.Writebacks)
+	r.Counter("dir.cold_misses").Add(dir.ColdMisses)
+	r.Counter("dir.conflicts").Add(dir.Conflicts)
+	r.Gauge("dir.max_queue_depth").Observe(uint64(maxQueue))
+
+	// Core activity: per-op issue counts, stall-cycle breakdown by cause,
+	// and the per-operation latency histograms.
+	var cs cpu.Stats
+	for i, c := range m.Cores {
+		st := c.Stats()
+		for op, v := range st.SyncIssued {
+			cs.SyncIssued[op] += v
+		}
+		cs.SilentLocks += st.SilentLocks
+		cs.SyncStallCycles += st.SyncStallCycles
+		for k, v := range st.SyncStallByKind {
+			cs.SyncStallByKind[k] += v
+		}
+		cs.ComputeCycles += st.ComputeCycles
+		cs.Suspends += st.Suspends
+		cs.Resumes += st.Resumes
+		cs.Migrations += st.Migrations
+		r.Counter(metrics.TileName("cpu", i, "sync_stall_cycles")).Add(uint64(st.SyncStallCycles))
+	}
+	for op, v := range cs.SyncIssued {
+		if v > 0 {
+			r.Counter("cpu.sync_issued." + isa.SyncOp(op).String()).Add(v)
+		}
+	}
+	r.Counter("cpu.silent_locks").Add(cs.SilentLocks)
+	r.Counter("cpu.sync_stall_cycles").Add(uint64(cs.SyncStallCycles))
+	r.Counter("cpu.compute_cycles").Add(cs.ComputeCycles)
+	r.Counter("cpu.suspends").Add(cs.Suspends)
+	r.Counter("cpu.resumes").Add(cs.Resumes)
+	r.Counter("cpu.migrations").Add(cs.Migrations)
+	for _, ln := range latNames {
+		r.Counter("cpu.stall_" + ln.name + "_cycles").Add(uint64(cs.SyncStallByKind[ln.kind]))
+		h := m.Latency(ln.kind)
+		if h.Count() > 0 {
+			r.Histogram("cpu.latency." + ln.name).Merge(&h)
+		}
+	}
+
+	// NoC traffic: totals, the hop-distance distribution, and per-link flit
+	// counts for the four directed links of every router.
+	ns := m.Net.Stats()
+	r.Counter("noc.messages").Add(ns.Messages)
+	r.Counter("noc.flits").Add(ns.Flits)
+	r.Counter("noc.hop_count").Add(ns.HopCount)
+	r.Counter("noc.total_latency").Add(uint64(ns.TotalLatency))
+	r.Gauge("noc.max_latency").Observe(uint64(ns.MaxLatency))
+	r.Histogram("noc.hops").Merge(&ns.HopHist)
+	for i := 0; i < m.Cfg.Tiles; i++ {
+		for d, name := range noc.DirNames {
+			if f := m.Net.LinkFlits(i, d); f > 0 {
+				r.Counter(metrics.TileName("noc", i, "link_flits."+name)).Add(f)
+			}
+		}
+	}
+}
+
+// MetricsReport builds the per-run observability artifact from the metered
+// machine: identification plus a full snapshot. Returns nil on an unmetered
+// machine. kind is "app" or "micro"; app names the workload; lib describes
+// the synchronization library (syncrt.Lib.Desc).
+func (m *Machine) MetricsReport(kind, app, lib string) *metrics.Report {
+	if m.Metrics == nil {
+		return nil
+	}
+	m.collectMetrics()
+	return &metrics.Report{
+		Schema:  metrics.ReportSchema,
+		Kind:    kind,
+		App:     app,
+		Config:  m.Cfg.Name,
+		Lib:     lib,
+		Tiles:   m.Cfg.Tiles,
+		Cycles:  uint64(m.Engine.Now()),
+		Metrics: m.Metrics.Snapshot(),
+	}
 }
 
 // AttachTracer records protocol events from every MSA slice and core into

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+
+	"misar/internal/stats"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Observe(9)
+	h.Observe(3)
+	h.Merge(&stats.Histogram{})
+	if c.Value() != 0 || g.Value() != 0 || h.Hist() != nil {
+		t.Fatal("nil instruments recorded something")
+	}
+}
+
+func TestNilRegistryResolvesNil(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+	s := r.Snapshot()
+	if s.Counters == nil || len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot: %+v", s)
+	}
+}
+
+// TestNilInstrumentsZeroAlloc is half of the issue's overhead acceptance
+// criterion: the disabled path must not allocate. The time half is covered
+// by BenchmarkFig5 metered-vs-unmetered in internal/harness.
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Observe(5)
+		h.Observe(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instruments allocated %.1f per op", allocs)
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("msa.tile0.entry_allocs")
+	c1.Inc()
+	c2 := r.Counter("msa.tile0.entry_allocs")
+	if c1 != c2 {
+		t.Fatal("same name resolved to different counters")
+	}
+	if c2.Value() != 1 {
+		t.Fatalf("value = %d", c2.Value())
+	}
+	if r.Histogram("h") != r.Histogram("h") || r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge/histogram get-or-create not idempotent")
+	}
+}
+
+func TestGaugeKeepsMax(t *testing.T) {
+	g := NewRegistry().Gauge("omu.tile0.max_level")
+	g.Observe(4)
+	g.Observe(9)
+	g.Observe(2)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c")
+	got := r.Names()
+	want := []string{"counter:b", "gauge:a", "histogram:c"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTileName(t *testing.T) {
+	if got := TileName("msa", 3, "overflow_steers"); got != "msa.tile3.overflow_steers" {
+		t.Fatalf("TileName = %q", got)
+	}
+	if got := Name("noc", "flits"); got != "noc.flits" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+// TestSnapshotMarshalDeterministic relies on encoding/json's sorted map
+// keys: two snapshots of registries populated in different orders must
+// marshal byte-identically.
+func TestSnapshotMarshalDeterministic(t *testing.T) {
+	build := func(names []string) []byte {
+		r := NewRegistry()
+		for i, n := range names {
+			r.Counter(n).Add(uint64(i%3) + 1)
+		}
+		r.Gauge("g").Observe(5)
+		r.Histogram("h").Observe(100)
+		s := r.Snapshot()
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// Counters a=1 b=2 c=3 regardless of creation order.
+	a := build([]string{"a", "b", "c"})
+	r2 := NewRegistry()
+	r2.Counter("c").Add(3)
+	r2.Counter("a").Add(1)
+	r2.Counter("b").Add(2)
+	r2.Gauge("g").Observe(5)
+	r2.Histogram("h").Observe(100)
+	b, err := json.Marshal(r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("snapshot marshal depends on insertion order:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotHistogramPercentiles(t *testing.T) {
+	var h stats.Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := SnapshotHistogram(&h)
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 == 0 || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"misar/internal/stats"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+func sampleReport() *Report {
+	r := NewRegistry()
+	r.Counter("msa.lock_hw").Add(343)
+	r.Counter("msa.lock_sw").Add(9)
+	r.Counter("msa.omu_steers").Add(8)
+	r.Counter("msa.tile0.entry_allocs").Add(12)
+	r.Counter("noc.flits").Add(22927)
+	r.Gauge("omu.tile0.max_level").Observe(8)
+	r.Gauge("sim.cycles").Observe(235453)
+	var h stats.Histogram
+	for _, v := range []uint64{3, 11, 11, 25, 2375} {
+		h.Observe(v)
+	}
+	r.Histogram("cpu.latency.lock").Merge(&h)
+	return &Report{
+		Schema:  ReportSchema,
+		Kind:    "app",
+		App:     "fluidanimate",
+		Config:  "MSA/OMU-2 8c",
+		Lib:     "hw+tts/central/mesa",
+		Tiles:   8,
+		Cycles:  235453,
+		Metrics: r.Snapshot(),
+	}
+}
+
+// TestReportGolden pins the JSON report schema byte-for-byte: field order,
+// key sorting, indentation, and histogram summary fields. A diff here is a
+// schema change — bump ReportSchema and refresh with
+// `go test ./internal/metrics -run Golden -update-golden`.
+func TestReportGolden(t *testing.T) {
+	var got bytes.Buffer
+	if err := sampleReport().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("report differs from golden file.\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	orig := sampleReport()
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != orig.Schema || back.App != orig.App || back.Cycles != orig.Cycles {
+		t.Fatalf("identification lost: %+v", back)
+	}
+	if back.Metrics.Counters["msa.lock_hw"] != 343 {
+		t.Fatalf("counters lost: %+v", back.Metrics.Counters)
+	}
+	if back.Metrics.Gauges["sim.cycles"] != 235453 {
+		t.Fatalf("gauges lost: %+v", back.Metrics.Gauges)
+	}
+	if back.Metrics.Histograms["cpu.latency.lock"].Count != 5 {
+		t.Fatalf("histograms lost: %+v", back.Metrics.Histograms)
+	}
+}
+
+func TestReportNoNestedMetricsKey(t *testing.T) {
+	b, err := json.Marshal(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["Metrics"]; ok {
+		t.Fatal("snapshot leaked as a nested Metrics object; it must inline as counters/gauges/histograms")
+	}
+	for _, key := range []string{"counters", "gauges", "histograms", "schema"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("missing top-level %q key in %s", key, b)
+		}
+	}
+}
+
+func TestReportFilename(t *testing.T) {
+	got := sampleReport().Filename()
+	want := "app_fluidanimate_MSA-OMU-2-8c_hw-tts-central-mesa.json"
+	if got != want {
+		t.Fatalf("Filename = %q, want %q", got, want)
+	}
+}
+
+func TestWriteJSONFileCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deeper", "r.json")
+	if err := sampleReport().WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("written file does not parse: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"misar/internal/sim"
+	"misar/internal/stats"
 )
 
 // Config describes mesh geometry and timing.
@@ -61,6 +62,10 @@ const (
 	numDirs
 )
 
+// DirNames labels the four directed mesh links in index order (the index a
+// link occupies in LinkFlits).
+var DirNames = [numDirs]string{"east", "west", "north", "south"}
+
 // Stats aggregates network activity.
 type Stats struct {
 	Messages     uint64
@@ -68,6 +73,9 @@ type Stats struct {
 	TotalLatency sim.Time // sum over messages of (deliver - inject)
 	MaxLatency   sim.Time
 	HopCount     uint64
+	// HopHist distributes messages over their XY route length (local
+	// deliveries observe 0 hops).
+	HopHist stats.Histogram
 }
 
 // AvgLatency returns the mean end-to-end message latency in cycles.
@@ -86,7 +94,9 @@ type Network struct {
 	// linkFree[tile][dir] is the first cycle at which that directed link can
 	// accept a new message's first flit.
 	linkFree [][]sim.Time
-	stats    Stats
+	// linkFlits[tile][dir] counts flits carried by that directed link.
+	linkFlits [][]uint64
+	stats     Stats
 }
 
 // New builds the mesh and attaches it to the engine.
@@ -99,13 +109,15 @@ func New(engine *sim.Engine, cfg Config) *Network {
 	}
 	n := cfg.Width * cfg.Height
 	nw := &Network{
-		cfg:      cfg,
-		engine:   engine,
-		handlers: make([]Handler, n),
-		linkFree: make([][]sim.Time, n),
+		cfg:       cfg,
+		engine:    engine,
+		handlers:  make([]Handler, n),
+		linkFree:  make([][]sim.Time, n),
+		linkFlits: make([][]uint64, n),
 	}
 	for i := range nw.linkFree {
 		nw.linkFree[i] = make([]sim.Time, numDirs)
+		nw.linkFlits[i] = make([]uint64, numDirs)
 	}
 	return nw
 }
@@ -124,6 +136,10 @@ func (n *Network) Attach(tile int, h Handler) {
 
 // Stats returns a snapshot of accumulated network statistics.
 func (n *Network) Stats() Stats { return n.stats }
+
+// LinkFlits returns the flits carried so far by tile's directed link in
+// direction dir (an index into DirNames).
+func (n *Network) LinkFlits(tile, dir int) uint64 { return n.linkFlits[tile][dir] }
 
 // XY returns mesh coordinates for a tile.
 func (n *Network) XY(tile int) (x, y int) {
@@ -163,6 +179,7 @@ func (n *Network) Send(m *Message) {
 	flits := n.flits(m.Bytes)
 	n.stats.Messages++
 	n.stats.Flits += uint64(flits)
+	n.stats.HopHist.Observe(uint64(n.Hops(m.Src, m.Dst)))
 
 	if m.Src == m.Dst {
 		n.deliverAt(inject+n.cfg.LocalLatency, m, inject)
@@ -182,6 +199,7 @@ func (n *Network) hop(m *Message, at int, headTime sim.Time, flits int, inject s
 		start = free
 	}
 	n.linkFree[at][dir] = start + sim.Time(flits)
+	n.linkFlits[at][dir] += uint64(flits)
 	n.stats.HopCount++
 	arrive := start + n.cfg.RouterLatency + n.cfg.LinkLatency
 	n.engine.At(arrive, func() {

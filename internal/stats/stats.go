@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -40,6 +41,12 @@ func Mean(xs []float64) float64 {
 }
 
 // Histogram is a simple power-of-two bucketed latency histogram.
+//
+// Bucket edges: bucket 0 holds exactly {0}, bucket 1 exactly {1}, and bucket
+// b >= 1 holds the range [2^(b-1), 2^b - 1] (so buckets 0 and 1 are exact
+// single-value buckets, bucket 2 is {2,3}, bucket 3 is {4..7}, ...). The
+// last bucket (63) additionally absorbs values >= 2^62 so Observe never
+// indexes out of range.
 type Histogram struct {
 	buckets [64]uint64
 	count   uint64
@@ -47,13 +54,27 @@ type Histogram struct {
 	max     uint64
 }
 
+// bucketOf maps a sample to its bucket index: 0 for 0, otherwise
+// floor(log2(v)) + 1, clamped to the final bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+// bucketEdge returns bucket b's inclusive upper edge (2^b - 1; 0 for b = 0).
+func bucketEdge(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
-	b := 0
-	for x := v; x > 1; x >>= 1 {
-		b++
-	}
-	h.buckets[b]++
+	h.buckets[bucketOf(v)]++
 	h.count++
 	h.sum += v
 	if v > h.max {
@@ -87,18 +108,30 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest sample.
 func (h *Histogram) Max() uint64 { return h.max }
 
-// Percentile returns an upper bound for the p-th percentile (p in [0,100]),
-// using bucket upper edges.
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100]):
+// the inclusive upper edge of the bucket holding that rank, clamped to the
+// largest observed sample. Buckets 0 and 1 hold single values, so small
+// percentiles are exact; larger ones are tight to within their
+// power-of-two bucket.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
 	target := uint64(math.Ceil(float64(h.count) * p / 100))
+	if target < 1 {
+		target = 1
+	}
 	var seen uint64
 	for b, c := range h.buckets {
 		seen += c
 		if seen >= target {
-			return 1 << uint(b+1)
+			if edge := bucketEdge(b); edge < h.max {
+				return edge
+			}
+			return h.max
 		}
 	}
 	return h.max

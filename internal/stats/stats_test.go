@@ -91,6 +91,81 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// TestHistogramExactSmallBuckets pins the bucket-edge semantics: buckets 0
+// and 1 hold exactly {0} and {1}, so percentiles over those values are
+// exact rather than power-of-two upper bounds.
+func TestHistogramExactSmallBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(0)
+	if p := h.Percentile(50); p != 0 {
+		t.Errorf("all-zero P50 = %d, want 0", p)
+	}
+	var h1 Histogram
+	h1.Observe(1)
+	h1.Observe(1)
+	if p := h1.Percentile(99); p != 1 {
+		t.Errorf("all-one P99 = %d, want 1", p)
+	}
+}
+
+// TestHistogramPercentileClampedToMax guards the clamp: a bucket's edge can
+// exceed every sample in it (e.g. 100 lands in bucket [64,127]), and the
+// reported percentile must never exceed the observed maximum.
+func TestHistogramPercentileClampedToMax(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := h.Percentile(p); got != 100 {
+			t.Errorf("P%.0f = %d, want clamp to max 100", p, got)
+		}
+	}
+}
+
+func TestHistogramHugeValueNoPanic(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxUint64) // must clamp into the final bucket
+	h.Observe(1 << 62)
+	if h.Count() != 2 || h.Max() != math.MaxUint64 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	// Both samples land in the final absorbing bucket; the percentile is
+	// its edge (2^63-1), never more than max and never a panic.
+	if p := h.Percentile(99); p < 1<<62 || p > h.Max() {
+		t.Errorf("P99 = %d, want within [2^62, max]", p)
+	}
+}
+
+func TestHistogramSumAndMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(3)
+	a.Observe(5)
+	b.Observe(7)
+	a.Merge(&b)
+	if a.Sum() != 15 || a.Count() != 3 || a.Max() != 7 {
+		t.Fatalf("after merge: sum=%d count=%d max=%d", a.Sum(), a.Count(), a.Max())
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	for i := uint64(0); i < 1000; i += 7 {
+		h.Observe(i)
+	}
+	prev := uint64(0)
+	for p := 1.0; p <= 100; p++ {
+		cur := h.Percentile(p)
+		if cur < prev {
+			t.Fatalf("P%.0f = %d < P%.0f = %d", p, cur, p-1, prev)
+		}
+		prev = cur
+	}
+	if prev != h.Max() {
+		t.Fatalf("P100 = %d, want max %d", prev, h.Max())
+	}
+}
+
 func TestTableRenderAndLookup(t *testing.T) {
 	tab := NewTable("demo", "A", "B")
 	tab.AddRow("x", 1.5, 2.25)

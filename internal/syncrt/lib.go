@@ -17,6 +17,7 @@ import (
 	"misar/internal/cpu"
 	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/metrics"
 )
 
 // LockKind selects a software lock implementation.
@@ -67,6 +68,21 @@ type Lib struct {
 	Cond    CondKind
 }
 
+// Desc returns a short stable identifier for the configuration, e.g.
+// "hw+tts/central/mesa". It is deliberately not a String method: the
+// experiment harness fingerprints *Lib with %+v for memoization, and a
+// Stringer would collapse distinct configurations sharing a description.
+func (l *Lib) Desc() string {
+	lock := [...]string{"tts", "spin", "ticket", "mcs"}[l.Lock]
+	bar := [...]string{"central", "tour"}[l.Barrier]
+	cond := [...]string{"mesa", "nospurious"}[l.Cond]
+	prefix := "sw"
+	if l.UseHW {
+		prefix = "hw"
+	}
+	return prefix + "+" + lock + "/" + bar + "/" + cond
+}
+
 // PthreadLib is the paper's software baseline: pthread-style everything.
 func PthreadLib() *Lib { return &Lib{Lock: LockTTS, Barrier: BarrierCentral} }
 
@@ -103,18 +119,32 @@ type T struct {
 	rngState uint64
 	gen      map[memory.Addr]uint64 // per-barrier/cond generation
 	qnode    memory.Addr            // this thread's MCS queue node
+
+	// Software-path latency histograms, resolved once at bind time. Nil
+	// (zero-cost) when the machine is unmetered.
+	swLockLat    *metrics.Histogram
+	swUnlockLat  *metrics.Histogram
+	swBarrierLat *metrics.Histogram
+	swCondLat    *metrics.Histogram
 }
 
 // Bind creates the per-thread library handle. qnodeArena must give each
 // thread a private cache line for its MCS node; use Arena.QNode.
 func (l *Lib) Bind(e cpu.Env, qnode memory.Addr) *T {
-	return &T{
+	t := &T{
 		E:        e,
 		lib:      l,
 		rngState: uint64(e.ThreadID())*0x9E3779B97F4A7C15 + 0x1234567,
 		gen:      make(map[memory.Addr]uint64),
 		qnode:    qnode,
 	}
+	if reg := e.Metrics(); reg != nil {
+		t.swLockLat = reg.Histogram("syncrt.sw_lock_cycles")
+		t.swUnlockLat = reg.Histogram("syncrt.sw_unlock_cycles")
+		t.swBarrierLat = reg.Histogram("syncrt.sw_barrier_cycles")
+		t.swCondLat = reg.Histogram("syncrt.sw_cond_wait_cycles")
+	}
+	return t
 }
 
 // nextRand is a tiny deterministic xorshift for backoff jitter.
@@ -125,6 +155,40 @@ func (t *T) nextRand() uint64 {
 	x ^= x << 17
 	t.rngState = x
 	return x
+}
+
+// timedSwLock and friends wrap the software fallbacks with latency
+// observation. The histogram pointers are nil on an unmetered machine, so
+// the overhead there is two engine-clock reads per fallback — off the
+// hardware fast path entirely.
+func (t *T) timedSwLock(a memory.Addr) {
+	start := t.E.Now()
+	t.swLock(a)
+	t.swLockLat.Observe(uint64(t.E.Now() - start))
+}
+
+func (t *T) timedSwUnlock(a memory.Addr) {
+	start := t.E.Now()
+	t.swUnlock(a)
+	t.swUnlockLat.Observe(uint64(t.E.Now() - start))
+}
+
+func (t *T) timedSwBarrier(b Barrier) {
+	start := t.E.Now()
+	t.swBarrier(b)
+	t.swBarrierLat.Observe(uint64(t.E.Now() - start))
+}
+
+func (t *T) timedSwCondWait(c Cond, m Mutex) {
+	start := t.E.Now()
+	t.swCondWait(c, m)
+	t.swCondLat.Observe(uint64(t.E.Now() - start))
+}
+
+func (t *T) timedSwCondWaitNS(c Cond, m Mutex) {
+	start := t.E.Now()
+	t.swCondWaitNS(c, m)
+	t.swCondLat.Observe(uint64(t.E.Now() - start))
 }
 
 // --- Algorithm 1: Lock / Unlock ---
@@ -138,7 +202,7 @@ func (t *T) Lock(m Mutex) {
 		}
 		// FAIL or ABORT: fall back to the software lock.
 	}
-	t.swLock(m.Addr)
+	t.timedSwLock(m.Addr)
 }
 
 // Unlock releases m, trying the hardware UNLOCK instruction first.
@@ -148,7 +212,7 @@ func (t *T) Unlock(m Mutex) {
 			return
 		}
 	}
-	t.swUnlock(m.Addr)
+	t.timedSwUnlock(m.Addr)
 }
 
 // --- Algorithm 2: Barrier ---
@@ -160,12 +224,12 @@ func (t *T) Wait(b Barrier) {
 		if res == isa.Success {
 			return
 		}
-		t.swBarrier(b)
+		t.timedSwBarrier(b)
 		// Notify the OMU that this thread has left the software barrier.
 		t.E.Sync(isa.OpFinish, b.Addr, 0, 0)
 		return
 	}
-	t.swBarrier(b)
+	t.timedSwBarrier(b)
 }
 
 // --- Algorithm 3: Condition variables ---
@@ -180,7 +244,7 @@ func (t *T) CondWait(c Cond, m Mutex) {
 			t.condWaitNS(c, m)
 			return
 		}
-		t.swCondWaitNS(c, m)
+		t.timedSwCondWaitNS(c, m)
 		return
 	}
 	if t.lib.UseHW {
@@ -194,11 +258,11 @@ func (t *T) CondWait(c Cond, m Mutex) {
 			t.E.Sync(isa.OpFinish, c.Addr, 0, 0)
 			return
 		}
-		t.swCondWait(c, m)
+		t.timedSwCondWait(c, m)
 		t.E.Sync(isa.OpFinish, c.Addr, 0, 0)
 		return
 	}
-	t.swCondWait(c, m)
+	t.timedSwCondWait(c, m)
 }
 
 // CondSignal wakes at least one waiter of c, if any.

@@ -60,8 +60,13 @@ type Buffer struct {
 	next    int
 	wrapped bool
 	Dropped uint64
-	// Filter, when set, limits recording to one synchronization address.
-	Filter memory.Addr
+	// Filter limits recording to one synchronization address when FilterSet
+	// is true. The explicit flag (rather than a zero sentinel) makes address
+	// 0 filterable, and Filtered counts the events the filter suppressed so
+	// dumps can say what is missing. Use SetFilter to set both coherently.
+	Filter    memory.Addr
+	FilterSet bool
+	Filtered  uint64
 }
 
 // NewBuffer creates a recorder holding up to capacity events.
@@ -72,12 +77,22 @@ func NewBuffer(capacity int) *Buffer {
 	return &Buffer{events: make([]Event, 0, capacity)}
 }
 
+// SetFilter restricts recording to events for one synchronization address
+// (address 0 is a valid filter). Events that do not match — including
+// addr-less events such as context switches — are counted in Filtered
+// rather than silently vanishing.
+func (b *Buffer) SetFilter(addr memory.Addr) {
+	b.Filter = addr
+	b.FilterSet = true
+}
+
 // Record appends an event. Safe on a nil receiver.
 func (b *Buffer) Record(ev Event) {
 	if b == nil {
 		return
 	}
-	if b.Filter != 0 && ev.Addr != 0 && ev.Addr != b.Filter {
+	if b.FilterSet && ev.Addr != b.Filter {
+		b.Filtered++
 		return
 	}
 	if len(b.events) < cap(b.events) {
@@ -112,12 +127,20 @@ func (b *Buffer) Len() int {
 	return len(b.events)
 }
 
-// Dump writes the timeline to w.
+// Dump writes the timeline to w, followed by a note for anything the buffer
+// suppressed (ring overwrites and filter misses), so a quiet dump is
+// distinguishable from a quiet run.
 func (b *Buffer) Dump(w io.Writer) {
 	for _, ev := range b.Events() {
 		fmt.Fprintln(w, ev)
 	}
-	if b != nil && b.Dropped > 0 {
+	if b == nil {
+		return
+	}
+	if b.Dropped > 0 {
 		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.Dropped)
+	}
+	if b.Filtered > 0 {
+		fmt.Fprintf(w, "(%d events suppressed by the %#x address filter)\n", b.Filtered, uint64(b.Filter))
 	}
 }

@@ -35,12 +35,39 @@ func TestRingSemantics(t *testing.T) {
 
 func TestFilter(t *testing.T) {
 	b := NewBuffer(10)
-	b.Filter = 0x1000
+	b.SetFilter(0x1000)
 	b.Record(Event{Addr: 0x1000, Detail: "keep"})
 	b.Record(Event{Addr: 0x2000, Detail: "drop"})
-	b.Record(Event{Addr: 0, Detail: "keep-global"}) // addr-less events pass
-	if b.Len() != 2 {
-		t.Fatalf("len = %d", b.Len())
+	b.Record(Event{Addr: 0, Detail: "drop-global"})
+	if b.Len() != 1 {
+		t.Fatalf("len = %d, want 1", b.Len())
+	}
+	if b.Filtered != 2 {
+		t.Fatalf("Filtered = %d, want 2", b.Filtered)
+	}
+	if b.Events()[0].Detail != "keep" {
+		t.Fatalf("wrong event kept: %v", b.Events())
+	}
+}
+
+func TestFilterAddrZero(t *testing.T) {
+	// Address 0 is a legal filter target under the explicit FilterSet flag
+	// (the old Filter-field convention conflated it with "no filter").
+	b := NewBuffer(10)
+	b.SetFilter(0)
+	b.Record(Event{Addr: 0, Detail: "keep"})
+	b.Record(Event{Addr: 0x2000, Detail: "drop"})
+	if b.Len() != 1 || b.Filtered != 1 {
+		t.Fatalf("len = %d, Filtered = %d", b.Len(), b.Filtered)
+	}
+}
+
+func TestNoFilterRecordsEverything(t *testing.T) {
+	b := NewBuffer(10)
+	b.Record(Event{Addr: 0x1000})
+	b.Record(Event{Addr: 0})
+	if b.Len() != 2 || b.Filtered != 0 {
+		t.Fatalf("len = %d, Filtered = %d", b.Len(), b.Filtered)
 	}
 }
 

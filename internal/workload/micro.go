@@ -6,6 +6,7 @@ import (
 
 	"misar/internal/cpu"
 	"misar/internal/machine"
+	"misar/internal/metrics"
 	"misar/internal/sim"
 	"misar/internal/syncrt"
 )
@@ -27,6 +28,9 @@ type MicroResult struct {
 	Name    string
 	Cycles  float64 // mean measured latency
 	Samples int
+	// Report carries the machine-wide metrics snapshot when cfg.Metrics is
+	// set; nil otherwise.
+	Report *metrics.Report
 }
 
 // event records a timestamped measurement point. The simulation is single
@@ -74,13 +78,14 @@ func MicroLockAcquire(cfg machine.Config, lib *syncrt.Lib) MicroResult {
 		}
 	})
 	mustRun(m, "LockAcquire")
+	rep := m.MetricsReport("micro", "LockAcquire", lib.Desc())
 	var sum sim.Time
 	var cnt int
 	for i := range total {
 		sum += total[i]
 		cnt += n[i]
 	}
-	return MicroResult{Name: "LockAcquire", Cycles: float64(sum) / float64(cnt), Samples: cnt}
+	return MicroResult{Name: "LockAcquire", Cycles: float64(sum) / float64(cnt), Samples: cnt, Report: rep}
 }
 
 // MicroLockHandoff measures contended lock handoff.
@@ -104,6 +109,7 @@ func MicroLockHandoff(cfg machine.Config, lib *syncrt.Lib) MicroResult {
 		}
 	})
 	mustRun(m, "LockHandoff")
+	rep := m.MetricsReport("micro", "LockHandoff", lib.Desc())
 	// Handoff = time from an unlock-enter to the next lock-exit (by a
 	// different thread). Sort by time; pair consecutive events.
 	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
@@ -124,9 +130,9 @@ func MicroLockHandoff(cfg machine.Config, lib *syncrt.Lib) MicroResult {
 		}
 	}
 	if cnt == 0 {
-		return MicroResult{Name: "LockHandoff", Cycles: 0}
+		return MicroResult{Name: "LockHandoff", Cycles: 0, Report: rep}
 	}
-	return MicroResult{Name: "LockHandoff", Cycles: float64(sum) / float64(cnt), Samples: cnt}
+	return MicroResult{Name: "LockHandoff", Cycles: float64(sum) / float64(cnt), Samples: cnt, Report: rep}
 }
 
 // MicroBarrierHandoff measures barrier release latency.
@@ -154,6 +160,7 @@ func MicroBarrierHandoff(cfg machine.Config, lib *syncrt.Lib) MicroResult {
 		}
 	})
 	mustRun(m, "BarrierHandoff")
+	rep := m.MetricsReport("micro", "BarrierHandoff", lib.Desc())
 	var sum sim.Time
 	cnt := 0
 	for ep := 2; ep < episodes; ep++ { // skip warmup episodes
@@ -169,7 +176,7 @@ func MicroBarrierHandoff(cfg machine.Config, lib *syncrt.Lib) MicroResult {
 		sum += lastExit - lastEnter
 		cnt++
 	}
-	return MicroResult{Name: "BarrierHandoff", Cycles: float64(sum) / float64(cnt), Samples: cnt}
+	return MicroResult{Name: "BarrierHandoff", Cycles: float64(sum) / float64(cnt), Samples: cnt, Report: rep}
 }
 
 // MicroCondSignal measures signal-to-wakeup latency with a single waiter.
@@ -242,6 +249,7 @@ func microCond(cfg machine.Config, lib *syncrt.Lib, bcast bool) MicroResult {
 		}
 	})
 	mustRun(m, name)
+	rep := m.MetricsReport("micro", name, lib.Desc())
 	var sum sim.Time
 	cnt := 0
 	for r := 2; r < rounds; r++ {
@@ -251,9 +259,9 @@ func microCond(cfg machine.Config, lib *syncrt.Lib, bcast bool) MicroResult {
 		}
 	}
 	if cnt == 0 {
-		return MicroResult{Name: name, Cycles: 0}
+		return MicroResult{Name: name, Cycles: 0, Report: rep}
 	}
-	return MicroResult{Name: name, Cycles: float64(sum) / float64(cnt), Samples: cnt}
+	return MicroResult{Name: name, Cycles: float64(sum) / float64(cnt), Samples: cnt, Report: rep}
 }
 
 func mustRun(m *machine.Machine, what string) {

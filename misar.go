@@ -43,6 +43,7 @@ import (
 	"misar/internal/harness"
 	"misar/internal/machine"
 	"misar/internal/memory"
+	"misar/internal/metrics"
 	"misar/internal/sim"
 	"misar/internal/stats"
 	"misar/internal/syncrt"
@@ -87,6 +88,15 @@ type (
 	TraceBuffer = trace.Buffer
 	// Histogram is a power-of-two bucketed latency histogram.
 	Histogram = stats.Histogram
+
+	// MetricsRegistry holds a metered machine's instruments (set
+	// Config.Metrics, then read Machine.Metrics).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every instrument.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsReport is the per-run JSON observability artifact (see
+	// Machine.MetricsReport and Runner.Reports).
+	MetricsReport = metrics.Report
 )
 
 // RunDeadline is a generous default bound for Machine.Run.
@@ -123,6 +133,11 @@ var (
 	LoadConfig = machine.LoadConfig
 	// NewTraceBuffer creates a bounded protocol-event recorder.
 	NewTraceBuffer = trace.NewBuffer
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// WriteChromeTrace renders recorded events as Chrome trace-event JSON
+	// (Perfetto-loadable).
+	WriteChromeTrace = trace.WriteChrome
 )
 
 // Synchronization libraries (the paper's software baselines and the
@@ -178,6 +193,7 @@ var (
 	EntrySweep     = harness.EntrySweep
 	Fairness       = harness.Fairness
 	SuspendStress  = harness.SuspendStress
+	SyncOverhead   = harness.SyncOverhead
 	DefaultOptions = harness.DefaultOptions
 	QuickOptions   = harness.QuickOptions
 	// NewRunner builds the parallel, memoizing experiment executor.
