@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench figs clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/trace/...
+
+# bench renders every figure once (-benchtime=1x) plus the event-kernel
+# microbenchmarks and writes BENCH_kernel.json with speedup/alloc ratios
+# against the checked-in seed-kernel baseline.
+bench:
+	$(GO) run ./cmd/misar-bench -benchtime 1x -out BENCH_kernel.json
+
+figs:
+	$(GO) run ./cmd/misar-fig -fig all
+
+clean:
+	rm -f BENCH_kernel.json

@@ -1,0 +1,176 @@
+// Command misar-bench runs the repository's benchmark suite and emits a
+// machine-readable BENCH_kernel.json. It shells out to `go test -bench`, so
+// the numbers are exactly what a developer sees at the command line, and
+// compares every benchmark against the checked-in seed-kernel baseline
+// (baseline.txt: commit 6fedd5c, container/heap engine, closure-per-hop NoC,
+// unpooled messages) to report speedup and allocation ratios.
+//
+// Usage:
+//
+//	misar-bench                         # figures at -benchtime=1x, kernel microbench
+//	misar-bench -benchtime 3x -out b.json
+//
+// CI runs this with -benchtime=1x as a smoke + regression artifact; see
+// .github/workflows/ci.yml and the Makefile `bench` target.
+package main
+
+import (
+	_ "embed"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+//go:embed baseline.txt
+var baselineText string
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	// Not omitempty: allocs_per_op == 0 is the kernel's headline claim.
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+
+	// Baseline comparison, present when baseline.txt has the same benchmark.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	AllocRatio      float64 `json:"alloc_ratio,omitempty"`
+}
+
+type report struct {
+	Schema         string    `json:"schema"`
+	GoVersion      string    `json:"go_version"`
+	Benchtime      string    `json:"benchtime"`
+	BaselineCommit string    `json:"baseline_commit"`
+	Results        []result  `json:"results"`
+	TotalNs        float64   `json:"total_ns"`
+	BaselineNs     float64   `json:"baseline_total_ns"`
+	TotalSpeedup   float64   `json:"total_speedup"`
+	WallSeconds    float64   `json:"wall_seconds"`
+	GeneratedAt    time.Time `json:"generated_at"`
+}
+
+// benchLine matches one `go test -bench` result row; the trailing metrics
+// ("418 ns/op", "1.440 geomean-speedup", "8 B/op") stay as one blob for
+// pair-wise tokenizing below.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func parse(out string) []result {
+	var rs []result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := result{Name: strings.TrimPrefix(m[1], "Benchmark"), Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// run executes one `go test -bench` invocation and returns its stdout.
+func run(pkg, bench, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench %s %s: %w", bench, pkg, err)
+	}
+	return string(out), nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernel.json", "output JSON path")
+	benchtime := flag.String("benchtime", "1x", "benchtime for the figure benchmarks")
+	flag.Parse()
+
+	start := time.Now()
+	// The figure suite at the repository root is the headline workload; the
+	// event-kernel microbenchmarks in internal/sim are too fast for 1x, so
+	// they always run with a fixed iteration count.
+	figOut, err := run(".", "BenchmarkFig", *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	simOut, err := run("./internal/sim", "BenchmarkEngine", "200000x")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+
+	base := map[string]result{}
+	for _, b := range parse(baselineText) {
+		base[b.Name] = b
+	}
+
+	rep := report{
+		Schema:         "misar-bench/v1",
+		GoVersion:      runtime.Version(),
+		Benchtime:      *benchtime,
+		BaselineCommit: "6fedd5c (seed kernel: container/heap engine, closure-per-hop NoC, unpooled messages)",
+		GeneratedAt:    time.Now().UTC(),
+	}
+	for _, r := range append(parse(figOut), parse(simOut)...) {
+		if b, ok := base[r.Name]; ok {
+			r.BaselineNsPerOp = b.NsPerOp
+			if r.NsPerOp > 0 {
+				r.Speedup = b.NsPerOp / r.NsPerOp
+			}
+			if b.AllocsPerOp > 0 {
+				r.AllocRatio = r.AllocsPerOp / b.AllocsPerOp
+			}
+			rep.TotalNs += r.NsPerOp
+			rep.BaselineNs += b.NsPerOp
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if rep.TotalNs > 0 {
+		rep.TotalSpeedup = rep.BaselineNs / rep.TotalNs
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d benchmarks, figure total %.2fs vs baseline %.2fs (%.2fx)\n",
+		*out, len(rep.Results), rep.TotalNs/1e9, rep.BaselineNs/1e9, rep.TotalSpeedup)
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"misar/internal/harness"
+	"misar/internal/prof"
 	"misar/internal/stats"
 )
 
@@ -46,6 +47,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print one line per completed simulation to stderr")
 	report := flag.String("report", "", "directory for per-run JSON metrics reports (enables metering)")
 	flag.Parse()
+	defer prof.Start()()
 
 	o := harness.DefaultOptions()
 	if *quick {

@@ -21,6 +21,7 @@ import (
 
 	"misar/internal/cpu"
 	"misar/internal/machine"
+	"misar/internal/prof"
 	"misar/internal/syncrt"
 	"misar/internal/trace"
 	"misar/internal/workload"
@@ -74,6 +75,7 @@ func main() {
 	report := flag.String("report", "", "write a JSON metrics report to this file (enables metering)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	flag.Parse()
+	defer prof.Start()()
 
 	if *list {
 		for _, a := range workload.Suite() {

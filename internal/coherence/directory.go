@@ -56,6 +56,11 @@ type txn struct {
 }
 
 type dirEntry struct {
+	// d and line are fixed at creation so the entry itself can be the
+	// argument of the static start-transaction event handler.
+	d    *Directory
+	line memory.Addr
+
 	state   dirState
 	owner   int
 	sharers uint64 // bit per core; tiles <= 64
@@ -78,8 +83,17 @@ type Directory struct {
 	engine *sim.Engine
 	send   SendFunc
 	lines  map[memory.Addr]*dirEntry
-	stats  DirStats
+	// txnFree recycles transaction records; a line's current transaction
+	// returns to the list when it concludes.
+	txnFree []*txn
+	// pool supplies outgoing message records (nil: plain allocation).
+	pool  *MsgPool
+	stats DirStats
 }
+
+// SetMsgPool makes outgoing messages come from p (shared with the L1s; see
+// L1.SetMsgPool).
+func (d *Directory) SetMsgPool(p *MsgPool) { d.pool = p }
 
 // NewDirectory builds the controller for one tile.
 func NewDirectory(tile, tiles int, cfg DirConfig, engine *sim.Engine, send SendFunc) *Directory {
@@ -107,11 +121,23 @@ func (d *Directory) IsExclusiveAt(line memory.Addr, core int) bool {
 func (d *Directory) entry(line memory.Addr) (*dirEntry, bool) {
 	e, ok := d.lines[line]
 	if !ok {
-		e = &dirEntry{}
+		e = &dirEntry{d: d, line: line}
 		d.lines[line] = e
 		d.stats.ColdMisses++
 	}
 	return e, !ok
+}
+
+// newTxn builds a transaction record, reusing a concluded one when possible.
+func (d *Directory) newTxn(kind txnKind, core int, onDone func()) *txn {
+	if k := len(d.txnFree); k > 0 {
+		t := d.txnFree[k-1]
+		d.txnFree[k-1] = nil
+		d.txnFree = d.txnFree[:k-1]
+		*t = txn{kind: kind, core: core, onDone: onDone}
+		return t
+	}
+	return &txn{kind: kind, core: core, onDone: onDone}
 }
 
 // Handle processes a coherence message addressed to this home tile.
@@ -123,10 +149,10 @@ func (d *Directory) Handle(m *Msg) {
 	switch m.Kind {
 	case ReqGetS:
 		d.stats.GetS++
-		d.admit(line, &txn{kind: txnGetS, core: m.Core})
+		d.admit(line, d.newTxn(txnGetS, m.Core, nil))
 	case ReqGetX:
 		d.stats.GetX++
-		d.admit(line, &txn{kind: txnGetX, core: m.Core})
+		d.admit(line, d.newTxn(txnGetX, m.Core, nil))
 	case ReqPutS:
 		d.handlePutS(line, m.Core)
 	case ReqPutE, ReqPutM:
@@ -153,7 +179,7 @@ func (d *Directory) Handle(m *Msg) {
 // hands a lock to a core (§5).
 func (d *Directory) GrantExclusive(line memory.Addr, core int, onDone func()) {
 	d.stats.Grants++
-	d.admit(memory.LineOf(line), &txn{kind: txnGrant, core: core, onDone: onDone})
+	d.admit(memory.LineOf(line), d.newTxn(txnGrant, core, onDone))
 }
 
 // Revoke invalidates every cached copy of line, leaving it uncached. onDone
@@ -161,7 +187,7 @@ func (d *Directory) GrantExclusive(line memory.Addr, core int, onDone func()) {
 // waiter past a standby lock entry (closing the silent re-acquire window)
 // and before deallocating an entry whose HWSync block may be live.
 func (d *Directory) Revoke(line memory.Addr, onDone func()) {
-	d.admit(memory.LineOf(line), &txn{kind: txnRevoke, core: -1, onDone: onDone})
+	d.admit(memory.LineOf(line), d.newTxn(txnRevoke, -1, onDone))
 }
 
 // admit queues or starts a transaction, charging LLC (and cold-miss) latency
@@ -182,7 +208,16 @@ func (d *Directory) admit(line memory.Addr, t *txn) {
 	if cold {
 		lat += d.cfg.MemLatency
 	}
-	d.engine.After(lat, func() { d.start(line, e) })
+	d.engine.AfterCall(lat, dirStart, e)
+}
+
+// dirStart is the static start-of-transaction event handler; arg is the
+// *dirEntry. At most one such event per entry is ever in flight: admit
+// schedules it only on the idle→busy transition and conclude only when
+// handing the line to the next queued transaction.
+func dirStart(arg any) {
+	e := arg.(*dirEntry)
+	e.d.start(e.line, e)
 }
 
 // start runs the admitted transaction against the entry's stable state.
@@ -212,7 +247,7 @@ func (d *Directory) start(line memory.Addr, e *dirEntry) {
 		for c := 0; c < d.tiles; c++ {
 			if invs&(1<<uint(c)) != 0 {
 				d.stats.InvSent++
-				d.send(c, &Msg{Kind: MsgInv, Line: line})
+				d.send(c, d.pool.Get(Msg{Kind: MsgInv, Line: line}))
 			}
 		}
 	case dirExclusive:
@@ -231,7 +266,7 @@ func (d *Directory) start(line memory.Addr, e *dirEntry) {
 		// and the FwdMiss handler completes the transaction. The flags are
 		// cleared in respond(), never here.
 		d.stats.FwdSent++
-		d.send(e.owner, &Msg{Kind: MsgFwd, Line: line, Intent: intent})
+		d.send(e.owner, d.pool.Get(Msg{Kind: MsgFwd, Line: line, Intent: intent}))
 	}
 }
 
@@ -257,7 +292,7 @@ func (d *Directory) finishExclusive(line memory.Addr, e *dirEntry) {
 // line, starting the next queued transaction if any.
 func (d *Directory) respond(line memory.Addr, e *dirEntry, kind MsgKind) {
 	t := e.cur
-	msg := &Msg{Kind: kind, Line: line, Core: t.core}
+	msg := d.pool.Get(Msg{Kind: kind, Line: line, Core: t.core})
 	if t.kind == txnGrant {
 		msg.Grant = true
 		msg.HWSync = true
@@ -275,6 +310,8 @@ func (d *Directory) conclude(line memory.Addr, e *dirEntry, msg *Msg) {
 	if t.onDone != nil {
 		t.onDone()
 	}
+	*t = txn{} // drop the callback before the record re-enters the pool
+	d.txnFree = append(d.txnFree, t)
 	e.busy = false
 	e.cur = nil
 	e.pendingInv = 0
@@ -282,10 +319,11 @@ func (d *Directory) conclude(line memory.Addr, e *dirEntry, msg *Msg) {
 	e.awaitingWB = false
 	if len(e.waitq) > 0 {
 		next := e.waitq[0]
+		e.waitq[0] = nil
 		e.waitq = e.waitq[1:]
 		e.busy = true
 		e.cur = next
-		d.engine.After(d.cfg.LLCLatency, func() { d.start(line, e) })
+		d.engine.AfterCall(d.cfg.LLCLatency, dirStart, e)
 	}
 }
 

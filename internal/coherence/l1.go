@@ -93,7 +93,17 @@ type L1 struct {
 	sets   [][]l1Line
 	tick   uint64
 	pend   *pendingOp
-	stats  L1Stats
+	// pendBuf backs pend: with one outstanding access per L1, the pending
+	// miss never needs a fresh allocation.
+	pendBuf pendingOp
+	// compVal/compDone park a committed operation's result across its
+	// completion-latency event; l1Complete drops the reference when it
+	// fires, so a finished access pins nothing.
+	compVal  uint64
+	compDone func(val uint64)
+	// pool supplies outgoing message records (nil: plain allocation).
+	pool  *MsgPool
+	stats L1Stats
 
 	// acceptHWSync, when set, is consulted before installing the HWSync bit
 	// from an MSA grant fill. The core uses it to drop grants whose
@@ -104,6 +114,10 @@ type L1 struct {
 
 // SetAcceptHWSync installs the grant-bit admission hook.
 func (c *L1) SetAcceptHWSync(f func(line memory.Addr) bool) { c.acceptHWSync = f }
+
+// SetMsgPool makes outgoing messages come from p (the machine shares one
+// pool across all controllers and recycles each message after delivery).
+func (c *L1) SetMsgPool(p *MsgPool) { c.pool = p }
 
 // ClearHWSyncLine drops the HWSync bit of one line, if present. The core
 // calls this when an UNLOCK response indicates the lock was handed to a
@@ -200,18 +214,37 @@ func (c *L1) Access(addr memory.Addr, kind AccessKind, storeVal uint64, rmw RMWF
 		c.stats.Hits++
 		c.touch(l)
 		val := c.commit(l, addr, kind, storeVal, rmw)
-		c.engine.After(c.opLatency(kind), func() { done(val) })
+		c.complete(c.opLatency(kind), val, done)
 		return
 	}
 	// Miss or upgrade.
 	c.stats.Misses++
-	c.pend = &pendingOp{addr: addr, kind: kind, storeVal: storeVal, rmw: rmw, done: done}
+	c.pendBuf = pendingOp{addr: addr, kind: kind, storeVal: storeVal, rmw: rmw, done: done}
+	c.pend = &c.pendBuf
 	req := ReqGetS
 	if kind != AccLoad {
 		req = ReqGetX
 	}
 	home := memory.HomeOf(line, c.tiles)
-	c.send(home, &Msg{Kind: req, Line: line, Core: c.core})
+	c.send(home, c.pool.Get(Msg{Kind: req, Line: line, Core: c.core}))
+}
+
+// complete schedules done(val) after the operation's completion latency
+// without allocating: the pair is parked on the controller (legal because at
+// most one access is in flight) and handed to the static l1Complete handler.
+func (c *L1) complete(after sim.Time, val uint64, done func(uint64)) {
+	if c.compDone != nil {
+		panic(fmt.Sprintf("coherence: core %d completion already pending", c.core))
+	}
+	c.compVal, c.compDone = val, done
+	c.engine.AfterCall(after, l1Complete, c)
+}
+
+func l1Complete(arg any) {
+	c := arg.(*L1)
+	done, val := c.compDone, c.compVal
+	c.compDone = nil
+	done(val)
 }
 
 // opLatency returns the completion latency charged after commit.
@@ -251,22 +284,22 @@ func (c *L1) Handle(m *Msg) {
 			l.state = Invalid
 		}
 		home := memory.HomeOf(m.Line, c.tiles)
-		c.send(home, &Msg{Kind: MsgInvAck, Line: m.Line, Core: c.core})
+		c.send(home, c.pool.Get(Msg{Kind: MsgInvAck, Line: m.Line, Core: c.core}))
 	case MsgFwd:
 		c.stats.FwdReceived++
 		home := memory.HomeOf(m.Line, c.tiles)
 		l := c.lookup(m.Line)
 		if l == nil || (l.state != Exclusive && l.state != Modified) {
-			c.send(home, &Msg{Kind: MsgFwdMiss, Line: m.Line, Core: c.core})
+			c.send(home, c.pool.Get(Msg{Kind: MsgFwdMiss, Line: m.Line, Core: c.core}))
 			return
 		}
 		if m.Intent == FwdDowngrade {
 			l.state = Shared
-			c.send(home, &Msg{Kind: MsgFwdAckS, Line: m.Line, Core: c.core})
+			c.send(home, c.pool.Get(Msg{Kind: MsgFwdAckS, Line: m.Line, Core: c.core}))
 		} else {
 			c.clearHWSync(l)
 			l.state = Invalid
-			c.send(home, &Msg{Kind: MsgFwdAckI, Line: m.Line, Core: c.core})
+			c.send(home, c.pool.Get(Msg{Kind: MsgFwdAckI, Line: m.Line, Core: c.core}))
 		}
 	default:
 		panic(fmt.Sprintf("coherence: L1 %d got unexpected %v", c.core, m.Kind))
@@ -315,10 +348,11 @@ func (c *L1) fill(m *Msg) {
 	}
 	c.touch(l)
 	if solicited {
-		op := c.pend
+		op := *c.pend
 		c.pend = nil
+		c.pendBuf = pendingOp{} // drop the rmw/done references
 		val := c.commit(l, op.addr, op.kind, op.storeVal, op.rmw)
-		c.engine.After(c.opLatency(op.kind), func() { op.done(val) })
+		c.complete(c.opLatency(op.kind), val, op.done)
 	}
 }
 
@@ -344,12 +378,12 @@ func (c *L1) evict(l *l1Line) {
 	home := memory.HomeOf(l.tag, c.tiles)
 	switch l.state {
 	case Shared:
-		c.send(home, &Msg{Kind: ReqPutS, Line: l.tag, Core: c.core})
+		c.send(home, c.pool.Get(Msg{Kind: ReqPutS, Line: l.tag, Core: c.core}))
 	case Exclusive:
-		c.send(home, &Msg{Kind: ReqPutE, Line: l.tag, Core: c.core})
+		c.send(home, c.pool.Get(Msg{Kind: ReqPutE, Line: l.tag, Core: c.core}))
 	case Modified:
 		c.stats.Writebacks++
-		c.send(home, &Msg{Kind: ReqPutM, Line: l.tag, Core: c.core})
+		c.send(home, c.pool.Get(Msg{Kind: ReqPutM, Line: l.tag, Core: c.core}))
 	}
 	l.state = Invalid
 }

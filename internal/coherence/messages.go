@@ -94,3 +94,38 @@ func (m *Msg) Bytes() int {
 	}
 	return CtrlBytes
 }
+
+// MsgPool recycles coherence messages within one machine. Every message is
+// consumed by exactly one Handle call at its destination, so the machine's
+// delivery handler returns it here afterwards and the steady-state protocol
+// traffic allocates nothing. A nil pool degrades to plain allocation, which
+// lets tests wire controllers directly without managing message lifetimes.
+type MsgPool struct{ free []*Msg }
+
+// Get returns a message initialized to m, reusing a recycled record when one
+// is available.
+func (p *MsgPool) Get(m Msg) *Msg {
+	if p == nil {
+		fresh := m
+		return &fresh
+	}
+	if k := len(p.free); k > 0 {
+		r := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		*r = m
+		return r
+	}
+	fresh := m
+	return &fresh
+}
+
+// Put recycles a delivered message. The caller must guarantee no reference
+// survives the destination handler's return.
+func (p *MsgPool) Put(m *Msg) {
+	if p == nil {
+		return
+	}
+	*m = Msg{}
+	p.free = append(p.free, m)
+}

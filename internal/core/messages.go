@@ -91,3 +91,66 @@ const (
 	RespBytes = 8
 	MsaBytes  = 16
 )
+
+// ReqPool and RespPool recycle the fixed-size records exchanged between
+// cores and MSA slices. Both message kinds are consumed by exactly one
+// handler call at the destination (the MSA records waiters by core id, never
+// by retaining the request), so the machine's delivery handler returns them
+// here afterwards. A nil pool degrades to plain allocation for directly
+// wired tests.
+type ReqPool struct{ free []*Req }
+
+// Get returns a request initialized to r.
+func (p *ReqPool) Get(r Req) *Req {
+	if p == nil {
+		fresh := r
+		return &fresh
+	}
+	if k := len(p.free); k > 0 {
+		q := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		*q = r
+		return q
+	}
+	fresh := r
+	return &fresh
+}
+
+// Put recycles a delivered request.
+func (p *ReqPool) Put(r *Req) {
+	if p == nil {
+		return
+	}
+	*r = Req{}
+	p.free = append(p.free, r)
+}
+
+// RespPool is ReqPool's counterpart for MSA responses.
+type RespPool struct{ free []*Resp }
+
+// Get returns a response initialized to r.
+func (p *RespPool) Get(r Resp) *Resp {
+	if p == nil {
+		fresh := r
+		return &fresh
+	}
+	if k := len(p.free); k > 0 {
+		q := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		*q = r
+		return q
+	}
+	fresh := r
+	return &fresh
+}
+
+// Put recycles a delivered response.
+func (p *RespPool) Put(r *Resp) {
+	if p == nil {
+		return
+	}
+	*r = Resp{}
+	p.free = append(p.free, r)
+}

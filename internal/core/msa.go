@@ -160,6 +160,9 @@ type Slice struct {
 	sendResp func(core int, r *Resp)
 	sendMsa  func(tile int, m *MsaMsg)
 
+	// respPool supplies outgoing responses (nil: plain allocation).
+	respPool *RespPool
+
 	entries []*entry
 	omu     overflowTracker
 	nbtc    int    // next-bit-to-check fairness register (one per slice)
@@ -190,6 +193,10 @@ type sliceMetrics struct {
 
 // SetTracer attaches a protocol-event recorder (nil detaches).
 func (s *Slice) SetTracer(b *trace.Buffer) { s.tracer = b }
+
+// SetRespPool makes outgoing responses come from p (the machine recycles
+// each response after the destination core handles it).
+func (s *Slice) SetRespPool(p *RespPool) { s.respPool = p }
 
 // SetMetrics resolves this slice's per-tile instruments from reg (nil
 // detaches and returns the slice to the zero-cost path).
@@ -412,8 +419,10 @@ func (s *Slice) respond(core int, op isa.SyncOp, addr memory.Addr, res isa.Resul
 		s.met.aborts.Inc()
 		s.trace(trace.Abort, addr, core, op.String())
 	}
-	s.trace(trace.SyncResp, addr, core, op.String()+" "+res.String())
-	s.sendResp(core, &Resp{Op: op, Addr: addr, Core: core, Result: res, Reason: reason})
+	if s.tracer != nil { // guard: the detail concat allocates
+		s.trace(trace.SyncResp, addr, core, op.String()+" "+res.String())
+	}
+	s.sendResp(core, s.respPool.Get(Resp{Op: op, Addr: addr, Core: core, Result: res, Reason: reason}))
 }
 
 func (s *Slice) omuInc(addr memory.Addr) {
@@ -656,8 +665,8 @@ func (s *Slice) handleUnlock(r *Req) {
 		// On a handoff the unlocker must drop its HWSync bit: the lock is
 		// about to belong to someone else, so a silent re-acquire from the
 		// stale bit would break mutual exclusion.
-		s.sendResp(r.Core, &Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
-			Result: isa.Success, ClearHWSync: handoff})
+		s.sendResp(r.Core, s.respPool.Get(Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
+			Result: isa.Success, ClearHWSync: handoff}))
 		if handoff {
 			s.promote(e)
 		} else {
@@ -668,8 +677,8 @@ func (s *Slice) handleUnlock(r *Req) {
 	// UNLOCK from a core whose HWQueue bit is not set: the owning thread
 	// migrated (§4.1.2). Reply SUCCESS to the unlocker, ABORT every waiter
 	// to the software path, charge the OMU for each, and tear down.
-	s.sendResp(r.Core, &Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
-		Result: isa.Success, ClearHWSync: true})
+	s.sendResp(r.Core, s.respPool.Get(Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
+		Result: isa.Success, ClearHWSync: true}))
 	s.abortLockEntry(e)
 }
 

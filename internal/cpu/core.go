@@ -105,7 +105,21 @@ type Core struct {
 
 	cur *Thread
 	out *outstanding
-	gen uint64 // context-switch generation (invalidates stale grants)
+	// outBuf backs out: one synchronization instruction is in flight at a
+	// time, so the tracking record never needs a fresh allocation.
+	outBuf outstanding
+	// pendReq parks a dispatched request across its issue-latency event for
+	// the static handlers below; memDone is the one closure every memory
+	// access completes through. Both rely on the same single-outstanding-
+	// operation invariant: c.cur cannot change between dispatch and the
+	// event firing, because the issuing thread stays blocked until then.
+	pendReq   threadReq
+	memDone   func(v uint64)
+	idealDone func(res isa.Result)
+	rmwFn     coherence.RMWFunc
+	// reqPool supplies outgoing MSA requests (nil: plain allocation).
+	reqPool *corepkg.ReqPool
+	gen     uint64 // context-switch generation (invalidates stale grants)
 	// expectGrant counts HWSync block grants this thread is entitled to
 	// install, per line. Cleared on context switch.
 	expectGrant map[memory.Addr]int
@@ -131,6 +145,10 @@ func (c *Core) SetMetrics(r *metrics.Registry) { c.metrics = r }
 // Metrics returns the attached registry (nil when metering is off).
 func (c *Core) Metrics() *metrics.Registry { return c.metrics }
 
+// SetReqPool makes outgoing MSA requests come from p (the machine recycles
+// each request after the destination slice handles it).
+func (c *Core) SetReqPool(p *corepkg.ReqPool) { c.reqPool = p }
+
 func (c *Core) trace(kind trace.Kind, addr memory.Addr, detail string) {
 	if c.tracer == nil {
 		return
@@ -149,6 +167,25 @@ func NewCore(id, tiles int, cfg Config, engine *sim.Engine, l1 *coherence.L1,
 		id: id, tiles: tiles, cfg: cfg, engine: engine, l1: l1,
 		sendSync: sendSync, ideal: ideal,
 		expectGrant: make(map[memory.Addr]int),
+	}
+	c.memDone = func(v uint64) { c.resume(c.cur, v) }
+	c.idealDone = func(res isa.Result) { c.resumeSyncResult(c.cur, res) }
+	// rmwFn interprets the pending RMW request when the L1 commits it. The
+	// core has one access in flight at a time and the issuing thread stays
+	// blocked until it commits, so pendReq is stable even across a miss.
+	c.rmwFn = func(st *memory.Store, a memory.Addr) uint64 {
+		r := &c.pendReq
+		switch r.rmw {
+		case rmwAdd:
+			return st.Add(a, r.val)
+		case rmwSwap:
+			return st.Swap(a, r.val)
+		default: // rmwCAS
+			if _, ok := st.CompareAndSwap(a, r.val2, r.val); ok {
+				return 1
+			}
+			return 0
+		}
 	}
 	l1.SetAcceptHWSync(func(line memory.Addr) bool {
 		if c.expectGrant[line] > 0 {
@@ -207,13 +244,14 @@ func (c *Core) dispatch(t *Thread, r threadReq) {
 	switch r.kind {
 	case reqCompute:
 		c.stats.ComputeCycles += r.cycles
-		c.engine.After(sim.Time(r.cycles), func() { c.resume(t, 0) })
+		c.engine.AfterCall(sim.Time(r.cycles), coreComputeDone, c)
 	case reqLoad:
-		c.l1.Access(r.addr, coherence.AccLoad, 0, nil, func(v uint64) { c.resume(t, v) })
+		c.l1.Access(r.addr, coherence.AccLoad, 0, nil, c.memDone)
 	case reqStore:
-		c.l1.Access(r.addr, coherence.AccStore, r.val, nil, func(v uint64) { c.resume(t, v) })
+		c.l1.Access(r.addr, coherence.AccStore, r.val, nil, c.memDone)
 	case reqRMW:
-		c.l1.Access(r.addr, coherence.AccRMW, 0, coherence.RMWFunc(r.rmw), func(v uint64) { c.resume(t, v) })
+		c.pendReq = r
+		c.l1.Access(r.addr, coherence.AccRMW, 0, c.rmwFn, c.memDone)
 	case reqSync:
 		c.stats.SyncIssued[r.op]++
 		c.trace(trace.Issue, r.addr, r.op.String())
@@ -225,47 +263,66 @@ func (c *Core) handleSync(t *Thread, r threadReq) {
 	switch c.cfg.Mode {
 	case ModeAlwaysFail:
 		// MSA-0: fail locally, no message (§6: the trivial implementation).
-		res := isa.Fail
 		if r.op == isa.OpFinish {
-			res = isa.Success // FINISH is a pure notification
+			c.engine.AfterCall(c.cfg.IssueLatency, coreResumeSuccess, c)
+		} else {
+			c.engine.AfterCall(c.cfg.IssueLatency, coreResumeFail, c)
 		}
-		c.engine.After(c.cfg.IssueLatency, func() { c.resume(t, uint64(res)) })
 		return
 	case ModeIdeal:
 		// Pay the 1-cycle issue cost so time always advances, then resolve
 		// with zero communication latency.
-		c.engine.After(c.cfg.IssueLatency, func() {
-			c.ideal.Do(t, r.op, r.addr, r.goal, r.lock, func(res isa.Result) {
-				c.resumeSyncResult(t, res)
-			})
-		})
+		c.pendReq = r
+		c.engine.AfterCall(c.cfg.IssueLatency, coreIdealIssue, c)
 		return
 	}
 	// ModeMSA.
 	home := memory.HomeOf(r.addr, c.tiles)
 	switch {
 	case r.op == isa.OpFinish:
-		c.sendSync(home, &corepkg.Req{Op: r.op, Addr: r.addr, Core: c.id})
-		c.engine.After(c.cfg.IssueLatency, func() { c.resume(t, uint64(isa.Success)) })
+		c.sendSync(home, c.reqPool.Get(corepkg.Req{Op: r.op, Addr: r.addr, Core: c.id}))
+		c.engine.AfterCall(c.cfg.IssueLatency, coreResumeSuccess, c)
 	case r.op == isa.OpLock && c.cfg.HWSyncOpt && c.l1.HWSyncHit(r.addr):
 		// §5 fast path: the lock's line is still here, writable, with the
 		// HWSync bit — re-acquire silently and just notify the home.
 		c.stats.SilentLocks++
-		c.sendSync(home, &corepkg.Req{Op: isa.OpLockSilent, Addr: r.addr, Core: c.id})
-		c.engine.After(c.cfg.IssueLatency, func() { c.resume(t, uint64(isa.Success)) })
+		c.sendSync(home, c.reqPool.Get(corepkg.Req{Op: isa.OpLockSilent, Addr: r.addr, Core: c.id}))
+		c.engine.AfterCall(c.cfg.IssueLatency, coreResumeSuccess, c)
 	default:
-		c.out = &outstanding{t: t, op: r.op, addr: r.addr, lock: r.lock, issued: c.engine.Now()}
-		c.engine.After(c.cfg.IssueLatency, func() {
-			c.sendSync(home, &corepkg.Req{Op: r.op, Addr: r.addr, Core: c.id, Goal: r.goal, Lock: r.lock})
-		})
+		c.outBuf = outstanding{t: t, op: r.op, addr: r.addr, lock: r.lock, issued: c.engine.Now()}
+		c.out = &c.outBuf
+		c.pendReq = r
+		c.engine.AfterCall(c.cfg.IssueLatency, coreSendPending, c)
 	}
+}
+
+// Static event handlers for the dispatch paths above; arg is the *Core.
+// Each fires while the issuing thread's operation is the core's only
+// outstanding work, so c.cur is still the issuing thread.
+func coreComputeDone(arg any) { c := arg.(*Core); c.resume(c.cur, 0) }
+
+func coreResumeFail(arg any) { c := arg.(*Core); c.resume(c.cur, uint64(isa.Fail)) }
+
+func coreResumeSuccess(arg any) { c := arg.(*Core); c.resume(c.cur, uint64(isa.Success)) }
+
+func coreIdealIssue(arg any) {
+	c := arg.(*Core)
+	r := c.pendReq
+	c.ideal.Do(c.cur, r.op, r.addr, r.goal, r.lock, c.idealDone)
+}
+
+func coreSendPending(arg any) {
+	c := arg.(*Core)
+	r := c.pendReq
+	c.sendSync(memory.HomeOf(r.addr, c.tiles),
+		c.reqPool.Get(corepkg.Req{Op: r.op, Addr: r.addr, Core: c.id, Goal: r.goal, Lock: r.lock}))
 }
 
 // sendSuspend notifies the home of the outstanding operation's address that
 // this core is being interrupted (§4.1.2).
 func (c *Core) sendSuspend(o *outstanding) {
 	home := memory.HomeOf(o.addr, c.tiles)
-	c.sendSync(home, &corepkg.Req{Op: isa.OpSuspend, Addr: o.addr, Core: c.id})
+	c.sendSync(home, c.reqPool.Get(corepkg.Req{Op: isa.OpSuspend, Addr: o.addr, Core: c.id}))
 }
 
 // HandleResp processes an MSA response addressed to this core.
@@ -282,20 +339,25 @@ func (c *Core) HandleResp(r *corepkg.Resp) {
 		}
 		return
 	}
-	o := c.out
-	if o == nil {
+	if c.out == nil {
 		panic(fmt.Sprintf("cpu: core %d got %v response with nothing outstanding", c.id, r.Op))
 	}
+	// Copy the record: once c.out is cleared, resuming the thread (or its
+	// scheduler callbacks) may adopt other work that reuses outBuf.
+	o := *c.out
 	if r.Op != o.op || r.Addr != o.addr {
 		panic(fmt.Sprintf("cpu: core %d response %v/%#x does not match outstanding %v/%#x",
 			c.id, r.Op, r.Addr, o.op, o.addr))
 	}
 	c.out = nil
+	c.outBuf = outstanding{} // drop the thread reference
 	elapsed := c.engine.Now() - o.issued
 	c.stats.SyncStallCycles += elapsed
 	c.stats.SyncStallByKind[latKindOf(o.op)] += elapsed
 	c.lat[latKindOf(o.op)].Observe(uint64(elapsed))
-	c.trace(trace.Complete, o.addr, o.op.String()+" "+r.Result.String())
+	if c.tracer != nil { // guard: the detail concat allocates
+		c.trace(trace.Complete, o.addr, o.op.String()+" "+r.Result.String())
+	}
 	if r.ClearHWSync {
 		// Handoff: drop the bit *and* any in-flight grant entitlement for
 		// this line — a grant still in the network belongs to our previous

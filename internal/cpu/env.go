@@ -56,14 +56,24 @@ const (
 	reqSync
 )
 
-type rmwFunc func(st *memory.Store, a memory.Addr) uint64
+// rmwKind selects the atomic read-modify-write operation. RMW requests carry
+// an opcode plus operands rather than a closure so issuing one stays
+// allocation-free; the core owns the single closure that interprets them.
+type rmwKind uint8
+
+const (
+	rmwAdd  rmwKind = iota // val = delta
+	rmwSwap                // val = new value
+	rmwCAS                 // val = new value, val2 = expected old value
+)
 
 type threadReq struct {
 	kind   reqKind
 	cycles uint64
 	addr   memory.Addr
 	val    uint64
-	rmw    rmwFunc
+	val2   uint64
+	rmw    rmwKind
 	op     isa.SyncOp
 	goal   int
 	lock   memory.Addr
@@ -108,26 +118,15 @@ func (e env) Store(a memory.Addr, v uint64) {
 }
 
 func (e env) FetchAdd(a memory.Addr, delta uint64) uint64 {
-	return e.call(threadReq{kind: reqRMW, addr: a, rmw: func(st *memory.Store, a memory.Addr) uint64 {
-		return st.Add(a, delta)
-	}})
+	return e.call(threadReq{kind: reqRMW, addr: a, rmw: rmwAdd, val: delta})
 }
 
 func (e env) Swap(a memory.Addr, v uint64) uint64 {
-	return e.call(threadReq{kind: reqRMW, addr: a, rmw: func(st *memory.Store, a memory.Addr) uint64 {
-		return st.Swap(a, v)
-	}})
+	return e.call(threadReq{kind: reqRMW, addr: a, rmw: rmwSwap, val: v})
 }
 
 func (e env) CAS(a memory.Addr, old, new uint64) bool {
-	v := e.call(threadReq{kind: reqRMW, addr: a, rmw: func(st *memory.Store, a memory.Addr) uint64 {
-		_, ok := st.CompareAndSwap(a, old, new)
-		if ok {
-			return 1
-		}
-		return 0
-	}})
-	return v == 1
+	return e.call(threadReq{kind: reqRMW, addr: a, rmw: rmwCAS, val: new, val2: old}) == 1
 }
 
 func (e env) Sync(op isa.SyncOp, addr memory.Addr, goal int, lock memory.Addr) isa.Result {

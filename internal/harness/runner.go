@@ -32,6 +32,7 @@ type Runner struct {
 	cache     map[runKey]*Run
 	order     []*Run // unique runs in submission order, for Reports
 	metrics   bool   // meter every subsequently submitted run
+	transform func(machine.Config) machine.Config
 	progress  func(ProgressEvent)
 	submitted int // all submissions, including memo hits
 	unique    int // distinct simulations started
@@ -144,6 +145,28 @@ func (r *Runner) metered() bool {
 	return r.metrics
 }
 
+// SetConfigTransform installs fn to rewrite every subsequently submitted
+// machine configuration before it is fingerprinted and run. The golden
+// NoC-equivalence tests use it to flip an entire figure sweep onto the
+// cascade reference timing model; transformed and untransformed submissions
+// memoize separately because the fingerprint covers the rewritten config.
+func (r *Runner) SetConfigTransform(fn func(machine.Config) machine.Config) {
+	r.mu.Lock()
+	r.transform = fn
+	r.mu.Unlock()
+}
+
+// transformCfg applies the installed config rewrite, if any.
+func (r *Runner) transformCfg(cfg machine.Config) machine.Config {
+	r.mu.Lock()
+	fn := r.transform
+	r.mu.Unlock()
+	if fn != nil {
+		cfg = fn(cfg)
+	}
+	return cfg
+}
+
 // Reports returns the reports of all unique metered runs in submission
 // order, blocking until each completes. Runs that were unmetered or failed
 // are skipped. Submission order is deterministic for a fixed figure set —
@@ -221,6 +244,7 @@ func (r *Runner) submit(key runKey, label string, fn func(run *Run) error) *Run 
 // App submits one application run. Submissions of the same
 // (app, config, library) share a single simulation.
 func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run {
+	cfg = r.transformCfg(cfg)
 	if r.metered() {
 		cfg.Metrics = true
 	}
@@ -242,6 +266,7 @@ type MicroFn func(machine.Config, *syncrt.Lib) workload.MicroResult
 // Micro submits one Fig. 5 microbenchmark, memoized by
 // (operation, config, library).
 func (r *Runner) Micro(op string, fn MicroFn, cfg machine.Config, lib *syncrt.Lib) *Run {
+	cfg = r.transformCfg(cfg)
 	if r.metered() {
 		cfg.Metrics = true
 	}

@@ -184,24 +184,40 @@ func New(cfg Config) *Machine {
 	if cfg.CPU.Mode == cpu.ModeIdeal {
 		ideal = cpu.NewIdeal()
 	}
+	// One payload pool per message type, shared machine-wide. The attach
+	// handler below is the sole consumer of every payload (the coherence
+	// controllers, slices, and cores retain copies of the fields they need,
+	// never the pointer — see the pool doc comments), so each record is
+	// recycled the moment its Handle call returns.
+	msgPool := new(coherence.MsgPool)
+	reqPool := new(corepkg.ReqPool)
+	respPool := new(corepkg.RespPool)
 	for i := 0; i < cfg.Tiles; i++ {
 		i := i
+		// All component senders go through the network's pooled Post path:
+		// the machine's attach handler consumes each message synchronously,
+		// so the Message structs recycle and the send fan-out allocates only
+		// the payloads.
 		sendCoh := func(dst int, msg *coherence.Msg) {
-			net.Send(&noc.Message{Src: i, Dst: dst, Bytes: msg.Bytes(), Payload: msg})
+			net.Post(i, dst, msg.Bytes(), msg)
 		}
 		m.L1s[i] = coherence.NewL1(i, cfg.Tiles, cfg.L1, engine, m.Store, sendCoh)
+		m.L1s[i].SetMsgPool(msgPool)
 		m.Dirs[i] = coherence.NewDirectory(i, cfg.Tiles, cfg.Dir, engine, sendCoh)
+		m.Dirs[i].SetMsgPool(msgPool)
 		m.Slices[i] = corepkg.NewSlice(i, cfg.Tiles, cfg.MSA, engine, m.Dirs[i],
 			func(c int, r *corepkg.Resp) {
-				net.Send(&noc.Message{Src: i, Dst: c, Bytes: corepkg.RespBytes, Payload: r})
+				net.Post(i, c, corepkg.RespBytes, r)
 			},
 			func(tile int, msg *corepkg.MsaMsg) {
-				net.Send(&noc.Message{Src: i, Dst: tile, Bytes: corepkg.MsaBytes, Payload: msg})
+				net.Post(i, tile, corepkg.MsaBytes, msg)
 			})
 		m.Cores[i] = cpu.NewCore(i, cfg.Tiles, cfg.CPU, engine, m.L1s[i],
 			func(home int, r *corepkg.Req) {
-				net.Send(&noc.Message{Src: i, Dst: home, Bytes: corepkg.ReqBytes, Payload: r})
+				net.Post(i, home, corepkg.ReqBytes, r)
 			}, ideal)
+		m.Cores[i].SetReqPool(reqPool)
+		m.Slices[i].SetRespPool(respPool)
 		net.Attach(i, func(nm *noc.Message) {
 			switch p := nm.Payload.(type) {
 			case *coherence.Msg:
@@ -211,10 +227,13 @@ func New(cfg Config) *Machine {
 				default:
 					m.Dirs[i].Handle(p)
 				}
+				msgPool.Put(p)
 			case *corepkg.Req:
 				m.Slices[i].HandleReq(p)
+				reqPool.Put(p)
 			case *corepkg.Resp:
 				m.Cores[i].HandleResp(p)
+				respPool.Put(p)
 			case *corepkg.MsaMsg:
 				m.Slices[i].HandleMsa(p)
 			default:

@@ -11,6 +11,10 @@
 // (invalidation storms from software synchronization slow each other down) —
 // without simulating individual flit buffers as Booksim does (see DESIGN.md,
 // substitution table).
+//
+// The per-hop walk runs on pooled messages and static event handlers, so
+// steady-state traffic injected with Post allocates nothing. An approximate
+// single-event-per-message model is available via Config.RouteAtInjection.
 package noc
 
 import (
@@ -27,6 +31,17 @@ type Config struct {
 	LinkLatency   sim.Time // per-hop wire latency in cycles
 	FlitBytes     int      // flit width; message sizes are rounded up
 	LocalLatency  sim.Time // latency for a tile sending to itself
+	// RouteAtInjection opts in to the approximate fast model: the whole XY
+	// route's links are reserved at Send time and a single delivery event is
+	// scheduled, instead of one event per hop with each link reserved when
+	// the head flit reaches it. The two models agree whenever routes are
+	// uncontended, but under contention they diverge: eager reservation
+	// hands a link to the earlier-injected message even when a later-
+	// injected message's head would physically reach it first. The golden
+	// harness measured that divergence at 1–4% on the contended Fig. 5
+	// microbenchmarks (see DESIGN.md "Event kernel"), so the per-hop model
+	// remains the default and the reference.
+	RouteAtInjection bool
 }
 
 // DefaultConfig returns the timing used in the evaluation: a 2-cycle router,
@@ -48,6 +63,17 @@ type Message struct {
 	Src, Dst int
 	Bytes    int // payload size; converted to flits by the network
 	Payload  any
+
+	// In-flight bookkeeping, owned by the network between injection and
+	// delivery. Keeping the walk state here (rather than in per-hop
+	// closures) lets every hop and delivery event be a pooled, static
+	// (handler, *Message) pair — the steady-state send path allocates
+	// nothing.
+	net    *Network
+	inject sim.Time
+	at     int // tile the head flit has reached
+	nflits int
+	pooled bool // recycled into the network's free list after delivery
 }
 
 // Handler receives messages delivered to a tile.
@@ -96,7 +122,9 @@ type Network struct {
 	linkFree [][]sim.Time
 	// linkFlits[tile][dir] counts flits carried by that directed link.
 	linkFlits [][]uint64
-	stats     Stats
+	// free recycles Post-injected messages after delivery.
+	free  []*Message
+	stats Stats
 }
 
 // New builds the mesh and attaches it to the engine.
@@ -169,9 +197,35 @@ func (n *Network) flits(bytes int) int {
 	return f
 }
 
-// Send injects a message at the current cycle. Delivery invokes the
-// destination tile's handler at the computed arrival time.
+// Post injects a message built from the network's internal pool: the
+// message struct is recycled after the destination handler returns, so the
+// steady-state send path allocates nothing. Handlers must not retain the
+// *Message past their return (retaining the Payload is fine — the network
+// never touches it after delivery).
+func (n *Network) Post(src, dst, bytes int, payload any) {
+	var m *Message
+	if k := len(n.free); k > 0 {
+		m = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		m = &Message{}
+	}
+	m.Src, m.Dst, m.Bytes, m.Payload = src, dst, bytes, payload
+	m.pooled = true
+	n.route(m)
+}
+
+// Send injects a caller-owned message at the current cycle. Delivery invokes
+// the destination tile's handler at the computed arrival time. The message
+// is never recycled; allocation-sensitive senders should use Post.
 func (n *Network) Send(m *Message) {
+	m.pooled = false
+	n.route(m)
+}
+
+// route reserves the message's path and schedules its delivery.
+func (n *Network) route(m *Message) {
 	if m.Src < 0 || m.Src >= n.Tiles() || m.Dst < 0 || m.Dst >= n.Tiles() {
 		panic(fmt.Sprintf("noc: bad route %d->%d", m.Src, m.Dst))
 	}
@@ -180,51 +234,93 @@ func (n *Network) Send(m *Message) {
 	n.stats.Messages++
 	n.stats.Flits += uint64(flits)
 	n.stats.HopHist.Observe(uint64(n.Hops(m.Src, m.Dst)))
+	m.net = n
+	m.inject = inject
+	m.nflits = flits
 
 	if m.Src == m.Dst {
-		n.deliverAt(inject+n.cfg.LocalLatency, m, inject)
+		n.engine.AtCall(inject+n.cfg.LocalLatency, deliverMsg, m)
 		return
 	}
-	n.hop(m, m.Src, inject, flits, inject)
+	if !n.cfg.RouteAtInjection {
+		m.at = m.Src
+		n.hop(m)
+		return
+	}
+	// Route-at-injection: walk the XY route once, reserving each directed
+	// link in path order, then schedule a single delivery event. This makes
+	// the reservations the per-hop walk would make, but eagerly — under
+	// contention that reorders link grants, so this model is approximate
+	// (see Config.RouteAtInjection).
+	head := inject
+	at := m.Src
+	for at != m.Dst {
+		next, dir := n.nextHop(at, m.Dst)
+		start := head
+		if free := n.linkFree[at][dir]; free > start {
+			start = free
+		}
+		n.linkFree[at][dir] = start + sim.Time(flits)
+		n.linkFlits[at][dir] += uint64(flits)
+		n.stats.HopCount++
+		head = start + n.cfg.RouterLatency + n.cfg.LinkLatency
+		at = next
+	}
+	// Tail arrives flits-1 cycles after the head.
+	n.engine.AtCall(head+sim.Time(flits-1), deliverMsg, m)
 }
 
-// hop advances the message head from tile `at`. headTime is when the head
-// flit is ready to leave `at`.
-func (n *Network) hop(m *Message, at int, headTime sim.Time, flits int, inject sim.Time) {
-	next, dir := n.nextHop(at, m.Dst)
+// hop reserves the link out of m.at for the head flit, which is ready to
+// leave now, and schedules hopArrived at the next router. Called at
+// injection time for the first hop and from hopArrived for the rest, so the
+// head-ready time is always the current cycle.
+func (n *Network) hop(m *Message) {
+	next, dir := n.nextHop(m.at, m.Dst)
 	// The head must wait for the link to be free, then occupies it for the
 	// message's full flit count.
-	start := headTime
-	if free := n.linkFree[at][dir]; free > start {
+	start := n.engine.Now()
+	if free := n.linkFree[m.at][dir]; free > start {
 		start = free
 	}
-	n.linkFree[at][dir] = start + sim.Time(flits)
-	n.linkFlits[at][dir] += uint64(flits)
+	n.linkFree[m.at][dir] = start + sim.Time(m.nflits)
+	n.linkFlits[m.at][dir] += uint64(m.nflits)
 	n.stats.HopCount++
-	arrive := start + n.cfg.RouterLatency + n.cfg.LinkLatency
-	n.engine.At(arrive, func() {
-		if next == m.Dst {
-			// Tail arrives flits-1 cycles after the head.
-			n.deliverAt(arrive+sim.Time(flits-1), m, inject)
-			return
-		}
-		n.hop(m, next, arrive, flits, inject)
-	})
+	m.at = next
+	n.engine.AtCall(start+n.cfg.RouterLatency+n.cfg.LinkLatency, hopArrived, m)
 }
 
-func (n *Network) deliverAt(t sim.Time, m *Message, inject sim.Time) {
-	n.engine.At(t, func() {
-		lat := n.engine.Now() - inject
-		n.stats.TotalLatency += lat
-		if lat > n.stats.MaxLatency {
-			n.stats.MaxLatency = lat
-		}
-		h := n.handlers[m.Dst]
-		if h == nil {
-			panic(fmt.Sprintf("noc: no handler attached to tile %d", m.Dst))
-		}
-		h(m)
-	})
+// hopArrived fires when the head flit reaches a router: either the
+// destination — where the tail trails the head by nflits-1 cycles — or an
+// intermediate hop, where the head immediately contends for the next link.
+func hopArrived(arg any) {
+	m := arg.(*Message)
+	n := m.net
+	if m.at == m.Dst {
+		n.engine.AtCall(n.engine.Now()+sim.Time(m.nflits-1), deliverMsg, m)
+		return
+	}
+	n.hop(m)
+}
+
+// deliverMsg is the delivery event handler: it records latency statistics,
+// invokes the destination handler, and recycles pool-owned messages.
+func deliverMsg(arg any) {
+	m := arg.(*Message)
+	n := m.net
+	lat := n.engine.Now() - m.inject
+	n.stats.TotalLatency += lat
+	if lat > n.stats.MaxLatency {
+		n.stats.MaxLatency = lat
+	}
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler attached to tile %d", m.Dst))
+	}
+	h(m)
+	if m.pooled {
+		*m = Message{}
+		n.free = append(n.free, m)
+	}
 }
 
 // nextHop computes XY routing: correct X first, then Y.

@@ -1,0 +1,67 @@
+// Package prof wires runtime/pprof behind the -cpuprofile/-memprofile flags
+// shared by the command-line tools. Importing the package registers the two
+// flags on the default flag set; call Start right after flag.Parse and defer
+// the returned stop function.
+//
+// The profiles are ordinary pprof files: inspect them with
+//
+//	go tool pprof -top misar-fig cpu.out
+//	go tool pprof -top -sample_index=alloc_objects misar-fig mem.out
+//
+// EXPERIMENTS.md walks through a full profiling session over the figure
+// pipeline.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuOut = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memOut = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function ends the CPU profile and, when -memprofile was given, snapshots
+// the heap after a forced GC; it must run before the process exits, so defer
+// it immediately (note os.Exit skips defers — error paths lose the profile,
+// which is fine for a measurement tool). Flag errors are fatal: asking for a
+// profile and silently not getting one wastes the whole run.
+func Start() (stop func()) {
+	var cpuFile *os.File
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memOut != "" {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle transient garbage so live objects dominate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

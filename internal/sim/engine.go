@@ -4,66 +4,83 @@
 // routers, and the MSA/OMU — schedule work by posting events. Determinism is
 // guaranteed because the kernel is single-threaded and ties on time are
 // broken by insertion order.
+//
+// The kernel is allocation-free in steady state: events live in a free-list
+// pool owned by the engine and are recycled on fire and on cancel, the
+// priority queue is a hand-rolled intrusive 4-ary min-heap specialized to
+// the (when, seq) key (no container/heap, no `any` boxing per operation),
+// and the AtCall/AfterCall entry points let hot schedulers pass a
+// (handler, arg) pair — a package-level function plus a pooled argument —
+// instead of capturing state in a fresh closure per event.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulated clock in cycles.
 type Time uint64
 
-// Event is a callback scheduled to run at a specific cycle.
-type Event struct {
+// Handler is a scheduled callback invoked as h(arg) at the event's firing
+// time. Hot paths use package-level Handler functions with pooled pointer
+// arguments so scheduling allocates nothing.
+type Handler func(arg any)
+
+// closureHandler adapts the closure-based At/After API onto the
+// (handler, arg) representation: the closure itself is the argument.
+func closureHandler(arg any) { arg.(func())() }
+
+// event is the pooled, heap-intrusive representation of one scheduled
+// callback. Events are owned by the engine: they are recycled through a
+// free list on fire and on cancel, and their callback state (h, arg) is
+// cleared at release so a long-dead timer never pins captured state.
+type event struct {
 	when Time
 	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 when not queued
-	dead bool
+	h    Handler
+	arg  any
+	pos  int32  // index in Engine.heap; -1 when not queued
+	gen  uint64 // incremented on every release; guards stale handles
 }
 
-// When reports the cycle at which the event fires (or fired).
-func (e *Event) When() Time { return e.when }
+// Event is a cancellable handle to a scheduled event. It is a value type:
+// the underlying pooled storage is recycled once the event fires or is
+// cancelled, and the generation stamp makes operations through stale
+// handles safe no-ops. The zero Event is a valid handle to nothing.
+type Event struct {
+	eng  *Engine
+	p    *event
+	gen  uint64
+	when Time
+}
 
-// Cancel prevents a pending event from firing. Cancelling an already-fired
+// When reports the cycle at which the event fires (or fired). It remains
+// valid after the event completes.
+func (h Event) When() Time { return h.when }
+
+// Pending reports whether the event is still queued: it has not fired and
+// has not been cancelled.
+func (h Event) Pending() bool {
+	return h.p != nil && h.p.gen == h.gen && h.p.pos >= 0
+}
+
+// Cancel removes a pending event from the queue; it will not fire, does not
+// advance the clock, and does not count in Fired. The event's callback and
+// argument are released immediately, so a cancelled long-lived timer does
+// not pin whatever state its closure captured. Cancelling an already-fired
 // or already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+func (h Event) Cancel() {
+	if h.p == nil || h.p.gen != h.gen || h.p.pos < 0 {
+		return
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+	h.eng.remove(h.p)
 }
 
 // Engine is the event kernel. The zero value is not usable; call NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	heap    []*event // intrusive 4-ary min-heap ordered by (when, seq)
+	free    []*event // recycled events
+	alloced uint64   // pool high-water mark: events ever allocated
 	stopped bool
 	fired   uint64
 }
@@ -79,53 +96,205 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far (a progress metric).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of queued events. Cancelled events leave the
+// queue immediately and are not counted.
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at absolute cycle t. Scheduling in the past panics:
-// that is always a model bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+// PoolAllocated returns how many event structs the engine has ever
+// allocated — the pool's high-water mark. In steady state (schedule, fire,
+// cancel at a stable outstanding-event count) this stops growing: every
+// operation is served from the free list.
+func (e *Engine) PoolAllocated() uint64 { return e.alloced }
+
+// get returns a recycled event or allocates a fresh one.
+func (e *Engine) get() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	e.alloced++
+	return &event{pos: -1}
+}
+
+// release clears an event's callback state and returns it to the free list.
+// The generation bump invalidates every outstanding handle to it.
+func (e *Engine) release(ev *event) {
+	ev.h, ev.arg = nil, nil
+	ev.pos = -1
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// less orders events by (when, seq): earlier cycle first, insertion order
+// within a cycle.
+func less(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property from index i toward the root. The
+// element is held out and written once at its final position, so each level
+// costs one pointer move instead of a swap.
+func (e *Engine) siftUp(i int) {
+	q := e.heap
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].pos = int32(i)
+		i = p
+	}
+	q[i] = ev
+	ev.pos = int32(i)
+}
+
+// siftDown restores the heap property from index i toward the leaves,
+// selecting the minimum of up to four children per level.
+func (e *Engine) siftDown(i int) {
+	q := e.heap
+	n := len(q)
+	ev := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !less(q[m], ev) {
+			break
+		}
+		q[i] = q[m]
+		q[i].pos = int32(i)
+		i = m
+	}
+	q[i] = ev
+	ev.pos = int32(i)
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev *event) {
+	ev.pos = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// popMin removes and returns the earliest event. The caller must release it.
+func (e *Engine) popMin() *event {
+	q := e.heap
+	min := q[0]
+	n := len(q) - 1
+	if n > 0 {
+		q[0] = q[n]
+		q[0].pos = 0
+	}
+	q[n] = nil
+	e.heap = q[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	min.pos = -1
+	return min
+}
+
+// remove deletes an interior event from the heap and recycles it.
+func (e *Engine) remove(ev *event) {
+	q := e.heap
+	i := int(ev.pos)
+	n := len(q) - 1
+	if i != n {
+		q[i] = q[n]
+		q[i].pos = int32(i)
+	}
+	q[n] = nil
+	e.heap = q[:n]
+	if i != n && n > 1 {
+		e.siftDown(i)
+		e.siftUp(int(q[i].pos))
+	}
+	ev.pos = -1
+	e.release(ev)
+}
+
+// schedule is the common entry point for all four scheduling calls.
+func (e *Engine) schedule(t Time, h Handler, arg any) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	ev := e.get()
+	ev.when, ev.seq, ev.h, ev.arg = t, e.seq, h, arg
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return Event{eng: e, p: ev, gen: ev.gen, when: t}
+}
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past panics:
+// that is always a model bug. The closure-based form allocates the closure
+// at the caller; allocation-sensitive schedulers should use AtCall.
+func (e *Engine) At(t Time, fn func()) Event {
+	return e.schedule(t, closureHandler, fn)
 }
 
 // After schedules fn to run d cycles from now.
-func (e *Engine) After(d Time, fn func()) *Event {
-	return e.At(e.now+d, fn)
+func (e *Engine) After(d Time, fn func()) Event {
+	return e.schedule(e.now+d, closureHandler, fn)
 }
 
-// Stop makes Run return after the current event completes.
+// AtCall schedules h(arg) at absolute cycle t. With a package-level handler
+// and a pooled pointer argument this is allocation-free: the event comes
+// from the engine's pool and a pointer stored in `any` does not allocate.
+func (e *Engine) AtCall(t Time, h Handler, arg any) Event {
+	return e.schedule(t, h, arg)
+}
+
+// AfterCall schedules h(arg) to run d cycles from now.
+func (e *Engine) AfterCall(d Time, h Handler, arg any) Event {
+	return e.schedule(e.now+d, h, arg)
+}
+
+// Stop makes Run (and Step, and RunUntil) return after the current event
+// completes. Stopping is sticky: the engine refuses further work until
+// Resume is called, so a stopped engine can be inspected without racing
+// against pending events. Pending events stay queued.
 func (e *Engine) Stop() { e.stopped = true }
 
-// pruneDead discards cancelled events at the head of the queue. Every
-// queue consumer goes through this one helper, so dead events are handled
-// uniformly: they never fire, never advance the clock, and never count in
-// Fired — whether they are met by Step, RunUntil, or a deadline check.
-func (e *Engine) pruneDead() {
-	for len(e.queue) > 0 && e.queue[0].dead {
-		heap.Pop(&e.queue)
-	}
-}
+// Stopped reports whether the engine is stopped.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Resume clears a previous Stop, allowing Step/Run/RunUntil to execute
+// events again. Resuming a running engine is a no-op.
+func (e *Engine) Resume() { e.stopped = false }
 
 // Step executes the single earliest pending event. It reports false when the
 // queue is empty (simulation quiesced) or the engine was stopped.
 func (e *Engine) Step() bool {
-	if e.stopped {
+	if e.stopped || len(e.heap) == 0 {
 		return false
 	}
-	e.pruneDead()
-	if len(e.queue) == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.popMin()
 	e.now = ev.when
 	e.fired++
-	ev.fn()
+	// Extract the callback and recycle the event before invoking it: the
+	// handler may immediately schedule new work into the freed slot, and
+	// clearing h/arg here guarantees fired events never pin captured state.
+	h, arg := ev.h, ev.arg
+	e.release(ev)
+	h(arg)
 	return true
 }
 
@@ -143,11 +312,10 @@ func (e *Engine) Run() Time {
 // deadlock or runaway workload in tests.
 func (e *Engine) RunUntil(deadline Time) bool {
 	for {
-		e.pruneDead()
-		if e.stopped || len(e.queue) == 0 {
-			return len(e.queue) == 0
+		if e.stopped || len(e.heap) == 0 {
+			return len(e.heap) == 0
 		}
-		if e.queue[0].when > deadline {
+		if e.heap[0].when > deadline {
 			return false
 		}
 		e.Step()

@@ -194,7 +194,7 @@ func TestEngineRunUntilCancelAtHead(t *testing.T) {
 // the deadline and after Stop.
 func TestEngineRunUntilAllDeadDrains(t *testing.T) {
 	e := NewEngine()
-	evs := []*Event{e.At(10, func() {}), e.At(20, func() {}), e.At(30, func() {})}
+	evs := []Event{e.At(10, func() {}), e.At(20, func() {}), e.At(30, func() {})}
 	for _, ev := range evs {
 		ev.Cancel()
 	}
@@ -206,7 +206,7 @@ func TestEngineRunUntilAllDeadDrains(t *testing.T) {
 	}
 
 	e2 := NewEngine()
-	var late *Event
+	var late Event
 	e2.At(1, func() { e2.Stop(); late.Cancel() })
 	late = e2.At(50, func() {})
 	if !e2.RunUntil(100) {
