@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench figs clean
+.PHONY: all build test race bench chaos figs clean
 
 all: build test
 
@@ -19,8 +19,14 @@ race:
 bench:
 	$(GO) run ./cmd/misar-bench -benchtime 1x -out BENCH_kernel.json
 
+# chaos runs the seeded fault-injection campaign (must pass) plus the
+# broken-OMU detection selftest (must be caught); see DESIGN.md §10.
+chaos:
+	$(GO) run ./cmd/misar-chaos -seeds 200 -out CHAOS.json
+	$(GO) run ./cmd/misar-chaos -seeds 30 -broken -quiet -out CHAOS_broken.json
+
 figs:
 	$(GO) run ./cmd/misar-fig -fig all
 
 clean:
-	rm -f BENCH_kernel.json
+	rm -f BENCH_kernel.json CHAOS.json CHAOS_broken.json

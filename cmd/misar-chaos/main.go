@@ -1,0 +1,149 @@
+// Command misar-chaos drives seeded fault-injection campaigns against the
+// full machine model and emits a machine-readable CHAOS.json. Every seed
+// deterministically derives a scenario (machine shape, lock/barrier mix,
+// suspend/migrate disturbances) and a fault plan (forced OMU steers, capacity
+// steals, entry evictions, ack delays, NoC jitter, coherence delays); each
+// run carries the safety-invariant checker and a liveness watchdog, so a bad
+// interleaving surfaces as a structured violation or wait-for diagnosis.
+//
+// Usage:
+//
+//	misar-chaos                          # 200 faulted seeds, report to stdout summary + CHAOS.json
+//	misar-chaos -seeds 1000 -parallel 16
+//	misar-chaos -broken                  # detection selftest: runs with the OMU check disabled
+//	misar-chaos -shrink 42               # minimize the fault plan of failing seed 42
+//
+// Exit status is nonzero when any seed fails — except under -broken, where
+// failures are the expected outcome and the exit status flips: it is an error
+// if NOTHING is detected.
+//
+// CI runs a short campaign as a smoke job and uploads the JSON artifact; see
+// .github/workflows/ci.yml.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"misar/internal/chaos"
+	"misar/internal/fault"
+	"misar/internal/sim"
+)
+
+type report struct {
+	Schema      string           `json:"schema"`
+	GoVersion   string           `json:"go_version"`
+	Start       int64            `json:"start_seed"`
+	Seeds       int64            `json:"seeds"`
+	Faults      bool             `json:"faults"`
+	BrokenOMU   bool             `json:"broken_omu"`
+	Budget      uint64           `json:"budget_cycles"`
+	Failed      int              `json:"failed"`
+	FaultsFired uint64           `json:"faults_fired"`
+	Outcomes    []*chaos.Outcome `json:"outcomes"`
+	WallSeconds float64          `json:"wall_seconds"`
+	GeneratedAt time.Time        `json:"generated_at"`
+}
+
+func main() {
+	var (
+		seeds    = flag.Int64("seeds", 200, "number of seeds to run")
+		start    = flag.Int64("start", 0, "first seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations")
+		budget   = flag.Uint64("budget", 0, "per-run cycle budget (0 = package default)")
+		noFaults = flag.Bool("no-faults", false, "disable the fault injector (pure disturbance campaign)")
+		broken   = flag.Bool("broken", false, "disable the OMU exclusivity check (detection selftest; failures expected)")
+		shrink   = flag.Int64("shrink", -1, "shrink the fault plan of this failing seed and exit")
+		out      = flag.String("out", "CHAOS.json", "report path ('-' for stdout)")
+		quiet    = flag.Bool("quiet", false, "suppress per-failure progress lines")
+	)
+	flag.Parse()
+
+	opt := chaos.Options{Faults: !*noFaults, BrokenOMU: *broken, Budget: sim.Time(*budget)}
+
+	if *shrink >= 0 {
+		runShrink(*shrink, opt)
+		return
+	}
+
+	t0 := time.Now()
+	progress := func(o *chaos.Outcome) {
+		if o.Failed() && !*quiet {
+			fmt.Fprintf(os.Stderr, "seed %d FAILED (%s / %s): %s\n", o.Seed, o.Config, o.Lib, o.Err)
+		}
+	}
+	outs := chaos.Campaign(*start, *seeds, *parallel, opt, progress)
+
+	rep := &report{
+		Schema:    "misar-chaos/v1",
+		GoVersion: runtime.Version(),
+		Start:     *start, Seeds: *seeds,
+		Faults: opt.Faults, BrokenOMU: opt.BrokenOMU,
+		Budget:      uint64(opt.EffectiveBudget()),
+		Outcomes:    outs,
+		GeneratedAt: time.Now().UTC(),
+	}
+	for _, o := range outs {
+		if o.Failed() {
+			rep.Failed++
+		}
+		rep.FaultsFired += o.Counts.Total()
+	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("encode report: %v", err)
+	}
+	if *out == "-" {
+		fmt.Println(string(blob))
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+
+	fmt.Printf("chaos: %d seeds, %d failed, %d faults fired, %.1fs\n",
+		*seeds, rep.Failed, rep.FaultsFired, rep.WallSeconds)
+	if *broken {
+		// Detection selftest: a broken machine evading every detector is the
+		// failure mode here.
+		if rep.Failed == 0 {
+			fatal("broken-OMU campaign detected nothing — the safety net has a hole")
+		}
+		return
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runShrink(seed int64, opt chaos.Options) {
+	plan, out, ok := chaos.Shrink(seed, opt)
+	if !ok {
+		fatal("seed %d does not fail under the full default plan; nothing to shrink", seed)
+	}
+	fmt.Printf("seed %d minimized to fault sites %v (from %v)\n",
+		seed, plan.Sites(), fault.DefaultPlan(uint64(seed)).Sites())
+	fmt.Printf("failure: %s\n", out.Err)
+	for _, v := range out.Violations {
+		fmt.Printf("violation: %s\n", v.String())
+	}
+	if out.Diag != nil {
+		fmt.Printf("%s\n", out.Diag.Summary())
+	}
+	blob, _ := json.MarshalIndent(struct {
+		Seed    int64          `json:"seed"`
+		Plan    fault.Plan     `json:"plan"`
+		Sites   []string       `json:"sites"`
+		Outcome *chaos.Outcome `json:"outcome"`
+	}{seed, plan, plan.Sites(), out}, "", "  ")
+	fmt.Println(string(blob))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "misar-chaos: "+format+"\n", args...)
+	os.Exit(1)
+}

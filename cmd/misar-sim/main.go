@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"misar/internal/cpu"
+	"misar/internal/fault"
 	"misar/internal/machine"
 	"misar/internal/prof"
 	"misar/internal/syncrt"
@@ -74,6 +75,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-component statistics")
 	report := flag.String("report", "", "write a JSON metrics report to this file (enables metering)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	faultSeed := flag.Uint64("fault-seed", 0, "enable the fault injector with the default plan for this seed")
+	invariants := flag.Bool("invariants", false, "arm the runtime safety-invariant checker")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -128,6 +131,15 @@ func main() {
 	if *report != "" {
 		cfg.Metrics = true
 	}
+	if *faultSeed != 0 {
+		// Fault campaigns always arm the checker: injected faults are only
+		// useful if something is watching the invariants they stress.
+		cfg.Fault = fault.DefaultPlan(*faultSeed)
+		cfg.Invariants = true
+	}
+	if *invariants {
+		cfg.Invariants = true
+	}
 	lib := v.lib()
 
 	start := time.Now()
@@ -159,6 +171,12 @@ func main() {
 	fmt.Printf("entries        allocs=%d deallocs=%d reclaims=%d grants=%d revokes=%d aborts=%d\n",
 		s.Allocs, s.Deallocs, s.Reclaims, s.Grants, s.Revokes, s.Aborts)
 	fmt.Printf("omu            steers=%d capacitySteers=%d\n", s.OMUSteers, s.CapacitySteers)
+	if m.Injector != nil {
+		fmt.Printf("faults         %s\n", m.Injector.Counts().String())
+	}
+	if cfg.Invariants {
+		fmt.Printf("invariants     %d violation(s)\n", len(m.Checker.Violations()))
+	}
 	for _, lk := range []struct {
 		name string
 		kind cpu.LatencyKind

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"testing"
+
+	"misar/internal/fault"
+)
+
+// TestRunSeedDeterministic: the entire outcome of a seed — cycles, fault
+// counts, violations — must be a pure function of (seed, plan, options).
+// This is what makes a failing seed a reproducer and the shrinker sound.
+func TestRunSeedDeterministic(t *testing.T) {
+	for _, opt := range []Options{{}, {Faults: true}, {Faults: true, BrokenOMU: true}} {
+		a := RunSeed(11, opt)
+		b := RunSeed(11, opt)
+		if a.Cycles != b.Cycles || a.Err != b.Err || a.Counts != b.Counts ||
+			len(a.Violations) != len(b.Violations) || a.Failed() != b.Failed() {
+			t.Errorf("opt %+v: outcomes diverged:\n  %+v\n  %+v", opt, a, b)
+		}
+	}
+}
+
+func TestEffectiveBudget(t *testing.T) {
+	if got := (Options{}).EffectiveBudget(); got != DefaultBudget {
+		t.Errorf("default budget = %d", got)
+	}
+	if got := (Options{BrokenOMU: true}).EffectiveBudget(); got != BrokenBudget {
+		t.Errorf("broken budget = %d", got)
+	}
+	if got := (Options{BrokenOMU: true, Budget: 123}).EffectiveBudget(); got != 123 {
+		t.Errorf("explicit budget = %d", got)
+	}
+}
+
+// TestRunPlanUsesPlanNotSeedDefaults: RunPlan must honor the explicit plan —
+// a zero plan on a faulted-looking seed injects nothing.
+func TestRunPlanUsesPlanNotSeedDefaults(t *testing.T) {
+	o := RunPlan(3, fault.Plan{}, Options{})
+	if o.Counts.Total() != 0 {
+		t.Fatalf("zero plan fired faults: %s", o.Counts.String())
+	}
+	if o.Failed() {
+		t.Fatalf("clean zero-plan run failed: %+v", o)
+	}
+}

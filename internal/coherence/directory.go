@@ -89,11 +89,21 @@ type Directory struct {
 	// pool supplies outgoing message records (nil: plain allocation).
 	pool  *MsgPool
 	stats DirStats
+	// extraLat, when installed, returns extra cycles to charge a transaction
+	// before it starts (fault-campaign delayed coherence replies). Kept as a
+	// plain func so the package stays decoupled from the injector.
+	extraLat func() sim.Time
 }
 
 // SetMsgPool makes outgoing messages come from p (shared with the L1s; see
 // L1.SetMsgPool).
 func (d *Directory) SetMsgPool(p *MsgPool) { d.pool = p }
+
+// SetExtraLatency installs a per-transaction extra-latency hook (nil
+// removes it). The delay lands before the transaction starts, so per-line
+// serialization and the reply protocol are unaffected — grants,
+// invalidations, and fills simply arrive later.
+func (d *Directory) SetExtraLatency(fn func() sim.Time) { d.extraLat = fn }
 
 // NewDirectory builds the controller for one tile.
 func NewDirectory(tile, tiles int, cfg DirConfig, engine *sim.Engine, send SendFunc) *Directory {
@@ -207,6 +217,9 @@ func (d *Directory) admit(line memory.Addr, t *txn) {
 	lat := d.cfg.LLCLatency
 	if cold {
 		lat += d.cfg.MemLatency
+	}
+	if d.extraLat != nil {
+		lat += d.extraLat()
 	}
 	d.engine.AfterCall(lat, dirStart, e)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/trace"
@@ -161,6 +162,8 @@ func (s *Slice) handleUnlockPin(m *MsaMsg) {
 	}
 	s.stats.UnlockHW++
 	e.owner = -1
+	// COND_WAIT's atomic release of the associated mutex.
+	s.check.LockReleased(m.Lock, fault.WorldHW)
 	if m.NeedPin {
 		e.pins++
 	}

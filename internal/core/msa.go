@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"misar/internal/coherence"
+	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
@@ -42,6 +43,12 @@ type Config struct {
 	// lowest-core-first selection (ablation A3: what the fairness register
 	// buys).
 	FixedPriority bool
+	// UnsafeNoOMUCheck is a TEST-ONLY toggle that skips the OMU activity
+	// check on allocation, deliberately breaking the exclusivity property
+	// the OMU exists to enforce. It exists so the fault/invariant layer can
+	// prove it catches a broken OMU (hardware and software handling the
+	// same variable at once) instead of hanging. Never set outside tests.
+	UnsafeNoOMUCheck bool
 }
 
 // DefaultConfig is the paper's headline MSA/OMU-2 configuration.
@@ -170,6 +177,13 @@ type Slice struct {
 	stats   Stats
 	tracer  *trace.Buffer // nil unless protocol tracing is attached
 
+	// inj/check are the fault-injection and safety-invariant hooks. Both
+	// are nil-receiver-safe (the disabled machine pays one comparison per
+	// site, same contract as the metrics instruments below).
+	inj     *fault.Injector
+	check   *fault.Checker
+	lastReq sim.Time // cycle of the last request handled (watchdog diagnosis)
+
 	met sliceMetrics
 	// swActive is an exact shadow of the per-address software-activity level,
 	// maintained only while metrics are attached. The OMU itself is untagged
@@ -193,6 +207,12 @@ type sliceMetrics struct {
 
 // SetTracer attaches a protocol-event recorder (nil detaches).
 func (s *Slice) SetTracer(b *trace.Buffer) { s.tracer = b }
+
+// SetInjector attaches the fault injector (nil detaches).
+func (s *Slice) SetInjector(i *fault.Injector) { s.inj = i }
+
+// SetChecker attaches the safety-invariant checker (nil detaches).
+func (s *Slice) SetChecker(c *fault.Checker) { s.check = c }
 
 // SetRespPool makes outgoing responses come from p (the machine recycles
 // each response after the destination core handles it).
@@ -308,7 +328,7 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	if !s.supports(typ) {
 		return nil
 	}
-	if s.cfg.OMUEnabled && s.omu.ActiveSW(addr) {
+	if s.cfg.OMUEnabled && !s.cfg.UnsafeNoOMUCheck && s.omu.ActiveSW(addr) {
 		s.stats.OMUSteers++
 		s.met.omuSteers.Inc()
 		if s.swActive != nil && s.swActive[addr] == 0 {
@@ -316,9 +336,23 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 		}
 		return nil
 	}
+	// Fault site: steer an otherwise-allocatable acquire as if the OMU had
+	// vetoed it. Only meaningful with the OMU: the caller's counter
+	// increment then keeps the worlds separated, exactly like a real steer.
+	if s.cfg.OMUEnabled && s.inj.ForceSteer() {
+		s.stats.OMUSteers++
+		s.met.omuSteers.Inc()
+		s.trace(trace.Steer, addr, -1, "forced steer (fault)")
+		return nil
+	}
 	e := s.boundEntry(typ, addr)
 	if e == nil {
 		e = s.freeEntry()
+	}
+	// Fault site: artificial capacity reduction — refuse a free entry as if
+	// the slice were smaller than configured.
+	if e != nil && s.cfg.OMUEnabled && s.inj.ForceCapacitySteer() {
+		e = nil
 	}
 	if e == nil {
 		s.stats.CapacitySteers++
@@ -333,6 +367,9 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	s.tick++
 	*e = entry{valid: true, typ: typ, addr: addr, owner: -1, standbyCore: -1, pinCore: -1, lastUse: s.tick}
 	s.trace(trace.EntryAlloc, addr, -1, typ.String())
+	// Invariant: no thread may be active in the software path of addr while
+	// an MSA entry goes live for it (OMU exclusivity, PAPER.md §3.2).
+	s.check.HWAlloc(addr)
 	return e
 }
 
@@ -422,12 +459,37 @@ func (s *Slice) respond(core int, op isa.SyncOp, addr memory.Addr, res isa.Resul
 	if s.tracer != nil { // guard: the detail concat allocates
 		s.trace(trace.SyncResp, addr, core, op.String()+" "+res.String())
 	}
-	s.sendResp(core, s.respPool.Get(Resp{Op: op, Addr: addr, Core: core, Result: res, Reason: reason}))
+	s.send(core, s.respPool.Get(Resp{Op: op, Addr: addr, Core: core, Result: res, Reason: reason}))
+}
+
+// delayedResp carries a held-back acknowledgment (fault path only; the
+// allocation happens only when a fault actually fires).
+type delayedResp struct {
+	s    *Slice
+	core int
+	r    *Resp
+}
+
+func sliceSendDelayed(arg any) {
+	d := arg.(*delayedResp)
+	d.s.sendResp(d.core, d.r)
+}
+
+// send delivers one acknowledgment to a core, optionally held back by the
+// fault injector. All slice-to-core responses funnel through here so the
+// ack-delay site covers grants, aborts, and ClearHWSync handoffs alike.
+func (s *Slice) send(core int, r *Resp) {
+	if d := s.inj.AckDelay(); d > 0 {
+		s.engine.AfterCall(d, sliceSendDelayed, &delayedResp{s: s, core: core, r: r})
+		return
+	}
+	s.sendResp(core, r)
 }
 
 func (s *Slice) omuInc(addr memory.Addr) {
 	if s.cfg.OMUEnabled {
 		s.omu.Inc(addr)
+		s.check.SWEnter(addr)
 		if s.swActive != nil {
 			s.swActive[addr]++
 		}
@@ -443,6 +505,7 @@ func (s *Slice) omuAdd(addr memory.Addr, n int) {
 func (s *Slice) omuDec(addr memory.Addr) {
 	if s.cfg.OMUEnabled {
 		s.omu.Dec(addr)
+		s.check.SWExit(addr)
 		if s.swActive != nil {
 			if s.swActive[addr] <= 1 {
 				delete(s.swActive, addr)
@@ -458,7 +521,13 @@ func (s *Slice) HandleReq(r *Req) {
 	if memory.HomeOf(r.Addr, s.tiles) != s.tile {
 		panic(fmt.Sprintf("core: tile %d is not home of sync addr %#x", s.tile, r.Addr))
 	}
+	s.lastReq = s.engine.Now()
 	s.trace(trace.SyncReq, r.Addr, r.Core, r.Op.String())
+	// Fault site: spurious un-steer — run a standby-reclaim sweep with no
+	// capacity pressure, revoking a silent holder's re-acquire privilege.
+	if s.inj.ForceEvict() {
+		s.startReclaim(nil)
+	}
 	switch r.Op {
 	case isa.OpLock:
 		s.handleLock(r)
@@ -627,6 +696,7 @@ func (s *Slice) promote(e *entry) {
 	next := s.pickWaiter(e.waiters)
 	e.waiters &^= bit(next)
 	e.owner = next
+	s.check.LockAcquired(e.addr, next, fault.WorldHW)
 	respOp, respAddr := isa.OpLock, e.addr
 	if a, ok := e.behalf[next]; ok {
 		respOp, respAddr = isa.OpCondWait, a
@@ -654,6 +724,12 @@ func (s *Slice) handleUnlock(r *Req) {
 	if e == nil || e.draining {
 		// Default-to-software (§3.1): the lock is software-managed.
 		s.stats.UnlockSW++
+		// This FAIL is the protocol's software release point (the OMU
+		// decrement below ends the software episode), so register the
+		// release here rather than thread-side: a subsequent hardware grant
+		// can be processed at this slice before the FAIL response reaches
+		// the unlocking thread.
+		s.check.LockReleased(r.Addr, fault.WorldSW)
 		s.omuDec(r.Addr)
 		s.respond(r.Core, isa.OpUnlock, r.Addr, isa.Fail, ReasonNone)
 		return
@@ -661,11 +737,12 @@ func (s *Slice) handleUnlock(r *Req) {
 	s.stats.UnlockHW++
 	if e.owner == r.Core {
 		e.owner = -1
+		s.check.LockReleased(r.Addr, fault.WorldHW)
 		handoff := e.waiters != 0
 		// On a handoff the unlocker must drop its HWSync bit: the lock is
 		// about to belong to someone else, so a silent re-acquire from the
 		// stale bit would break mutual exclusion.
-		s.sendResp(r.Core, s.respPool.Get(Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
+		s.send(r.Core, s.respPool.Get(Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
 			Result: isa.Success, ClearHWSync: handoff}))
 		if handoff {
 			s.promote(e)
@@ -677,7 +754,8 @@ func (s *Slice) handleUnlock(r *Req) {
 	// UNLOCK from a core whose HWQueue bit is not set: the owning thread
 	// migrated (§4.1.2). Reply SUCCESS to the unlocker, ABORT every waiter
 	// to the software path, charge the OMU for each, and tear down.
-	s.sendResp(r.Core, s.respPool.Get(Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
+	s.check.LockReleased(r.Addr, fault.WorldHW)
+	s.send(r.Core, s.respPool.Get(Resp{Op: isa.OpUnlock, Addr: r.Addr, Core: r.Core,
 		Result: isa.Success, ClearHWSync: true}))
 	s.abortLockEntry(e)
 }
@@ -763,7 +841,9 @@ func (s *Slice) handleLockSilent(r *Req) {
 	s.trace(trace.Silent, r.Addr, r.Core, "silent acquire")
 	e.owner = r.Core
 	e.standby = false
-	// No response: the core already completed its LOCK locally (§5).
+	// No response: the core already completed its LOCK locally (§5), and it
+	// registered the acquisition with the invariant checker at that point —
+	// no second registration here.
 }
 
 // --- Barriers (§4.2) ---
@@ -788,8 +868,10 @@ func (s *Slice) handleBarrier(r *Req) {
 	}
 	s.stats.BarrierHW++
 	e.waiters |= bit(r.Core)
+	s.check.BarrierArrive(r.Addr, r.Core, e.goal, fault.WorldHW)
 	if bits.OnesCount64(e.waiters) == e.goal {
 		// All arrived: release everyone (direct notification).
+		s.check.BarrierRelease(r.Addr)
 		for c := 0; c < s.tiles; c++ {
 			if e.waiters&bit(c) != 0 {
 				s.respond(c, isa.OpBarrier, r.Addr, isa.Success, ReasonNone)
@@ -823,6 +905,7 @@ func (s *Slice) handleSuspend(r *Req) {
 				s.respond(c, isa.OpBarrier, e.addr, isa.Abort, ReasonFallback)
 			}
 		}
+		s.check.BarrierAbort(e.addr)
 		e.waiters = 0
 		e.goal = 0
 		s.dealloc(e)
@@ -836,3 +919,41 @@ func (s *Slice) handleSuspend(r *Req) {
 	// home): tell the core to keep waiting for the original response.
 	s.respond(r.Core, isa.OpSuspend, r.Addr, isa.Fail, ReasonNone)
 }
+
+// --- Watchdog introspection ---
+
+// EntrySnapshot is a read-only copy of one live MSA entry, consumed by the
+// machine's liveness watchdog when building a deadlock diagnosis.
+type EntrySnapshot struct {
+	Typ      isa.SyncType
+	Addr     memory.Addr
+	Owner    int    // locks: owning core, -1 free
+	Waiters  uint64 // bit per waiting core (barriers: arrived cores)
+	Goal     int    // barriers: participant count
+	Pins     int    // locks: condition variables pinning the entry
+	Standby  bool
+	Draining bool
+	Revoking bool
+	LockAddr memory.Addr // conds: associated lock
+}
+
+// Snapshot returns the live (valid, non-empty) entries of this slice.
+func (s *Slice) Snapshot() []EntrySnapshot {
+	var out []EntrySnapshot
+	for _, e := range s.entries {
+		if !e.valid || e.empty {
+			continue
+		}
+		out = append(out, EntrySnapshot{
+			Typ: e.typ, Addr: e.addr, Owner: e.owner, Waiters: e.waiters,
+			Goal: e.goal, Pins: e.pins, Standby: e.standby,
+			Draining: e.draining, Revoking: e.revoking, LockAddr: e.lockAddr,
+		})
+	}
+	return out
+}
+
+// LastReq returns the cycle at which this slice handled its most recent
+// request (0 if it never saw one). The watchdog reports it as the tile's
+// last-event timestamp.
+func (s *Slice) LastReq() sim.Time { return s.lastReq }

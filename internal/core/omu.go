@@ -83,3 +83,14 @@ func (o *OMU) Level(a memory.Addr) uint32 { return o.Count(a) }
 
 // Stats returns a snapshot of the OMU statistics.
 func (o *OMU) Stats() OMUStats { return o.stats }
+
+// OMUIndex exposes the counter index an n-counter OMU uses for address a.
+// Tests use it to construct aliasing address pairs (two distinct variables
+// sharing one untagged counter) deterministically.
+func OMUIndex(a memory.Addr, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	o := OMU{counters: make([]uint32, n)}
+	return o.index(a)
+}

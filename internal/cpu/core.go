@@ -5,6 +5,7 @@ import (
 
 	"misar/internal/coherence"
 	corepkg "misar/internal/core"
+	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
@@ -128,6 +129,7 @@ type Core struct {
 	lat     [numLatKinds]stats.Histogram
 	tracer  *trace.Buffer     // nil unless tracing is attached
 	metrics *metrics.Registry // nil unless the machine is metered
+	check   *fault.Checker    // nil unless invariant checking is enabled
 }
 
 // Latency returns the core's latency histogram for one operation class.
@@ -144,6 +146,12 @@ func (c *Core) SetMetrics(r *metrics.Registry) { c.metrics = r }
 
 // Metrics returns the attached registry (nil when metering is off).
 func (c *Core) Metrics() *metrics.Registry { return c.metrics }
+
+// SetChecker attaches the safety-invariant checker (nil detaches). The core
+// registers silent lock re-acquisitions (the §5 fast path completes locally,
+// before the home slice learns of it) and exposes the checker to thread code
+// via Env.Check.
+func (c *Core) SetChecker(ch *fault.Checker) { c.check = ch }
 
 // SetReqPool makes outgoing MSA requests come from p (the machine recycles
 // each request after the destination slice handles it).
@@ -199,6 +207,19 @@ func NewCore(id, tiles int, cfg Config, engine *sim.Engine, l1 *coherence.L1,
 
 // Stats returns a snapshot of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
+
+// Outstanding reports the core's in-flight synchronization instruction for
+// the liveness watchdog: operation, address, and issue cycle. ok is false
+// when nothing is outstanding.
+func (c *Core) Outstanding() (op isa.SyncOp, addr memory.Addr, issued sim.Time, ok bool) {
+	if c.out == nil {
+		return 0, 0, 0, false
+	}
+	return c.out.op, c.out.addr, c.out.issued, true
+}
+
+// Current returns the thread currently adopted by this core (nil if idle).
+func (c *Core) Current() *Thread { return c.cur }
 
 // ID returns the core's tile id.
 func (c *Core) ID() int { return c.id }
@@ -263,6 +284,13 @@ func (c *Core) handleSync(t *Thread, r threadReq) {
 	switch c.cfg.Mode {
 	case ModeAlwaysFail:
 		// MSA-0: fail locally, no message (§6: the trivial implementation).
+		if r.op == isa.OpUnlock {
+			// The library's software release follows this FAIL; hardware-
+			// first libraries register software releases at the point the
+			// FAIL is produced (see syncrt.timedSwUnlock), which here is
+			// the core itself.
+			c.check.LockReleased(r.addr, fault.WorldSW)
+		}
 		if r.op == isa.OpFinish {
 			c.engine.AfterCall(c.cfg.IssueLatency, coreResumeSuccess, c)
 		} else {
@@ -286,6 +314,7 @@ func (c *Core) handleSync(t *Thread, r threadReq) {
 		// §5 fast path: the lock's line is still here, writable, with the
 		// HWSync bit — re-acquire silently and just notify the home.
 		c.stats.SilentLocks++
+		c.check.LockAcquired(r.addr, c.id, fault.WorldHW)
 		c.sendSync(home, c.reqPool.Get(corepkg.Req{Op: isa.OpLockSilent, Addr: r.addr, Core: c.id}))
 		c.engine.AfterCall(c.cfg.IssueLatency, coreResumeSuccess, c)
 	default:

@@ -13,6 +13,7 @@
 package cpu
 
 import (
+	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
@@ -43,6 +44,10 @@ type Env interface {
 	// is disabled. Library code resolves instruments through it once at bind
 	// time (a nil registry yields nil, zero-cost instruments).
 	Metrics() *metrics.Registry
+	// Check returns the machine's safety-invariant checker, or nil when
+	// invariant checking is disabled. Same bind-once contract as Metrics:
+	// a nil checker's methods are no-ops.
+	Check() *fault.Checker
 }
 
 // reqKind enumerates thread→kernel requests.
@@ -91,6 +96,8 @@ func (e env) Core() int     { return e.t.core.id }
 func (e env) Now() sim.Time { return e.t.core.engine.Now() }
 
 func (e env) Metrics() *metrics.Registry { return e.t.core.metrics }
+
+func (e env) Check() *fault.Checker { return e.t.core.check }
 
 // call sends a request to the kernel and blocks until its result arrives.
 func (e env) call(r threadReq) uint64 {

@@ -48,6 +48,16 @@ func (t *Thread) Parked() bool { return t.parked != parkedNone }
 // Err returns the recovered panic value if the thread body panicked.
 func (t *Thread) Err() any { return t.err }
 
+// CoreID returns the id of the core the thread last ran on, or -1 before it
+// was first scheduled. Used by the liveness watchdog to attribute blocked
+// threads to tiles.
+func (t *Thread) CoreID() int {
+	if t.core == nil {
+		return -1
+	}
+	return t.core.id
+}
+
 // Complex manages the machine's cores and threads.
 type Complex struct {
 	engine  *sim.Engine

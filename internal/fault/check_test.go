@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"testing"
+
+	"misar/internal/memory"
+	"misar/internal/metrics"
+	"misar/internal/sim"
+)
+
+func newTestChecker() *Checker {
+	t := sim.Time(0)
+	return NewChecker(func() sim.Time { t++; return t })
+}
+
+func kinds(c *Checker) map[ViolationKind]int {
+	m := map[ViolationKind]int{}
+	for _, v := range c.Violations() {
+		m[v.Kind]++
+	}
+	return m
+}
+
+// TestNilCheckerIsInert: every recording and snapshot method must be a safe
+// no-op on a nil *Checker (the disabled machine's configuration).
+func TestNilCheckerIsInert(t *testing.T) {
+	var c *Checker
+	c.AttachMetrics(metrics.NewRegistry())
+	c.SWEnter(1 << 6)
+	c.SWExit(1 << 6)
+	c.HWAlloc(1 << 6)
+	c.LockWaiting(1<<6, 0, WorldSW)
+	c.LockAcquired(1<<6, 0, WorldSW)
+	c.LockReleased(1<<6, WorldSW)
+	c.BarrierArrive(2<<6, 0, 2, WorldHW)
+	c.BarrierRelease(2 << 6)
+	c.BarrierAbort(2 << 6)
+	c.CondWaiting(3<<6, 0)
+	c.CondWoken(3<<6, 0)
+	if c.Violations() != nil || c.SWLevel(1<<6) != 0 ||
+		c.LockStates() != nil || c.BarrierStates() != nil || c.CondStates() != nil {
+		t.Error("nil checker returned state")
+	}
+}
+
+func TestExclusivityViolation(t *testing.T) {
+	c := newTestChecker()
+	a := memory.Addr(0x1000)
+	c.SWEnter(a)
+	c.HWAlloc(a) // MSA entry over a live SW episode — the broken-OMU signature
+	if kinds(c)[ViolationExclusivity] != 1 {
+		t.Fatalf("want 1 exclusivity violation, got %v", c.Violations())
+	}
+	c.SWExit(a)
+	c.HWAlloc(a) // now legal
+	if n := len(c.Violations()); n != 1 {
+		t.Fatalf("legal alloc recorded a violation: %v", c.Violations())
+	}
+	// Exit without enter underflows.
+	c.SWExit(a)
+	if kinds(c)[ViolationExclusivity] != 2 {
+		t.Fatalf("underflow not caught: %v", c.Violations())
+	}
+}
+
+func TestMutexViolations(t *testing.T) {
+	c := newTestChecker()
+	a := memory.Addr(0x2000)
+	c.LockAcquired(a, 1, WorldHW)
+	c.LockAcquired(a, 1, WorldHW) // idempotent re-registration: silent
+	if len(c.Violations()) != 0 {
+		t.Fatalf("idempotent re-acquire flagged: %v", c.Violations())
+	}
+	c.LockAcquired(a, 2, WorldHW) // double grant
+	if kinds(c)[ViolationMutex] != 1 {
+		t.Fatalf("double grant not caught: %v", c.Violations())
+	}
+	c.LockReleased(a, WorldHW)
+	c.LockReleased(a, WorldHW) // release while free
+	if kinds(c)[ViolationMutex] != 2 {
+		t.Fatalf("free release not caught: %v", c.Violations())
+	}
+}
+
+func TestLockWorldSplit(t *testing.T) {
+	c := newTestChecker()
+	a := memory.Addr(0x3000)
+	c.LockAcquired(a, 1, WorldHW)
+	c.LockReleased(a, WorldSW) // released by the wrong world
+	if kinds(c)[ViolationLockWorld] != 1 {
+		t.Fatalf("world split not caught: %v", c.Violations())
+	}
+}
+
+func TestBarrierEpochViolations(t *testing.T) {
+	c := newTestChecker()
+	a := memory.Addr(0x4000)
+	c.BarrierArrive(a, 0, 2, WorldHW)
+	c.BarrierArrive(a, 0, 2, WorldHW) // double arrival
+	if kinds(c)[ViolationBarrierEpoch] != 1 {
+		t.Fatalf("double arrival not caught: %v", c.Violations())
+	}
+	c.BarrierArrive(a, 1, 2, WorldHW)
+	c.BarrierArrive(a, 2, 2, WorldHW) // overfull
+	if kinds(c)[ViolationBarrierEpoch] != 2 {
+		t.Fatalf("overfull epoch not caught: %v", c.Violations())
+	}
+	c.BarrierRelease(a) // count mismatch at release (3/2): one more
+	c.BarrierRelease(a) // no open epoch
+	if kinds(c)[ViolationBarrierEpoch] != 4 {
+		t.Fatalf("spurious release not caught: %v", c.Violations())
+	}
+	// Underfull release.
+	c.BarrierArrive(a, 0, 2, WorldHW)
+	c.BarrierRelease(a)
+	if kinds(c)[ViolationBarrierEpoch] != 5 {
+		t.Fatalf("underfull release not caught: %v", c.Violations())
+	}
+}
+
+func TestBarrierWorldSplit(t *testing.T) {
+	c := newTestChecker()
+	a := memory.Addr(0x5000)
+	c.BarrierArrive(a, 0, 3, WorldHW)
+	c.BarrierArrive(a, 1, 3, WorldSW) // the deadlocking split episode
+	c.BarrierArrive(a, 2, 3, WorldSW) // reported once per epoch
+	if got := kinds(c); got[ViolationBarrierWorld] != 1 {
+		t.Fatalf("want exactly 1 world-split violation, got %v", c.Violations())
+	}
+	// An aborted episode resets cleanly: the next epoch may pick either world.
+	c.BarrierAbort(a)
+	c.BarrierArrive(a, 0, 3, WorldSW)
+	if kinds(c)[ViolationBarrierWorld] != 1 {
+		t.Fatalf("post-abort arrival flagged: %v", c.Violations())
+	}
+}
+
+func TestCheckerSnapshotsAndMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newTestChecker()
+	c.AttachMetrics(reg)
+	lock := memory.Addr(0x6000)
+	bar := memory.Addr(0x7000)
+	cond := memory.Addr(0x8000)
+	c.LockAcquired(lock, 3, WorldSW)
+	c.LockWaiting(lock, 5, WorldSW)
+	c.BarrierArrive(bar, 1, 4, WorldSW)
+	c.CondWaiting(cond, 2)
+
+	ls := c.LockStates()
+	if len(ls) != 1 || !ls[0].Held || ls[0].Holder != 3 || len(ls[0].Waiters) != 1 || ls[0].Waiters[0].ID != 5 {
+		t.Fatalf("lock snapshot wrong: %+v", ls)
+	}
+	bs := c.BarrierStates()
+	if len(bs) != 1 || bs[0].Goal != 4 || len(bs[0].Arrived) != 1 || bs[0].Arrived[0] != 1 {
+		t.Fatalf("barrier snapshot wrong: %+v", bs)
+	}
+	cs := c.CondStates()
+	if len(cs) != 1 || len(cs[0].Waiters) != 1 || cs[0].Waiters[0] != 2 {
+		t.Fatalf("cond snapshot wrong: %+v", cs)
+	}
+
+	c.LockReleased(lock, WorldHW) // world split -> counted in metrics
+	if v := reg.Counter("fault.violations").Value(); v != 1 {
+		t.Fatalf("fault.violations = %d, want 1", v)
+	}
+}
+
+// TestViolationCap: a machine breaching on every operation must not grow the
+// record unboundedly; the metric keeps the true count.
+func TestViolationCap(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newTestChecker()
+	c.AttachMetrics(reg)
+	for i := 0; i < maxViolations+50; i++ {
+		c.LockReleased(memory.Addr(0x9000), WorldSW) // always free: violation
+	}
+	if n := len(c.Violations()); n != maxViolations {
+		t.Fatalf("recorded %d violations, want cap %d", n, maxViolations)
+	}
+	if v := reg.Counter("fault.violations").Value(); v != maxViolations+50 {
+		t.Fatalf("metric = %d, want %d", v, maxViolations+50)
+	}
+}

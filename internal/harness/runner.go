@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +13,38 @@ import (
 	"misar/internal/syncrt"
 	"misar/internal/workload"
 )
+
+// RunError is the structured failure of one simulation: it tags the error
+// (or recovered panic) with everything needed to reproduce the run —
+// experiment label, app, config name, library, and the fault-plan seed when
+// the run injected faults. Chaos campaigns key their reports off these
+// fields; `errors.As` recovers it from a Run's error.
+type RunError struct {
+	Label  string // "app on config" experiment label
+	App    string
+	Config string
+	Lib    string
+	Seed   uint64 // fault-plan seed; 0 when the run injected no faults
+	Panic  any    // non-nil when the simulation panicked
+	Stack  string // goroutine stack at the panic, if any
+	Err    error  // underlying error when the run failed without panicking
+}
+
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness: %s failed", e.Label)
+	if e.Seed != 0 {
+		fmt.Fprintf(&b, " (fault seed %#x)", e.Seed)
+	}
+	if e.Panic != nil {
+		fmt.Fprintf(&b, ": panic: %v", e.Panic)
+	} else if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
 
 // Runner is a parallel, memoizing experiment executor. Submitting a run
 // returns a *Run future immediately; a pool of up to Workers() goroutines
@@ -34,9 +68,11 @@ type Runner struct {
 	metrics   bool   // meter every subsequently submitted run
 	transform func(machine.Config) machine.Config
 	progress  func(ProgressEvent)
-	submitted int // all submissions, including memo hits
-	unique    int // distinct simulations started
-	finished  int // distinct simulations completed
+	budget    sim.Time // per-simulation cycle budget; 0 means RunDeadline
+	retries   int      // extra attempts after a failed simulation
+	submitted int      // all submissions, including memo hits
+	unique    int      // distinct simulations started
+	finished  int      // distinct simulations completed
 }
 
 // runKey identifies one unique simulation. The cfg and lib fields are full
@@ -145,6 +181,43 @@ func (r *Runner) metered() bool {
 	return r.metrics
 }
 
+// SetBudget bounds every subsequently submitted application run to deadline
+// cycles instead of workload.RunDeadline. Chaos campaigns set a tight budget
+// so a hung fault schedule fails fast with a liveness diagnosis.
+func (r *Runner) SetBudget(deadline sim.Time) {
+	r.mu.Lock()
+	r.budget = deadline
+	r.mu.Unlock()
+}
+
+// SetRetries makes the Runner re-attempt a failed simulation up to n more
+// times before surfacing the failure. Simulations are deterministic, so this
+// only helps against host-level nondeterminism (e.g. memory exhaustion in a
+// crowded pool); the default is 0.
+func (r *Runner) SetRetries(n int) {
+	r.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	r.retries = n
+	r.mu.Unlock()
+}
+
+func (r *Runner) runBudget() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.budget == 0 {
+		return workload.RunDeadline
+	}
+	return r.budget
+}
+
+func (r *Runner) retryCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
 // SetConfigTransform installs fn to rewrite every subsequently submitted
 // machine configuration before it is fingerprinted and run. The golden
 // NoC-equivalence tests use it to flip an entire figure sweep onto the
@@ -193,10 +266,17 @@ func (r *Runner) Stats() RunnerStats {
 	return RunnerStats{Submitted: r.submitted, Unique: r.unique, Done: r.finished}
 }
 
-// submit returns the future for key, starting fn at most once. Submission
-// never blocks: the goroutine waits for a worker slot, so figures can
-// enqueue an entire sweep before collecting any result.
-func (r *Runner) submit(key runKey, label string, fn func(run *Run) error) *Run {
+// submit returns the future for key, starting fn at most once while the key
+// is live. Submission never blocks: the goroutine waits for a worker slot,
+// so figures can enqueue an entire sweep before collecting any result.
+//
+// Failure containment: a panicking fn is recovered into a *RunError built
+// from tag (so every sharer of the future sees a structured, reproducible
+// failure instead of a crashed process), the worker slot is always released,
+// and the key is evicted from the memo cache — a failed simulation must not
+// satisfy future submissions, only in-flight sharers of the same future.
+func (r *Runner) submit(key runKey, tag RunError, fn func(run *Run) error) *Run {
+	label := tag.Label
 	r.mu.Lock()
 	r.submitted++
 	if existing, ok := r.cache[key]; ok {
@@ -212,16 +292,32 @@ func (r *Runner) submit(key runKey, label string, fn func(run *Run) error) *Run 
 	go func() {
 		r.sem <- struct{}{}
 		start := time.Now()
-		func() {
-			defer func() {
-				if p := recover(); p != nil {
-					run.err = fmt.Errorf("harness: %s: panic: %v", label, p)
-				}
+		for attempt := r.retryCount(); ; attempt-- {
+			run.err = nil
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						re := tag // copy, then fill in the failure
+						re.Panic = p
+						re.Stack = string(debug.Stack())
+						run.err = &re
+					}
+				}()
+				run.err = fn(run)
 			}()
-			run.err = fn(run)
-		}()
+			if run.err == nil || attempt <= 0 {
+				break
+			}
+		}
 		elapsed := time.Since(start)
 		<-r.sem
+		if run.err != nil {
+			r.mu.Lock()
+			if r.cache[key] == run {
+				delete(r.cache, key)
+			}
+			r.mu.Unlock()
+		}
 		close(run.done)
 
 		r.mu.Lock()
@@ -248,11 +344,19 @@ func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run
 	if r.metered() {
 		cfg.Metrics = true
 	}
-	label := fmt.Sprintf("%s on %s", app.Name, cfg.Name)
-	return r.submit(keyFor("app:"+app.Name, cfg, lib), label, func(run *Run) error {
-		m, cycles, err := workload.Run(app, cfg, lib)
+	tag := RunError{
+		Label:  fmt.Sprintf("%s on %s", app.Name, cfg.Name),
+		App:    app.Name,
+		Config: cfg.Name,
+		Lib:    lib.Desc(),
+		Seed:   cfg.Fault.Seed,
+	}
+	return r.submit(keyFor("app:"+app.Name, cfg, lib), tag, func(run *Run) error {
+		m, cycles, err := workload.RunBudget(app, cfg, lib, r.runBudget())
 		if err != nil {
-			return fmt.Errorf("harness: %s on %s: %w", app.Name, cfg.Name, err)
+			re := tag
+			re.Err = err
+			return &re
 		}
 		run.m, run.cycles = m, cycles
 		run.report = m.MetricsReport("app", app.Name, lib.Desc())
@@ -270,8 +374,14 @@ func (r *Runner) Micro(op string, fn MicroFn, cfg machine.Config, lib *syncrt.Li
 	if r.metered() {
 		cfg.Metrics = true
 	}
-	label := fmt.Sprintf("%s on %s", op, cfg.Name)
-	return r.submit(keyFor("micro:"+op, cfg, lib), label, func(run *Run) error {
+	tag := RunError{
+		Label:  fmt.Sprintf("%s on %s", op, cfg.Name),
+		App:    op,
+		Config: cfg.Name,
+		Lib:    lib.Desc(),
+		Seed:   cfg.Fault.Seed,
+	}
+	return r.submit(keyFor("micro:"+op, cfg, lib), tag, func(run *Run) error {
 		run.micro = fn(cfg, lib)
 		run.report = run.micro.Report
 		return nil

@@ -1,153 +1,127 @@
-package machine
+package machine_test
+
+// Chaos suite: seeded, deterministic stress campaigns over the full machine
+// (scenario derivation, campaign driver, and fault plans live in
+// internal/chaos; this file is the tier-1 entry point that CI runs).
+//
+// Three layers of detection run on every seed:
+//   - the Go-side holder oracle and per-lock counters (independent of the
+//     simulated machine's own bookkeeping),
+//   - the runtime safety-invariant checker (Config.Invariants),
+//   - the liveness watchdog (budgeted machine.Run with wait-for diagnosis).
 
 import (
-	"math/rand"
+	"runtime"
 	"testing"
 
-	"misar/internal/cpu"
-	"misar/internal/memory"
-	"misar/internal/sim"
-	"misar/internal/syncrt"
+	"misar/internal/chaos"
+	"misar/internal/fault"
 )
 
-// Chaos test: random mixes of locks, barriers and condition variables with
-// random thread suspensions and migrations thrown at them. The invariants
-// checked are exact — mutual exclusion (per-lock counters), barrier
-// separation, and full completion — so any lost update, lost wakeup, or
-// protocol deadlock fails the run. Every seed is deterministic, so a failing
-// seed reproduces exactly.
+// TestChaos runs the unfaulted campaign: random machine shapes, lock plans,
+// and suspend/migrate disturbances, with the invariant checker armed. Any
+// violation, oracle overlap, lost update, or hang fails the seed.
 func TestChaos(t *testing.T) {
 	seeds := int64(100)
 	if testing.Short() {
 		seeds = 10
 	}
-	for seed := int64(1); seed <= seeds; seed++ {
-		seed := seed
-		t.Run("", func(t *testing.T) {
-			runChaos(t, seed)
-		})
+	outs := chaos.Campaign(0, seeds, runtime.GOMAXPROCS(0), chaos.Options{}, nil)
+	for _, o := range outs {
+		if o.Failed() {
+			t.Errorf("seed %d (%s / %s): err=%q oracle=%d lost=%d violations=%v",
+				o.Seed, o.Config, o.Lib, o.Err, o.Oracle, o.LostUpdates, o.Violations)
+		}
 	}
 }
 
-func runChaos(t *testing.T, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	tiles := 4 + rng.Intn(5)*2 // 4..12
-	nthreads := tiles / 2      // home core 2i, spare 2i+1
-	cfg := MSAOMU(tiles, 1+rng.Intn(2))
-	if rng.Intn(3) == 0 {
-		cfg = WithoutHWSync(cfg)
+// TestChaosFaulted is the acceptance campaign from the issue: every seed runs
+// with fault.DefaultPlan(seed) live — forced steers, capacity steals, entry
+// evictions, ack delays, NoC jitter, coherence delays — and must still
+// complete with zero safety violations and exact lock counters. The test also
+// proves the faults actually fired (a campaign that injected nothing would
+// vacuously pass).
+func TestChaosFaulted(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 25
 	}
-	if rng.Intn(4) == 0 {
-		cfg = WithBloomOMU(cfg, 2)
+	outs := chaos.Campaign(0, seeds, runtime.GOMAXPROCS(0), chaos.Options{Faults: true}, nil)
+	var fired uint64
+	for _, o := range outs {
+		if o.Failed() {
+			t.Errorf("seed %d (%s / %s): err=%q oracle=%d lost=%d violations=%v counts=%s",
+				o.Seed, o.Config, o.Lib, o.Err, o.Oracle, o.LostUpdates, o.Violations, o.Counts.String())
+		}
+		fired += o.Counts.Total()
 	}
-	if rng.Intn(4) == 0 {
-		cfg = WithFixedPriority(cfg)
+	if fired == 0 {
+		t.Fatal("faulted campaign fired zero faults — injection sites are not wired")
 	}
-	m := New(cfg)
-	arena := syncrt.NewArena(0x100000)
-	lib := syncrt.HWLib()
-	if rng.Intn(3) == 0 {
-		lib.Cond = syncrt.CondNoSpurious
-	}
+	t.Logf("campaign: %d seeds, %d faults fired", seeds, fired)
+}
 
-	nlocks := 1 + rng.Intn(6)
-	locks := arena.MutexArray(nlocks)
-	counters := arena.DataArray(nlocks)
-	bar := arena.Barrier(nthreads)
-	useBarrier := rng.Intn(2) == 0
-	iters := 6 + rng.Intn(10)
-	qnodes := make([]memory.Addr, nthreads)
-	for i := range qnodes {
-		qnodes[i] = arena.QNode()
+// TestChaosBrokenOMU runs the same faulted campaign with the OMU exclusivity
+// check deliberately skipped (Config.MSA.UnsafeNoOMUCheck). The detection
+// layers must now catch real divergence: some seeds must fail, and the
+// failures must include both checker violations and watchdog liveness
+// diagnoses (a broken machine typically wedges as a live software spin, so
+// the cycle budget — not quiescence — triggers the watchdog).
+func TestChaosBrokenOMU(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 8
 	}
-	plans := make([][]int, nthreads)
-	for i := range plans {
-		plans[i] = make([]int, iters)
-		for k := range plans[i] {
-			plans[i][k] = rng.Intn(nlocks)
+	outs := chaos.Campaign(0, seeds, runtime.GOMAXPROCS(0),
+		chaos.Options{Faults: true, BrokenOMU: true}, nil)
+	var failed, withViolations, withDiag int
+	for _, o := range outs {
+		if !o.Failed() {
+			continue
+		}
+		failed++
+		if len(o.Violations) > 0 {
+			withViolations++
+		}
+		if o.Diag != nil {
+			withDiag++
 		}
 	}
+	t.Logf("broken OMU: %d/%d seeds failed (%d with violations, %d with watchdog diagnosis)",
+		failed, seeds, withViolations, withDiag)
+	if failed == 0 {
+		t.Fatal("no seed detected the broken OMU — detection layers are blind")
+	}
+	if withViolations == 0 {
+		t.Error("no failing seed carried a safety violation from the invariant checker")
+	}
+	if withDiag == 0 {
+		t.Error("no failing seed carried a liveness watchdog diagnosis")
+	}
+}
 
-	// Direct mutual-exclusion oracle: the simulation is single threaded, so
-	// Go-side holder bookkeeping observes every overlap instantly.
-	holder := make([]int, nlocks)
-	for i := range holder {
-		holder[i] = -1
+// TestChaosShrink pins the shrinker: take a seed known to fail under the
+// broken OMU, greedily strip fault sites, and verify the reduced plan still
+// reproduces the failure deterministically.
+func TestChaosShrink(t *testing.T) {
+	const seed = 6 // fails under BrokenOMU via the liveness watchdog
+	opt := chaos.Options{Faults: true, BrokenOMU: true}
+	plan, out, ok := chaos.Shrink(seed, opt)
+	if !ok {
+		t.Fatalf("seed %d no longer fails under the full default plan", seed)
 	}
-	violations := 0
-	var threads []*cpu.Thread
-	for i := 0; i < nthreads; i++ {
-		i := i
-		th := m.Complex.Spawn(i, func(e cpu.Env) {
-			rt := lib.Bind(e, qnodes[i])
-			for k := 0; k < iters; k++ {
-				l := plans[i][k]
-				rt.Lock(locks[l])
-				if holder[l] != -1 {
-					violations++
-				}
-				holder[l] = i
-				v := e.Load(counters[l])
-				e.Compute(uint64(5 + (i*7+k*3)%20))
-				e.Store(counters[l], v+1)
-				if holder[l] != i {
-					violations++
-				}
-				holder[l] = -1
-				rt.Unlock(locks[l])
-				e.Compute(uint64(30 + (i*13+k*11)%60))
-				if useBarrier {
-					rt.Wait(bar)
-				}
-			}
-		})
-		threads = append(threads, th)
-		m.Complex.Start(th, 2*i, 0)
+	if !out.Failed() {
+		t.Fatalf("shrink returned ok but a passing outcome: %+v", out)
 	}
-
-	// Random disturbance schedule: suspend a victim, resume it on its home
-	// or spare core after a random delay.
-	loc := make([]int, nthreads)
-	for i := range loc {
-		loc[i] = 2 * i
+	if full := fault.DefaultPlan(seed); len(plan.Sites()) > len(full.Sites()) {
+		t.Errorf("shrunken plan has more enabled sites (%v) than the full plan (%v)",
+			plan.Sites(), full.Sites())
 	}
-	disturbances := rng.Intn(8)
-	var schedule func(round int)
-	schedule = func(round int) {
-		if round >= disturbances {
-			return
-		}
-		v := rng.Intn(nthreads)
-		delay := sim.Time(500 + rng.Intn(4000))
-		m.Complex.Suspend(threads[v], func() {
-			m.Engine.After(delay, func() {
-				if !threads[v].Done() {
-					loc[v] = 2*v + rng.Intn(2)
-					m.Complex.Resume(threads[v], loc[v])
-				}
-				m.Engine.After(sim.Time(1000+rng.Intn(3000)), func() { schedule(round + 1) })
-			})
-		})
+	// The reduction must be a deterministic reproducer, not a one-off.
+	rerun := chaos.RunPlan(seed, plan, opt)
+	if !rerun.Failed() {
+		t.Fatalf("shrunken plan %v does not reproduce the failure on re-run", plan.Sites())
 	}
-	m.Engine.At(sim.Time(1000+rng.Intn(2000)), func() { schedule(0) })
-
-	if _, err := m.Run(sim.Time(500_000_000)); err != nil {
-		t.Fatalf("seed %d (%s): %v", seed, cfg.Name, err)
-	}
-	// Exact per-lock counts: acquisitions planned per lock must all land.
-	want := make([]uint64, nlocks)
-	for i := range plans {
-		for _, l := range plans[i] {
-			want[l]++
-		}
-	}
-	for l := 0; l < nlocks; l++ {
-		if got := m.Store.Load(counters[l]); got != want[l] {
-			t.Fatalf("seed %d (%s): lock %d counter = %d, want %d (lost update)",
-				seed, cfg.Name, l, got, want[l])
-		}
-	}
-	if violations != 0 {
-		t.Fatalf("seed %d (%s): %d direct mutual-exclusion violations", seed, cfg.Name, violations)
-	}
+	t.Logf("seed %d shrunk to sites %v (err=%q, %d violations)",
+		seed, plan.Sites(), rerun.Err, len(rerun.Violations))
 }

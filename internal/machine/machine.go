@@ -8,10 +8,12 @@ package machine
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"misar/internal/coherence"
 	corepkg "misar/internal/core"
 	"misar/internal/cpu"
+	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
@@ -37,6 +39,17 @@ type Config struct {
 	// value: it serializes to JSON and fingerprints deterministically for
 	// the experiment harness's memoization keys.
 	Metrics bool
+	// Fault configures deterministic fault injection (see internal/fault).
+	// The zero value disables every site; such a machine constructs no
+	// injector and pays one nil check per site. Like Metrics, Plan is a pure
+	// value so Config keeps serializing and fingerprinting cleanly.
+	Fault fault.Plan
+	// Invariants attaches the runtime safety checker (OMU exclusivity,
+	// per-lock mutual exclusion, barrier-epoch separation) and feeds the
+	// liveness watchdog's software-world view. The checker is pure Go
+	// bookkeeping — it schedules no events and issues no simulated
+	// operations — so enabling it cannot change simulated timing.
+	Invariants bool
 }
 
 // meshDims picks the squarest W×H decomposition for n tiles.
@@ -159,6 +172,10 @@ type Machine struct {
 	Complex *cpu.Complex
 	// Metrics is the machine's instrument registry (nil unless Cfg.Metrics).
 	Metrics *metrics.Registry
+	// Injector drives fault injection (nil unless Cfg.Fault enables a site).
+	Injector *fault.Injector
+	// Checker records safety-invariant violations (nil unless Cfg.Invariants).
+	Checker *fault.Checker
 
 	collected bool // machine-wide totals already folded into Metrics
 }
@@ -241,6 +258,25 @@ func New(cfg Config) *Machine {
 			}
 		})
 	}
+	if cfg.Fault.Enabled() {
+		m.Injector = fault.New(cfg.Fault)
+		for _, sl := range m.Slices {
+			sl.SetInjector(m.Injector)
+		}
+		net.SetDelay(m.Injector.MsgDelay)
+		for _, d := range m.Dirs {
+			d.SetExtraLatency(m.Injector.CohDelay)
+		}
+	}
+	if cfg.Invariants {
+		m.Checker = fault.NewChecker(engine.Now)
+		for _, sl := range m.Slices {
+			sl.SetChecker(m.Checker)
+		}
+		for _, c := range m.Cores {
+			c.SetChecker(m.Checker)
+		}
+	}
 	if cfg.Metrics {
 		m.Metrics = metrics.NewRegistry()
 		for _, sl := range m.Slices {
@@ -249,6 +285,8 @@ func New(cfg Config) *Machine {
 		for _, c := range m.Cores {
 			c.SetMetrics(m.Metrics)
 		}
+		m.Injector.AttachMetrics(m.Metrics)
+		m.Checker.AttachMetrics(m.Metrics)
 	}
 	m.Complex = cpu.NewComplex(engine, m.Cores)
 	return m
@@ -268,9 +306,24 @@ func (m *Machine) SpawnAll(n int, body func(tid int, e cpu.Env)) {
 }
 
 // Run drives the simulation until all threads finish. It returns the final
-// cycle, or an error on deadlock, timeout, or a panicking thread body.
-func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
+// cycle, or an error on deadlock, timeout, a panicking thread body, a
+// panicking component, or (with Cfg.Invariants) recorded safety violations.
+// Liveness failures come back as *LivenessError carrying a full watchdog
+// Diagnosis instead of a bare string, so a hung fault-injection run is
+// triageable from the error value alone.
+func (m *Machine) Run(deadline sim.Time) (_ sim.Time, err error) {
 	defer m.collectMetrics()
+	defer func() {
+		if r := recover(); r != nil {
+			// A component (slice, directory, network) panicked mid-event.
+			// Thread bodies are recovered inside their own goroutines, so
+			// this is a model bug, not a workload bug. Tear the threads down
+			// so their goroutines unwind instead of leaking, then surface
+			// the panic as a structured error the harness can tag.
+			m.Complex.Kill()
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
 	drained := m.Engine.RunUntil(deadline)
 	for _, t := range m.Complex.Threads() {
 		if t.Err() != nil {
@@ -278,10 +331,15 @@ func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
 		}
 	}
 	if !drained {
-		return m.Engine.Now(), fmt.Errorf("machine: deadline %d reached with work pending", deadline)
+		reason := fmt.Sprintf("machine: deadline %d reached with work pending", deadline)
+		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason)}
 	}
 	if r := m.Complex.Running(); r > 0 {
-		return m.Engine.Now(), fmt.Errorf("machine: quiesced with %d threads blocked (deadlock)", r)
+		reason := fmt.Sprintf("machine: quiesced with %d threads blocked (deadlock)", r)
+		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason)}
+	}
+	if v := m.Checker.Violations(); len(v) > 0 {
+		return m.Engine.Now(), &SafetyError{Violations: v}
 	}
 	return m.Engine.Now(), nil
 }

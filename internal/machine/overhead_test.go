@@ -1,0 +1,88 @@
+package machine_test
+
+// Satellite of the fault-injection issue: the disabled hooks must be
+// invisible. Two claims, one test each:
+//
+//  1. Attaching the safety-invariant checker never changes simulated timing
+//     (it is pure Go-side bookkeeping) — even with faults firing.
+//  2. The nil-hook fast path adds no work to the unfaulted pipeline beyond a
+//     pointer comparison per site — benchmarked below; the figure-pipeline
+//     goldens (internal/harness/golden_test.go) pin byte identity separately.
+
+import (
+	"testing"
+
+	"misar/internal/fault"
+	"misar/internal/machine"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+func runApp(tb testing.TB, name string, mutate func(*machine.Config)) uint64 {
+	app, ok := workload.ByName(name)
+	if !ok {
+		tb.Fatalf("unknown app %q", name)
+	}
+	cfg := machine.MSAOMU(8, 2)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	_, end, err := workload.Run(app, cfg, syncrt.HWLib())
+	if err != nil {
+		tb.Fatalf("%s on %s: %v", name, cfg.Name, err)
+	}
+	return uint64(end)
+}
+
+// TestCheckerTimingInvisible runs a synchronization-heavy app with the
+// invariant checker off and on and demands cycle-identical completion —
+// stronger than the issue's 5% bound: the checker cannot move time at all.
+func TestCheckerTimingInvisible(t *testing.T) {
+	for _, name := range []string{"radiosity", "raytrace"} {
+		bare := runApp(t, name, nil)
+		checked := runApp(t, name, func(c *machine.Config) { c.Invariants = true })
+		if bare != checked {
+			t.Errorf("%s: checker changed timing: %d cycles bare, %d checked", name, bare, checked)
+		}
+	}
+}
+
+// TestCheckerTimingInvisibleUnderFaults repeats the comparison with a live
+// fault plan: injected delays DO move time (identically, since the injector's
+// PRNG stream is independent of the checker), and toggling the checker on top
+// must still not.
+func TestCheckerTimingInvisibleUnderFaults(t *testing.T) {
+	plan := fault.DefaultPlan(99)
+	faulted := runApp(t, "radiosity", func(c *machine.Config) { c.Fault = plan })
+	both := runApp(t, "radiosity", func(c *machine.Config) { c.Fault = plan; c.Invariants = true })
+	if faulted != both {
+		t.Errorf("checker changed faulted timing: %d vs %d cycles", faulted, both)
+	}
+}
+
+// BenchmarkUnfaultedPipeline measures wall-clock simulation cost of the
+// unfaulted machine with hooks absent (the production configuration) versus
+// with the checker attached. Compare with `benchstat`; the nil-hook delta vs
+// the pre-fault-subsystem baseline is the issue's <=5% budget.
+func BenchmarkUnfaultedPipeline(b *testing.B) {
+	app, _ := workload.ByName("radiosity")
+	for _, bc := range []struct {
+		name   string
+		mutate func(*machine.Config)
+	}{
+		{"nil-hooks", nil},
+		{"checker", func(c *machine.Config) { c.Invariants = true }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := machine.MSAOMU(8, 2)
+				if bc.mutate != nil {
+					bc.mutate(&cfg)
+				}
+				if _, _, err := workload.Run(app, cfg, syncrt.HWLib()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package machine_test
+
+// Acceptance tests for the safety-invariant checker and liveness watchdog:
+// a machine with the OMU exclusivity check deliberately disabled
+// (Config.MSA.UnsafeNoOMUCheck) must be caught by the invariant layer AND
+// produce a wait-for diagnosis from the watchdog, deterministically.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/fault"
+	"misar/internal/isa"
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/syncrt"
+)
+
+// lineWithHome allocates arena lines until one lands on the requested home
+// tile (lines interleave round-robin, so this terminates within tiles steps).
+func lineWithHome(a *syncrt.Arena, tiles, home int) memory.Addr {
+	for {
+		p := a.Data(1)
+		if memory.HomeOf(p, tiles) == home {
+			return p
+		}
+	}
+}
+
+// runSplitWorldScenario builds a 4-tile machine with a single MSA entry per
+// slice and a workload crafted to split a barrier across the hardware and
+// software worlds when the OMU check is off:
+//
+//   - thread 0 holds a lock whose entry occupies tile 0's only MSA slot,
+//   - thread 1 arrives at a barrier homed on the same tile while the slot is
+//     taken -> capacity-steered to software, OMU counter goes live,
+//   - thread 0 releases, the entry retires (HWSync off), and arrives at the
+//     barrier: a correct OMU steers it to software (counter still live); a
+//     broken one allocates a hardware entry over the live software episode,
+//   - threads 2 and 3 join the hardware entry.
+//
+// Broken outcome: 3 arrivals in hardware + 1 spinning in software, goal 4 —
+// a permanent wedge the watchdog must diagnose, with the exclusivity and
+// barrier-world violations recorded by the checker at the moment of the bad
+// allocation.
+func runSplitWorldScenario(broken bool) (*machine.Machine, error) {
+	const tiles = 4
+	cfg := machine.MSAOMU(tiles, 1)
+	cfg = machine.WithoutHWSync(cfg)
+	cfg.Invariants = true
+	cfg.MSA.UnsafeNoOMUCheck = broken
+	m := machine.New(cfg)
+	arena := syncrt.NewArena(0x100000)
+	lib := syncrt.HWLib()
+
+	const home = 0
+	lock := syncrt.Mutex{Addr: lineWithHome(arena, tiles, home)}
+	bar := syncrt.Barrier{Addr: lineWithHome(arena, tiles, home), Goal: tiles}
+	bodies := []func(rt *syncrt.T, e cpu.Env){
+		func(rt *syncrt.T, e cpu.Env) {
+			rt.Lock(lock)
+			e.Compute(5000)
+			rt.Unlock(lock)
+			e.Compute(2000)
+			rt.Wait(bar)
+		},
+		func(rt *syncrt.T, e cpu.Env) {
+			e.Compute(1000)
+			rt.Wait(bar)
+		},
+		func(rt *syncrt.T, e cpu.Env) {
+			e.Compute(9000)
+			rt.Wait(bar)
+		},
+		func(rt *syncrt.T, e cpu.Env) {
+			e.Compute(9000)
+			rt.Wait(bar)
+		},
+	}
+	for i := 0; i < tiles; i++ {
+		i := i
+		th := m.Complex.Spawn(i, func(e cpu.Env) {
+			bodies[i](lib.Bind(e, arena.QNode()), e)
+		})
+		m.Complex.Start(th, i, 0)
+	}
+	_, err := m.Run(300_000)
+	return m, err
+}
+
+func TestBrokenOMUCaughtByCheckerAndWatchdog(t *testing.T) {
+	m, err := runSplitWorldScenario(true)
+	if err == nil {
+		t.Fatal("broken-OMU scenario completed cleanly; the crafted world split did not happen")
+	}
+	var le *machine.LivenessError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *machine.LivenessError, got %T: %v", err, err)
+	}
+	if le.Diag == nil {
+		t.Fatal("liveness error carries no watchdog diagnosis")
+	}
+
+	// Invariant layer: the bad allocation must be on record, as both an
+	// OMU-exclusivity breach and a barrier-epoch world split.
+	kinds := map[fault.ViolationKind]bool{}
+	for _, v := range m.Checker.Violations() {
+		kinds[v.Kind] = true
+	}
+	if !kinds[fault.ViolationExclusivity] {
+		t.Errorf("checker missed the OMU exclusivity violation; got %v", m.Checker.Violations())
+	}
+	if !kinds[fault.ViolationBarrierWorld] {
+		t.Errorf("checker missed the barrier world split; got %v", m.Checker.Violations())
+	}
+
+	// Watchdog layer: the diagnosis must show the wedged hardware barrier
+	// entry (3 of 4 arrivals) and the blocked threads.
+	var barEntry bool
+	for _, e := range le.Diag.Entries {
+		if e.Typ == isa.TypeBarrier && e.Goal == 4 {
+			barEntry = true
+		}
+	}
+	if !barEntry {
+		t.Errorf("diagnosis has no hardware barrier entry: %+v", le.Diag.Entries)
+	}
+	if len(le.Diag.Blocked) == 0 {
+		t.Error("diagnosis lists no blocked threads")
+	}
+	if len(le.Diag.Violations) == 0 {
+		t.Error("diagnosis does not carry the checker violations")
+	}
+	if s := le.Diag.Summary(); !strings.Contains(s, "barrier") {
+		t.Errorf("diagnosis summary does not mention the barrier:\n%s", s)
+	}
+}
+
+// TestWorkingOMUControl runs the identical scenario with the OMU check armed:
+// the late arrival is steered to software behind the live counter, all four
+// threads meet at the software barrier, and the run completes violation-free.
+func TestWorkingOMUControl(t *testing.T) {
+	m, err := runSplitWorldScenario(false)
+	if err != nil {
+		t.Fatalf("control run failed: %v", err)
+	}
+	if v := m.Checker.Violations(); len(v) != 0 {
+		t.Fatalf("control run recorded violations: %v", v)
+	}
+}
+
+// TestWatchdogDiagnosesDeadlockCycle wedges the machine with a classic ABBA
+// lock-order inversion in the hardware path and checks the watchdog extracts
+// the wait-for cycle between the two threads from the MSA entry snapshots.
+func TestWatchdogDiagnosesDeadlockCycle(t *testing.T) {
+	const tiles = 4
+	cfg := machine.MSAOMU(tiles, 2)
+	cfg.Invariants = true
+	m := machine.New(cfg)
+	arena := syncrt.NewArena(0x100000)
+	lib := syncrt.HWLib()
+
+	lockA := syncrt.Mutex{Addr: lineWithHome(arena, tiles, 0)}
+	lockB := syncrt.Mutex{Addr: lineWithHome(arena, tiles, 1)}
+	order := [][2]syncrt.Mutex{{lockA, lockB}, {lockB, lockA}}
+	for i := 0; i < 2; i++ {
+		i := i
+		th := m.Complex.Spawn(i, func(e cpu.Env) {
+			rt := lib.Bind(e, arena.QNode())
+			rt.Lock(order[i][0])
+			e.Compute(2000)
+			rt.Lock(order[i][1]) // never granted
+			rt.Unlock(order[i][1])
+			rt.Unlock(order[i][0])
+		})
+		m.Complex.Start(th, i, 0)
+	}
+
+	_, err := m.Run(1_000_000)
+	var le *machine.LivenessError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *machine.LivenessError, got %T: %v", err, err)
+	}
+	if !strings.Contains(le.Reason, "deadlock") {
+		t.Errorf("deadlock wedge reported as %q, want quiescent-deadlock reason", le.Reason)
+	}
+	if le.Diag == nil {
+		t.Fatal("no diagnosis attached")
+	}
+	found := false
+	for _, cyc := range le.Diag.Cycles {
+		in := map[int]bool{}
+		for _, id := range cyc {
+			in[id] = true
+		}
+		if in[0] && in[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wait-for cycle {0,1} not found; edges=%v cycles=%v", le.Diag.Edges, le.Diag.Cycles)
+	}
+}

@@ -125,6 +125,15 @@ type Network struct {
 	// free recycles Post-injected messages after delivery.
 	free  []*Message
 	stats Stats
+
+	// delay, when installed, returns extra injection latency per message
+	// (fault-campaign jitter). minStart[src*tiles+dst] is the earliest route
+	// start the next message of that pair may use: route starts are kept
+	// strictly increasing per (src,dst), so jitter can reorder messages
+	// between pairs but never within one — the protocol depends on
+	// point-to-point ordering (DESIGN.md §9.3: LOCK_SILENT before InvAck).
+	delay    func(src, dst int) sim.Time
+	minStart []sim.Time
 }
 
 // New builds the mesh and attaches it to the engine.
@@ -164,6 +173,17 @@ func (n *Network) Attach(tile int, h Handler) {
 
 // Stats returns a snapshot of accumulated network statistics.
 func (n *Network) Stats() Stats { return n.stats }
+
+// SetDelay installs a per-message injection-delay hook (nil removes it).
+// With no hook installed the send path is untouched; with one installed,
+// every message's route start is clamped to preserve per-(src,dst) FIFO
+// order even when only some messages are delayed.
+func (n *Network) SetDelay(fn func(src, dst int) sim.Time) {
+	n.delay = fn
+	if fn != nil && n.minStart == nil {
+		n.minStart = make([]sim.Time, n.Tiles()*n.Tiles())
+	}
+}
 
 // LinkFlits returns the flits carried so far by tile's directed link in
 // direction dir (an index into DirNames).
@@ -224,8 +244,37 @@ func (n *Network) Send(m *Message) {
 	n.route(m)
 }
 
-// route reserves the message's path and schedules its delivery.
+// route applies the optional injection-delay hook, then hands the message
+// to routeNow — immediately on the common path, or via a scheduled event
+// when the start was pushed into the future.
 func (n *Network) route(m *Message) {
+	if n.delay == nil {
+		n.routeNow(m)
+		return
+	}
+	now := n.engine.Now()
+	start := now + n.delay(m.Src, m.Dst)
+	k := m.Src*n.Tiles() + m.Dst
+	if min := n.minStart[k]; start < min {
+		start = min
+	}
+	n.minStart[k] = start + 1
+	if start > now {
+		m.net = n
+		n.engine.AtCall(start, routeNowEvent, m)
+		return
+	}
+	n.routeNow(m)
+}
+
+// routeNowEvent resumes a jitter-delayed message at its clamped start time.
+func routeNowEvent(arg any) {
+	m := arg.(*Message)
+	m.net.routeNow(m)
+}
+
+// routeNow reserves the message's path and schedules its delivery.
+func (n *Network) routeNow(m *Message) {
 	if m.Src < 0 || m.Src >= n.Tiles() || m.Dst < 0 || m.Dst >= n.Tiles() {
 		panic(fmt.Sprintf("noc: bad route %d->%d", m.Src, m.Dst))
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"misar/internal/cpu"
+	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
@@ -126,6 +127,10 @@ type T struct {
 	swUnlockLat  *metrics.Histogram
 	swBarrierLat *metrics.Histogram
 	swCondLat    *metrics.Histogram
+
+	// Safety-invariant checker, resolved once at bind time; nil (all methods
+	// no-op) when invariant checking is disabled.
+	check *fault.Checker
 }
 
 // Bind creates the per-thread library handle. qnodeArena must give each
@@ -144,6 +149,7 @@ func (l *Lib) Bind(e cpu.Env, qnode memory.Addr) *T {
 		t.swBarrierLat = reg.Histogram("syncrt.sw_barrier_cycles")
 		t.swCondLat = reg.Histogram("syncrt.sw_cond_wait_cycles")
 	}
+	t.check = e.Check()
 	return t
 }
 
@@ -162,12 +168,28 @@ func (t *T) nextRand() uint64 {
 // the overhead there is two engine-clock reads per fallback — off the
 // hardware fast path entirely.
 func (t *T) timedSwLock(a memory.Addr) {
+	t.check.LockWaiting(a, t.E.ThreadID(), fault.WorldSW)
 	start := t.E.Now()
 	t.swLock(a)
+	// The acquiring CAS has committed and the thread runs synchronously with
+	// the event kernel parked, so this registration is atomic with respect to
+	// every other simulated operation on a.
+	t.check.LockAcquired(a, t.E.ThreadID(), fault.WorldSW)
 	t.swLockLat.Observe(uint64(t.E.Now() - start))
 }
 
 func (t *T) timedSwUnlock(a memory.Addr) {
+	// World-consistent release registration: when the library is
+	// hardware-first, the UNLOCK instruction already visited the MSA (or
+	// failed locally in always-fail mode) and the SW release was registered
+	// there — at the point the protocol's OMU bookkeeping treats the lock as
+	// leaving the software world. Registering here instead would race a
+	// subsequent hardware grant processed at the slice before this thread's
+	// FAIL response arrived. Pure-software libraries never issue the
+	// instruction, so the thread-side registration is the only one.
+	if !t.lib.UseHW {
+		t.check.LockReleased(a, fault.WorldSW)
+	}
 	start := t.E.Now()
 	t.swUnlock(a)
 	t.swUnlockLat.Observe(uint64(t.E.Now() - start))
@@ -180,15 +202,19 @@ func (t *T) timedSwBarrier(b Barrier) {
 }
 
 func (t *T) timedSwCondWait(c Cond, m Mutex) {
+	t.check.CondWaiting(c.Addr, t.E.ThreadID())
 	start := t.E.Now()
 	t.swCondWait(c, m)
 	t.swCondLat.Observe(uint64(t.E.Now() - start))
+	t.check.CondWoken(c.Addr, t.E.ThreadID())
 }
 
 func (t *T) timedSwCondWaitNS(c Cond, m Mutex) {
+	t.check.CondWaiting(c.Addr, t.E.ThreadID())
 	start := t.E.Now()
 	t.swCondWaitNS(c, m)
 	t.swCondLat.Observe(uint64(t.E.Now() - start))
+	t.check.CondWoken(c.Addr, t.E.ThreadID())
 }
 
 // --- Algorithm 1: Lock / Unlock ---

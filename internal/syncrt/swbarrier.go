@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"misar/internal/fault"
 	"misar/internal/memory"
 )
 
@@ -23,6 +24,10 @@ const barrierPollCycles = 24 // polling interval while waiting for release
 const barrierCallOverhead = 25
 
 func (t *T) swBarrier(b Barrier) {
+	// Registered before any simulated operation: the arrival must be visible
+	// to the checker before another participant can observe this thread's
+	// count/flag update and release the episode.
+	t.check.BarrierArrive(b.Addr, t.E.ThreadID(), b.Goal, fault.WorldSW)
 	t.E.Compute(barrierCallOverhead)
 	switch t.lib.Barrier {
 	case BarrierCentral:
@@ -45,6 +50,10 @@ func (t *T) centralBarrier(b Barrier) {
 	g := t.generation(b.Addr)
 	arrived := t.E.FetchAdd(b.Addr, 1) + 1
 	if int(arrived) == b.Goal {
+		// Every participant registered its arrival before its FetchAdd, so
+		// the checker's episode is complete here — close it before the reset
+		// stores let the next episode begin.
+		t.check.BarrierRelease(b.Addr)
 		t.E.Store(b.Addr, 0)   // reset count for next episode
 		t.E.Store(b.Addr+8, g) // publish release generation
 		return
@@ -101,6 +110,12 @@ func (t *T) tournamentBarrier(b Barrier) {
 	}
 	// Release phase: wake the losers of every round this thread won,
 	// top-down (the champion starts the cascade).
+	if wonUpTo == rounds {
+		// The champion saw every other participant's arrival flag, so the
+		// checker's episode is complete; close it before the cascade frees
+		// anyone into the next episode.
+		t.check.BarrierRelease(b.Addr)
+	}
 	for k := wonUpTo - 1; k >= 0; k-- {
 		partner := i + 1<<k
 		if partner < b.Goal {

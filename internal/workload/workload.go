@@ -32,11 +32,18 @@ type App struct {
 // Run executes the app on a fresh machine built from cfg and returns the
 // completion cycle.
 func Run(app App, cfg machine.Config, lib *syncrt.Lib) (*machine.Machine, sim.Time, error) {
+	return RunBudget(app, cfg, lib, RunDeadline)
+}
+
+// RunBudget is Run with an explicit cycle budget. Fault-injection campaigns
+// use budgets far below RunDeadline so a hung seed fails fast — with a
+// watchdog diagnosis — instead of burning the full default bound.
+func RunBudget(app App, cfg machine.Config, lib *syncrt.Lib, deadline sim.Time) (*machine.Machine, sim.Time, error) {
 	m := machine.New(cfg)
 	arena := syncrt.NewArena(0x1000000)
 	body := app.Build(arena, cfg.Tiles, lib)
 	m.SpawnAll(cfg.Tiles, body)
-	end, err := m.Run(RunDeadline)
+	end, err := m.Run(deadline)
 	return m, end, err
 }
 
