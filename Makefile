@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos figs clean
+.PHONY: all build test race bench chaos figs serve clean
 
 all: build test
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/trace/...
+	$(GO) test -race ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/trace/... ./internal/service/... ./internal/store/...
 
 # bench renders every figure once (-benchtime=1x) plus the event-kernel
 # microbenchmarks and writes BENCH_kernel.json with speedup/alloc ratios
@@ -27,6 +27,11 @@ chaos:
 
 figs:
 	$(GO) run ./cmd/misar-fig -fig all
+
+# serve starts the simulation job server with a persistent result store;
+# see DESIGN.md §11 and README "Running as a service".
+serve:
+	$(GO) run ./cmd/misar-served -addr :8091 -store misar-store
 
 clean:
 	rm -f BENCH_kernel.json CHAOS.json CHAOS_broken.json

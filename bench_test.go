@@ -23,7 +23,14 @@ import (
 	"misar"
 )
 
-var benchParallel = flag.Int("parallel", 1, "Runner worker-pool size for figure benchmarks")
+var (
+	benchParallel = flag.Int("parallel", 1, "Runner worker-pool size for figure benchmarks")
+	// -store warms benchmarks from a persistent result store. Note the
+	// semantics: with a store attached, only the first iteration of each
+	// figure simulates; later iterations (and later runs over the same
+	// directory) measure store replay, not simulation.
+	benchStore = flag.String("store", "", "persistent result store directory for figure benchmarks")
+)
 
 // benchOptions picks the benchmark scale; MISAR_BENCH_TILES overrides.
 func benchOptions() misar.Options {
@@ -46,6 +53,13 @@ func benchOptions() misar.Options {
 // per-simulation wall-clock when the test runs verbose.
 func benchRunner(b *testing.B) *misar.Runner {
 	r := misar.NewRunner(*benchParallel)
+	if *benchStore != "" {
+		st, err := misar.OpenStore(*benchStore)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.SetStore(st)
+	}
 	if testing.Verbose() {
 		r.SetProgress(func(ev misar.ProgressEvent) {
 			b.Logf("[%3d/%3d] %s in %v", ev.Done, ev.Unique, ev.Label, ev.Elapsed)

@@ -100,9 +100,14 @@ func parse(out string) []result {
 }
 
 // run executes one `go test -bench` invocation and returns its stdout.
-func run(pkg, bench, benchtime string) (string, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchtime", benchtime, "-benchmem", pkg)
+// extra is appended after -args (flags for the test binary itself).
+func run(pkg, bench, benchtime string, extra ...string) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg}
+	if len(extra) > 0 {
+		args = append(append(args, "-args"), extra...)
+	}
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
@@ -114,13 +119,18 @@ func run(pkg, bench, benchtime string) (string, error) {
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1x", "benchtime for the figure benchmarks")
+	storeDir := flag.String("store", "", "persistent result store for the figure benchmarks (warm runs measure store replay, not simulation)")
 	flag.Parse()
 
 	start := time.Now()
 	// The figure suite at the repository root is the headline workload; the
 	// event-kernel microbenchmarks in internal/sim are too fast for 1x, so
 	// they always run with a fixed iteration count.
-	figOut, err := run(".", "BenchmarkFig", *benchtime)
+	var extra []string
+	if *storeDir != "" {
+		extra = append(extra, "-store", *storeDir)
+	}
+	figOut, err := run(".", "BenchmarkFig", *benchtime, extra...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "misar-bench:", err)
 		os.Exit(1)

@@ -78,21 +78,7 @@ func main() {
 	}
 	outs := chaos.Campaign(*start, *seeds, *parallel, opt, progress)
 
-	rep := &report{
-		Schema:    "misar-chaos/v1",
-		GoVersion: runtime.Version(),
-		Start:     *start, Seeds: *seeds,
-		Faults: opt.Faults, BrokenOMU: opt.BrokenOMU,
-		Budget:      uint64(opt.EffectiveBudget()),
-		Outcomes:    outs,
-		GeneratedAt: time.Now().UTC(),
-	}
-	for _, o := range outs {
-		if o.Failed() {
-			rep.Failed++
-		}
-		rep.FaultsFired += o.Counts.Total()
-	}
+	rep := buildReport(*start, *seeds, opt, outs)
 	rep.WallSeconds = time.Since(t0).Seconds()
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -107,17 +93,48 @@ func main() {
 
 	fmt.Printf("chaos: %d seeds, %d failed, %d faults fired, %.1fs\n",
 		*seeds, rep.Failed, rep.FaultsFired, rep.WallSeconds)
-	if *broken {
-		// Detection selftest: a broken machine evading every detector is the
-		// failure mode here.
-		if rep.Failed == 0 {
-			fatal("broken-OMU campaign detected nothing — the safety net has a hole")
+	code, msg := exitCode(rep, *broken)
+	if msg != "" {
+		fmt.Fprintln(os.Stderr, "misar-chaos: "+msg)
+	}
+	os.Exit(code)
+}
+
+// buildReport aggregates campaign outcomes into the CHAOS.json report.
+func buildReport(start, seeds int64, opt chaos.Options, outs []*chaos.Outcome) *report {
+	rep := &report{
+		Schema:    "misar-chaos/v1",
+		GoVersion: runtime.Version(),
+		Start:     start, Seeds: seeds,
+		Faults: opt.Faults, BrokenOMU: opt.BrokenOMU,
+		Budget:      uint64(opt.EffectiveBudget()),
+		Outcomes:    outs,
+		GeneratedAt: time.Now().UTC(),
+	}
+	for _, o := range outs {
+		if o.Failed() {
+			rep.Failed++
 		}
-		return
+		rep.FaultsFired += o.Counts.Total()
+	}
+	return rep
+}
+
+// exitCode is the CI gate: any recorded safety/liveness failure — a run
+// error, an invariant violation, an oracle overlap, or a lost update —
+// makes the campaign exit nonzero. Under -broken the status flips: the
+// detectors are deliberately blinded, so detecting NOTHING is the failure.
+func exitCode(rep *report, broken bool) (code int, msg string) {
+	if broken {
+		if rep.Failed == 0 {
+			return 1, "broken-OMU campaign detected nothing — the safety net has a hole"
+		}
+		return 0, ""
 	}
 	if rep.Failed > 0 {
-		os.Exit(1)
+		return 1, fmt.Sprintf("%d of %d seeds failed", rep.Failed, rep.Seeds)
 	}
+	return 0, ""
 }
 
 func runShrink(seed int64, opt chaos.Options) {

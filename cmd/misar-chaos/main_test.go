@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"misar/internal/chaos"
+	"misar/internal/fault"
+)
+
+// fabricated outcomes for the exit-code policy tests.
+func clean(seed int64) *chaos.Outcome {
+	return &chaos.Outcome{Seed: seed}
+}
+
+func TestExitCodePolicy(t *testing.T) {
+	cases := []struct {
+		name   string
+		outs   []*chaos.Outcome
+		broken bool
+		want   int
+	}{
+		{"all clean", []*chaos.Outcome{clean(0), clean(1)}, false, 0},
+		{"run error", []*chaos.Outcome{clean(0), {Seed: 1, Err: "liveness: no progress"}}, false, 1},
+		// The CI-gate case: the run COMPLETED (no error) but the checker
+		// recorded invariant violations. These must fail the campaign.
+		{"violations only", []*chaos.Outcome{
+			{Seed: 0, Violations: []fault.Violation{{}}},
+		}, false, 1},
+		{"oracle overlap only", []*chaos.Outcome{{Seed: 0, Oracle: 2}}, false, 1},
+		{"lost update only", []*chaos.Outcome{{Seed: 0, LostUpdates: 1}}, false, 1},
+		// -broken inverts: failures are the expected outcome.
+		{"broken with detections", []*chaos.Outcome{{Seed: 0, Err: "boom"}}, true, 0},
+		{"broken detects nothing", []*chaos.Outcome{clean(0), clean(1)}, true, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := buildReport(0, int64(len(tc.outs)), chaos.Options{}, tc.outs)
+			code, msg := exitCode(rep, tc.broken)
+			if code != tc.want {
+				t.Errorf("exit code %d (%q), want %d", code, msg, tc.want)
+			}
+			if code != 0 && msg == "" {
+				t.Error("nonzero exit without a diagnostic message")
+			}
+		})
+	}
+}
+
+func TestBuildReportAggregates(t *testing.T) {
+	outs := []*chaos.Outcome{
+		clean(0),
+		{Seed: 1, Err: "x"},
+		{Seed: 2, Violations: []fault.Violation{{}, {}}},
+	}
+	rep := buildReport(0, 3, chaos.Options{Faults: true}, outs)
+	if rep.Failed != 2 {
+		t.Errorf("Failed = %d, want 2", rep.Failed)
+	}
+	if rep.Schema != "misar-chaos/v1" || !rep.Faults || rep.Seeds != 3 {
+		t.Errorf("report header malformed: %+v", rep)
+	}
+	if rep.Budget == 0 {
+		t.Error("report did not resolve the effective budget")
+	}
+}
+
+// TestSmallCampaignClean runs a real (tiny, unfaulted, unbroken) campaign
+// end to end and requires a zero exit: the repository's own machine must
+// not trip its own safety net.
+func TestSmallCampaignClean(t *testing.T) {
+	opt := chaos.Options{Faults: false}
+	outs := chaos.Campaign(0, 2, 2, opt, nil)
+	rep := buildReport(0, 2, opt, outs)
+	code, msg := exitCode(rep, false)
+	if code != 0 {
+		for _, o := range outs {
+			if o.Failed() {
+				t.Logf("seed %d: err=%q violations=%d", o.Seed, o.Err, len(o.Violations))
+			}
+		}
+		t.Fatalf("clean campaign exited %d: %s", code, msg)
+	}
+	if !strings.HasPrefix(rep.Schema, "misar-chaos/") {
+		t.Errorf("schema %q", rep.Schema)
+	}
+}

@@ -9,6 +9,7 @@
 //	misar-fig -fig all -quick        # everything, small scale
 //	misar-fig -fig headline          # the abstract's three claims
 //	misar-fig -fig all -parallel 8   # 8 simulations in flight
+//	misar-fig -fig 6 -store cache/   # persist results; reruns are instant
 //
 // Figures: table1, 5, 6, 7, 8, 9, headline, omu-sweep, entry-sweep,
 // fairness, suspend, sync-overhead, all.
@@ -36,6 +37,7 @@ import (
 	"misar/internal/harness"
 	"misar/internal/prof"
 	"misar/internal/stats"
+	"misar/internal/store"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max simulations in flight (1 = serial)")
 	progress := flag.Bool("progress", false, "print one line per completed simulation to stderr")
 	report := flag.String("report", "", "directory for per-run JSON metrics reports (enables metering)")
+	storeDir := flag.String("store", "", "persistent result store directory; warm results skip simulation entirely")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -70,6 +73,14 @@ func main() {
 	r := harness.NewRunner(*parallel)
 	if *report != "" {
 		r.EnableMetrics()
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misar-fig:", err)
+			os.Exit(1)
+		}
+		r.SetStore(st)
 	}
 	if *progress {
 		r.SetProgress(func(ev harness.ProgressEvent) {
@@ -142,8 +153,8 @@ func main() {
 	}
 	st := r.Stats()
 	if st.Submitted > 0 {
-		fmt.Printf("(%d submissions -> %d unique simulations, %d served from cache; %d workers, total %v)\n",
-			st.Submitted, st.Unique, st.Submitted-st.Unique, r.Workers(),
-			time.Since(total).Round(time.Millisecond))
+		fmt.Printf("(%d submissions -> %d unique, %d simulated, %d from store, %d memoized; %d workers, total %v)\n",
+			st.Submitted, st.Unique, st.Executed, st.StoreHits, st.Submitted-st.Unique,
+			r.Workers(), time.Since(total).Round(time.Millisecond))
 	}
 }

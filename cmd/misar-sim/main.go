@@ -6,64 +6,38 @@
 //
 //	misar-sim -app streamcluster -tiles 64 -config msaomu2
 //	misar-sim -app fluidanimate -tiles 16 -config msaomu2-noopt -v
+//	misar-sim -app streamcluster -tiles 64 -remote localhost:8091
 //	misar-sim -list
 //
 // Configs: pthread, spinlock, mcs-tour, msa0, msaomu1, msaomu2, msaomu4,
 // msaomu2-noomu, msaomu2-noopt, msaomu2-lockonly, msaomu2-barrieronly,
 // msainf, ideal.
+//
+// With -remote the simulation is submitted to a misar-served instance
+// instead of running in-process: identical requests are deduplicated
+// server-side and warm results come back instantly from its persistent
+// store.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"misar/internal/cpu"
 	"misar/internal/fault"
+	"misar/internal/harness"
 	"misar/internal/machine"
 	"misar/internal/prof"
+	"misar/internal/service"
+	"misar/internal/service/client"
 	"misar/internal/syncrt"
 	"misar/internal/trace"
 	"misar/internal/workload"
 )
-
-type variant struct {
-	cfg func(tiles int) machine.Config
-	lib func() *syncrt.Lib
-}
-
-func variants() map[string]variant {
-	baseline := func(tiles int) machine.Config {
-		c := machine.Default(tiles)
-		c.Name = "software baseline"
-		c.CPU.Mode = cpu.ModeAlwaysFail
-		return c
-	}
-	return map[string]variant{
-		"pthread":  {baseline, syncrt.PthreadLib},
-		"spinlock": {baseline, syncrt.SpinLib},
-		"mcs-tour": {baseline, syncrt.MCSTourLib},
-		"msa0":     {machine.MSA0, syncrt.HWLib},
-		"msaomu1":  {func(t int) machine.Config { return machine.MSAOMU(t, 1) }, syncrt.HWLib},
-		"msaomu2":  {func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},
-		"msaomu4":  {func(t int) machine.Config { return machine.MSAOMU(t, 4) }, syncrt.HWLib},
-		"msaomu2-noomu": {func(t int) machine.Config {
-			return machine.WithoutOMU(machine.MSAOMU(t, 2))
-		}, syncrt.HWLib},
-		"msaomu2-noopt": {func(t int) machine.Config {
-			return machine.WithoutHWSync(machine.MSAOMU(t, 2))
-		}, syncrt.HWLib},
-		"msaomu2-lockonly": {func(t int) machine.Config {
-			return machine.LockOnly(machine.MSAOMU(t, 2))
-		}, syncrt.HWLib},
-		"msaomu2-barrieronly": {func(t int) machine.Config {
-			return machine.BarrierOnly(machine.MSAOMU(t, 2))
-		}, syncrt.HWLib},
-		"msainf": {machine.MSAInf, syncrt.HWLib},
-		"ideal":  {machine.Ideal, syncrt.HWLib},
-	}
-}
 
 func main() {
 	appName := flag.String("app", "streamcluster", "benchmark name (-list to enumerate)")
@@ -77,6 +51,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	faultSeed := flag.Uint64("fault-seed", 0, "enable the fault injector with the default plan for this seed")
 	invariants := flag.Bool("invariants", false, "arm the runtime safety-invariant checker")
+	remote := flag.String("remote", "", "submit to a misar-served instance at this address instead of simulating locally")
 	flag.Parse()
 	defer prof.Start()()
 
@@ -92,19 +67,32 @@ func main() {
 		return
 	}
 
+	if *remote != "" {
+		for name, set := range map[string]bool{
+			"-config-file": *configFile != "",
+			"-save-config": *saveConfig != "",
+			"-trace-out":   *traceOut != "",
+			"-v":           *verbose,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "misar-sim: %s is local-only and cannot be combined with -remote\n", name)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runRemote(*remote, *appName, *config, *tiles, *faultSeed, *invariants, *report))
+	}
+
 	app, ok := workload.ByName(*appName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "misar-sim: unknown app %q (-list to enumerate)\n", *appName)
 		os.Exit(2)
 	}
-	v, ok := variants()[*config]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "misar-sim: unknown config %q\n", *config)
+	cfg, libf, err := harness.Variant(*config, *tiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "misar-sim: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := v.cfg(*tiles)
 	if *configFile != "" {
-		var err error
 		cfg, err = machine.LoadConfig(*configFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "misar-sim:", err)
@@ -121,8 +109,12 @@ func main() {
 	}
 
 	// Baseline for the speedup denominator.
-	baseV := variants()["pthread"]
-	_, baseCycles, err := workload.Run(app, baseV.cfg(cfg.Tiles), baseV.lib())
+	baseCfg, baseLib, err := harness.Variant("pthread", cfg.Tiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-sim: baseline:", err)
+		os.Exit(1)
+	}
+	_, baseCycles, err := workload.Run(app, baseCfg, baseLib())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "misar-sim: baseline:", err)
 		os.Exit(1)
@@ -140,7 +132,7 @@ func main() {
 	if *invariants {
 		cfg.Invariants = true
 	}
-	lib := v.lib()
+	lib := libf()
 
 	start := time.Now()
 	m := machine.New(cfg)
@@ -236,4 +228,88 @@ func main() {
 				ls.Hits, ls.Hits+ls.Misses, ds.GetS+ds.GetX, os.Incs)
 		}
 	}
+}
+
+// runRemote submits the experiment (and its pthread baseline, for the
+// speedup line) to a misar-served instance and prints the result. Returns
+// the process exit code.
+func runRemote(addr, appName, config string, tiles int, faultSeed uint64, invariants bool, report string) int {
+	c := client.New(addr)
+	ctx := context.Background()
+
+	req := service.JobRequest{
+		App:        appName,
+		Config:     config,
+		Tiles:      tiles,
+		FaultSeed:  faultSeed,
+		Invariants: invariants,
+		Metrics:    report != "",
+	}
+
+	start := time.Now()
+	onEvent := func(ev service.JobEvent) {
+		switch ev.Event {
+		case "accepted":
+			fmt.Printf("remote         %s accepted %s (%s)\n", addr, ev.Job, ev.Label)
+		case "running":
+			fmt.Printf("remote         %s running, %.1fs elapsed\n", ev.Job, float64(ev.ElapsedMS)/1000)
+		}
+	}
+
+	// The baseline job rides along so speedup is computable; the server
+	// deduplicates it against any prior identical request, so a warm
+	// baseline costs one store read.
+	type outcome struct {
+		ev  *service.JobEvent
+		err error
+	}
+	basec := make(chan outcome, 1)
+	if config == "pthread" {
+		basec <- outcome{}
+	} else {
+		baseReq := service.JobRequest{App: appName, Config: "pthread", Tiles: tiles}
+		go func() {
+			ev, err := c.Submit(ctx, baseReq, nil)
+			basec <- outcome{ev, err}
+		}()
+	}
+
+	final, err := c.Submit(ctx, req, onEvent)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-sim: remote:", err)
+		return 1
+	}
+	base := <-basec
+	wall := time.Since(start)
+
+	res := final.Result
+	fmt.Printf("app            %s\n", appName)
+	fmt.Printf("machine        %s\n", strings.TrimPrefix(final.Label, appName+" on "))
+	fmt.Printf("cycles         %d\n", res.Cycles)
+	if base.err != nil {
+		fmt.Fprintln(os.Stderr, "misar-sim: remote baseline:", base.err)
+	} else if base.ev != nil && base.ev.Result != nil && res.Cycles > 0 {
+		fmt.Printf("speedup        %.2fx vs pthread (%d cycles)\n",
+			float64(base.ev.Result.Cycles)/float64(res.Cycles), base.ev.Result.Cycles)
+	}
+	fmt.Printf("coverage       %.1f%% handled in hardware\n", res.Coverage*100)
+	source := "simulated by server"
+	if final.FromStore {
+		source = "replayed from server store"
+	}
+	fmt.Printf("source         %s (job %.1fs, round-trip %v)\n",
+		source, float64(final.ElapsedMS)/1000, wall.Round(time.Millisecond))
+
+	if report != "" {
+		if res.Report == nil {
+			fmt.Fprintln(os.Stderr, "misar-sim: remote result carries no metrics report")
+			return 1
+		}
+		if err := res.Report.WriteJSONFile(report); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			return 1
+		}
+		fmt.Printf("report         wrote %s (%d counters)\n", report, len(res.Report.Metrics.Counters))
+	}
+	return 0
 }

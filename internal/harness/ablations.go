@@ -49,17 +49,17 @@ func (r *Runner) OMUSweep(o Options) (*stats.Table, error) {
 		cfg.MSA.OMUCounters = counters
 		runs[i] = r.App(app, cfg, syncrt.HWLib())
 	}
-	_, base, err := baseRun.App()
+	base, err := baseRun.Result()
 	if err != nil {
 		return nil, err
 	}
 	for i, counters := range counterSet {
-		m, cycles, err := runs[i].App()
+		res, err := runs[i].Result()
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("%d counters", counters),
-			m.Coverage()*100, float64(base)/float64(cycles))
+			res.Coverage*100, float64(base.Cycles)/float64(res.Cycles))
 	}
 	return t, nil
 }
@@ -80,7 +80,7 @@ func (r *Runner) EntrySweep(o Options) (*stats.Table, error) {
 	for i, entries := range entrySet {
 		runs[i] = r.App(app, machine.MSAOMU(tiles, entries), syncrt.HWLib())
 	}
-	_, base, err := baseRun.App()
+	base, err := baseRun.Result()
 	if err != nil {
 		return nil, err
 	}
@@ -89,11 +89,11 @@ func (r *Runner) EntrySweep(o Options) (*stats.Table, error) {
 		if entries < 0 {
 			label = "inf entries"
 		}
-		m, cycles, err := runs[i].App()
+		res, err := runs[i].Result()
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(label, m.Coverage()*100, float64(base)/float64(cycles))
+		t.AddRow(label, res.Coverage*100, float64(base.Cycles)/float64(res.Cycles))
 	}
 	return t, nil
 }
@@ -126,16 +126,16 @@ func (r *Runner) BloomSweep(o Options) (*stats.Table, error) {
 	for i, v := range variants {
 		runs[i] = r.App(app, v.cfg, syncrt.HWLib())
 	}
-	_, base, err := baseRun.App()
+	base, err := baseRun.Result()
 	if err != nil {
 		return nil, err
 	}
 	for i, v := range variants {
-		m, cycles, err := runs[i].App()
+		res, err := runs[i].Result()
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(v.label, m.Coverage()*100, float64(base)/float64(cycles))
+		t.AddRow(v.label, res.Coverage*100, float64(base.Cycles)/float64(res.Cycles))
 	}
 	return t, nil
 }

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"misar/internal/machine"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+func quickApp(t *testing.T) workload.App {
+	t.Helper()
+	app, ok := workload.ByName("streamcluster")
+	if !ok {
+		t.Fatal("streamcluster missing from suite")
+	}
+	return app
+}
+
+// A pre-cancelled submission must fail with a CancelError, be evicted from
+// the memo cache, and leave the key re-runnable.
+func TestAppCtxCancelledEvictsAndReruns(t *testing.T) {
+	r := NewRunner(1)
+	app := quickApp(t)
+	cfg := machine.MSAOMU(4, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := r.AppCtx(ctx, app, cfg, syncrt.HWLib())
+	_, err := run.Result()
+	var ce *machine.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *machine.CancelError inside *RunError", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError wrapper", err)
+	}
+	if st := r.Stats(); st.Executed != 0 {
+		t.Errorf("cancelled run counted as executed: %+v", st)
+	}
+
+	// The failure was evicted: a fresh submission re-runs and succeeds.
+	res, err := r.App(app, cfg, syncrt.HWLib()).Result()
+	if err != nil {
+		t.Fatalf("resubmission after cancel: %v", err)
+	}
+	if res.Cycles == 0 {
+		t.Error("resubmitted run returned zero cycles")
+	}
+	if st := r.Stats(); st.Executed != 1 || st.Unique != 2 {
+		t.Errorf("stats after rerun: %+v", st)
+	}
+}
+
+// One impatient sharer must not cancel a memoized future that another,
+// uncancellable submitter is waiting on.
+func TestSharedFutureSurvivesOneCancel(t *testing.T) {
+	r := NewRunner(1)
+	app := quickApp(t)
+	cfg := machine.MSAOMU(4, 2)
+	lib := syncrt.HWLib
+
+	ctx, cancel := context.WithCancel(context.Background())
+	impatient := r.AppCtx(ctx, app, cfg, lib())
+	pinned := r.App(app, cfg, lib()) // Background ctx pins the run
+	if impatient != pinned {
+		t.Fatal("identical submissions did not share a future")
+	}
+	cancel()
+	res, err := pinned.Result()
+	if err != nil {
+		t.Fatalf("pinned sharer failed after co-submitter cancelled: %v", err)
+	}
+	if res.Cycles == 0 {
+		t.Error("zero cycles from shared run")
+	}
+	if st := r.Stats(); st.Executed != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// MicroCtx honors cancellation at admission.
+func TestMicroCtxCancelled(t *testing.T) {
+	r := NewRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fn, ok := MicroOp("LockAcquire")
+	if !ok {
+		t.Fatal("LockAcquire missing from micro table")
+	}
+	run := r.MicroCtx(ctx, "LockAcquire", fn, machine.MSAOMU(4, 2), syncrt.HWLib())
+	if _, err := run.Micro(); err == nil {
+		t.Fatal("pre-cancelled micro succeeded")
+	}
+	if st := r.Stats(); st.Executed != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

@@ -190,17 +190,17 @@ func (r *Runner) Fig6(o Options) (*stats.Table, error) {
 	for ti, tiles := range o.Tiles {
 		speedups := make([][]float64, len(cfgs))
 		for _, ar := range rowsByTiles[ti] {
-			_, base, err := ar.base.App()
+			base, err := ar.base.Result()
 			if err != nil {
 				return nil, err
 			}
 			cells := make([]float64, len(cfgs))
 			for i, run := range ar.runs {
-				_, cycles, err := run.App()
+				res, err := run.Result()
 				if err != nil {
 					return nil, err
 				}
-				cells[i] = float64(base) / float64(cycles)
+				cells[i] = float64(base.Cycles) / float64(res.Cycles)
 				speedups[i] = append(speedups[i], cells[i])
 			}
 			if ar.app.SyncSensitive {
@@ -242,16 +242,16 @@ func (r *Runner) Fig7(o Options) (*stats.Table, error) {
 	for _, row := range rows {
 		var with, without []float64
 		for i := range row.with {
-			mw, _, err := row.with[i].App()
+			rw, err := row.with[i].Result()
 			if err != nil {
 				return nil, err
 			}
-			with = append(with, mw.Coverage()*100)
-			mo, _, err := row.without[i].App()
+			with = append(with, rw.Coverage*100)
+			ro, err := row.without[i].Result()
 			if err != nil {
 				return nil, err
 			}
-			without = append(without, mo.Coverage()*100)
+			without = append(without, ro.Coverage*100)
 		}
 		t.AddRow(row.label, stats.Mean(without), stats.Mean(with))
 	}
@@ -278,20 +278,20 @@ func (r *Runner) Fig8(o Options) (*stats.Table, error) {
 		}
 	}
 	for i, tiles := range o.Tiles {
-		_, base, err := runs[i].base.App()
+		base, err := runs[i].base.Result()
 		if err != nil {
 			return nil, err
 		}
-		_, with, err := runs[i].with.App()
+		with, err := runs[i].with.Result()
 		if err != nil {
 			return nil, err
 		}
-		_, without, err := runs[i].without.App()
+		without, err := runs[i].without.Result()
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("fluidanimate/%dc", tiles),
-			float64(base)/float64(with), float64(base)/float64(without))
+			float64(base.Cycles)/float64(with.Cycles), float64(base.Cycles)/float64(without.Cycles))
 	}
 	return t, nil
 }
@@ -326,17 +326,17 @@ func (r *Runner) Fig9(o Options) (*stats.Table, error) {
 	}
 	var speedups [3][]float64
 	for _, ar := range rows {
-		_, base, err := ar.base.App()
+		base, err := ar.base.Result()
 		if err != nil {
 			return nil, err
 		}
 		cells := make([]float64, 3)
 		for i, run := range ar.runs {
-			_, cycles, err := run.App()
+			res, err := run.Result()
 			if err != nil {
 				return nil, err
 			}
-			cells[i] = float64(base) / float64(cycles)
+			cells[i] = float64(base.Cycles) / float64(res.Cycles)
 			speedups[i] = append(speedups[i], cells[i])
 		}
 		if ar.app.SyncSensitive {
@@ -370,26 +370,26 @@ func (r *Runner) Headline(o Options) (*stats.Table, error) {
 	}
 	var speedups, infIdeal, omuInf, coverage []float64
 	for _, ar := range rows {
-		_, base, err := ar.base.App()
+		base, err := ar.base.Result()
 		if err != nil {
 			return nil, err
 		}
-		m, hw, err := ar.hw.App()
+		hw, err := ar.hw.Result()
 		if err != nil {
 			return nil, err
 		}
-		_, inf, err := ar.inf.App()
+		inf, err := ar.inf.Result()
 		if err != nil {
 			return nil, err
 		}
-		_, ideal, err := ar.ideal.App()
+		ideal, err := ar.ideal.Result()
 		if err != nil {
 			return nil, err
 		}
-		speedups = append(speedups, float64(base)/float64(hw))
-		infIdeal = append(infIdeal, float64(inf)/float64(ideal))
-		omuInf = append(omuInf, float64(hw)/float64(inf))
-		coverage = append(coverage, m.Coverage()*100)
+		speedups = append(speedups, float64(base.Cycles)/float64(hw.Cycles))
+		infIdeal = append(infIdeal, float64(inf.Cycles)/float64(ideal.Cycles))
+		omuInf = append(omuInf, float64(hw.Cycles)/float64(inf.Cycles))
+		coverage = append(coverage, hw.Coverage*100)
 	}
 	t.AddRow("GeoMean MSA/OMU-2 speedup vs pthread (paper: 1.43x)", stats.Geomean(speedups))
 	t.AddRow("Mean MSA coverage % (paper: 93%)", stats.Mean(coverage))

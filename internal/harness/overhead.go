@@ -62,7 +62,7 @@ func (r *Runner) SyncOverhead(o Options) (*stats.Table, error) {
 		}
 	}
 	for _, row := range rows {
-		if _, _, err := row.run.App(); err != nil {
+		if _, err := row.run.Result(); err != nil {
 			return nil, err
 		}
 		rep := row.run.Report()

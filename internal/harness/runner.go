@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"misar/internal/machine"
 	"misar/internal/metrics"
 	"misar/internal/sim"
+	"misar/internal/store"
 	"misar/internal/syncrt"
 	"misar/internal/workload"
 )
@@ -68,11 +70,14 @@ type Runner struct {
 	metrics   bool   // meter every subsequently submitted run
 	transform func(machine.Config) machine.Config
 	progress  func(ProgressEvent)
-	budget    sim.Time // per-simulation cycle budget; 0 means RunDeadline
-	retries   int      // extra attempts after a failed simulation
-	submitted int      // all submissions, including memo hits
-	unique    int      // distinct simulations started
-	finished  int      // distinct simulations completed
+	budget    sim.Time     // per-simulation cycle budget; 0 means RunDeadline
+	retries   int          // extra attempts after a failed simulation
+	store     *store.Store // persistent result store; nil means memory-only
+	submitted int          // all submissions, including memo hits
+	unique    int          // distinct simulations started
+	finished  int          // distinct simulations completed
+	executed  int          // simulations actually run (not memo/store hits)
+	storeHits int          // unique submissions satisfied by the store
 }
 
 // runKey identifies one unique simulation. The cfg and lib fields are full
@@ -94,32 +99,42 @@ type ProgressEvent struct {
 	Label     string        // e.g. "streamcluster on MSA/OMU-2 64c"
 	Elapsed   time.Duration // wall-clock of this simulation
 	Err       error         // non-nil if the run failed
+	StoreHit  bool          // satisfied by the persistent store, not simulated
 	Done      int           // unique simulations finished so far
 	Unique    int           // unique simulations submitted so far
 	Submitted int           // total submissions, including memo hits
 }
 
-// RunnerStats summarizes a Runner's activity so far.
+// RunnerStats summarizes a Runner's activity so far. Submitted - Unique is
+// the in-memory memo hit count; Unique = Executed + StoreHits + failures.
 type RunnerStats struct {
 	Submitted int // total submissions, including memo hits
 	Unique    int // distinct simulations started
 	Done      int // distinct simulations completed
+	Executed  int // simulations actually run (cache and store misses)
+	StoreHits int // unique submissions replayed from the persistent store
 }
 
 // Run is a future for one submitted simulation. The same *Run is returned
 // to every submitter of the same key; results must be treated as read-only.
 type Run struct {
-	label  string
-	done   chan struct{}
-	m      *machine.Machine
-	cycles sim.Time
-	micro  workload.MicroResult
-	report *metrics.Report
-	err    error
+	label     string
+	kind      string // "app" or "micro"
+	done      chan struct{}
+	sc        *sharedCancel
+	m         *machine.Machine
+	cycles    sim.Time
+	coverage  float64
+	micro     workload.MicroResult
+	report    *metrics.Report
+	fromStore bool
+	err       error
 }
 
 // App blocks until the run completes and returns the finished machine (for
-// stats such as Coverage) and the completion cycle.
+// live inspection) and the completion cycle. The machine is nil when the
+// run was replayed from the persistent store — prefer Result, which is
+// complete in every case, unless the caller truly needs component state.
 func (r *Run) App() (*machine.Machine, sim.Time, error) {
 	<-r.done
 	return r.m, r.cycles, r.err
@@ -187,6 +202,17 @@ func (r *Runner) metered() bool {
 func (r *Runner) SetBudget(deadline sim.Time) {
 	r.mu.Lock()
 	r.budget = deadline
+	r.mu.Unlock()
+}
+
+// SetStore attaches a persistent result store. Every subsequently submitted
+// unique run first consults the store (a hit is replayed without consuming a
+// worker slot or running a simulation) and every subsequent success is
+// persisted, so warm results are shared across processes and restarts.
+// Failed runs are never stored.
+func (r *Runner) SetStore(st *store.Store) {
+	r.mu.Lock()
+	r.store = st
 	r.mu.Unlock()
 }
 
@@ -263,54 +289,152 @@ func (r *Runner) Reports() []*metrics.Report {
 func (r *Runner) Stats() RunnerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return RunnerStats{Submitted: r.submitted, Unique: r.unique, Done: r.finished}
+	return RunnerStats{
+		Submitted: r.submitted,
+		Unique:    r.unique,
+		Done:      r.finished,
+		Executed:  r.executed,
+		StoreHits: r.storeHits,
+	}
+}
+
+// sharedCancel turns many submitter contexts into one run-wide cancel
+// decision. Every submitter that shares a memoized future attaches its
+// context; the run's private context is cancelled only when every attached
+// context has ended while the run is still going — one impatient caller in
+// a figure sweep must never kill a simulation that other callers (or a
+// Background-context caller, which pins the run) are still waiting on.
+type sharedCancel struct {
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	active int  // attached cancellable contexts still live
+	pinned bool // an uncancellable context joined: never cancel
+}
+
+func newSharedCancel(cancel context.CancelFunc) *sharedCancel {
+	return &sharedCancel{cancel: cancel}
+}
+
+// attach registers one submitter's interest. done is the run's completion
+// channel; once the run finishes, watcher goroutines drain away regardless
+// of the submitter contexts.
+func (s *sharedCancel) attach(ctx context.Context, done <-chan struct{}) {
+	if ctx == nil || ctx.Done() == nil {
+		s.mu.Lock()
+		s.pinned = true
+		s.mu.Unlock()
+		return
+	}
+	if ctx.Err() != nil {
+		// Already ended: vote to cancel synchronously, so a submission with
+		// a dead context deterministically never starts its simulation.
+		s.mu.Lock()
+		fire := s.active == 0 && !s.pinned
+		s.mu.Unlock()
+		if fire {
+			s.cancel()
+		}
+		return
+	}
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	go func() {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.active--
+			fire := s.active == 0 && !s.pinned
+			s.mu.Unlock()
+			if fire {
+				s.cancel()
+			}
+		}
+	}()
 }
 
 // submit returns the future for key, starting fn at most once while the key
 // is live. Submission never blocks: the goroutine waits for a worker slot,
-// so figures can enqueue an entire sweep before collecting any result.
+// so figures can enqueue an entire sweep before collecting any result. When
+// a store is attached and skey is non-empty, the store is consulted first —
+// a hit replays the persisted result without consuming a worker slot — and
+// a success is persisted afterwards.
 //
 // Failure containment: a panicking fn is recovered into a *RunError built
 // from tag (so every sharer of the future sees a structured, reproducible
 // failure instead of a crashed process), the worker slot is always released,
 // and the key is evicted from the memo cache — a failed simulation must not
 // satisfy future submissions, only in-flight sharers of the same future.
-func (r *Runner) submit(key runKey, tag RunError, fn func(run *Run) error) *Run {
+// Cancellation counts as failure: a cancelled run is evicted, so a later
+// submission with a live context simply re-runs the experiment.
+func (r *Runner) submit(ctx context.Context, kind string, key runKey, skey string, tag RunError, fn func(ctx context.Context, run *Run) error) *Run {
 	label := tag.Label
 	r.mu.Lock()
 	r.submitted++
 	if existing, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		existing.sc.attach(ctx, existing.done)
 		return existing
 	}
-	run := &Run{label: label, done: make(chan struct{})}
+	run := &Run{label: label, kind: kind, done: make(chan struct{})}
+	runCtx, cancel := context.WithCancel(context.Background())
+	run.sc = newSharedCancel(cancel)
+	run.sc.attach(ctx, run.done)
 	r.cache[key] = run
 	r.order = append(r.order, run)
 	r.unique++
+	st := r.store
 	r.mu.Unlock()
 
 	go func() {
-		r.sem <- struct{}{}
+		defer cancel()
 		start := time.Now()
-		for attempt := r.retryCount(); ; attempt-- {
-			run.err = nil
-			func() {
-				defer func() {
-					if p := recover(); p != nil {
-						re := tag // copy, then fill in the failure
-						re.Panic = p
-						re.Stack = string(debug.Stack())
-						run.err = &re
+		storeHit := st != nil && skey != "" && r.tryStore(st, skey, run)
+		if storeHit {
+			r.mu.Lock()
+			r.storeHits++
+			r.mu.Unlock()
+		} else {
+			r.sem <- struct{}{}
+			if runCtx.Err() != nil {
+				// Every submitter gave up before a worker freed up; don't
+				// burn the slot on a run nobody is waiting for.
+				re := tag
+				re.Err = &machine.CancelError{Cause: context.Cause(runCtx)}
+				run.err = &re
+			} else {
+				r.mu.Lock()
+				r.executed++
+				r.mu.Unlock()
+				for attempt := r.retryCount(); ; attempt-- {
+					run.err = nil
+					func() {
+						defer func() {
+							if p := recover(); p != nil {
+								re := tag // copy, then fill in the failure
+								re.Panic = p
+								re.Stack = string(debug.Stack())
+								run.err = &re
+							}
+						}()
+						run.err = fn(runCtx, run)
+					}()
+					// A cancelled run must not retry: the callers are gone
+					// and each retry would burn a full budget's worth of
+					// simulation.
+					if run.err == nil || attempt <= 0 || runCtx.Err() != nil {
+						break
 					}
-				}()
-				run.err = fn(run)
-			}()
-			if run.err == nil || attempt <= 0 {
-				break
+				}
+			}
+			<-r.sem
+			if run.err == nil && st != nil && skey != "" {
+				r.putStore(st, skey, run)
 			}
 		}
 		elapsed := time.Since(start)
-		<-r.sem
 		if run.err != nil {
 			r.mu.Lock()
 			if r.cache[key] == run {
@@ -327,6 +451,7 @@ func (r *Runner) submit(key runKey, tag RunError, fn func(run *Run) error) *Run 
 				Label:     label,
 				Elapsed:   elapsed,
 				Err:       run.err,
+				StoreHit:  storeHit,
 				Done:      r.finished,
 				Unique:    r.unique,
 				Submitted: r.submitted,
@@ -340,6 +465,16 @@ func (r *Runner) submit(key runKey, tag RunError, fn func(run *Run) error) *Run 
 // App submits one application run. Submissions of the same
 // (app, config, library) share a single simulation.
 func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run {
+	return r.AppCtx(context.Background(), app, cfg, lib)
+}
+
+// AppCtx is App with caller cancellation. The context is advisory for
+// sharers: the underlying simulation is cancelled only when every submitter
+// sharing the memoized future has cancelled (a Background-context submitter
+// pins the run to completion). A cancelled run fails with a
+// *machine.CancelError inside the *RunError and is evicted from the memo
+// cache.
+func (r *Runner) AppCtx(ctx context.Context, app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run {
 	cfg = r.transformCfg(cfg)
 	if r.metered() {
 		cfg.Metrics = true
@@ -351,14 +486,17 @@ func (r *Runner) App(app workload.App, cfg machine.Config, lib *syncrt.Lib) *Run
 		Lib:    lib.Desc(),
 		Seed:   cfg.Fault.Seed,
 	}
-	return r.submit(keyFor("app:"+app.Name, cfg, lib), tag, func(run *Run) error {
-		m, cycles, err := workload.RunBudget(app, cfg, lib, r.runBudget())
+	budget := r.runBudget()
+	skey := storeKey("app:"+app.Name, cfg, lib, budget)
+	return r.submit(ctx, "app", keyFor("app:"+app.Name, cfg, lib), skey, tag, func(ctx context.Context, run *Run) error {
+		m, cycles, err := workload.RunBudgetCtx(ctx, app, cfg, lib, budget)
 		if err != nil {
 			re := tag
 			re.Err = err
 			return &re
 		}
 		run.m, run.cycles = m, cycles
+		run.coverage = m.Coverage()
 		run.report = m.MetricsReport("app", app.Name, lib.Desc())
 		return nil
 	})
@@ -370,6 +508,13 @@ type MicroFn func(machine.Config, *syncrt.Lib) workload.MicroResult
 // Micro submits one Fig. 5 microbenchmark, memoized by
 // (operation, config, library).
 func (r *Runner) Micro(op string, fn MicroFn, cfg machine.Config, lib *syncrt.Lib) *Run {
+	return r.MicroCtx(context.Background(), op, fn, cfg, lib)
+}
+
+// MicroCtx is Micro with caller cancellation. Microbenchmarks are short, so
+// the context is honored at admission (a run that has not started yet is
+// skipped) rather than polled mid-measurement.
+func (r *Runner) MicroCtx(ctx context.Context, op string, fn MicroFn, cfg machine.Config, lib *syncrt.Lib) *Run {
 	cfg = r.transformCfg(cfg)
 	if r.metered() {
 		cfg.Metrics = true
@@ -381,7 +526,11 @@ func (r *Runner) Micro(op string, fn MicroFn, cfg machine.Config, lib *syncrt.Li
 		Lib:    lib.Desc(),
 		Seed:   cfg.Fault.Seed,
 	}
-	return r.submit(keyFor("micro:"+op, cfg, lib), tag, func(run *Run) error {
+	// Micro measurements ignore the runner budget, so the store key embeds
+	// a fixed 0 — warm results stay shared across runners with different
+	// app budgets.
+	skey := storeKey("micro:"+op, cfg, lib, 0)
+	return r.submit(ctx, "micro", keyFor("micro:"+op, cfg, lib), skey, tag, func(ctx context.Context, run *Run) error {
 		run.micro = fn(cfg, lib)
 		run.report = run.micro.Report
 		return nil

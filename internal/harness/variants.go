@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"misar/internal/machine"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+// The named machine+library variants of the evaluation, shared by
+// cmd/misar-sim (the -config flag) and the serving layer (the job request's
+// "config" field). Keeping the table here — next to baselineCfg and the
+// figure sweeps — guarantees that a served job and a figure run of the same
+// variant build byte-identical configs, and therefore share memo-cache and
+// persistent-store entries.
+
+type variantSpec struct {
+	cfg func(tiles int) machine.Config
+	lib func() *syncrt.Lib
+}
+
+func variantTable() map[string]variantSpec {
+	return map[string]variantSpec{
+		"pthread":  {baselineCfg, syncrt.PthreadLib},
+		"spinlock": {baselineCfg, syncrt.SpinLib},
+		"mcs-tour": {baselineCfg, syncrt.MCSTourLib},
+		"msa0":     {machine.MSA0, syncrt.HWLib},
+		"msaomu1":  {func(t int) machine.Config { return machine.MSAOMU(t, 1) }, syncrt.HWLib},
+		"msaomu2":  {func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},
+		"msaomu4":  {func(t int) machine.Config { return machine.MSAOMU(t, 4) }, syncrt.HWLib},
+		"msaomu2-noomu": {func(t int) machine.Config {
+			return machine.WithoutOMU(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msaomu2-noopt": {func(t int) machine.Config {
+			return machine.WithoutHWSync(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msaomu2-lockonly": {func(t int) machine.Config {
+			return machine.LockOnly(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msaomu2-barrieronly": {func(t int) machine.Config {
+			return machine.BarrierOnly(machine.MSAOMU(t, 2))
+		}, syncrt.HWLib},
+		"msainf": {machine.MSAInf, syncrt.HWLib},
+		"ideal":  {machine.Ideal, syncrt.HWLib},
+	}
+}
+
+// Variant resolves a named configuration at a tile count. The returned lib
+// constructor is called per use (a *syncrt.Lib is cheap and callers may
+// mutate their copy).
+func Variant(name string, tiles int) (machine.Config, func() *syncrt.Lib, error) {
+	v, ok := variantTable()[name]
+	if !ok {
+		return machine.Config{}, nil, fmt.Errorf("harness: unknown config %q (known: %v)", name, VariantNames())
+	}
+	return v.cfg(tiles), v.lib, nil
+}
+
+// VariantNames lists the known configuration names, sorted.
+func VariantNames() []string {
+	t := variantTable()
+	names := make([]string, 0, len(t))
+	for name := range t {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MicroOp resolves a Fig. 5 microbenchmark operation by name (the serving
+// layer's kind:"micro" jobs).
+func MicroOp(name string) (MicroFn, bool) {
+	fn, ok := microTable()[name]
+	return fn, ok
+}
+
+// MicroOpNames lists the known microbenchmark operations, sorted.
+func MicroOpNames() []string {
+	t := microTable()
+	names := make([]string, 0, len(t))
+	for name := range t {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// microTable uses the exact operation names Fig5 memoizes under, so a
+// served micro job and a Fig5 sweep share store entries.
+func microTable() map[string]MicroFn {
+	return map[string]MicroFn{
+		"LockAcquire":    workload.MicroLockAcquire,
+		"LockHandoff":    workload.MicroLockHandoff,
+		"BarrierHandoff": workload.MicroBarrierHandoff,
+		"CondSignal":     workload.MicroCondSignal,
+		"CondBroadcast":  workload.MicroCondBroadcast,
+	}
+}

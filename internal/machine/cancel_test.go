@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/sim"
+)
+
+// spinners builds a small machine whose threads compute forever, so a run
+// can only end via deadline or cancellation.
+func spinners(t *testing.T) *Machine {
+	t.Helper()
+	m := New(MSAOMU(4, 2))
+	for i := 0; i < 2; i++ {
+		th := m.Complex.Spawn(i, func(e cpu.Env) {
+			for {
+				e.Compute(10)
+			}
+		})
+		m.Complex.Start(th, i, 0)
+	}
+	return m
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	m := spinners(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from inside the simulation: the event handler runs on the
+	// RunCtx goroutine, so the poll sees it deterministically within
+	// cancelCheckEvery events — no wall-clock timing in the test.
+	m.Engine.At(5_000, func() { cancel() })
+
+	_, err := m.RunCtx(ctx, sim.Time(1_000_000_000_000))
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false (err %v)", err)
+	}
+	if ce.At < 5_000 {
+		t.Errorf("cancelled at cycle %d, before the cancel event", ce.At)
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	m := spinners(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.RunCtx(ctx, sim.Time(1_000_000_000_000))
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelError", err)
+	}
+	if m.Engine.Fired() != 0 {
+		t.Errorf("pre-cancelled run fired %d events, want 0", m.Engine.Fired())
+	}
+}
+
+// A background context must take the unpolled path and behave exactly like
+// Run: the deadline fires as a LivenessError, not a CancelError.
+func TestRunCtxBackgroundHitsDeadline(t *testing.T) {
+	m := spinners(t)
+	_, err := m.RunCtx(context.Background(), 50_000)
+	var le *LivenessError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LivenessError", err)
+	}
+}
+
+func TestRunCtxCompletesBeforeCancel(t *testing.T) {
+	m := New(MSAOMU(4, 2))
+	th := m.Complex.Spawn(0, func(e cpu.Env) { e.Compute(100) })
+	m.Complex.Start(th, 0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	end, err := m.RunCtx(ctx, sim.Time(1_000_000))
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if end == 0 {
+		t.Error("completed at cycle 0")
+	}
+}

@@ -7,6 +7,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -311,7 +312,21 @@ func (m *Machine) SpawnAll(n int, body func(tid int, e cpu.Env)) {
 // Liveness failures come back as *LivenessError carrying a full watchdog
 // Diagnosis instead of a bare string, so a hung fault-injection run is
 // triageable from the error value alone.
-func (m *Machine) Run(deadline sim.Time) (_ sim.Time, err error) {
+func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
+	return m.RunCtx(context.Background(), deadline)
+}
+
+// cancelCheckEvery spaces RunCtx's cancellation polls: one context check per
+// 64Ki fired events keeps the per-event hot path untouched while bounding
+// cancellation latency to a few milliseconds of wall clock.
+const cancelCheckEvery = 1 << 16
+
+// RunCtx is Run with caller cancellation. When ctx ends before the
+// simulation finishes, the threads are torn down (their goroutines unwind,
+// nothing leaks) and the error is a *CancelError wrapping the context's
+// cause. A context that can never be cancelled (ctx.Done() == nil) costs
+// nothing: the run takes the unpolled RunUntil path.
+func (m *Machine) RunCtx(ctx context.Context, deadline sim.Time) (_ sim.Time, err error) {
 	defer m.collectMetrics()
 	defer func() {
 		if r := recover(); r != nil {
@@ -324,7 +339,21 @@ func (m *Machine) Run(deadline sim.Time) (_ sim.Time, err error) {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	drained := m.Engine.RunUntil(deadline)
+	var drained bool
+	if ctx.Done() == nil {
+		drained = m.Engine.RunUntil(deadline)
+	} else {
+		if ctx.Err() != nil {
+			return m.Engine.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Engine.Now()}
+		}
+		var interrupted bool
+		drained, interrupted = m.Engine.RunUntilCheck(deadline, cancelCheckEvery,
+			func() bool { return ctx.Err() != nil })
+		if interrupted {
+			m.Complex.Kill()
+			return m.Engine.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Engine.Now()}
+		}
+	}
 	for _, t := range m.Complex.Threads() {
 		if t.Err() != nil {
 			return m.Engine.Now(), fmt.Errorf("machine: thread %d panicked: %v", t.ID(), t.Err())

@@ -368,3 +368,19 @@ type PanicError struct {
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("machine: component panicked: %v", e.Value)
 }
+
+// CancelError is returned by RunCtx when the caller's context ended before
+// the simulation finished. It is an abandonment, not a verdict: the machine
+// was torn down mid-flight and its partial statistics mean nothing. Cause is
+// the context's error (context.Canceled or context.DeadlineExceeded), so
+// errors.Is(err, context.Canceled) works through the wrapper.
+type CancelError struct {
+	Cause error
+	At    sim.Time // simulated cycle at which the run was abandoned
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("machine: run cancelled at cycle %d: %v", e.At, e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteText renders a Snapshot in the Prometheus text exposition format
+// (one "name value" line per sample, gauge/counter distinction left to the
+// scraper's recording rules — the simulator's instruments are all
+// monotonic within a run). Metric names are mangled to the exposition
+// grammar: every byte outside [a-zA-Z0-9_] becomes '_', and prefix is
+// prepended ("misar" yields misar_serve_jobs_accepted). Histograms expand
+// to _count/_sum/_max/_p50/_p95/_p99 samples. Output is sorted, so two
+// snapshots with equal values render byte-identically.
+func WriteText(w io.Writer, prefix string, s Snapshot) error {
+	var lines []string
+	add := func(name string, format string, v any) {
+		lines = append(lines, fmt.Sprintf("%s %s", mangle(prefix, name), fmt.Sprintf(format, v)))
+	}
+	for name, v := range s.Counters {
+		add(name, "%d", v)
+	}
+	for name, v := range s.Gauges {
+		add(name, "%d", v)
+	}
+	for name, h := range s.Histograms {
+		add(name+"_count", "%d", h.Count)
+		add(name+"_sum", "%d", h.Sum)
+		add(name+"_max", "%d", h.Max)
+		add(name+"_p50", "%d", h.P50)
+		add(name+"_p95", "%d", h.P95)
+		add(name+"_p99", "%d", h.P99)
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := io.WriteString(w, ln+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mangle rewrites a dotted instrument name into exposition-format grammar.
+func mangle(prefix, name string) string {
+	var b strings.Builder
+	b.Grow(len(prefix) + 1 + len(name))
+	b.WriteString(prefix)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs_accepted").Inc()
+	r.Counter("serve.jobs_accepted").Inc()
+	r.Gauge("queue.depth").Observe(7)
+	h := r.Histogram("http.latency_us.jobs-submit")
+	h.Observe(100)
+	h.Observe(300)
+
+	var b strings.Builder
+	if err := WriteText(&b, "misar", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"misar_serve_jobs_accepted 2\n",
+		"misar_queue_depth 7\n",
+		"misar_http_latency_us_jobs_submit_count 2\n",
+		"misar_http_latency_us_jobs_submit_sum 400\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render of the same snapshot is byte-identical.
+	var b2 strings.Builder
+	WriteText(&b2, "misar", r.Snapshot())
+	if b2.String() != out {
+		t.Error("two renders of equal snapshots differ")
+	}
+	// Sorted.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Errorf("output not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+}
+
+func TestWriteTextNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := WriteText(&b, "misar", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry rendered %q", b.String())
+	}
+}

@@ -1,0 +1,527 @@
+// Package service is the serving layer: a long-running HTTP/JSON job server
+// that turns the simulator into simulation-as-a-service. Jobs are admitted
+// through a bounded queue with backpressure (429 + Retry-After when full),
+// deduplicated in flight by the harness.Runner memo cache (single-flight),
+// satisfied from the content-addressed persistent store when warm, and
+// streamed back to the client as NDJSON progress events. The server drains
+// gracefully on request: admission stops (503) while accepted jobs run to
+// completion, and every result is durable in the store before Drain
+// returns.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs        submit; NDJSON stream (accepted/running/done/error)
+//	GET    /v1/jobs/{id}   poll one job
+//	DELETE /v1/jobs/{id}   cancel one job
+//	GET    /healthz        liveness + queue occupancy
+//	GET    /metrics        text exposition (internal/metrics registry)
+//
+// A job survives its client: the simulation runs under the server's
+// lifecycle context, not the request context, so a disconnected client
+// costs nothing but the progress stream — the result still lands in the
+// store and any identical future request is a hit.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"misar/internal/fault"
+	"misar/internal/harness"
+	"misar/internal/machine"
+	"misar/internal/metrics"
+	"misar/internal/store"
+	"misar/internal/workload"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size; < 1 means GOMAXPROCS.
+	Workers int
+	// QueueLimit bounds admitted-but-unfinished jobs; < 1 means 64.
+	// Admission beyond the limit is refused with 429 + Retry-After.
+	QueueLimit int
+	// StoreDir roots the persistent result store; "" disables persistence
+	// (memo cache only).
+	StoreDir string
+	// Heartbeat is the NDJSON "running" event cadence; <= 0 means 500ms.
+	Heartbeat time.Duration
+	// DefaultTimeout caps each job's wall-clock execution when the request
+	// does not set its own timeout_ms; 0 means unbounded.
+	DefaultTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueLimit < 1 {
+		o.QueueLimit = 64
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Server is one serving instance. Create with New, expose via Handler,
+// shut down with Drain (graceful) and/or Close (hard).
+type Server struct {
+	opt    Options
+	runner *harness.Runner
+	store  *store.Store
+	start  time.Time
+
+	baseCtx context.Context // parent of every job; cancelled by Close
+	stop    context.CancelFunc
+
+	// met guards the serving-side metrics registry: the sim-side
+	// instruments are single-writer by design, so concurrent HTTP handlers
+	// must serialize around one registry.
+	met sync.Mutex
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // finished job IDs in completion order, for pruning
+	nextID   uint64
+	admitted int // accepted, not yet finished
+	accepted uint64
+	draining bool
+	wg       sync.WaitGroup // one per admitted job
+}
+
+// keepFinished bounds how many completed job records stay queryable; older
+// ones are pruned so a long-running server's job table cannot grow without
+// bound (results remain in the persistent store regardless).
+const keepFinished = 1024
+
+// Job tracks one admitted simulation.
+type Job struct {
+	ID    string
+	Label string
+
+	cancel context.CancelFunc
+	run    *harness.Run
+	start  time.Time
+	done   chan struct{} // closed after the fields below are final
+
+	// Written by reap before close(done); read only after <-done.
+	result    *harness.Result
+	errMsg    string
+	fromStore bool
+	elapsed   time.Duration
+}
+
+// New builds a Server (opening the store when configured) but does not
+// listen; callers mount Handler on an http.Server of their choosing.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:   opt,
+		start: time.Now(),
+		reg:   metrics.NewRegistry(),
+		jobs:  make(map[string]*Job),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.runner = harness.NewRunner(opt.Workers)
+	if opt.StoreDir != "" {
+		st, err := store.Open(opt.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.runner.SetStore(st)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("POST /v1/jobs", s.instrument("jobs_submit", s.handleSubmit))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleJobCancel))
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RunnerStats exposes the underlying runner's counters (tests, ops).
+func (s *Server) RunnerStats() harness.RunnerStats { return s.runner.Stats() }
+
+// StoreStats exposes the persistent store's counters; zero when no store.
+func (s *Server) StoreStats() store.Stats {
+	if s.store == nil {
+		return store.Stats{}
+	}
+	return s.store.Stats()
+}
+
+// Drain stops admission (new submissions get 503) and waits until every
+// already-admitted job has finished or ctx expires. Results are fsync'd
+// into the store as each job completes, so a drained server owes nothing.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted with jobs in flight: %w", ctx.Err())
+	}
+}
+
+// Close hard-cancels every in-flight job (their simulations stop at the
+// next cancellation poll) and stops admission. Use after a failed Drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stop()
+}
+
+// inc bumps a serving-side counter under the metrics lock.
+func (s *Server) inc(name string) {
+	s.met.Lock()
+	s.reg.Counter(name).Inc()
+	s.met.Unlock()
+}
+
+// instrument wraps a handler with request counting and a latency histogram
+// (microseconds), keyed per endpoint.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		us := uint64(time.Since(t0).Microseconds())
+		s.met.Lock()
+		s.reg.Counter("http.requests." + name).Inc()
+		s.reg.Histogram("http.latency_us." + name).Observe(us)
+		s.met.Unlock()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	h := Health{
+		Status:     "ok",
+		InFlight:   s.admitted,
+		QueueLimit: s.opt.QueueLimit,
+		Accepted:   s.accepted,
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+	}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.met.Lock()
+	snap := s.reg.Snapshot()
+	s.met.Unlock()
+
+	s.mu.Lock()
+	depth := s.admitted
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	rs := s.runner.Stats()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WriteText(w, "misar", snap)
+	fmt.Fprintf(w, "misar_runner_done %d\n", rs.Done)
+	fmt.Fprintf(w, "misar_runner_executed %d\n", rs.Executed)
+	fmt.Fprintf(w, "misar_runner_memo_hits %d\n", rs.Submitted-rs.Unique)
+	fmt.Fprintf(w, "misar_runner_store_hits %d\n", rs.StoreHits)
+	fmt.Fprintf(w, "misar_runner_submitted %d\n", rs.Submitted)
+	fmt.Fprintf(w, "misar_runner_unique %d\n", rs.Unique)
+	if rs.Submitted > 0 {
+		hit := float64(rs.Submitted-rs.Executed) / float64(rs.Submitted)
+		fmt.Fprintf(w, "misar_cache_hit_ratio %.6f\n", hit)
+	}
+	fmt.Fprintf(w, "misar_serve_draining %d\n", draining)
+	fmt.Fprintf(w, "misar_serve_inflight %d\n", rs.Unique-rs.Done)
+	fmt.Fprintf(w, "misar_serve_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "misar_serve_queue_limit %d\n", s.opt.QueueLimit)
+	if s.store != nil {
+		ss := s.store.Stats()
+		fmt.Fprintf(w, "misar_store_evictions %d\n", ss.Evictions)
+		fmt.Fprintf(w, "misar_store_hits %d\n", ss.Hits)
+		fmt.Fprintf(w, "misar_store_misses %d\n", ss.Misses)
+		fmt.Fprintf(w, "misar_store_puts %d\n", ss.Puts)
+	}
+}
+
+// buildSubmit validates a request and returns the submission closure. All
+// validation happens before admission, so a malformed request never
+// occupies a queue slot.
+func buildSubmit(req *JobRequest) (label string, submit func(context.Context, *harness.Runner) *harness.Run, err error) {
+	cfg, libf, err := harness.Variant(req.Config, req.Tiles)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := machine.Validate(cfg); err != nil {
+		return "", nil, err
+	}
+	cfg.Metrics = req.Metrics
+	if req.FaultPlan != nil {
+		cfg.Fault = *req.FaultPlan
+		cfg.Invariants = true
+	} else if req.FaultSeed != 0 {
+		cfg.Fault = fault.DefaultPlan(req.FaultSeed)
+		cfg.Invariants = true
+	}
+	if req.Invariants {
+		cfg.Invariants = true
+	}
+	switch req.Kind {
+	case "", "app":
+		app, ok := workload.ByName(req.App)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown app %q", req.App)
+		}
+		return fmt.Sprintf("%s on %s", app.Name, cfg.Name),
+			func(ctx context.Context, r *harness.Runner) *harness.Run {
+				return r.AppCtx(ctx, app, cfg, libf())
+			}, nil
+	case "micro":
+		op := req.App
+		fn, ok := harness.MicroOp(op)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown micro op %q (known: %v)", op, harness.MicroOpNames())
+		}
+		return fmt.Sprintf("%s on %s", op, cfg.Name),
+			func(ctx context.Context, r *harness.Runner) *harness.Run {
+				return r.MicroCtx(ctx, op, fn, cfg, libf())
+			}, nil
+	default:
+		return "", nil, fmt.Errorf("unknown kind %q (want \"app\" or \"micro\")", req.Kind)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.inc("serve.jobs_rejected_bad_request")
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request: " + err.Error()})
+		return
+	}
+	label, submit, err := buildSubmit(&req)
+	if err != nil {
+		s.inc("serve.jobs_rejected_bad_request")
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	// The job's context descends from the SERVER lifecycle, not the
+	// request: a client that hangs up has abandoned the stream, not the
+	// simulation. Its result still lands in the store.
+	timeout := s.opt.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	var jobCtx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		jobCtx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	} else {
+		jobCtx, cancel = context.WithCancel(s.baseCtx)
+	}
+
+	// Admission control: bounded queue of unfinished jobs.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		s.inc("serve.jobs_rejected_draining")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+		return
+	}
+	if s.admitted >= s.opt.QueueLimit {
+		s.mu.Unlock()
+		cancel()
+		s.inc("serve.jobs_rejected_queue_full")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "queue full"})
+		return
+	}
+	s.admitted++
+	s.accepted++
+	s.nextID++
+	job := &Job{
+		ID:     fmt.Sprintf("j-%08d", s.nextID),
+		Label:  label,
+		cancel: cancel,
+		start:  time.Now(),
+		done:   make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.inc("serve.jobs_accepted")
+
+	job.run = submit(jobCtx, s.runner)
+	go s.reap(job)
+
+	// ?wait=0: fire-and-poll. One "accepted" JSON object, then done.
+	if r.URL.Query().Get("wait") == "0" {
+		writeJSON(w, http.StatusAccepted, JobEvent{Event: "accepted", Job: job.ID, Label: job.Label})
+		return
+	}
+	s.stream(w, r, job)
+}
+
+// reap waits for the job's run, finalizes the job record, and releases its
+// queue slot. Exactly one reap per admitted job.
+func (s *Server) reap(job *Job) {
+	res, err := job.run.Result()
+	if err != nil {
+		job.errMsg = err.Error()
+	} else {
+		job.result = res
+		job.fromStore = job.run.FromStore()
+	}
+	job.elapsed = time.Since(job.start)
+	close(job.done)
+
+	s.mu.Lock()
+	s.admitted--
+	s.finished = append(s.finished, job.ID)
+	for len(s.finished) > keepFinished {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.inc("serve.jobs_cancelled")
+		} else {
+			s.inc("serve.jobs_failed")
+		}
+	} else {
+		s.inc("serve.jobs_done")
+		if job.fromStore {
+			s.inc("serve.jobs_from_store")
+		}
+	}
+	s.wg.Done()
+}
+
+// stream writes the job's NDJSON event stream: accepted, periodic running
+// heartbeats, and a final done/error event. A client disconnect ends the
+// stream silently; the job itself keeps running.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev JobEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(JobEvent{Event: "accepted", Job: job.ID, Label: job.Label})
+
+	ticker := time.NewTicker(s.opt.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-job.done:
+			ev := JobEvent{
+				Job:       job.ID,
+				Label:     job.Label,
+				ElapsedMS: job.elapsed.Milliseconds(),
+				FromStore: job.fromStore,
+			}
+			if job.errMsg != "" {
+				ev.Event, ev.Error = "error", job.errMsg
+			} else {
+				ev.Event, ev.Result = "done", job.result
+			}
+			emit(ev)
+			return
+		case <-ticker.C:
+			emit(JobEvent{
+				Event:     "running",
+				Job:       job.ID,
+				Label:     job.Label,
+				ElapsedMS: time.Since(job.start).Milliseconds(),
+			})
+		case <-r.Context().Done():
+			// Client gone; the job continues under s.baseCtx.
+			s.inc("serve.streams_disconnected")
+			return
+		}
+	}
+}
+
+// status snapshots a job's public state.
+func (s *Server) status(job *Job) JobStatus {
+	st := JobStatus{ID: job.ID, Label: job.Label}
+	select {
+	case <-job.done:
+		st.ElapsedMS = job.elapsed.Milliseconds()
+		st.FromStore = job.fromStore
+		if job.errMsg != "" {
+			st.State, st.Error = "failed", job.errMsg
+		} else {
+			st.State, st.Result = "done", job.result
+		}
+	default:
+		st.State = "running"
+		st.ElapsedMS = time.Since(job.start).Milliseconds()
+	}
+	return st
+}
+
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(job))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	job.cancel()
+	writeJSON(w, http.StatusOK, s.status(job))
+}

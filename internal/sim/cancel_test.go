@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// A self-rescheduling chain never drains, so only the interrupt poll (or the
+// deadline) can stop RunUntilCheck.
+func chain(e *Engine) {
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(1, tick)
+}
+
+func TestRunUntilCheckInterrupt(t *testing.T) {
+	e := NewEngine()
+	chain(e)
+	polls := 0
+	drained, interrupted := e.RunUntilCheck(1_000_000, 64, func() bool {
+		polls++
+		return polls >= 3
+	})
+	if drained || !interrupted {
+		t.Fatalf("drained=%v interrupted=%v, want false/true", drained, interrupted)
+	}
+	if got := e.Fired(); got != 3*64 {
+		t.Errorf("fired %d events before stopping, want %d", got, 3*64)
+	}
+	if e.Pending() == 0 {
+		t.Error("interrupt dropped pending events")
+	}
+	// The engine is reusable after an interrupt: the same poll cadence
+	// resumes from where it left off.
+	_, interrupted = e.RunUntilCheck(1_000_000, 64, func() bool { return true })
+	if !interrupted {
+		t.Error("second RunUntilCheck did not interrupt")
+	}
+}
+
+func TestRunUntilCheckDeadline(t *testing.T) {
+	e := NewEngine()
+	chain(e)
+	drained, interrupted := e.RunUntilCheck(100, 64, func() bool { return false })
+	if drained || interrupted {
+		t.Fatalf("drained=%v interrupted=%v, want false/false at deadline", drained, interrupted)
+	}
+	if e.Now() != 100 {
+		t.Errorf("stopped at cycle %d, want 100", e.Now())
+	}
+}
+
+func TestRunUntilCheckDrains(t *testing.T) {
+	e := NewEngine()
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {})
+	}
+	drained, interrupted := e.RunUntilCheck(1000, 1, func() bool { return false })
+	if !drained || interrupted {
+		t.Fatalf("drained=%v interrupted=%v, want true/false", drained, interrupted)
+	}
+}
+
+// every < 1 must behave as 1, not divide-by-zero or spin unpolled.
+func TestRunUntilCheckZeroEvery(t *testing.T) {
+	e := NewEngine()
+	chain(e)
+	n := 0
+	_, interrupted := e.RunUntilCheck(1_000_000, 0, func() bool { n++; return n >= 5 })
+	if !interrupted || e.Fired() != 5 {
+		t.Fatalf("interrupted=%v fired=%d, want true/5", interrupted, e.Fired())
+	}
+}

@@ -321,3 +321,32 @@ func (e *Engine) RunUntil(deadline Time) bool {
 		e.Step()
 	}
 }
+
+// RunUntilCheck is RunUntil with a periodic interrupt poll: after every
+// `every` fired events it calls interrupt, and stops between events when it
+// returns true. This is how caller cancellation (context.Context in
+// machine.RunCtx) reaches the single-threaded kernel without putting an
+// atomic load on the per-event hot path. every < 1 is treated as 1.
+// interrupted is true only when the poll stopped the run; drained keeps
+// RunUntil's meaning and is always false when interrupted.
+func (e *Engine) RunUntilCheck(deadline Time, every uint64, interrupt func() bool) (drained, interrupted bool) {
+	if every < 1 {
+		every = 1
+	}
+	var n uint64
+	for {
+		if e.stopped || len(e.heap) == 0 {
+			return len(e.heap) == 0, false
+		}
+		if e.heap[0].when > deadline {
+			return false, false
+		}
+		e.Step()
+		if n++; n >= every {
+			n = 0
+			if interrupt() {
+				return false, true
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint("misar-run/v1\napp:streamcluster\n{...}")
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"cycles":12345,"coverage":0.97}`)
+	if err := s.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(fp)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+// Fingerprint is the cross-process contract: if it drifts, every warm store
+// silently goes cold. Pin it.
+func TestFingerprintStable(t *testing.T) {
+	const want = "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"
+	if got := Fingerprint("test"); got != want {
+		t.Fatalf("Fingerprint(test) = %s, want %s", got, want)
+	}
+}
+
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	fp := Fingerprint("key")
+	s1, _ := Open(dir)
+	if err := s1.Put(fp, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir) // a second process opening the same directory
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(fp)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("after reopen: Get = %q, %v", got, ok)
+	}
+}
+
+// corrupt applies fn to the single record file in the store directory.
+func corrupt(t *testing.T, s *Store, fp string, fn func(path string)) {
+	t.Helper()
+	p := s.path(fp)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	fn(p)
+}
+
+func TestCrashConsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(t *testing.T, path string)
+	}{
+		{"truncated mid-write", func(t *testing.T, path string) {
+			fi, _ := os.Stat(path)
+			if err := os.Truncate(path, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated to zero", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped payload bit", func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			raw[len(raw)-1] ^= 0x40
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"foreign file", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not a record"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"oversized length field", func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			raw[4], raw[5], raw[6], raw[7] = 0xff, 0xff, 0xff, 0x7f
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := Open(t.TempDir())
+			fp := Fingerprint(tc.name)
+			if err := s.Put(fp, []byte("the payload under test")); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, s, fp, func(path string) { tc.mut(t, path) })
+
+			// Reopen (a fresh process) and read: must evict, not panic.
+			s2, err := Open(s.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s2.Get(fp); ok {
+				t.Fatal("corrupt record served as a hit")
+			}
+			if st := s2.Stats(); st.Evictions != 1 {
+				t.Errorf("evictions = %d, want 1 (stats %+v)", st.Evictions, st)
+			}
+			if _, err := os.Stat(s2.path(fp)); !os.IsNotExist(err) {
+				t.Errorf("corrupt record not removed: %v", err)
+			}
+			// The slot is reusable after eviction.
+			if err := s2.Put(fp, []byte("rewritten")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s2.Get(fp); !ok || string(got) != "rewritten" {
+				t.Fatalf("after rewrite: Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// A crash between CreateTemp and rename leaves a .tmp- orphan; it must never
+// satisfy a lookup.
+func TestOrphanTempIgnored(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	fp := Fingerprint("orphan")
+	shard := filepath.Dir(s.path(fp))
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shard, ".tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("orphan temp file served as a hit")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len counts temp files: %d", s.Len())
+	}
+}
+
+func TestBadFingerprintRejected(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Put("short", []byte("x")); err == nil {
+		t.Error("Put accepted a malformed fingerprint")
+	}
+	if _, ok := s.Get("../../etc/passwd"); ok {
+		t.Error("Get accepted a malformed fingerprint")
+	}
+}
+
+// TestConcurrentSharedDir hammers one directory through two independent
+// Store handles (standing in for two processes) with mixed readers and
+// writers, including same-fingerprint write races. Run under -race in CI.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := Open(dir)
+	b, _ := Open(dir)
+	stores := []*Store{a, b}
+
+	const keys = 8
+	const workers = 16
+	const iters = 50
+	payload := func(k int) []byte { return []byte(fmt.Sprintf(`{"k":%d,"v":"result"}`, k)) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := stores[w%len(stores)]
+			for i := 0; i < iters; i++ {
+				k := (w + i) % keys
+				fp := Fingerprint(fmt.Sprintf("key-%d", k))
+				if w%2 == 0 {
+					if err := s.Put(fp, payload(k)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if got, ok := s.Get(fp); ok && !bytes.Equal(got, payload(k)) {
+					t.Errorf("torn read for key %d: %q", k, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the dust settles every key written must verify.
+	for k := 0; k < keys; k++ {
+		fp := Fingerprint(fmt.Sprintf("key-%d", k))
+		if got, ok := a.Get(fp); !ok || !bytes.Equal(got, payload(k)) {
+			t.Errorf("final read key %d: %q, %v", k, got, ok)
+		}
+	}
+}

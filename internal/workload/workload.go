@@ -8,6 +8,8 @@
 package workload
 
 import (
+	"context"
+
 	"misar/internal/cpu"
 	"misar/internal/machine"
 	"misar/internal/memory"
@@ -39,11 +41,20 @@ func Run(app App, cfg machine.Config, lib *syncrt.Lib) (*machine.Machine, sim.Ti
 // use budgets far below RunDeadline so a hung seed fails fast — with a
 // watchdog diagnosis — instead of burning the full default bound.
 func RunBudget(app App, cfg machine.Config, lib *syncrt.Lib, deadline sim.Time) (*machine.Machine, sim.Time, error) {
+	return RunBudgetCtx(context.Background(), app, cfg, lib, deadline)
+}
+
+// RunBudgetCtx is RunBudget with caller cancellation: when ctx ends before
+// the run completes, the machine is torn down and the error is a
+// *machine.CancelError (see machine.RunCtx). The serving layer threads
+// per-job contexts through here so an abandoned job stops consuming a
+// worker.
+func RunBudgetCtx(ctx context.Context, app App, cfg machine.Config, lib *syncrt.Lib, deadline sim.Time) (*machine.Machine, sim.Time, error) {
 	m := machine.New(cfg)
 	arena := syncrt.NewArena(0x1000000)
 	body := app.Build(arena, cfg.Tiles, lib)
 	m.SpawnAll(cfg.Tiles, body)
-	end, err := m.Run(deadline)
+	end, err := m.RunCtx(ctx, deadline)
 	return m, end, err
 }
 

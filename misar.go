@@ -46,6 +46,7 @@ import (
 	"misar/internal/metrics"
 	"misar/internal/sim"
 	"misar/internal/stats"
+	"misar/internal/store"
 	"misar/internal/syncrt"
 	"misar/internal/trace"
 	"misar/internal/workload"
@@ -210,3 +211,12 @@ type (
 	ProgressEvent = harness.ProgressEvent
 	RunnerStats   = harness.RunnerStats
 )
+
+// Store is the content-addressed, disk-persistent result store. Attach one
+// to a Runner with SetStore and identical simulations are served from disk
+// across processes and restarts (misar-fig -store, misar-served -store).
+type Store = store.Store
+
+// OpenStore opens a persistent result store rooted at dir, creating the
+// directory if needed. Multiple processes may share one store directory.
+var OpenStore = store.Open
