@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos figs serve clean
+.PHONY: all build test race bench verify chaos figs serve clean
 
 all: build test
 
@@ -14,10 +14,20 @@ race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/... ./internal/metrics/... ./internal/trace/... ./internal/service/... ./internal/store/...
 
 # bench renders every figure once (-benchtime=1x) plus the event-kernel
-# microbenchmarks and writes BENCH_kernel.json with speedup/alloc ratios
-# against the checked-in seed-kernel baseline.
+# microbenchmarks, gates against the committed BENCH_kernel.json (>15%
+# ns/op or allocs/op regression fails), and refreshes the report in place.
 bench:
-	$(GO) run ./cmd/misar-bench -benchtime 1x -out BENCH_kernel.json
+	$(GO) run ./cmd/misar-bench -benchtime 1x -out /tmp/bench_fresh.json -against BENCH_kernel.json
+	mv /tmp/bench_fresh.json BENCH_kernel.json
+
+# verify certifies the protocol models by exhaustive counter-abstraction
+# model checking, proves the broken variants are detected (expected exit 1),
+# and runs the bridge + consistency + fuzz cross-checks; see DESIGN.md §12.
+verify:
+	$(GO) run ./cmd/misar-verify -o cert.json
+	$(GO) run ./cmd/misar-verify -broken > /dev/null; test $$? -eq 1
+	$(GO) test ./internal/verify/ ./internal/fault/
+	$(GO) test ./internal/verify/ -run '^$$' -fuzz FuzzReachability -fuzztime 30s
 
 # chaos runs the seeded fault-injection campaign (must pass) plus the
 # broken-OMU detection selftest (must be caught); see DESIGN.md §10.
@@ -34,4 +44,4 @@ serve:
 	$(GO) run ./cmd/misar-served -addr :8091 -store misar-store
 
 clean:
-	rm -f BENCH_kernel.json CHAOS.json CHAOS_broken.json
+	rm -f CHAOS.json CHAOS_broken.json cert.json

@@ -9,9 +9,13 @@
 //
 //	misar-bench                         # figures at -benchtime=1x, kernel microbench
 //	misar-bench -benchtime 3x -out b.json
+//	misar-bench -against BENCH_kernel.json -max-regress 15
 //
-// CI runs this with -benchtime=1x as a smoke + regression artifact; see
-// .github/workflows/ci.yml and the Makefile `bench` target.
+// With -against, the freshly measured numbers are compared to a previously
+// committed report: any benchmark whose ns/op or allocs/op regressed by more
+// than -max-regress percent fails the run with exit 1. CI runs this against
+// the checked-in BENCH_kernel.json; see .github/workflows/ci.yml and the
+// Makefile `bench` target.
 package main
 
 import (
@@ -116,10 +120,48 @@ func run(pkg, bench, benchtime string, extra ...string) (string, error) {
 	return string(out), nil
 }
 
+// regressions compares a fresh report against a committed one and returns
+// one line per benchmark that got slower (ns/op) or more allocation-hungry
+// (allocs/op) by more than maxRegress percent. Benchmarks missing from the
+// committed report are new and pass; benchmarks that vanished are reported —
+// a silently dropped benchmark would otherwise hide its regression forever.
+func regressions(cur, prev []result, maxRegress float64) []string {
+	limit := 1 + maxRegress/100
+	curByName := map[string]result{}
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	var bad []string
+	for _, p := range prev {
+		c, ok := curByName[p.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in the committed report but no longer measured", p.Name))
+			continue
+		}
+		if p.NsPerOp > 0 && c.NsPerOp > p.NsPerOp*limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs committed %.0f (+%.1f%%, limit %.0f%%)",
+				p.Name, c.NsPerOp, p.NsPerOp, 100*(c.NsPerOp/p.NsPerOp-1), maxRegress))
+		}
+		if p.AllocsPerOp > 0 && c.AllocsPerOp > p.AllocsPerOp*limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op vs committed %.0f (+%.1f%%, limit %.0f%%)",
+				p.Name, c.AllocsPerOp, p.AllocsPerOp, 100*(c.AllocsPerOp/p.AllocsPerOp-1), maxRegress))
+		}
+		// Zero-alloc benchmarks are the kernel's headline claim: any alloc
+		// at all is a regression no percentage threshold can express.
+		if p.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op vs committed 0 (zero-alloc claim broken)",
+				p.Name, c.AllocsPerOp))
+		}
+	}
+	return bad
+}
+
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1x", "benchtime for the figure benchmarks")
 	storeDir := flag.String("store", "", "persistent result store for the figure benchmarks (warm runs measure store replay, not simulation)")
+	against := flag.String("against", "", "committed report to gate against; >max-regress%% slowdown fails")
+	maxRegress := flag.Float64("max-regress", 15, "regression threshold in percent for -against")
 	flag.Parse()
 
 	start := time.Now()
@@ -183,4 +225,25 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d benchmarks, figure total %.2fs vs baseline %.2fs (%.2fx)\n",
 		*out, len(rep.Results), rep.TotalNs/1e9, rep.BaselineNs/1e9, rep.TotalSpeedup)
+
+	if *against != "" {
+		prevBuf, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misar-bench:", err)
+			os.Exit(1)
+		}
+		var prev report
+		if err := json.Unmarshal(prevBuf, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "misar-bench: %s: %v\n", *against, err)
+			os.Exit(1)
+		}
+		if bad := regressions(rep.Results, prev.Results, *maxRegress); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "misar-bench: %d regression(s) against %s:\n", len(bad), *against)
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "  "+line)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions against %s (limit %.0f%%)\n", *against, *maxRegress)
+	}
 }

@@ -1,0 +1,151 @@
+// Command misar-verify certifies the MiSAR protocol models in
+// internal/verify by exhaustive counter-abstraction model checking and
+// emits a machine-readable JSON certificate.
+//
+// Usage:
+//
+//	misar-verify                   # certify all models, certificate to stdout
+//	misar-verify -o cert.json      # write the certificate to a file
+//	misar-verify -model mesi       # certify a single model
+//	misar-verify -broken           # self-test: explore the deliberately
+//	                               # broken variants as subjects; they must
+//	                               # come out Unsafe, so the exit code is 1
+//	                               # and each witness trace is printed
+//
+// Exit status: 0 when every explored pristine model is Safe and every broken
+// variant is Unsafe; 1 when any verdict is wrong (witness printed); 2 on
+// usage or engine errors. CI runs both the default mode (artifact upload)
+// and `-broken` (asserting exit 1) — see .github/workflows/ci.yml.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"misar/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("misar-verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the JSON certificate to this path (default stdout)")
+	model := fs.String("model", "", "certify only this model (see -list)")
+	broken := fs.Bool("broken", false, "explore the broken variants as subjects (self-test; expected exit 1)")
+	list := fs.Bool("list", false, "list shipped models and exit")
+	quiet := fs.Bool("q", false, "suppress the per-model summary on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, m := range verify.Models() {
+			fmt.Fprintf(stdout, "%-20s %2d vars %2d rules %d broken variants\n",
+				m.System.Name, len(m.System.Vars), len(m.System.Rules), len(m.Broken))
+		}
+		return 0
+	}
+
+	if *broken {
+		return runBroken(*model, stdout, stderr)
+	}
+
+	cert, err := certify(*model)
+	if err != nil {
+		fmt.Fprintln(stderr, "misar-verify:", err)
+		return 2
+	}
+	if !*quiet {
+		fmt.Fprint(stderr, cert.Summary())
+	}
+	buf, err := cert.MarshalIndent()
+	if err != nil {
+		fmt.Fprintln(stderr, "misar-verify:", err)
+		return 2
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(stderr, "misar-verify:", err)
+		return 2
+	}
+	if !cert.OK {
+		return 1
+	}
+	return 0
+}
+
+// certify runs the full certification, or a single model's slice of it.
+func certify(model string) (*verify.Certificate, error) {
+	if model == "" {
+		return verify.Certify()
+	}
+	m, ok := verify.ModelByName(model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (try -list)", model)
+	}
+	cert := &verify.Certificate{Schema: verify.CertSchema, OK: true}
+	res, err := verify.Explore(m.System)
+	if err != nil {
+		return nil, err
+	}
+	cert.Models = append(cert.Models, verify.ModelResult{
+		Result: *res, Rules: len(m.System.Rules), Invariants: m.Invariants})
+	cert.OK = res.Safe
+	for _, b := range m.Broken {
+		bres, err := verify.Explore(b)
+		if err != nil {
+			return nil, err
+		}
+		cert.Models = append(cert.Models, verify.ModelResult{
+			Result: *bres, Rules: len(b.Rules), Broken: true})
+		if bres.Safe {
+			cert.OK = false
+		}
+	}
+	return cert, nil
+}
+
+// runBroken explores only the broken variants, printing each witness. A
+// healthy checker finds every one Unsafe, so the expected exit code is 1;
+// exit 0 here means detection power was lost.
+func runBroken(model string, stdout, stderr io.Writer) int {
+	unsafe := 0
+	total := 0
+	for _, m := range verify.Models() {
+		if model != "" && m.System.Name != model {
+			continue
+		}
+		for _, b := range m.Broken {
+			total++
+			res, err := verify.Explore(b)
+			if err != nil {
+				fmt.Fprintln(stderr, "misar-verify:", err)
+				return 2
+			}
+			if res.Safe {
+				fmt.Fprintf(stdout, "SAFE   %s — broken variant NOT detected\n", b.Name)
+				continue
+			}
+			unsafe++
+			fmt.Fprintf(stdout, "UNSAFE %s via %q\n", b.Name, res.Unsafe)
+			fmt.Fprint(stdout, verify.WitnessString(res))
+		}
+	}
+	if total == 0 {
+		fmt.Fprintf(stderr, "misar-verify: no broken variants matched %q\n", model)
+		return 2
+	}
+	if unsafe == total {
+		fmt.Fprintf(stdout, "all %d broken variants detected\n", total)
+		return 1
+	}
+	fmt.Fprintf(stdout, "DETECTION FAILURE: only %d of %d broken variants flagged\n", unsafe, total)
+	return 0
+}

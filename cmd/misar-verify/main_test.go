@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"misar/internal/verify"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDefaultCertifiesOK(t *testing.T) {
+	code, stdout, stderr := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	var cert verify.Certificate
+	if err := json.Unmarshal([]byte(stdout), &cert); err != nil {
+		t.Fatalf("stdout is not a certificate: %v", err)
+	}
+	if cert.Schema != verify.CertSchema || !cert.OK {
+		t.Fatalf("schema=%q ok=%v", cert.Schema, cert.OK)
+	}
+	if !strings.Contains(stderr, "mesi") {
+		t.Fatalf("summary missing from stderr:\n%s", stderr)
+	}
+}
+
+func TestOutFlagWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cert.json")
+	code, stdout, stderr := runCLI(t, "-q", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("stdout should be empty with -o, got %q", stdout)
+	}
+	if stderr != "" {
+		t.Fatalf("stderr should be empty with -q, got %q", stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cert verify.Certificate
+	if err := json.Unmarshal(data, &cert); err != nil || !cert.OK {
+		t.Fatalf("bad certificate file: %v, ok=%v", err, cert.OK)
+	}
+}
+
+func TestSingleModel(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-q", "-model", "mesi")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var cert verify.Certificate
+	if err := json.Unmarshal([]byte(stdout), &cert); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := verify.ModelByName("mesi")
+	if want := 1 + len(m.Broken); len(cert.Models) != want {
+		t.Fatalf("got %d entries, want %d", len(cert.Models), want)
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	code, _, stderr := runCLI(t, "-model", "no-such-model")
+	if code != 2 || !strings.Contains(stderr, "unknown model") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestBrokenSelfTest pins the CI contract: -broken must exit 1 (all broken
+// variants detected Unsafe) and print a replayable witness per variant.
+func TestBrokenSelfTest(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-broken")
+	if code != 1 {
+		t.Fatalf("exit %d (want 1 = detection works), stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stdout, "DETECTION FAILURE") {
+		t.Fatalf("detection failure:\n%s", stdout)
+	}
+	for _, m := range verify.Models() {
+		for _, b := range m.Broken {
+			if !strings.Contains(stdout, "UNSAFE "+b.Name) {
+				t.Errorf("no UNSAFE verdict printed for %s", b.Name)
+			}
+		}
+	}
+	if !strings.Contains(stdout, "witness for") {
+		t.Fatalf("no witness trace printed:\n%s", stdout)
+	}
+}
+
+func TestBrokenUnknownModel(t *testing.T) {
+	code, _, stderr := runCLI(t, "-broken", "-model", "nope")
+	if code != 2 || !strings.Contains(stderr, "no broken variants") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestListModels(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, m := range verify.Models() {
+		if !strings.Contains(stdout, m.System.Name) {
+			t.Errorf("model %s missing from -list", m.System.Name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"misar/internal/memory"
+)
+
+// TestViolationDetailsNameTheEvidence sweeps every violate() call site and
+// pins the triage contract: each recorded violation carries the faulted
+// address, and its detail names the concrete entities involved — holder ids
+// and worlds for locks, arrival counts and goals for barriers, activity
+// levels for the OMU shadow. A violation that only says "invariant broken"
+// is useless to the chaos shrinker's human consumer.
+func TestViolationDetailsNameTheEvidence(t *testing.T) {
+	const addr = memory.Addr(0x4bc0)
+	cases := []struct {
+		name  string
+		kind  ViolationKind
+		drive func(c *Checker)
+		want  []string // substrings the Detail must contain
+	}{
+		{
+			name: "hw-alloc-over-sw",
+			kind: ViolationExclusivity,
+			drive: func(c *Checker) {
+				c.SWEnter(addr)
+				c.SWEnter(addr)
+				c.HWAlloc(addr)
+			},
+			want: []string{"2 thread(s)", "software path"},
+		},
+		{
+			name:  "sw-exit-underflow",
+			kind:  ViolationExclusivity,
+			drive: func(c *Checker) { c.SWExit(addr) },
+			want:  []string{"underflow"},
+		},
+		{
+			name: "double-acquire",
+			kind: ViolationMutex,
+			drive: func(c *Checker) {
+				c.LockAcquired(addr, 3, WorldHW)
+				c.LockAcquired(addr, 7, WorldSW)
+			},
+			want: []string{"SW:7", "HW:3"}, // both claimants, with worlds
+		},
+		{
+			name:  "release-while-free",
+			kind:  ViolationMutex,
+			drive: func(c *Checker) { c.LockReleased(addr, WorldSW) },
+			want:  []string{"free", "SW"},
+		},
+		{
+			name: "world-split-release",
+			kind: ViolationLockWorld,
+			drive: func(c *Checker) {
+				c.LockAcquired(addr, 5, WorldHW)
+				c.LockReleased(addr, WorldSW)
+			},
+			want: []string{"HW", "5", "SW"}, // acquiring world+holder, releasing world
+		},
+		{
+			name: "double-arrival",
+			kind: ViolationBarrierEpoch,
+			drive: func(c *Checker) {
+				c.BarrierArrive(addr, 4, 3, WorldHW)
+				c.BarrierArrive(addr, 4, 3, WorldHW)
+			},
+			want: []string{"HW:4", "twice"},
+		},
+		{
+			name: "epoch-overfull",
+			kind: ViolationBarrierEpoch,
+			drive: func(c *Checker) {
+				c.BarrierArrive(addr, 0, 1, WorldHW)
+				c.BarrierArrive(addr, 1, 1, WorldHW)
+			},
+			want: []string{"2 arrivals", "goal 1"},
+		},
+		{
+			name:  "release-without-epoch",
+			kind:  ViolationBarrierEpoch,
+			drive: func(c *Checker) { c.BarrierRelease(addr) },
+			want:  []string{"no open epoch"},
+		},
+		{
+			name: "short-release",
+			kind: ViolationBarrierEpoch,
+			drive: func(c *Checker) {
+				c.BarrierArrive(addr, 0, 3, WorldHW)
+				c.BarrierRelease(addr)
+			},
+			want: []string{"1/3 arrivals"},
+		},
+		{
+			name: "world-split-epoch",
+			kind: ViolationBarrierWorld,
+			drive: func(c *Checker) {
+				c.BarrierArrive(addr, 0, 2, WorldHW)
+				c.BarrierArrive(addr, 1, 2, WorldSW)
+			},
+			want: []string{"HW", "SW:1", "1 arrived"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestChecker()
+			tc.drive(c)
+			var v *Violation
+			for i := range c.Violations() {
+				if c.Violations()[i].Kind == tc.kind {
+					v = &c.Violations()[i]
+					break
+				}
+			}
+			if v == nil {
+				t.Fatalf("no %v violation recorded: %v", tc.kind, c.Violations())
+			}
+			if v.Addr != addr {
+				t.Errorf("violation lost its address: got %#x want %#x", v.Addr, addr)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(v.Detail, sub) {
+					t.Errorf("detail %q does not name %q", v.Detail, sub)
+				}
+			}
+			if s := v.String(); !strings.Contains(s, "0x4bc0") || !strings.Contains(s, tc.kind.String()) {
+				t.Errorf("String() %q must carry the address and kind name", s)
+			}
+			if v.At == 0 {
+				t.Error("violation not timestamped from the simulation clock")
+			}
+		})
+	}
+}
+
+// TestKindsAndModelsForAreTotal: every kind has a String name that is not
+// "unknown" and maps to at least one certifying model; the verify-side
+// agreement is asserted in internal/verify's consistency test.
+func TestKindsAndModelsForAreTotal(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[k.String()] {
+			t.Errorf("duplicate kind name %q", k)
+		}
+		seen[k.String()] = true
+		if len(ModelsFor(k)) == 0 {
+			t.Errorf("kind %q maps to no certifying model", k)
+		}
+	}
+	if ModelsFor(ViolationKind(250)) != nil {
+		t.Error("unknown kind should map to no models")
+	}
+}

@@ -1,0 +1,33 @@
+package fault
+
+// Kinds returns every violation class the runtime checker can emit, in
+// declaration order. internal/verify's consistency tests iterate this to
+// prove the kind <-> model mapping is total in both directions.
+func Kinds() []ViolationKind {
+	return []ViolationKind{
+		ViolationExclusivity,
+		ViolationMutex,
+		ViolationLockWorld,
+		ViolationBarrierEpoch,
+		ViolationBarrierWorld,
+	}
+}
+
+// ModelsFor names the internal/verify protocol models that certify the
+// invariant a violation kind reports against. The mapping is maintained by
+// hand here (fault must stay import-free of verify); the consistency test
+// in internal/verify asserts it agrees exactly with the Invariants each
+// shipped model declares, so drift on either side fails tier-1.
+func ModelsFor(k ViolationKind) []string {
+	switch k {
+	case ViolationExclusivity:
+		return []string{"omu-exclusivity"}
+	case ViolationMutex:
+		return []string{"mesi", "msa-lock-mutex"}
+	case ViolationLockWorld:
+		return []string{"msa-lock-mutex"}
+	case ViolationBarrierEpoch, ViolationBarrierWorld:
+		return []string{"barrier-epoch"}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CertSchema identifies the JSON certificate format emitted by misar-verify.
+const CertSchema = "misar-verify/v1"
+
+// ModelResult is one model's certification outcome inside a Certificate.
+type ModelResult struct {
+	Result
+	Rules int `json:"rules"`
+	// Invariants are the runtime fault.Checker violation classes this model
+	// certifies (empty for broken variants, which certify nothing).
+	Invariants []string `json:"invariants,omitempty"`
+	// Broken marks a deliberately-injected-bug variant: for these, Safe
+	// would mean the checker lost detection power.
+	Broken bool `json:"broken,omitempty"`
+}
+
+// Certificate is the full output of a certification run over the shipped
+// models: every pristine model explored exhaustively, plus every broken
+// variant as a detection self-test.
+type Certificate struct {
+	Schema string        `json:"schema"`
+	Models []ModelResult `json:"models"`
+	// OK is true when every pristine model is Safe and every broken variant
+	// is Unsafe.
+	OK bool `json:"ok"`
+}
+
+// Certify explores every shipped model and broken variant and assembles the
+// certificate. It returns an error only on engine failure (state-space
+// blowup, malformed system), not on an Unsafe verdict — that is reported
+// through the certificate.
+func Certify() (*Certificate, error) {
+	cert := &Certificate{Schema: CertSchema, OK: true}
+	for _, m := range Models() {
+		res, err := Explore(m.System)
+		if err != nil {
+			return nil, err
+		}
+		inv := append([]string(nil), m.Invariants...)
+		sort.Strings(inv)
+		cert.Models = append(cert.Models, ModelResult{Result: *res, Rules: len(m.System.Rules), Invariants: inv})
+		if !res.Safe {
+			cert.OK = false
+		}
+		for _, b := range m.Broken {
+			bres, err := Explore(b)
+			if err != nil {
+				return nil, err
+			}
+			cert.Models = append(cert.Models, ModelResult{Result: *bres, Rules: len(b.Rules), Broken: true})
+			if bres.Safe {
+				cert.OK = false
+			}
+		}
+	}
+	return cert, nil
+}
+
+// MarshalIndent renders the certificate as indented JSON.
+func (c *Certificate) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Summary renders a one-line human verdict per model, witness traces
+// included for unexpected verdicts (pristine Unsafe, broken Safe).
+func (c *Certificate) Summary() string {
+	out := ""
+	for _, m := range c.Models {
+		verdict := "SAFE"
+		if !m.Safe {
+			verdict = "UNSAFE"
+		}
+		status := "ok"
+		if m.Safe == m.Broken {
+			status = "FAIL"
+		}
+		out += fmt.Sprintf("%-6s %-32s %s  explored=%d depth=%d\n", status, m.System, verdict, m.Explored, m.Depth)
+		if m.Safe == m.Broken && !m.Safe {
+			out += WitnessString(&m.Result)
+		}
+	}
+	return out
+}
+
+// WitnessString renders an Unsafe result's trace, one rule per line.
+func WitnessString(r *Result) string {
+	if r.Safe {
+		return ""
+	}
+	out := fmt.Sprintf("  witness for %s (predicate %q), vars (%s):\n", r.System, r.Unsafe, r.Vars)
+	out += fmt.Sprintf("    init  %s\n", r.Init)
+	for i, st := range r.Witness {
+		out += fmt.Sprintf("    %2d. %-24s -> %s\n", i+1, st.Rule, st.Config)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package verify_test
+
+// Consistency between the RUNTIME detection layer (internal/fault's online
+// checker, exercised by chaos campaigns) and the STATIC certification layer
+// (internal/verify's models):
+//
+//   - The kind <-> model mapping must be total in both directions: every
+//     violation kind the checker can emit names at least one shipped model
+//     that certifies that invariant, and every invariant a model declares is
+//     a real checker kind. fault.ModelsFor and Model.Invariants are
+//     maintained independently (fault cannot import verify), so this test is
+//     what keeps them from drifting.
+//
+//   - Detection power must be mirrored: for every violation kind actually
+//     observed in a faulted broken-OMU chaos campaign, some model certifying
+//     that invariant has a deliberately-broken variant the explorer flags
+//     Unsafe. A runtime failure class with no statically-refutable model
+//     would mean the certification story has a hole.
+
+import (
+	"runtime"
+	"testing"
+
+	"misar/internal/chaos"
+	"misar/internal/fault"
+	"misar/internal/verify"
+)
+
+// modelsByInvariant indexes the shipped models by the checker kind names
+// they certify.
+func modelsByInvariant(t *testing.T) map[string][]verify.Model {
+	t.Helper()
+	idx := map[string][]verify.Model{}
+	for _, m := range verify.Models() {
+		for _, inv := range m.Invariants {
+			idx[inv] = append(idx[inv], m)
+		}
+	}
+	return idx
+}
+
+func TestInvariantMappingTotal(t *testing.T) {
+	idx := modelsByInvariant(t)
+
+	// Forward: every checker kind -> at least one certifying model, and
+	// fault.ModelsFor agrees exactly with the models' own declarations.
+	for _, k := range fault.Kinds() {
+		var declared []string
+		for _, m := range idx[k.String()] {
+			declared = append(declared, m.System.Name)
+		}
+		if len(declared) == 0 {
+			t.Errorf("checker kind %q: no shipped model declares it", k)
+			continue
+		}
+		mapped := fault.ModelsFor(k)
+		if len(mapped) != len(declared) {
+			t.Errorf("kind %q: fault.ModelsFor says %v, models declare %v", k, mapped, declared)
+			continue
+		}
+		for _, name := range mapped {
+			found := false
+			for _, d := range declared {
+				if d == name {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("kind %q: fault.ModelsFor names %q but that model does not declare the invariant", k, name)
+			}
+		}
+	}
+
+	// Backward: every invariant a model declares is a real checker kind.
+	known := map[string]bool{}
+	for _, k := range fault.Kinds() {
+		known[k.String()] = true
+	}
+	for _, m := range verify.Models() {
+		for _, inv := range m.Invariants {
+			if !known[inv] {
+				t.Errorf("model %q declares invariant %q, which no checker kind emits", m.System.Name, inv)
+			}
+		}
+	}
+}
+
+// TestChaosViolationsMapToUnsafeModels runs the faulted broken-OMU campaign
+// and closes the loop: every violation class the runtime checker reported
+// must map to a model whose broken variant the static explorer refutes.
+func TestChaosViolationsMapToUnsafeModels(t *testing.T) {
+	seeds := int64(50)
+	if testing.Short() {
+		seeds = 10
+	}
+	outs := chaos.Campaign(0, seeds, runtime.GOMAXPROCS(0),
+		chaos.Options{Faults: true, BrokenOMU: true}, nil)
+
+	observed := map[fault.ViolationKind]int{}
+	for _, o := range outs {
+		for _, v := range o.Violations {
+			observed[v.Kind]++
+		}
+	}
+	if len(observed) == 0 {
+		t.Fatal("broken-OMU campaign produced no violations — nothing to cross-check")
+	}
+	if observed[fault.ViolationExclusivity] == 0 {
+		t.Error("campaign with the OMU check disabled never tripped omu-exclusivity")
+	}
+
+	idx := modelsByInvariant(t)
+	for kind, n := range observed {
+		t.Logf("observed %dx %s", n, kind)
+		refuted := false
+		for _, m := range idx[kind.String()] {
+			for _, b := range m.Broken {
+				res, err := verify.Explore(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Safe {
+					refuted = true
+				}
+			}
+		}
+		if !refuted {
+			t.Errorf("runtime violation %q: no certifying model has a broken variant the explorer flags Unsafe", kind)
+		}
+	}
+}

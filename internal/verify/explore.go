@@ -1,0 +1,145 @@
+package verify
+
+import "fmt"
+
+// Step is one fired rule in a witness trace, with the configuration it
+// produced.
+type Step struct {
+	Rule   string `json:"rule"`
+	Config string `json:"config"`
+}
+
+// Result is the outcome of one exhaustive exploration.
+type Result struct {
+	System   string `json:"system"`
+	Vars     string `json:"vars"`
+	Safe     bool   `json:"safe"`
+	Explored int    `json:"explored"` // distinct abstract configurations
+	Depth    int    `json:"depth"`    // longest shortest-path from an init
+	// Saturated reports whether ω-saturation fired anywhere. The shipped
+	// protocol models are designed so the counters appearing in guards and
+	// Unsafe predicates never saturate; when Saturated is false and every
+	// init is finite, the abstract search is exact, not approximate.
+	Saturated bool `json:"saturated"`
+	// On Unsafe: the predicate that matched, the initial configuration the
+	// witness starts from, and the rule sequence reaching the violation.
+	Unsafe  string `json:"unsafe_pred,omitempty"`
+	Init    string `json:"init,omitempty"`
+	Witness []Step `json:"witness,omitempty"`
+}
+
+// MaxConfigs bounds one exploration. The abstract domain is finite —
+// (2·(Θ+1))^|vars| configurations at most — so the bound only guards
+// against pathological hand-written systems.
+const MaxConfigs = 2_000_000
+
+// pred links a configuration back to its BFS parent for witness extraction.
+type pred struct {
+	parent string // key of the predecessor config ("" for inits)
+	rule   string
+	cfg    Config
+	depth  int
+}
+
+// Explore exhaustively enumerates the reachable abstract configurations of
+// the system, breadth-first, and reports Safe or Unsafe (with a
+// shortest-path witness). The search is a sound over-approximation of any
+// concrete instantiation: Safe certifies the Unsafe predicates unreachable
+// for every thread count covered by the initial configurations.
+func Explore(s *System) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	theta := s.theta()
+	res := &Result{System: s.Name, Safe: true, Vars: varList(s.Vars)}
+
+	seen := make(map[string]pred)
+	var frontier []string
+	for _, init := range s.Inits {
+		c := init.clone()
+		if normalize(c, theta) {
+			res.Saturated = true
+		}
+		k := c.key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = pred{cfg: c}
+		frontier = append(frontier, k)
+		if p := s.unsafeAt(c); p != "" {
+			return s.unsafeResult(res, seen, k, p), nil
+		}
+	}
+
+	for len(frontier) > 0 {
+		var next []string
+		for _, k := range frontier {
+			cur := seen[k]
+			for _, r := range s.Rules {
+				succ, sat := s.apply(cur.cfg, r)
+				if sat {
+					res.Saturated = true
+				}
+				for _, post := range succ {
+					pk := post.key()
+					if _, ok := seen[pk]; ok {
+						continue
+					}
+					if len(seen) >= MaxConfigs {
+						return nil, fmt.Errorf("verify: system %q exceeded %d abstract configurations", s.Name, MaxConfigs)
+					}
+					seen[pk] = pred{parent: k, rule: r.Name, cfg: post, depth: cur.depth + 1}
+					next = append(next, pk)
+					if p := s.unsafeAt(post); p != "" {
+						return s.unsafeResult(res, seen, pk, p), nil
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	res.Explored = len(seen)
+	for _, p := range seen {
+		if p.depth > res.Depth {
+			res.Depth = p.depth
+		}
+	}
+	return res, nil
+}
+
+// unsafeResult finalizes a Result for an Unsafe configuration, extracting
+// the rule trace from the BFS predecessor links.
+func (s *System) unsafeResult(res *Result, seen map[string]pred, key, predName string) *Result {
+	res.Safe = false
+	res.Unsafe = predName
+	res.Explored = len(seen)
+	var steps []Step
+	k := key
+	for {
+		p := seen[k]
+		if p.parent == "" && p.rule == "" {
+			res.Init = p.cfg.String()
+			break
+		}
+		steps = append(steps, Step{Rule: p.rule, Config: p.cfg.String()})
+		k = p.parent
+	}
+	// Reverse into init→violation order.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	res.Witness = steps
+	res.Depth = len(steps)
+	return res
+}
+
+func varList(vars []string) string {
+	out := ""
+	for i, v := range vars {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValContainsAndString(t *testing.T) {
+	cases := []struct {
+		v    Val
+		in   []int
+		out  []int
+		want string
+	}{
+		{N(3), []int{3}, []int{0, 2, 4, -1}, "3"},
+		{Omega, []int{0, 1, 100}, []int{-1}, "ω"},
+		{AtLeast(2), []int{2, 3, 99}, []int{0, 1, -5}, "ω≥2"},
+	}
+	for _, c := range cases {
+		for _, n := range c.in {
+			if !c.v.Contains(n) {
+				t.Errorf("%v should contain %d", c.v, n)
+			}
+		}
+		for _, n := range c.out {
+			if c.v.Contains(n) {
+				t.Errorf("%v should not contain %d", c.v, n)
+			}
+		}
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAtomRefine(t *testing.T) {
+	// EQ on an interval collapses to the exact value.
+	got := Atom{Var: 0, Op: EQ, C: 0}.refine(Omega)
+	if len(got) != 1 || got[0] != N(0) {
+		t.Fatalf("EQ refine of ω = %v, want [0]", got)
+	}
+	// EQ below the interval's lower bound is unsatisfiable.
+	if got := (Atom{Var: 0, Op: EQ, C: 1}).refine(AtLeast(2)); got != nil {
+		t.Fatalf("EQ 1 refine of ω≥2 = %v, want nil", got)
+	}
+	// LE fans an interval out into its exact members.
+	got = Atom{Var: 0, Op: LE, C: 2}.refine(AtLeast(1))
+	if len(got) != 2 || got[0] != N(1) || got[1] != N(2) {
+		t.Fatalf("LE 2 refine of ω≥1 = %v, want [1 2]", got)
+	}
+	// GE raises an interval's lower bound.
+	got = Atom{Var: 0, Op: GE, C: 3}.refine(Omega)
+	if len(got) != 1 || got[0] != AtLeast(3) {
+		t.Fatalf("GE 3 refine of ω = %v, want [ω≥3]", got)
+	}
+	// Exact values pass through unchanged when they satisfy the atom.
+	got = Atom{Var: 0, Op: GE, C: 1}.refine(N(2))
+	if len(got) != 1 || got[0] != N(2) {
+		t.Fatalf("GE 1 refine of 2 = %v, want [2]", got)
+	}
+	if got := (Atom{Var: 0, Op: GE, C: 3}).refine(N(2)); got != nil {
+		t.Fatalf("GE 3 refine of 2 = %v, want nil", got)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	cfg := Config{N(2), Omega, N(0)}
+	// 2 + ω - 1 is an interval with lower bound 1.
+	v, ok := Expr{Coef: []int{1, 1, 0}, Const: -1}.eval(cfg, 3)
+	if !ok || v != AtLeast(1) {
+		t.Fatalf("eval = %v %v, want ω≥1", v, ok)
+	}
+	// An exact negative result blocks the rule.
+	if _, ok := (Expr{Coef: []int{0, 0, 1}, Const: -1}).eval(cfg, 3); ok {
+		t.Fatal("exact negative result should block")
+	}
+	// An interval dipping negative clamps to ω.
+	v, ok = Expr{Coef: []int{0, 1, 0}, Const: -5}.eval(cfg, 3)
+	if !ok || v != Omega {
+		t.Fatalf("eval = %v %v, want ω", v, ok)
+	}
+}
+
+func TestNormalizeSaturates(t *testing.T) {
+	cfg := Config{N(9), AtLeast(7), N(3)}
+	if !normalize(cfg, 5) {
+		t.Fatal("normalize should report saturation")
+	}
+	if cfg[0] != AtLeast(5) || cfg[1] != AtLeast(5) || cfg[2] != N(3) {
+		t.Fatalf("normalized = %v", cfg)
+	}
+	if normalize(cfg, 5) {
+		t.Fatal("second normalize should be a no-op")
+	}
+}
+
+// readerWriter is the snippet-style reader/writer counter system: readers
+// and writers over an implicit ω pool of idle threads.
+func readerWriter() *System {
+	const r, w = 0, 1
+	u := func(c int, vars ...int) Expr { return sum(2, c, vars...) }
+	return &System{
+		Name:  "reader-writer",
+		Vars:  []string{"r", "w"},
+		Inits: []Config{{N(0), N(0)}},
+		Rules: []Rule{
+			{Name: "start-read", Guard: []Atom{{w, EQ, 0}}, Update: []Expr{u(1, r), u(0, w)}},
+			{Name: "end-read", Guard: []Atom{{r, GE, 1}}, Update: []Expr{u(-1, r), u(0, w)}},
+			{Name: "start-write", Guard: []Atom{{w, EQ, 0}, {r, EQ, 0}}, Update: []Expr{u(0, r), u(1, w)}},
+			{Name: "end-write", Guard: []Atom{{w, GE, 1}}, Update: []Expr{u(0, r), u(-1, w)}},
+		},
+		Unsafe: []Pred{
+			{Name: "two-writers", Atoms: []Atom{{w, GE, 2}}},
+			{Name: "reader-and-writer", Atoms: []Atom{{r, GE, 1}, {w, GE, 1}}},
+		},
+	}
+}
+
+func TestReaderWriterSafe(t *testing.T) {
+	res, err := Explore(readerWriter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safe {
+		t.Fatalf("reader-writer should be safe, got witness:\n%s", WitnessString(res))
+	}
+	if res.Explored == 0 || res.Depth == 0 {
+		t.Fatalf("implausible exploration stats: %+v", res)
+	}
+}
+
+func TestReaderWriterBrokenUnsafe(t *testing.T) {
+	sys := readerWriter()
+	sys.Name = "reader-writer/no-reader-check"
+	// Drop the r == 0 atom from start-write: a writer may start under
+	// active readers.
+	replaceRule(sys, "start-write", Rule{
+		Name:   "start-write",
+		Guard:  []Atom{{1, EQ, 0}},
+		Update: []Expr{sum(2, 0, 0), sum(2, 1, 1)},
+	})
+	res, err := Explore(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Safe {
+		t.Fatal("broken reader-writer should be unsafe")
+	}
+	if res.Unsafe != "reader-and-writer" {
+		t.Fatalf("unsafe predicate = %q", res.Unsafe)
+	}
+	// Shortest witness: start-read, start-write.
+	if len(res.Witness) != 2 {
+		t.Fatalf("witness length = %d, want 2:\n%s", len(res.Witness), WitnessString(res))
+	}
+	replayWitness(t, sys, res)
+}
+
+// replayWitness re-executes a witness trace through System.Apply and asserts
+// it really ends in an Unsafe configuration — the trace is evidence, not
+// just prose.
+func replayWitness(t *testing.T, s *System, res *Result) {
+	t.Helper()
+	theta := s.theta()
+	var cur Config
+	for _, init := range s.Inits {
+		c := init.clone()
+		normalize(c, theta)
+		if c.String() == res.Init {
+			cur = c
+			break
+		}
+	}
+	if cur == nil {
+		t.Fatalf("witness init %s not found among system inits", res.Init)
+	}
+	for i, st := range res.Witness {
+		var next Config
+		for _, succ := range s.Apply(cur, st.Rule) {
+			if succ.String() == st.Config {
+				next = succ
+				break
+			}
+		}
+		if next == nil {
+			t.Fatalf("witness step %d (%s -> %s) not reproducible from %s", i+1, st.Rule, st.Config, cur)
+		}
+		cur = next
+	}
+	if s.unsafeAt(cur) == "" {
+		t.Fatalf("witness end config %s is not unsafe", cur)
+	}
+}
+
+func TestWitnessIsShortest(t *testing.T) {
+	// Two paths to the violation: a 1-step "jump" and a 3-step chain. BFS
+	// must return the jump.
+	u := func(c int, vars ...int) Expr { return sum(1, c, vars...) }
+	sys := &System{
+		Name:  "shortest",
+		Vars:  []string{"x"},
+		Inits: []Config{{N(0)}},
+		Rules: []Rule{
+			{Name: "step", Update: []Expr{u(1, 0)}},
+			{Name: "jump", Update: []Expr{u(3, 0)}},
+		},
+		Unsafe: []Pred{{Name: "x3", Atoms: []Atom{{0, GE, 3}}}},
+	}
+	res, err := Explore(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Safe {
+		t.Fatal("should be unsafe")
+	}
+	if len(res.Witness) != 1 || res.Witness[0].Rule != "jump" {
+		t.Fatalf("witness = %v, want single jump", res.Witness)
+	}
+}
+
+func TestUnsafeInit(t *testing.T) {
+	sys := &System{
+		Name:   "born-bad",
+		Vars:   []string{"x"},
+		Inits:  []Config{{N(1)}},
+		Rules:  []Rule{{Name: "noop", Update: []Expr{sum(1, 0, 0)}}},
+		Unsafe: []Pred{{Name: "any", Atoms: []Atom{{0, GE, 1}}}},
+	}
+	res, err := Explore(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Safe || len(res.Witness) != 0 || res.Init != "(1)" {
+		t.Fatalf("unsafe init mishandled: %+v", res)
+	}
+}
+
+func TestOmegaUnsafePredicateRefinement(t *testing.T) {
+	// ω covers 0, so a >=1 predicate over ω must fire (may-semantics on
+	// Unsafe), but an EQ 5 predicate over an exact 3 must not.
+	sys := &System{
+		Name:   "omega-pred",
+		Vars:   []string{"x", "y"},
+		Inits:  []Config{{Omega, N(3)}},
+		Rules:  []Rule{{Name: "noop", Update: []Expr{sum(2, 0, 0), sum(2, 0, 1)}}},
+		Unsafe: []Pred{{Name: "y5", Atoms: []Atom{{1, EQ, 5}}}},
+	}
+	res, err := Explore(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safe {
+		t.Fatal("EQ 5 on exact 3 should not fire")
+	}
+	sys.Unsafe = []Pred{{Name: "x1", Atoms: []Atom{{0, GE, 1}}}}
+	res, err = Explore(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Safe {
+		t.Fatal(">=1 over ω must fire: ω contains 1")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	u1 := func(c int, vars ...int) Expr { return sum(1, c, vars...) }
+	ok := func() *System {
+		return &System{
+			Name:   "ok",
+			Vars:   []string{"x"},
+			Inits:  []Config{{N(0)}},
+			Rules:  []Rule{{Name: "r", Update: []Expr{u1(0, 0)}}},
+			Unsafe: []Pred{{Name: "p", Atoms: []Atom{{0, GE, 1}}}},
+		}
+	}
+	if err := ok().Validate(); err != nil {
+		t.Fatalf("baseline system invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*System)
+		want string
+	}{
+		{"no-vars", func(s *System) { s.Vars = nil }, "no variables"},
+		{"no-inits", func(s *System) { s.Inits = nil }, "no initial"},
+		{"init-arity", func(s *System) { s.Inits = []Config{{N(0), N(0)}} }, "values"},
+		{"no-rules", func(s *System) { s.Rules = nil }, "no rules"},
+		{"unnamed-rule", func(s *System) { s.Rules[0].Name = "" }, "unnamed"},
+		{"dup-rule", func(s *System) { s.Rules = append(s.Rules, s.Rules[0]) }, "duplicate"},
+		{"update-arity", func(s *System) { s.Rules[0].Update = nil }, "updates"},
+		{"coef-arity", func(s *System) { s.Rules[0].Update = []Expr{{Coef: []int{1, 2}}} }, "coefficients"},
+		{"neg-coef", func(s *System) { s.Rules[0].Update = []Expr{{Coef: []int{-1}}} }, "negative coefficient"},
+		{"guard-var", func(s *System) { s.Rules[0].Guard = []Atom{{Var: 7, Op: GE, C: 1}} }, "out of range"},
+		{"no-unsafe", func(s *System) { s.Unsafe = nil }, "no Unsafe"},
+		{"empty-pred", func(s *System) { s.Unsafe[0].Atoms = nil }, "no atoms"},
+		{"pred-var", func(s *System) { s.Unsafe[0].Atoms = []Atom{{Var: 9, Op: GE, C: 1}} }, "out of range"},
+		{"theta-overflow", func(s *System) { s.Theta = 300 }, "255"},
+		{"neg-init", func(s *System) { s.Inits = []Config{{Val{Lo: -1}}} }, "negative init"},
+	}
+	for _, c := range cases {
+		s := ok()
+		c.mut(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a malformed system", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if _, err := Explore(s); err == nil {
+			t.Errorf("%s: Explore accepted a malformed system", c.name)
+		}
+	}
+}
+
+func TestThetaDerivation(t *testing.T) {
+	sys := readerWriter()
+	if got := sys.theta(); got != 4 {
+		t.Fatalf("theta = %d, want floor 4", got)
+	}
+	sys.Rules[0].Guard = []Atom{{0, LE, 9}}
+	if got := sys.theta(); got != 10 {
+		t.Fatalf("theta = %d, want 10 (largest guard constant + 1)", got)
+	}
+	sys.Theta = 50
+	if got := sys.theta(); got != 50 {
+		t.Fatalf("theta = %d, want explicit 50", got)
+	}
+}
+
+func TestApplyUnknownRulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply on an unknown rule should panic")
+		}
+	}()
+	readerWriter().Apply(Config{N(0), N(0)}, "no-such-rule")
+}

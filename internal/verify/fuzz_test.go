@@ -1,0 +1,274 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzReachability cross-checks the ω-explorer against a bounded concrete
+// brute-force oracle on randomly generated counter systems (Petri-net style:
+// each rule consumes and produces tokens, plus fuzz-chosen extra guard
+// atoms). Two properties are enforced:
+//
+//   - Soundness (always): if the concrete oracle — instantiating an ω init
+//     with every thread count N ≤ 4 and exploring exhaustively with values
+//     capped — reaches an Unsafe state, the abstract explorer must report
+//     Unsafe. A concrete trace is real; the over-approximation may never
+//     hide it. This is the "false Safe impossible" half of DESIGN.md §12.
+//
+//   - Exactness (finite inits, no saturation): when no init carries ω and
+//     the exploration never saturated, the abstract semantics coincide with
+//     the concrete semantics, so the verdicts must agree exactly — the
+//     explorer may not invent a false Unsafe either.
+//
+// Every Unsafe verdict's witness is additionally replayed through Apply.
+func FuzzReachability(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2})
+	f.Add([]byte{1, 1, 1, 0, 2, 3, 7, 9})
+	f.Add([]byte{0, 2, 0, 1, 1, 3, 0xe5, 0x12, 1, 0x40, 5})
+	f.Add([]byte{1, 3, 2, 2, 0, 1, 0x55, 0xaa, 3, 9, 0x1c, 6, 0})
+	f.Add([]byte{2, 0xff, 0x80, 0x42, 0x13, 0x37, 0xde, 0xad, 0xbe, 0xef})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		s := systemFromBytes(data)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("fuzz decoder produced an invalid system: %v", err)
+		}
+		res, err := Explore(s)
+		if err != nil {
+			t.Skip() // abstract state-space cap; nothing to compare
+		}
+		concUnsafe := oracleReachesUnsafe(s, 16)
+		if concUnsafe && res.Safe {
+			t.Fatalf("SOUNDNESS: concrete oracle reaches an unsafe state but the explorer certified Safe\nsystem: %+v", s)
+		}
+		if finiteInits(s) && !res.Saturated && !res.Safe && !concUnsafe {
+			t.Fatalf("EXACTNESS: no ω, no saturation, yet explorer reports Unsafe %q the oracle cannot reach\nsystem: %+v", res.Unsafe, s)
+		}
+		if !res.Safe {
+			replayWitness(t, s, res)
+		}
+	})
+}
+
+// systemFromBytes deterministically decodes a small counter system from fuzz
+// input. Bytes past the end read as zero, so every input of length ≥ 2
+// decodes to a Validate-clean system: 2-3 variables, 1-4 Petri-style rules
+// (consume/produce vectors as guards and identity-plus-constant updates),
+// optional extra EQ/LE/GE guard atoms, and one 1-2 atom Unsafe predicate.
+func systemFromBytes(data []byte) *System {
+	src := byteSrc{data: data}
+	nv := 2 + int(src.next())%2
+	nr := 1 + int(src.next())%4
+	omegaInit := src.next()&1 == 1
+
+	vars := make([]string, nv)
+	init := make(Config, nv)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("x%d", i)
+		init[i] = N(int(src.next()) % 3)
+	}
+	if omegaInit {
+		init[0] = Omega
+	}
+	s := &System{Name: "fuzz", Vars: vars, Inits: []Config{init}}
+
+	for r := 0; r < nr; r++ {
+		cb, pb, gb := src.next(), src.next(), src.next()
+		rule := Rule{Name: fmt.Sprintf("r%d", r), Doc: "fuzz", Update: make([]Expr, nv)}
+		for i := 0; i < nv; i++ {
+			consume := int(cb>>uint(i)) & 1
+			produce := int(pb>>uint(2*i)) & 3 % 3
+			coef := make([]int, nv)
+			coef[i] = 1
+			rule.Update[i] = Expr{Coef: coef, Const: produce - consume}
+			if consume > 0 {
+				rule.Guard = append(rule.Guard, Atom{Var: i, Op: GE, C: consume})
+			}
+		}
+		if op := gb & 3; op != 0 {
+			rule.Guard = append(rule.Guard, Atom{
+				Var: int(gb>>2) % nv,
+				Op:  [4]CmpOp{0, EQ, LE, GE}[op],
+				C:   int(gb>>4) % 3,
+			})
+		}
+		s.Rules = append(s.Rules, rule)
+	}
+
+	ub := src.next()
+	pred := Pred{Name: "bad", Atoms: []Atom{{Var: int(ub) % nv, Op: GE, C: 1 + int(ub>>2)%3}}}
+	if ub2 := src.next(); ub2&1 == 1 {
+		pred.Atoms = append(pred.Atoms, Atom{Var: int(ub2>>1) % nv, Op: GE, C: 1 + int(ub2>>3)%2})
+	}
+	s.Unsafe = []Pred{pred}
+	return s
+}
+
+type byteSrc struct {
+	data []byte
+	i    int
+}
+
+func (b *byteSrc) next() byte {
+	if b.i >= len(b.data) {
+		return 0
+	}
+	v := b.data[b.i]
+	b.i++
+	return v
+}
+
+func finiteInits(s *System) bool {
+	for _, c := range s.Inits {
+		for _, v := range c {
+			if v.Inf {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// oracleReachesUnsafe is the bounded concrete brute force: every ω init
+// variable is instantiated with 0..4 concrete threads, then plain BFS over
+// integer vectors, dropping successors that exceed the value cap. Because it
+// only ever follows real transitions, any Unsafe state it finds is truly
+// reachable — truncation can cause misses, never false positives, which is
+// exactly the direction the soundness check needs.
+func oracleReachesUnsafe(s *System, cap int) bool {
+	var frontier [][]int
+	for _, ic := range s.Inits {
+		starts := [][]int{make([]int, len(ic))}
+		for i, v := range ic {
+			if !v.Inf {
+				for _, st := range starts {
+					st[i] = v.Lo
+				}
+				continue
+			}
+			var widened [][]int
+			for _, st := range starts {
+				for n := v.Lo; n <= v.Lo+4; n++ {
+					w := append([]int(nil), st...)
+					w[i] = n
+					widened = append(widened, w)
+				}
+			}
+			starts = widened
+		}
+		frontier = append(frontier, starts...)
+	}
+	seen := map[string]bool{}
+	for len(frontier) > 0 {
+		st := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		k := fmt.Sprint(st)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if concreteUnsafe(s, st) {
+			return true
+		}
+		for _, r := range s.Rules {
+			if next, ok := concreteFire(st, r, cap); ok {
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return false
+}
+
+func concreteUnsafe(s *System, st []int) bool {
+	for _, p := range s.Unsafe {
+		all := true
+		for _, a := range p.Atoms {
+			if !concreteSat(a, st[a.Var]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func concreteSat(a Atom, v int) bool {
+	switch a.Op {
+	case GE:
+		return v >= a.C
+	case EQ:
+		return v == a.C
+	case LE:
+		return v <= a.C
+	}
+	return false
+}
+
+func concreteFire(st []int, r Rule, cap int) ([]int, bool) {
+	for _, a := range r.Guard {
+		if !concreteSat(a, st[a.Var]) {
+			return nil, false
+		}
+	}
+	next := make([]int, len(st))
+	for i, u := range r.Update {
+		v := u.Const
+		for j, k := range u.Coef {
+			v += k * st[j]
+		}
+		if v < 0 {
+			return nil, false // blocked, matching abstract exact semantics
+		}
+		if v > cap {
+			return nil, false // truncated: a miss, never a false positive
+		}
+		next[i] = v
+	}
+	return next, true
+}
+
+// TestFuzzDecoderCorpus pins the seed corpus through the same checks the
+// fuzzer applies, so `go test` exercises the cross-check even when native
+// fuzzing is not invoked.
+func TestFuzzDecoderCorpus(t *testing.T) {
+	seeds := [][]byte{
+		{0, 0, 0, 1, 2},
+		{1, 1, 1, 0, 2, 3, 7, 9},
+		{0, 2, 0, 1, 1, 3, 0xe5, 0x12, 1, 0x40, 5},
+		{1, 3, 2, 2, 0, 1, 0x55, 0xaa, 3, 9, 0x1c, 6, 0},
+		{2, 0xff, 0x80, 0x42, 0x13, 0x37, 0xde, 0xad, 0xbe, 0xef},
+	}
+	sawUnsafe, sawOmega := false, false
+	for _, seed := range seeds {
+		s := systemFromBytes(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %v: %v", seed, err)
+		}
+		if !finiteInits(s) {
+			sawOmega = true
+		}
+		res, err := Explore(s)
+		if err != nil {
+			t.Fatalf("seed %v: %v", seed, err)
+		}
+		conc := oracleReachesUnsafe(s, 16)
+		if conc && res.Safe {
+			t.Fatalf("seed %v: oracle unsafe, explorer Safe", seed)
+		}
+		if !res.Safe {
+			sawUnsafe = true
+		}
+	}
+	if !sawUnsafe {
+		t.Error("corpus exercises no Unsafe verdict — weak seeds")
+	}
+	if !sawOmega {
+		t.Error("corpus exercises no ω init — weak seeds")
+	}
+}

@@ -1,0 +1,646 @@
+package verify
+
+import "fmt"
+
+// This file holds the four shipped protocol models, extracted from the
+// simulator (not invented): the MESI directory protocol as implemented in
+// internal/coherence, the OMU's HW/SW-world exclusivity per sync address,
+// MSA lock mutual exclusion including the overflow-to-SW handoff, and
+// barrier epoch separation. Every rule's Doc names the concrete transition
+// it models; internal/verify/bridge_test.go drives the concrete machine
+// through those transitions and asserts the abstract post-states, so the
+// models cannot silently drift from the simulator.
+//
+// Each model also ships deliberately-broken variants (the abstract
+// counterparts of test toggles like core.Config.UnsafeNoOMUCheck); the
+// checker must report every one of them Unsafe with a witness trace.
+
+// Model pairs a certified system with its deliberately-broken variants and
+// the runtime invariant classes (fault.ViolationKind strings) it certifies.
+type Model struct {
+	System *System
+	// Broken variants must each be reported Unsafe by Explore; a Safe
+	// verdict on any of them means the checker lost detection power.
+	Broken []*System
+	// Invariants lists the fault.Checker violation-kind names whose
+	// protocol this model certifies (see fault.Invariants for the inverse
+	// mapping; the consistency test asserts the two stay total).
+	Invariants []string
+}
+
+// Models returns the shipped protocol models in certification order.
+func Models() []Model {
+	return []Model{
+		{
+			System:     MESI(),
+			Broken:     []*System{MESINoInvalidate()},
+			Invariants: []string{"mutual-exclusion"},
+		},
+		{
+			System:     OMUExclusivity(),
+			Broken:     []*System{OMUNoCheck()},
+			Invariants: []string{"omu-exclusivity"},
+		},
+		{
+			System:     LockMutex(),
+			Broken:     []*System{LockNoOMUCheck(), LockBlindSWStore(), LockPromoteHeld()},
+			Invariants: []string{"mutual-exclusion", "lock-world-split"},
+		},
+		{
+			System:     BarrierEpoch(),
+			Broken:     []*System{BarrierEarlyRelease()},
+			Invariants: []string{"barrier-epoch", "barrier-world-split"},
+		},
+	}
+}
+
+// ModelByName returns the shipped model with the given system name.
+func ModelByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.System.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// sum builds the linear expression c + v1 + v2 + ... over an n-variable
+// system (repeating a variable raises its coefficient).
+func sum(n, c int, vars ...int) Expr {
+	e := Expr{Coef: make([]int, n), Const: c}
+	for _, v := range vars {
+		e.Coef[v]++
+	}
+	return e
+}
+
+// brokenCopy deep-copies sys under a derived name so a variant can replace
+// rules without aliasing the pristine model.
+func brokenCopy(sys *System, suffix string) *System {
+	cp := *sys
+	cp.Name = sys.Name + "/" + suffix
+	cp.Rules = append([]Rule(nil), sys.Rules...)
+	return &cp
+}
+
+// replaceRule swaps the named rule for r.
+func replaceRule(sys *System, name string, r Rule) {
+	for i := range sys.Rules {
+		if sys.Rules[i].Name == name {
+			sys.Rules[i] = r
+			return
+		}
+	}
+	panic(fmt.Sprintf("verify: %s has no rule %q to replace", sys.Name, name))
+}
+
+// --- Model 1: MESI directory protocol (internal/coherence) ---
+
+// MESI variable indices.
+const (
+	mI = iota // cores holding the line Invalid (equivalently: not holding it)
+	mS        // cores in Shared
+	mE        // cores in Exclusive
+	mM        // cores in Modified
+)
+
+// MESI models the directory protocol exactly as internal/coherence
+// implements it: a single cache line, counters of cores per MESI state,
+// ω cores. The single-writer property is the substrate of the §5 HWSync
+// silent re-acquire (L1.HWSyncHit requires E or M), so breaking it breaks
+// lock mutual exclusion.
+func MESI() *System {
+	const n = 4
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	return &System{
+		Name: "mesi",
+		Vars: []string{"i", "s", "e", "m"},
+		Inits: []Config{
+			{Omega, N(0), N(0), N(0)},
+		},
+		Rules: []Rule{
+			{
+				Name:  "read-cold",
+				Doc:   "Directory.start dirInvalid -> finishExclusive: first GetS is granted Exclusive (MESI E optimization, RspDataE)",
+				Guard: []Atom{{mI, GE, 1}, {mS, EQ, 0}, {mE, EQ, 0}, {mM, EQ, 0}},
+				Update: []Expr{
+					u(-1, mI), u(0), u(1), u(0),
+				},
+			},
+			{
+				Name:  "read-shared",
+				Doc:   "Directory.start dirShared + txnGetS: sharers |= requester, RspDataS",
+				Guard: []Atom{{mI, GE, 1}, {mS, GE, 1}},
+				Update: []Expr{
+					u(-1, mI), u(1, mS), u(0, mE), u(0, mM),
+				},
+			},
+			{
+				Name:  "read-owner-e",
+				Doc:   "Directory.start dirExclusive + GetS: MsgFwd FwdDowngrade; L1 owner E->S + FwdAckS; handleFwdAckS -> RspDataS",
+				Guard: []Atom{{mI, GE, 1}, {mE, GE, 1}},
+				Update: []Expr{
+					u(-1, mI), u(2, mS), u(-1, mE), u(0, mM),
+				},
+			},
+			{
+				Name:  "read-owner-m",
+				Doc:   "Directory.start dirExclusive + GetS with Modified owner: FwdDowngrade, owner M->S, requester Shared",
+				Guard: []Atom{{mI, GE, 1}, {mM, GE, 1}},
+				Update: []Expr{
+					u(-1, mI), u(2, mS), u(0, mE), u(-1, mM),
+				},
+			},
+			{
+				Name:  "write-from-i",
+				Doc:   "L1.Access store miss -> ReqGetX; Directory invalidates every sharer/owner (MsgInv/MsgFwd); fill + commit -> Modified",
+				Guard: []Atom{{mI, GE, 1}},
+				Update: []Expr{
+					u(-1, mI, mS, mE, mM), u(0), u(0), u(1),
+				},
+			},
+			{
+				Name:  "write-from-s",
+				Doc:   "L1.Access store on Shared is an upgrade miss -> ReqGetX; other sharers invalidated; commit -> Modified",
+				Guard: []Atom{{mS, GE, 1}},
+				Update: []Expr{
+					u(-1, mI, mS, mE, mM), u(0), u(0), u(1),
+				},
+			},
+			{
+				Name:  "write-hit-e",
+				Doc:   "L1.commit store on Exclusive: silent E->M upgrade, no directory transaction",
+				Guard: []Atom{{mE, GE, 1}},
+				Update: []Expr{
+					u(0, mI), u(0, mS), u(-1, mE), u(1, mM),
+				},
+			},
+			{
+				Name:  "grant",
+				Doc:   "Directory.GrantExclusive (MSA HWSync block grant, txnGrant): recalls every copy, requester Exclusive with HWSync bit",
+				Guard: []Atom{{mI, GE, 1}},
+				Update: []Expr{
+					u(-1, mI, mS, mE, mM), u(0), u(1), u(0),
+				},
+			},
+			{
+				Name:  "evict-s",
+				Doc:   "L1.evict Shared -> ReqPutS; Directory.handlePutS drops the sharer bit",
+				Guard: []Atom{{mS, GE, 1}},
+				Update: []Expr{
+					u(1, mI), u(-1, mS), u(0, mE), u(0, mM),
+				},
+			},
+			{
+				Name:  "evict-e",
+				Doc:   "L1.evict Exclusive -> ReqPutE; Directory.handlePutEM invalidates the line",
+				Guard: []Atom{{mE, GE, 1}},
+				Update: []Expr{
+					u(1, mI), u(0, mS), u(-1, mE), u(0, mM),
+				},
+			},
+			{
+				Name:  "writeback-m",
+				Doc:   "L1.evict Modified -> ReqPutM writeback; Directory.handlePutEM invalidates the line",
+				Guard: []Atom{{mM, GE, 1}},
+				Update: []Expr{
+					u(1, mI), u(0, mS), u(0, mE), u(-1, mM),
+				},
+			},
+			{
+				Name:  "revoke",
+				Doc:   "Directory.Revoke (MSA standby revocation, txnRevoke): every copy invalidated, line uncached",
+				Guard: nil,
+				Update: []Expr{
+					u(0, mI, mS, mE, mM), u(0), u(0), u(0),
+				},
+			},
+		},
+		Unsafe: []Pred{
+			{Name: "two-modified", Atoms: []Atom{{mM, GE, 2}}},
+			{Name: "two-exclusive", Atoms: []Atom{{mE, GE, 2}}},
+			{Name: "exclusive-and-modified", Atoms: []Atom{{mE, GE, 1}, {mM, GE, 1}}},
+			{Name: "modified-with-sharer", Atoms: []Atom{{mM, GE, 1}, {mS, GE, 1}}},
+			{Name: "exclusive-with-sharer", Atoms: []Atom{{mE, GE, 1}, {mS, GE, 1}}},
+		},
+	}
+}
+
+// MESINoInvalidate breaks the write path: a GetX is granted without
+// invalidating the existing copies (the abstract counterpart of a directory
+// that forgets its sharer vector). Must verify Unsafe.
+func MESINoInvalidate() *System {
+	sys := brokenCopy(MESI(), "no-invalidate-on-write")
+	const n = 4
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "write-from-i", Rule{
+		Name:  "write-from-i",
+		Doc:   "BROKEN: GetX grant without invalidating sharers or recalling the owner",
+		Guard: []Atom{{mI, GE, 1}},
+		Update: []Expr{
+			u(-1, mI), u(0, mS), u(0, mE), u(1, mM),
+		},
+	})
+	return sys
+}
+
+// --- Model 2: OMU HW/SW-world exclusivity (internal/core OMU + Slice) ---
+
+// OMU variable indices.
+const (
+	oH  = iota // live accepting MSA entries for the address (0 or 1)
+	oD         // draining entries (post-abort tear-down)
+	oHW        // threads in the hardware path (HWQueue waiters + owner)
+	oW         // threads active in the software path (the OMU counter level)
+)
+
+// OMUExclusivity models the Overflow Management Unit property of PAPER.md
+// §3.2 for one synchronization address: an MSA entry may only be allocated
+// while no thread is active in the software path, so the hardware and
+// software worlds never handle the same variable concurrently.
+func OMUExclusivity() *System {
+	const n = 4
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	return &System{
+		Name: "omu-exclusivity",
+		Vars: []string{"h", "d", "hw", "w"},
+		Inits: []Config{
+			{N(0), N(0), N(0), N(0)}, // ω idle threads are implicit: acquire rules fire unguarded
+		},
+		Rules: []Rule{
+			{
+				Name:  "alloc",
+				Doc:   "Slice.tryAllocate: omu.ActiveSW(addr) veto, then entry alloc + Checker.HWAlloc; requester enters the HW path",
+				Guard: []Atom{{oH, EQ, 0}, {oD, EQ, 0}, {oW, EQ, 0}},
+				Update: []Expr{
+					u(1), u(0, oD), u(1, oHW), u(0, oW),
+				},
+			},
+			{
+				Name:  "hw-join",
+				Doc:   "Slice.find hit: another thread joins the live entry's HWQueue (enqueueLocker / barrier arrival)",
+				Guard: []Atom{{oH, GE, 1}},
+				Update: []Expr{
+					u(0, oH), u(0, oD), u(1, oHW), u(0, oW),
+				},
+			},
+			{
+				Name:  "sw-steer",
+				Doc:   "Slice.handleLock/handleBarrier FAIL: OMU-live or capacity steer to software + omuInc (Checker.SWEnter)",
+				Guard: []Atom{{oH, EQ, 0}, {oD, EQ, 0}},
+				Update: []Expr{
+					u(0, oH), u(0, oD), u(0, oHW), u(1, oW),
+				},
+			},
+			{
+				Name:  "sw-steer-drain",
+				Doc:   "Slice.handleLock on a draining entry: FAIL + omuInc while the tear-down completes",
+				Guard: []Atom{{oD, GE, 1}},
+				Update: []Expr{
+					u(0, oH), u(0, oD), u(0, oHW), u(1, oW),
+				},
+			},
+			{
+				Name:  "hw-complete",
+				Doc:   "Slice.respond Success: a hardware operation completes and its thread leaves the HW path",
+				Guard: []Atom{{oHW, GE, 1}},
+				Update: []Expr{
+					u(0, oH), u(0, oD), u(-1, oHW), u(0, oW),
+				},
+			},
+			{
+				Name:  "retire",
+				Doc:   "Slice.maybeRetire / dealloc: an idle entry is freed (or standby-reclaimed)",
+				Guard: []Atom{{oH, GE, 1}, {oHW, EQ, 0}},
+				Update: []Expr{
+					u(-1, oH), u(0, oD), u(0, oHW), u(0, oW),
+				},
+			},
+			{
+				Name:  "abort",
+				Doc:   "Slice.abortLockEntry / handleSuspend barrier abort: every HW waiter is ABORTed to software (omuInc each), entry drains",
+				Guard: []Atom{{oH, GE, 1}},
+				Update: []Expr{
+					u(-1, oH), u(1, oD), u(0), u(0, oW, oHW),
+				},
+			},
+			{
+				Name:  "drain-done",
+				Doc:   "Slice.finishDrain: lingering HWSync block revoked, entry deallocated",
+				Guard: []Atom{{oD, GE, 1}},
+				Update: []Expr{
+					u(0, oH), u(-1, oD), u(0, oHW), u(0, oW),
+				},
+			},
+			{
+				Name:  "sw-finish",
+				Doc:   "Slice.HandleReq OpFinish -> omuDec (Checker.SWExit): a thread leaves the software path",
+				Guard: []Atom{{oW, GE, 1}},
+				Update: []Expr{
+					u(0, oH), u(0, oD), u(0, oHW), u(-1, oW),
+				},
+			},
+		},
+		Unsafe: []Pred{
+			{Name: "hw-sw-overlap", Atoms: []Atom{{oH, GE, 1}, {oW, GE, 1}}},
+			{Name: "double-entry", Atoms: []Atom{{oH, GE, 2}}},
+		},
+	}
+}
+
+// OMUNoCheck is the abstract counterpart of core.Config.UnsafeNoOMUCheck:
+// allocation skips the software-activity veto. Must verify Unsafe.
+func OMUNoCheck() *System {
+	sys := brokenCopy(OMUExclusivity(), "no-omu-check")
+	const n = 4
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "alloc", Rule{
+		Name:  "alloc",
+		Doc:   "BROKEN (UnsafeNoOMUCheck): tryAllocate without the omu.ActiveSW veto",
+		Guard: []Atom{{oH, EQ, 0}, {oD, EQ, 0}},
+		Update: []Expr{
+			u(1), u(0, oD), u(1, oHW), u(0, oW),
+		},
+	})
+	return sys
+}
+
+// --- Model 3: MSA lock mutual exclusion with overflow handoff ---
+
+// Lock variable indices.
+const (
+	lEL = iota // live accepting lock entry (0 or 1)
+	lED        // draining entry
+	lHO        // hardware owner (HWQueue grant holder)
+	lHQ        // hardware waiters
+	lSO        // software holder (the lock word in simulated memory)
+	lSP        // software-path threads not holding (waiting, or released pre-FINISH)
+)
+
+// LockMutex models one lock address across both worlds: the MSA entry's
+// owner/waiter queue (§4.1), the software fallback lock word, and the
+// overflow handoffs between them (steer on OMU/capacity, migrated-owner
+// abort §4.1.2, drain). The OMU counter level is so+sp.
+func LockMutex() *System {
+	const n = 6
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	return &System{
+		Name: "msa-lock-mutex",
+		Vars: []string{"el", "ed", "ho", "hq", "so", "sp"},
+		Inits: []Config{
+			{N(0), N(0), N(0), N(0), N(0), N(0)},
+		},
+		Rules: []Rule{
+			{
+				Name:  "alloc-grant",
+				Doc:   "handleLock -> tryAllocate (OMU veto: counter must be 0) -> enqueueLocker immediate grant; Checker.LockAcquired(HW)",
+				Guard: []Atom{{lEL, EQ, 0}, {lED, EQ, 0}, {lSO, EQ, 0}, {lSP, EQ, 0}},
+				Update: []Expr{
+					u(1), u(0, lED), u(1), u(0, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+			{
+				Name:  "hw-enqueue",
+				Doc:   "enqueueLocker: waiters |= bit(core); the reply is held until promotion (§4.1)",
+				Guard: []Atom{{lEL, GE, 1}, {lED, EQ, 0}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(1, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+			{
+				Name:  "hw-promote",
+				Doc:   "Slice.promote: owner==-1, NBTC round-robin pick; Checker.LockAcquired(HW); §5 silent re-acquire lands here too",
+				Guard: []Atom{{lEL, GE, 1}, {lHO, EQ, 0}, {lHQ, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(1), u(-1, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+			{
+				Name:  "hw-unlock",
+				Doc:   "handleUnlock owner path: owner=-1, Checker.LockReleased(HW); promote/maybeRetire follow as separate steps",
+				Guard: []Atom{{lHO, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(-1, lHO), u(0, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+			{
+				Name:  "retire",
+				Doc:   "maybeRetire: queue empty -> standby then dealloc/reclaim (startReclaim); entry leaves the slice",
+				Guard: []Atom{{lEL, GE, 1}, {lHO, EQ, 0}, {lHQ, EQ, 0}},
+				Update: []Expr{
+					u(-1, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+			{
+				Name:  "steer",
+				Doc:   "handleLock FAIL (OMU-live or capacity steer): thread takes syncrt.swLock + omuInc",
+				Guard: []Atom{{lEL, EQ, 0}, {lED, EQ, 0}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(0, lSO), u(1, lSP),
+				},
+			},
+			{
+				Name:  "steer-drain",
+				Doc:   "handleLock on a draining entry: FAIL + omuInc while tear-down completes",
+				Guard: []Atom{{lED, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(0, lSO), u(1, lSP),
+				},
+			},
+			{
+				Name:  "abort",
+				Doc:   "handleUnlock from a non-queue core (§4.1.2 migrated owner) -> abortLockEntry: waiters ABORT ReasonFallback + omuInc each, entry drains",
+				Guard: []Atom{{lEL, GE, 1}},
+				Update: []Expr{
+					u(-1, lEL), u(1, lED), u(0), u(0), u(0, lSO), u(0, lSP, lHQ),
+				},
+			},
+			{
+				Name:  "drain-done",
+				Doc:   "finishDrain: HWSync block revoked, entry deallocated",
+				Guard: []Atom{{lED, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(-1, lED), u(0, lHO), u(0, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+			{
+				Name:  "sw-acquire",
+				Doc:   "syncrt.swLock (TTS CAS / ticket / MCS) takes the free lock word; Checker.LockAcquired(SW)",
+				Guard: []Atom{{lSP, GE, 1}, {lSO, EQ, 0}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(1), u(-1, lSP),
+				},
+			},
+			{
+				Name:  "sw-release",
+				Doc:   "syncrt.swUnlock stores 0; the slice's UNLOCK FAIL path registers Checker.LockReleased(SW)",
+				Guard: []Atom{{lSO, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(-1, lSO), u(1, lSP),
+				},
+			},
+			{
+				Name:  "sw-finish",
+				Doc:   "OpFinish -> omuDec: the software episode ends (Checker.SWExit)",
+				Guard: []Atom{{lSP, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(0, lSO), u(-1, lSP),
+				},
+			},
+			{
+				Name:  "hw-requeue",
+				Doc:   "handleSuspend on a queued lock waiter: dequeued with ReasonRequeue, the core re-executes LOCK on resume",
+				Guard: []Atom{{lHQ, GE, 1}},
+				Update: []Expr{
+					u(0, lEL), u(0, lED), u(0, lHO), u(-1, lHQ), u(0, lSO), u(0, lSP),
+				},
+			},
+		},
+		Unsafe: []Pred{
+			{Name: "two-hw-owners", Atoms: []Atom{{lHO, GE, 2}}},
+			{Name: "two-sw-holders", Atoms: []Atom{{lSO, GE, 2}}},
+			{Name: "hw-sw-split-ownership", Atoms: []Atom{{lHO, GE, 1}, {lSO, GE, 1}}},
+		},
+	}
+}
+
+// LockNoOMUCheck allocates a lock entry while threads are still active in
+// the software path (UnsafeNoOMUCheck on the lock path). Must verify Unsafe.
+func LockNoOMUCheck() *System {
+	sys := brokenCopy(LockMutex(), "no-omu-check")
+	const n = 6
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "alloc-grant", Rule{
+		Name:  "alloc-grant",
+		Doc:   "BROKEN (UnsafeNoOMUCheck): entry allocated and granted with software holders/waiters still live",
+		Guard: []Atom{{lEL, EQ, 0}, {lED, EQ, 0}},
+		Update: []Expr{
+			u(1), u(0, lED), u(1), u(0, lHQ), u(0, lSO), u(0, lSP),
+		},
+	})
+	return sys
+}
+
+// LockBlindSWStore breaks the software acquire: the fallback lock writes
+// the word without testing it (a CAS that lost its compare). Must verify
+// Unsafe.
+func LockBlindSWStore() *System {
+	sys := brokenCopy(LockMutex(), "blind-sw-store")
+	const n = 6
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "sw-acquire", Rule{
+		Name:  "sw-acquire",
+		Doc:   "BROKEN: swLock stores 1 without the free-word test (CAS without compare)",
+		Guard: []Atom{{lSP, GE, 1}},
+		Update: []Expr{
+			u(0, lEL), u(0, lED), u(0, lHO), u(0, lHQ), u(1, lSO), u(-1, lSP),
+		},
+	})
+	return sys
+}
+
+// LockPromoteHeld breaks promotion: the slice grants to the next waiter
+// without checking the entry's owner field (losing promote's owner==-1
+// early-return). Must verify Unsafe.
+func LockPromoteHeld() *System {
+	sys := brokenCopy(LockMutex(), "promote-held")
+	const n = 6
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "hw-promote", Rule{
+		Name:  "hw-promote",
+		Doc:   "BROKEN: promote grants a waiter while the entry still has an owner",
+		Guard: []Atom{{lEL, GE, 1}, {lHQ, GE, 1}},
+		Update: []Expr{
+			u(0, lEL), u(0, lED), u(1, lHO), u(-1, lHQ), u(0, lSO), u(0, lSP),
+		},
+	})
+	return sys
+}
+
+// --- Model 4: barrier epoch separation ---
+
+// Barrier variable indices: a two-epoch window over one barrier object.
+const (
+	bQ  = iota // computing in the current epoch, not yet arrived
+	bA         // arrived in the current epoch, waiting for release
+	bD         // released from the current epoch, computing in the next
+	bA2        // arrived at the NEXT episode already
+)
+
+// BarrierEpoch models epoch separation for one barrier (§4.2 and the
+// software central/tournament barriers): an episode may release only when
+// every participant has arrived, so no thread can reach the episode after
+// next while a thread still sits in the current one. Participant counts 1–4
+// are covered exhaustively; the ω init covers the unbounded tail (where a
+// release additionally requires the cofinite arrival refinement).
+func BarrierEpoch() *System {
+	const n = 4
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	return &System{
+		Name: "barrier-epoch",
+		Vars: []string{"q", "a", "d", "a2"},
+		Inits: []Config{
+			{N(1), N(0), N(0), N(0)},
+			{N(2), N(0), N(0), N(0)},
+			{N(3), N(0), N(0), N(0)},
+			{N(4), N(0), N(0), N(0)},
+			{Omega, N(0), N(0), N(0)},
+		},
+		Rules: []Rule{
+			{
+				Name:  "arrive",
+				Doc:   "Slice.handleBarrier waiters|=bit / syncrt centralBarrier FetchAdd; Checker.BarrierArrive",
+				Guard: []Atom{{bQ, GE, 1}},
+				Update: []Expr{
+					u(-1, bQ), u(1, bA), u(0, bD), u(0, bA2),
+				},
+			},
+			{
+				Name:  "release",
+				Doc:   "all arrived: Slice.handleBarrier responds Success to every waiter / centralBarrier publishes the release generation; Checker.BarrierRelease",
+				Guard: []Atom{{bQ, EQ, 0}, {bA, GE, 1}},
+				Update: []Expr{
+					u(0, bQ), u(0), u(0, bD, bA), u(0, bA2),
+				},
+			},
+			{
+				Name:  "next-arrive",
+				Doc:   "a released core reaches the same barrier's next episode (the next epoch's Checker.BarrierArrive)",
+				Guard: []Atom{{bD, GE, 1}},
+				Update: []Expr{
+					u(0, bQ), u(0, bA), u(-1, bD), u(1, bA2),
+				},
+			},
+			{
+				Name:  "shift",
+				Doc:   "epoch-window relabel: once no thread remains in epoch k, epoch k+1 becomes current (abstraction bookkeeping, no concrete transition)",
+				Guard: []Atom{{bQ, EQ, 0}, {bA, EQ, 0}},
+				Update: []Expr{
+					u(0, bD), u(0, bA2), u(0), u(0),
+				},
+			},
+		},
+		Unsafe: []Pred{
+			{Name: "two-epochs-ahead", Atoms: []Atom{{bQ, GE, 1}, {bA2, GE, 1}}},
+		},
+	}
+}
+
+// BarrierEarlyRelease drops the all-arrived guard: the episode releases
+// with participants still computing (the concrete shapes are a stale
+// arrival count — centralBarrier publishing the generation before the
+// reset — or a double arrival inflating the count). Must verify Unsafe.
+func BarrierEarlyRelease() *System {
+	sys := brokenCopy(BarrierEpoch(), "early-release")
+	const n = 4
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "release", Rule{
+		Name:  "release",
+		Doc:   "BROKEN: release fires before every participant arrived (stale/double-counted arrivals)",
+		Guard: []Atom{{bA, GE, 1}},
+		Update: []Expr{
+			u(0, bQ), u(0), u(0, bD, bA), u(0, bA2),
+		},
+	})
+	return sys
+}

@@ -1,0 +1,174 @@
+package verify
+
+import "testing"
+
+// TestShippedModelsCertifySafe is the certification itself: every pristine
+// model must be exhaustively Safe.
+func TestShippedModelsCertifySafe(t *testing.T) {
+	for _, m := range Models() {
+		m := m
+		t.Run(m.System.Name, func(t *testing.T) {
+			res, err := Explore(m.System)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Safe {
+				t.Fatalf("model reported UNSAFE:\n%s", WitnessString(res))
+			}
+			t.Logf("safe: explored=%d depth=%d saturated=%v", res.Explored, res.Depth, res.Saturated)
+		})
+	}
+}
+
+// TestBrokenVariantsDetected proves detection power: every deliberately
+// broken variant must be Unsafe, with a short, replayable witness.
+func TestBrokenVariantsDetected(t *testing.T) {
+	for _, m := range Models() {
+		for _, b := range m.Broken {
+			b := b
+			t.Run(b.Name, func(t *testing.T) {
+				res, err := Explore(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Safe {
+					t.Fatal("broken variant certified Safe: the checker lost detection power")
+				}
+				if len(res.Witness) == 0 && res.Init == "" {
+					t.Fatal("unsafe verdict without a witness")
+				}
+				replayWitness(t, b, res)
+				t.Logf("unsafe via %q in %d steps:\n%s", res.Unsafe, len(res.Witness), WitnessString(res))
+			})
+		}
+	}
+}
+
+// TestModelHygiene pins down structural expectations the rest of the PR
+// relies on: names are unique, every model declares invariants, broken
+// variants derive their names from the pristine model, and docs point at
+// concrete code.
+func TestModelHygiene(t *testing.T) {
+	models := Models()
+	if len(models) != 4 {
+		t.Fatalf("want 4 shipped models, got %d", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if err := m.System.Validate(); err != nil {
+			t.Errorf("%s: %v", m.System.Name, err)
+		}
+		if seen[m.System.Name] {
+			t.Errorf("duplicate model name %q", m.System.Name)
+		}
+		seen[m.System.Name] = true
+		if len(m.Invariants) == 0 {
+			t.Errorf("%s: no runtime invariants declared", m.System.Name)
+		}
+		if len(m.Broken) == 0 {
+			t.Errorf("%s: no broken variant to self-test detection", m.System.Name)
+		}
+		for _, r := range m.System.Rules {
+			if r.Doc == "" {
+				t.Errorf("%s: rule %q has no Doc naming its concrete transition", m.System.Name, r.Name)
+			}
+		}
+		for _, b := range m.Broken {
+			if got, want := b.Name[:len(m.System.Name)], m.System.Name; got != want {
+				t.Errorf("broken variant %q not derived from %q", b.Name, want)
+			}
+			if seen[b.Name] {
+				t.Errorf("duplicate variant name %q", b.Name)
+			}
+			seen[b.Name] = true
+		}
+	}
+	if _, ok := ModelByName("mesi"); !ok {
+		t.Error("ModelByName(mesi) not found")
+	}
+	if _, ok := ModelByName("nope"); ok {
+		t.Error("ModelByName(nope) should not resolve")
+	}
+}
+
+// TestBrokenVariantsDoNotMutatePristine guards brokenCopy's deep copy: the
+// broken constructors must not alias the pristine rule slices.
+func TestBrokenVariantsDoNotMutatePristine(t *testing.T) {
+	for _, m := range Models() {
+		_ = m.Broken // constructors already ran
+		res, err := Explore(m.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Safe {
+			t.Fatalf("%s became unsafe after building broken variants — aliasing bug", m.System.Name)
+		}
+	}
+	if err := recoverReplace(); err == "" {
+		t.Fatal("replaceRule on a missing rule should panic")
+	}
+}
+
+func recoverReplace() (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg, _ = r.(string)
+		}
+	}()
+	replaceRule(MESI(), "no-such-rule", Rule{})
+	return ""
+}
+
+// TestCertify asserts the aggregate certificate: OK, one entry per system,
+// broken entries flagged, and a schema the CI artifact can key on.
+func TestCertify(t *testing.T) {
+	cert, err := Certify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Schema != CertSchema {
+		t.Fatalf("schema = %q", cert.Schema)
+	}
+	if !cert.OK {
+		t.Fatalf("certificate not OK:\n%s", cert.Summary())
+	}
+	wantEntries := 0
+	for _, m := range Models() {
+		wantEntries += 1 + len(m.Broken)
+	}
+	if len(cert.Models) != wantEntries {
+		t.Fatalf("certificate has %d entries, want %d", len(cert.Models), wantEntries)
+	}
+	for _, mr := range cert.Models {
+		if mr.Broken && mr.Safe {
+			t.Errorf("%s: broken variant certified Safe", mr.System)
+		}
+		if !mr.Broken && !mr.Safe {
+			t.Errorf("%s: pristine model Unsafe", mr.System)
+		}
+		if mr.Rules == 0 {
+			t.Errorf("%s: zero rules in certificate", mr.System)
+		}
+	}
+	if _, err := cert.MarshalIndent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExplorationDeterminism: two explorations of the same model must agree
+// exactly — the BFS has no map-iteration dependence in its verdicts.
+func TestExplorationDeterminism(t *testing.T) {
+	for _, m := range Models() {
+		a, err := Explore(m.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Explore(m.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Explored != b.Explored || a.Depth != b.Depth || a.Safe != b.Safe {
+			t.Errorf("%s: non-deterministic exploration: %+v vs %+v", m.System.Name, a, b)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package verify is a small, dependency-free counter-system model checker
+// in the style of the staged-mrsc counter systems (SNIPPETS.md snippet 1):
+// a protocol is modeled as a vector of counters over an unbounded-thread
+// abstraction, with guarded linear rewrite rules and declared Unsafe
+// predicates, and certified by exhaustive reachability search over the
+// abstract configuration space.
+//
+// The abstract domain per counter is either an exact natural number or the
+// upward-closed interval [lo, ∞) — written ω when lo is 0 — so "arbitrarily
+// many threads" is a single abstract value and the configuration space is
+// finite. Guards refine interval values before a rule fires (a rule guarded
+// on x == 0 fires on x = [0,∞) by splitting off the x = 0 member), which
+// keeps the abstraction precise enough to certify the shipped protocol
+// models exactly while remaining a sound over-approximation: the checker
+// can report a false Unsafe, never a false Safe. See DESIGN.md §12.
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Val is an abstract counter value: an exact natural number (Inf false), or
+// the interval [Lo, ∞) of all naturals ≥ Lo (Inf true). Omega — any natural
+// number at all — is the interval [0, ∞).
+type Val struct {
+	Lo  int
+	Inf bool
+}
+
+// Omega is the unbounded-thread start value: any natural number.
+var Omega = Val{Lo: 0, Inf: true}
+
+// N is the exact value n.
+func N(n int) Val {
+	if n < 0 {
+		panic("verify: negative counter value")
+	}
+	return Val{Lo: n}
+}
+
+// AtLeast is the interval [n, ∞).
+func AtLeast(n int) Val {
+	if n < 0 {
+		n = 0
+	}
+	return Val{Lo: n, Inf: true}
+}
+
+// Contains reports whether the abstract value covers the concrete count n.
+func (v Val) Contains(n int) bool {
+	if n < 0 {
+		return false
+	}
+	if v.Inf {
+		return n >= v.Lo
+	}
+	return n == v.Lo
+}
+
+func (v Val) String() string {
+	if !v.Inf {
+		return fmt.Sprintf("%d", v.Lo)
+	}
+	if v.Lo == 0 {
+		return "ω"
+	}
+	return fmt.Sprintf("ω≥%d", v.Lo)
+}
+
+// Config is one abstract configuration: one Val per system variable.
+type Config []Val
+
+func (c Config) String() string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// clone returns an independent copy.
+func (c Config) clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// key encodes the configuration for the visited set. Lo values are bounded
+// by the saturation threshold, so two bytes per variable suffice.
+func (c Config) key() string {
+	b := make([]byte, 0, 2*len(c))
+	for _, v := range c {
+		inf := byte(0)
+		if v.Inf {
+			inf = 1
+		}
+		b = append(b, inf, byte(v.Lo))
+	}
+	return string(b)
+}
+
+// Expr is a linear combination of system variables plus a constant:
+// sum(Coef[i] * var[i]) + Const. Coefficients must be non-negative (the
+// counter-system idiom expresses decrements through the constant, e.g. the
+// MESI rule "i + s + e + m - 1"); evaluation rejects negative coefficients
+// so interval lower bounds stay sound.
+type Expr struct {
+	Coef  []int
+	Const int
+}
+
+// eval computes the abstract value of the expression under cfg. ok is false
+// when the result is provably negative (the rule cannot fire concretely).
+func (e Expr) eval(cfg Config, nvars int) (Val, bool) {
+	lo := e.Const
+	inf := false
+	for i, k := range e.Coef {
+		if k == 0 {
+			continue
+		}
+		if k < 0 {
+			panic("verify: negative coefficient in update expression")
+		}
+		v := cfg[i]
+		lo += k * v.Lo
+		if v.Inf {
+			inf = true
+		}
+	}
+	if !inf && lo < 0 {
+		return Val{}, false // exact negative: blocked
+	}
+	if lo < 0 {
+		lo = 0 // interval dipping below zero clamps to [0, ∞)
+	}
+	return Val{Lo: lo, Inf: inf}, true
+}
+
+// CmpOp is a guard comparison operator.
+type CmpOp uint8
+
+const (
+	GE CmpOp = iota // var >= C
+	EQ              // var == C
+	LE              // var <= C
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	case LE:
+		return "<="
+	}
+	return "?"
+}
+
+// Atom is one guard conjunct over a single variable: var Op C. Restricting
+// atoms to single variables keeps guard refinement exact (each atom can
+// split an interval value into its satisfying members).
+type Atom struct {
+	Var int
+	Op  CmpOp
+	C   int
+}
+
+// sat reports whether some concrete member of v satisfies the atom.
+func (a Atom) sat(v Val) bool {
+	if v.Inf {
+		switch a.Op {
+		case GE:
+			return true // unbounded above
+		case EQ:
+			return a.C >= v.Lo
+		case LE:
+			return v.Lo <= a.C
+		}
+	}
+	switch a.Op {
+	case GE:
+		return v.Lo >= a.C
+	case EQ:
+		return v.Lo == a.C
+	case LE:
+		return v.Lo <= a.C
+	}
+	return false
+}
+
+// refine returns the abstract values covering exactly the members of v that
+// satisfy the atom (empty when none do). An interval refined by LE or EQ
+// collapses to exact values; refinement by GE stays an interval.
+func (a Atom) refine(v Val) []Val {
+	if !a.sat(v) {
+		return nil
+	}
+	if !v.Inf {
+		return []Val{v}
+	}
+	switch a.Op {
+	case GE:
+		lo := v.Lo
+		if a.C > lo {
+			lo = a.C
+		}
+		return []Val{{Lo: lo, Inf: true}}
+	case EQ:
+		return []Val{{Lo: a.C}}
+	case LE:
+		out := make([]Val, 0, a.C-v.Lo+1)
+		for n := v.Lo; n <= a.C; n++ {
+			out = append(out, Val{Lo: n})
+		}
+		return out
+	}
+	return nil
+}
+
+// Rule is one guarded rewrite: when every Guard atom is satisfiable, the
+// configuration is refined through the guard and every counter is rewritten
+// to its Update expression. Doc names the concrete transition in the
+// simulator this abstract rule models (the bridge tests assert the mapping).
+type Rule struct {
+	Name   string
+	Doc    string
+	Guard  []Atom
+	Update []Expr
+}
+
+// Pred is one named Unsafe predicate: a conjunction of atoms. A system is
+// Unsafe when any reachable configuration satisfies any predicate.
+type Pred struct {
+	Name  string
+	Atoms []Atom
+}
+
+// System is a complete counter system.
+type System struct {
+	Name string
+	// Vars names the counters; every Config, Expr and Atom indexes into it.
+	Vars []string
+	// Inits are the initial configurations (ω-threads systems start from a
+	// single config with Omega in the thread pool; parameterized systems —
+	// the barrier's participant count — enumerate several).
+	Inits []Config
+	Rules []Rule
+	// Unsafe predicates, checked on every reachable configuration.
+	Unsafe []Pred
+	// Theta is the saturation threshold: exact values above it, and interval
+	// lower bounds above it, collapse to [Theta, ∞). Zero selects a bound
+	// derived from the largest constant in the system (never below 4), which
+	// preserves every guard and predicate's discriminating power.
+	Theta int
+}
+
+// theta resolves the saturation threshold.
+func (s *System) theta() int {
+	t := s.Theta
+	for _, r := range s.Rules {
+		for _, a := range r.Guard {
+			if a.C+1 > t {
+				t = a.C + 1
+			}
+		}
+	}
+	for _, p := range s.Unsafe {
+		for _, a := range p.Atoms {
+			if a.C+1 > t {
+				t = a.C + 1
+			}
+		}
+	}
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// Validate checks structural well-formedness.
+func (s *System) Validate() error {
+	n := len(s.Vars)
+	if n == 0 {
+		return fmt.Errorf("verify: system %q has no variables", s.Name)
+	}
+	if len(s.Inits) == 0 {
+		return fmt.Errorf("verify: system %q has no initial configurations", s.Name)
+	}
+	for _, c := range s.Inits {
+		if len(c) != n {
+			return fmt.Errorf("verify: system %q: init %v has %d values, want %d", s.Name, c, len(c), n)
+		}
+	}
+	if len(s.Rules) == 0 {
+		return fmt.Errorf("verify: system %q has no rules", s.Name)
+	}
+	if t := s.theta(); t > 255 {
+		return fmt.Errorf("verify: system %q: saturation threshold %d exceeds 255 (config keys encode one byte per bound)", s.Name, t)
+	}
+	for _, c := range s.Inits {
+		for _, v := range c {
+			if v.Lo < 0 {
+				return fmt.Errorf("verify: system %q: negative init value", s.Name)
+			}
+		}
+	}
+	names := map[string]bool{}
+	for _, r := range s.Rules {
+		if r.Name == "" {
+			return fmt.Errorf("verify: system %q has an unnamed rule", s.Name)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("verify: system %q: duplicate rule %q", s.Name, r.Name)
+		}
+		names[r.Name] = true
+		if len(r.Update) != n {
+			return fmt.Errorf("verify: system %q rule %q: %d updates, want %d", s.Name, r.Name, len(r.Update), n)
+		}
+		for _, u := range r.Update {
+			if len(u.Coef) != n {
+				return fmt.Errorf("verify: system %q rule %q: update with %d coefficients, want %d", s.Name, r.Name, len(u.Coef), n)
+			}
+			for _, k := range u.Coef {
+				if k < 0 {
+					return fmt.Errorf("verify: system %q rule %q: negative coefficient", s.Name, r.Name)
+				}
+			}
+		}
+		for _, a := range r.Guard {
+			if a.Var < 0 || a.Var >= n {
+				return fmt.Errorf("verify: system %q rule %q: guard variable %d out of range", s.Name, r.Name, a.Var)
+			}
+		}
+	}
+	if len(s.Unsafe) == 0 {
+		return fmt.Errorf("verify: system %q declares no Unsafe predicates", s.Name)
+	}
+	for _, p := range s.Unsafe {
+		if len(p.Atoms) == 0 {
+			return fmt.Errorf("verify: system %q: unsafe predicate %q has no atoms", s.Name, p.Name)
+		}
+		for _, a := range p.Atoms {
+			if a.Var < 0 || a.Var >= n {
+				return fmt.Errorf("verify: system %q: unsafe predicate %q variable out of range", s.Name, p.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// normalize saturates cfg in place against the threshold: any value whose
+// lower bound exceeds theta becomes [theta, ∞). This keeps the reachable
+// abstract space finite; it can only enlarge the represented set, so a Safe
+// verdict remains sound. sat reports whether saturation changed anything.
+func normalize(cfg Config, theta int) (saturated bool) {
+	for i, v := range cfg {
+		if v.Lo > theta {
+			cfg[i] = Val{Lo: theta, Inf: true}
+			saturated = true
+		}
+	}
+	return saturated
+}
+
+// refineAll splits cfg through the guard atoms, returning every maximal
+// sub-configuration on which all atoms hold (empty when the guard is
+// unsatisfiable). Atoms constrain single variables, so refinement is a
+// per-variable product; LE atoms over intervals fan out into exact values.
+func refineAll(cfg Config, guard []Atom) []Config {
+	out := []Config{cfg}
+	for _, a := range guard {
+		var next []Config
+		for _, c := range out {
+			for _, rv := range a.refine(c[a.Var]) {
+				if rv == c[a.Var] {
+					next = append(next, c)
+					continue
+				}
+				rc := c.clone()
+				rc[a.Var] = rv
+				next = append(next, rc)
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		out = next
+	}
+	return out
+}
+
+// unsafeAt returns the name of the first Unsafe predicate some member of
+// cfg satisfies, or "".
+func (s *System) unsafeAt(cfg Config) string {
+	for _, p := range s.Unsafe {
+		if len(refineAll(cfg, p.Atoms)) > 0 {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// Apply fires the named rule on cfg and returns the successor
+// configurations after guard refinement and saturation (nil when the guard
+// is unsatisfiable or the rule would drive a counter negative). The bridge
+// tests use it to replay concrete machine transitions rule by rule.
+func (s *System) Apply(cfg Config, rule string) []Config {
+	for _, r := range s.Rules {
+		if r.Name == rule {
+			succ, _ := s.apply(cfg, r)
+			return succ
+		}
+	}
+	panic(fmt.Sprintf("verify: system %q has no rule %q", s.Name, rule))
+}
+
+func (s *System) apply(cfg Config, r Rule) (out []Config, saturated bool) {
+	theta := s.theta()
+	n := len(s.Vars)
+	for _, rc := range refineAll(cfg, r.Guard) {
+		post := make(Config, n)
+		ok := true
+		for i, u := range r.Update {
+			v, valid := u.eval(rc, n)
+			if !valid {
+				ok = false
+				break
+			}
+			post[i] = v
+		}
+		if !ok {
+			continue
+		}
+		if normalize(post, theta) {
+			saturated = true
+		}
+		out = append(out, post)
+	}
+	return out, saturated
+}

@@ -49,6 +49,7 @@ import (
 	"misar/internal/store"
 	"misar/internal/syncrt"
 	"misar/internal/trace"
+	"misar/internal/verify"
 	"misar/internal/workload"
 )
 
@@ -220,3 +221,13 @@ type Store = store.Store
 // OpenStore opens a persistent result store rooted at dir, creating the
 // directory if needed. Multiple processes may share one store directory.
 var OpenStore = store.Open
+
+// VerifyModels returns the shipped protocol models (MESI, OMU exclusivity,
+// MSA lock mutex, barrier epochs) for the counter-abstraction model checker,
+// and CertifyModels explores them all — plus their deliberately-broken
+// variants — into a JSON-ready certificate (see DESIGN.md §12 and
+// cmd/misar-verify).
+var (
+	VerifyModels  = verify.Models
+	CertifyModels = verify.Certify
+)
