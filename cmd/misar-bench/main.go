@@ -156,6 +156,16 @@ func regressions(cur, prev []result, maxRegress float64) []string {
 	return bad
 }
 
+// find returns the named result, or nil.
+func find(rs []result, name string) *result {
+	for i := range rs {
+		if rs[i].Name == name {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1x", "benchtime for the figure benchmarks")
@@ -182,6 +192,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "misar-bench:", err)
 		os.Exit(1)
 	}
+	// Observability-overhead microbenchmarks: the flight recorder is always
+	// on in every machine, so its per-event cost is part of the kernel's
+	// perf contract and is gated like the engine itself. The churn pair
+	// needs millions of iterations for a stable 5% comparison — 200000x is
+	// dominated by scheduler noise on a loaded machine.
+	obsOut, err := run("./internal/obs", "BenchmarkFlightRecord$|BenchmarkEngineChurnBare$|BenchmarkEngineChurnFlight$", "2000000x")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	snapOut, err := run("./internal/obs", "BenchmarkFlightSnapshot$", "10000x")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
 
 	base := map[string]result{}
 	for _, b := range parse(baselineText) {
@@ -195,7 +220,10 @@ func main() {
 		BaselineCommit: "6fedd5c (seed kernel: container/heap engine, closure-per-hop NoC, unpooled messages)",
 		GeneratedAt:    time.Now().UTC(),
 	}
-	for _, r := range append(parse(figOut), parse(simOut)...) {
+	all := append(parse(figOut), parse(simOut)...)
+	all = append(all, parse(obsOut)...)
+	all = append(all, parse(snapOut)...)
+	for _, r := range all {
 		if b, ok := base[r.Name]; ok {
 			r.BaselineNsPerOp = b.NsPerOp
 			if r.NsPerOp > 0 {
@@ -225,6 +253,23 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d benchmarks, figure total %.2fs vs baseline %.2fs (%.2fx)\n",
 		*out, len(rep.Results), rep.TotalNs/1e9, rep.BaselineNs/1e9, rep.TotalSpeedup)
+
+	// The flight recorder's acceptance bar: the churn loop with one record
+	// per iteration (denser than any real simulation — measured app runs
+	// record one flight event per 3-6 fired engine events) must stay within
+	// 5% of the identical loop with a nil recorder. Both variants run
+	// back-to-back in one `go test` process so machine noise largely
+	// cancels out of the ratio.
+	bare, flight := find(rep.Results, "EngineChurnBare"), find(rep.Results, "EngineChurnFlight")
+	if bare != nil && flight != nil && bare.NsPerOp > 0 {
+		overhead := 100 * (flight.NsPerOp/bare.NsPerOp - 1)
+		fmt.Printf("flight-recorder overhead on EngineChurn: %.1f%% (limit 5%%)\n", overhead)
+		if overhead > 5 {
+			fmt.Fprintf(os.Stderr, "misar-bench: flight recorder costs %.1f%% on EngineChurn (%.1f vs %.1f ns/op), over the 5%% budget\n",
+				overhead, flight.NsPerOp, bare.NsPerOp)
+			os.Exit(1)
+		}
+	}
 
 	if *against != "" {
 		prevBuf, err := os.ReadFile(*against)

@@ -10,6 +10,13 @@
 //	curl -s -X POST localhost:8091/v1/jobs \
 //	    -d '{"app":"streamcluster","config":"msaomu2","tiles":16}'
 //
+// Observability (DESIGN.md §13): requests are traced end to end via the
+// X-Misar-Trace header (GET /v1/jobs/{id}/trace serves the spans as a
+// Chrome trace), finished jobs expose their machine's flight-recorder
+// ring at GET /v1/jobs/{id}/flight, GET /v1/timeseries samples queue
+// depth / in-flight / store hit-rate, structured JSON logs go to stderr
+// (-log), and /debug/pprof/ serves live profiles and runtime traces.
+//
 // On SIGINT/SIGTERM the server drains: admission stops (503), accepted jobs
 // finish and persist, then the process exits 0. A second signal — or an
 // expired -drain-timeout — hard-cancels the remaining jobs and exits 1.
@@ -20,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,14 +45,22 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "NDJSON progress heartbeat cadence")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job wall-clock cap (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "graceful drain deadline on SIGTERM")
+	logReq := flag.Bool("log", true, "structured request/job logging (JSON lines on stderr, tagged with trace IDs)")
+	sampleInterval := flag.Duration("sample-interval", 5*time.Second, "live-telemetry sampling cadence (/v1/timeseries)")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logReq {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	s, err := service.New(service.Options{
 		Workers:        *workers,
 		QueueLimit:     *queue,
 		StoreDir:       *storeDir,
 		Heartbeat:      *heartbeat,
 		DefaultTimeout: *jobTimeout,
+		Logger:         logger,
+		SampleInterval: *sampleInterval,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "misar-served:", err)

@@ -31,6 +31,7 @@ import (
 	"misar/internal/fault"
 	"misar/internal/harness"
 	"misar/internal/machine"
+	"misar/internal/obs"
 	"misar/internal/prof"
 	"misar/internal/service"
 	"misar/internal/service/client"
@@ -71,7 +72,6 @@ func main() {
 		for name, set := range map[string]bool{
 			"-config-file": *configFile != "",
 			"-save-config": *saveConfig != "",
-			"-trace-out":   *traceOut != "",
 			"-v":           *verbose,
 		} {
 			if set {
@@ -79,7 +79,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		os.Exit(runRemote(*remote, *appName, *config, *tiles, *faultSeed, *invariants, *report))
+		os.Exit(runRemote(*remote, *appName, *config, *tiles, *faultSeed, *invariants, *report, *traceOut))
 	}
 
 	app, ok := workload.ByName(*appName)
@@ -233,9 +233,15 @@ func main() {
 // runRemote submits the experiment (and its pthread baseline, for the
 // speedup line) to a misar-served instance and prints the result. Returns
 // the process exit code.
-func runRemote(addr, appName, config string, tiles int, faultSeed uint64, invariants bool, report string) int {
+//
+// The client mints the end-to-end trace ID: the server adopts it, so with
+// -trace-out the client-side submit span and every server-side span (queue
+// wait, store lookup, sim phases) land in ONE Chrome trace file.
+func runRemote(addr, appName, config string, tiles int, faultSeed uint64, invariants bool, report, traceOut string) int {
 	c := client.New(addr)
-	ctx := context.Background()
+	traceID := obs.NewTraceID()
+	spans := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(obs.WithTrace(context.Background(), traceID), spans)
 
 	req := service.JobRequest{
 		App:        appName,
@@ -299,6 +305,33 @@ func runRemote(addr, appName, config string, tiles int, faultSeed uint64, invari
 	}
 	fmt.Printf("source         %s (job %.1fs, round-trip %v)\n",
 		source, float64(final.ElapsedMS)/1000, wall.Round(time.Millisecond))
+	if final.Trace != "" {
+		fmt.Printf("trace id       %s\n", final.Trace)
+	}
+
+	if traceOut != "" {
+		merged := append([]trace.Span{}, final.Spans...)
+		merged = append(merged, spans.SpansFor(traceID)...)
+		if len(merged) == 0 {
+			fmt.Fprintln(os.Stderr, "misar-sim: remote returned no spans for the trace file")
+			return 1
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			return 1
+		}
+		if err := trace.WriteChromeSpans(f, merged); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-sim:", err)
+			return 1
+		}
+		fmt.Printf("trace          wrote %s (%d spans, open in ui.perfetto.dev)\n", traceOut, len(merged))
+	}
 
 	if report != "" {
 		if res.Report == nil {

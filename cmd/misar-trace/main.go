@@ -8,20 +8,30 @@
 //	misar-trace -app fluidanimate -tiles 8 -last 40
 //	misar-trace -app streamcluster -tiles 16 -addr 0x1000040
 //	misar-trace -app fluidanimate -tiles 8 -format chrome > trace.json
+//	misar-trace -from-flight flight.json -format chrome > trace.json
 //
 // -format chrome emits the timeline as Chrome trace-event JSON on stdout,
 // loadable in ui.perfetto.dev or chrome://tracing.
+//
+// -from-flight renders a flight-recorder dump instead of running a
+// simulation: the JSON served by misar-served's GET /v1/jobs/{id}/flight
+// (or embedded in a liveness/safety/panic error), so the tail of events
+// leading up to a failure opens in the same text or Perfetto views as a
+// live trace. "-" reads the dump from stdin.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"misar/internal/machine"
 	"misar/internal/memory"
+	"misar/internal/obs"
 	"misar/internal/syncrt"
 	"misar/internal/trace"
 	"misar/internal/workload"
@@ -35,11 +45,20 @@ func main() {
 	last := flag.Int("last", 100, "print only the last N events (0 = all)")
 	addr := flag.String("addr", "", "filter to one sync address (hex)")
 	format := flag.String("format", "text", "output format: text or chrome (trace-event JSON for Perfetto)")
+	fromFlight := flag.String("from-flight", "", "render a flight-recorder dump (JSON file, or - for stdin) instead of simulating")
 	flag.Parse()
 
 	if *format != "text" && *format != "chrome" {
 		fmt.Fprintf(os.Stderr, "misar-trace: unknown -format %q (want text or chrome)\n", *format)
 		os.Exit(2)
+	}
+
+	if *fromFlight != "" {
+		if err := renderFlight(*fromFlight, *format, *last); err != nil {
+			fmt.Fprintln(os.Stderr, "misar-trace:", err)
+			os.Exit(2) // bad input, same convention as -app/-addr
+		}
+		return
 	}
 
 	app, ok := workload.ByName(*appName)
@@ -80,10 +99,54 @@ func main() {
 	}
 	fmt.Printf("# %s on %s: %d cycles, %d events recorded (%d dropped, %d filtered)\n",
 		app.Name, cfg.Name, cycles, len(events), buf.Dropped, buf.Filtered)
+	printText(events, *last)
+}
+
+// renderFlight decodes a flight-recorder dump and renders it through the
+// same text/chrome paths as a live protocol trace.
+func renderFlight(path, format string, last int) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var dump obs.FlightDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("decode flight dump: %w", err)
+	}
+	if dump.Schema != "" && dump.Schema != obs.FlightDumpSchema {
+		return fmt.Errorf("unknown flight dump schema %q (want %q)", dump.Schema, obs.FlightDumpSchema)
+	}
+	events := obs.TraceEvents(dump.Events)
+	if format == "chrome" {
+		return trace.WriteChrome(os.Stdout, events)
+	}
+	label := dump.Label
+	if label == "" {
+		label = "(unlabelled)"
+	}
+	fmt.Printf("# flight dump %s: job %s, trace %s, %d of %d total events retained\n",
+		label, orDash(dump.Job), orDash(dump.Trace), len(dump.Events), dump.Total)
+	printText(events, last)
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func printText(events []trace.Event, last int) {
 	fmt.Printf("# %10s  %-7s %-8s %-8s %-11s detail\n", "cycle", "tile", "kind", "core", "addr")
-	if *last > 0 && len(events) > *last {
-		fmt.Printf("# ... %d earlier events elided (use -last 0 for all)\n", len(events)-*last)
-		events = events[len(events)-*last:]
+	if last > 0 && len(events) > last {
+		fmt.Printf("# ... %d earlier events elided (use -last 0 for all)\n", len(events)-last)
+		events = events[len(events)-last:]
 	}
 	for _, ev := range events {
 		fmt.Println(ev)

@@ -6,8 +6,15 @@ import (
 	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/obs"
 	"misar/internal/trace"
 )
+
+// msaMsgNames decodes msaMsgKind for the protocol tracer and the flight
+// recorder (registered so obs can render FMsaMsg args without importing core).
+var msaMsgNames = [...]string{"unlock&pin", "unlock&pin-resp", "lock-behalf", "unpin", "omu-adjust"}
+
+func init() { obs.RegisterArgNames(obs.FMsaMsg, msaMsgNames[:]) }
 
 // Condition-variable support (§4.3). A COND_WAIT atomically releases the
 // associated lock and enqueues the waiter; the release travels to the lock's
@@ -128,9 +135,9 @@ func (s *Slice) suspendCondWaiter(e *entry, c int) {
 
 // HandleMsa processes an MSA-to-MSA message.
 func (s *Slice) HandleMsa(m *MsaMsg) {
+	s.fl(obs.FMsaMsg, m.Lock, m.Core, uint32(m.Kind))
 	if s.tracer != nil {
-		names := [...]string{"unlock&pin", "unlock&pin-resp", "lock-behalf", "unpin", "omu-adjust"}
-		s.trace(trace.MsaInternal, m.Lock, m.Core, names[m.Kind])
+		s.trace(trace.MsaInternal, m.Lock, m.Core, msaMsgNames[m.Kind])
 	}
 	switch m.Kind {
 	case kindUnlockPin:

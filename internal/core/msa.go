@@ -9,6 +9,7 @@ import (
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
+	"misar/internal/obs"
 	"misar/internal/sim"
 	"misar/internal/trace"
 )
@@ -176,6 +177,7 @@ type Slice struct {
 	tick    uint64 // op counter for LRU standby reclaim
 	stats   Stats
 	tracer  *trace.Buffer // nil unless protocol tracing is attached
+	flight  *obs.FlightRecorder
 
 	// inj/check are the fault-injection and safety-invariant hooks. Both
 	// are nil-receiver-safe (the disabled machine pays one comparison per
@@ -207,6 +209,12 @@ type sliceMetrics struct {
 
 // SetTracer attaches a protocol-event recorder (nil detaches).
 func (s *Slice) SetTracer(b *trace.Buffer) { s.tracer = b }
+
+// SetFlight attaches the machine's always-on flight recorder (nil detaches).
+// Unlike the tracer — opt-in, unbounded, rich — the flight ring is fixed-size
+// and allocation-free, so it stays attached on every run and its tail is
+// dumped into liveness/safety/panic errors.
+func (s *Slice) SetFlight(f *obs.FlightRecorder) { s.flight = f }
 
 // SetInjector attaches the fault injector (nil detaches).
 func (s *Slice) SetInjector(i *fault.Injector) { s.inj = i }
@@ -241,6 +249,19 @@ func (s *Slice) SetMetrics(reg *metrics.Registry) {
 		revokes:     reg.Counter(n("revokes")),
 	}
 	s.swActive = make(map[memory.Addr]int)
+}
+
+// fl records one flight-ring event. The guard keeps detached slices (unit
+// tests building a bare Slice) at one comparison; attached recording is a
+// single ring-slot store (obs.FlightRecorder.Record), no allocations.
+func (s *Slice) fl(kind obs.FlightKind, addr memory.Addr, core int, arg uint32) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.Record(obs.FlightEvent{
+		At: s.engine.Now(), Kind: kind, Tile: int16(s.tile),
+		Core: int16(core), Addr: addr, Arg: arg,
+	})
 }
 
 // trace records a protocol event when tracing is attached.
@@ -331,6 +352,7 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	if s.cfg.OMUEnabled && !s.cfg.UnsafeNoOMUCheck && s.omu.ActiveSW(addr) {
 		s.stats.OMUSteers++
 		s.met.omuSteers.Inc()
+		s.fl(obs.FSteer, addr, -1, uint32(typ))
 		if s.swActive != nil && s.swActive[addr] == 0 {
 			s.met.falseSteers.Inc()
 		}
@@ -342,6 +364,7 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	if s.cfg.OMUEnabled && s.inj.ForceSteer() {
 		s.stats.OMUSteers++
 		s.met.omuSteers.Inc()
+		s.fl(obs.FSteer, addr, -1, uint32(typ))
 		s.trace(trace.Steer, addr, -1, "forced steer (fault)")
 		return nil
 	}
@@ -357,6 +380,7 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	if e == nil {
 		s.stats.CapacitySteers++
 		s.met.capSteers.Inc()
+		s.fl(obs.FCapSteer, addr, -1, uint32(typ))
 		// Kick off a background reclaim of a standby entry (revoke its
 		// HWSync block, then free it) so a future request finds room.
 		s.startReclaim(nil)
@@ -366,6 +390,7 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	s.met.allocs.Inc()
 	s.tick++
 	*e = entry{valid: true, typ: typ, addr: addr, owner: -1, standbyCore: -1, pinCore: -1, lastUse: s.tick}
+	s.fl(obs.FAlloc, addr, -1, uint32(typ))
 	s.trace(trace.EntryAlloc, addr, -1, typ.String())
 	// Invariant: no thread may be active in the software path of addr while
 	// an MSA entry goes live for it (OMU exclusivity, PAPER.md §3.2).
@@ -413,6 +438,7 @@ func (s *Slice) freeEntry() *entry {
 			s.stats.Deallocs++
 			s.met.reclaims.Inc()
 			s.met.deallocs.Inc()
+			s.fl(obs.FFree, e.addr, e.standbyCore, uint32(e.typ))
 			e.valid = false
 			return e
 		}
@@ -446,6 +472,7 @@ func (s *Slice) dealloc(e *entry) {
 	}
 	s.stats.Deallocs++
 	s.met.deallocs.Inc()
+	s.fl(obs.FFree, e.addr, -1, uint32(e.typ))
 	s.trace(trace.EntryFree, e.addr, -1, e.typ.String())
 	e.valid = false
 }
@@ -459,6 +486,7 @@ func (s *Slice) respond(core int, op isa.SyncOp, addr memory.Addr, res isa.Resul
 	if s.tracer != nil { // guard: the detail concat allocates
 		s.trace(trace.SyncResp, addr, core, op.String()+" "+res.String())
 	}
+	s.fl(obs.FMsaResp, addr, core, uint32(op)<<8|uint32(res))
 	s.send(core, s.respPool.Get(Resp{Op: op, Addr: addr, Core: core, Result: res, Reason: reason}))
 }
 
@@ -522,6 +550,7 @@ func (s *Slice) HandleReq(r *Req) {
 		panic(fmt.Sprintf("core: tile %d is not home of sync addr %#x", s.tile, r.Addr))
 	}
 	s.lastReq = s.engine.Now()
+	s.fl(obs.FMsaReq, r.Addr, r.Core, uint32(r.Op))
 	s.trace(trace.SyncReq, r.Addr, r.Core, r.Op.String())
 	// Fault site: spurious un-steer — run a standby-reclaim sweep with no
 	// capacity pressure, revoking a silent holder's re-acquire privilege.
@@ -601,6 +630,7 @@ func (s *Slice) enqueueLocker(e *entry, core int, respOp isa.SyncOp, respAddr me
 			e.revoking = true
 			s.stats.Revokes++
 			s.met.revokes.Inc()
+			s.fl(obs.FRevoke, e.addr, e.standbyCore, 0)
 			s.trace(trace.Revoke, e.addr, e.standbyCore, "revoke before grant")
 			s.dir.Revoke(memory.LineOf(e.addr), func() { s.afterRevoke(e) })
 			return
@@ -662,6 +692,7 @@ func (s *Slice) startReclaim(except *entry) {
 	victim.reclaiming = true
 	s.stats.Revokes++
 	s.met.revokes.Inc()
+	s.fl(obs.FReclaim, victim.addr, victim.standbyCore, uint32(victim.typ))
 	s.trace(trace.EntryRecl, victim.addr, victim.standbyCore, "reclaim start")
 	s.dir.Revoke(memory.LineOf(victim.addr), func() { s.afterRevoke(victim) })
 }
@@ -709,6 +740,7 @@ func (s *Slice) promote(e *entry) {
 		e.grantsOut++
 		s.stats.Grants++
 		s.met.grants.Inc()
+		s.fl(obs.FGrant, e.addr, next, 0)
 		s.trace(trace.Grant, e.addr, next, "block grant")
 		s.dir.GrantExclusive(memory.LineOf(e.addr), next, func() {
 			e.grantsOut--
@@ -815,6 +847,7 @@ func (s *Slice) maybeRetire(e *entry) {
 		// the next allocation does not have to fall back to software.
 		e.standby = true
 		s.met.standbys.Inc()
+		s.fl(obs.FStandby, e.addr, e.standbyCore, uint32(e.typ))
 		s.trace(trace.EntryStand, e.addr, e.standbyCore, "standby")
 		if s.cfg.OMUEnabled && !s.hasFreeSlot() {
 			s.startReclaim(e)
@@ -838,6 +871,7 @@ func (s *Slice) handleLockSilent(r *Req) {
 	}
 	s.stats.SilentLocks++
 	s.met.silentLocks.Inc()
+	s.fl(obs.FSilent, r.Addr, r.Core, 0)
 	s.trace(trace.Silent, r.Addr, r.Core, "silent acquire")
 	e.owner = r.Core
 	e.standby = false

@@ -10,6 +10,7 @@ import (
 
 	"misar/internal/machine"
 	"misar/internal/metrics"
+	"misar/internal/obs"
 	"misar/internal/sim"
 	"misar/internal/store"
 	"misar/internal/syncrt"
@@ -152,6 +153,21 @@ func (r *Run) Micro() (workload.MicroResult, error) {
 func (r *Run) Report() *metrics.Report {
 	<-r.done
 	return r.report
+}
+
+// Flight blocks until the run completes and returns the machine's
+// flight-recorder dump: the events embedded in a structured failure
+// (machine.FlightOf), or the finished machine's ring on success. Nil for
+// store replays and micro runs, which carry no machine.
+func (r *Run) Flight() []obs.FlightEvent {
+	<-r.done
+	if f := machine.FlightOf(r.err); f != nil {
+		return f
+	}
+	if r.m != nil {
+		return r.m.Flight.Events()
+	}
+	return nil
 }
 
 // NewRunner returns a Runner executing at most workers simulations
@@ -379,7 +395,11 @@ func (r *Runner) submit(ctx context.Context, kind string, key runKey, skey strin
 		return existing
 	}
 	run := &Run{label: label, kind: kind, done: make(chan struct{})}
-	runCtx, cancel := context.WithCancel(context.Background())
+	// The run's lifecycle detaches from the submitter (it must outlive an
+	// impatient caller when sharers remain), but its observability identity
+	// does not: the first submitter's trace ID and span recorder ride along,
+	// so a served job's queue wait and simulation phases land in its trace.
+	runCtx, cancel := context.WithCancel(obs.Transfer(context.Background(), ctx))
 	run.sc = newSharedCancel(cancel)
 	run.sc.attach(ctx, run.done)
 	r.cache[key] = run
@@ -391,13 +411,23 @@ func (r *Runner) submit(ctx context.Context, kind string, key runKey, skey strin
 	go func() {
 		defer cancel()
 		start := time.Now()
-		storeHit := st != nil && skey != "" && r.tryStore(st, skey, run)
+		var storeHit bool
+		if st != nil && skey != "" {
+			look := obs.StartSpan(runCtx, "harness", "store.lookup")
+			storeHit = r.tryStore(st, skey, run)
+			look.SetArg("label", label)
+			look.SetArg("hit", fmt.Sprint(storeHit))
+			look.End()
+		}
 		if storeHit {
 			r.mu.Lock()
 			r.storeHits++
 			r.mu.Unlock()
 		} else {
+			wait := obs.StartSpan(runCtx, "harness", "queue.wait")
 			r.sem <- struct{}{}
+			wait.SetArg("label", label)
+			wait.End()
 			if runCtx.Err() != nil {
 				// Every submitter gave up before a worker freed up; don't
 				// burn the slot on a run nobody is waiting for.

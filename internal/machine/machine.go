@@ -19,10 +19,24 @@ import (
 	"misar/internal/memory"
 	"misar/internal/metrics"
 	"misar/internal/noc"
+	"misar/internal/obs"
 	"misar/internal/sim"
 	"misar/internal/stats"
 	"misar/internal/trace"
 )
+
+// cohMsgNames decodes coherence.MsgKind values for the flight recorder's
+// FCoh events. Registered from here because obs cannot import coherence
+// (the dependency points the other way).
+var cohMsgNames = func() []string {
+	names := make([]string, int(coherence.MsgFwdMiss)+1)
+	for k := range names {
+		names[k] = coherence.MsgKind(k).String()
+	}
+	return names
+}()
+
+func init() { obs.RegisterArgNames(obs.FCoh, cohMsgNames) }
 
 // Config describes one machine.
 type Config struct {
@@ -177,6 +191,13 @@ type Machine struct {
 	Injector *fault.Injector
 	// Checker records safety-invariant violations (nil unless Cfg.Invariants).
 	Checker *fault.Checker
+	// Flight is the always-on flight recorder: a fixed ring of the most
+	// recent protocol events (MSA ops, OMU steers, entry lifecycle,
+	// coherence deliveries), dumped into LivenessError/SafetyError/
+	// PanicError so failures carry their own last moments. It is not a
+	// Config knob — Config stays a pure value for memo/store fingerprints —
+	// and recording is allocation-free, so every machine carries one.
+	Flight *obs.FlightRecorder
 
 	collected bool // machine-wide totals already folded into Metrics
 }
@@ -197,6 +218,7 @@ func New(cfg Config) *Machine {
 		Dirs:   make([]*coherence.Directory, cfg.Tiles),
 		Slices: make([]*corepkg.Slice, cfg.Tiles),
 		Cores:  make([]*cpu.Core, cfg.Tiles),
+		Flight: obs.NewFlightRecorder(0),
 	}
 	var ideal *cpu.Ideal
 	if cfg.CPU.Mode == cpu.ModeIdeal {
@@ -236,9 +258,16 @@ func New(cfg Config) *Machine {
 			}, ideal)
 		m.Cores[i].SetReqPool(reqPool)
 		m.Slices[i].SetRespPool(respPool)
+		m.Slices[i].SetFlight(m.Flight)
 		net.Attach(i, func(nm *noc.Message) {
 			switch p := nm.Payload.(type) {
 			case *coherence.Msg:
+				// Every coherence message funnels through here on delivery,
+				// so one record covers NoC traffic and protocol transitions.
+				m.Flight.Record(obs.FlightEvent{
+					At: engine.Now(), Kind: obs.FCoh, Tile: int16(i),
+					Core: int16(p.Core), Addr: p.Line, Arg: uint32(p.Kind),
+				})
 				switch p.Kind {
 				case coherence.RspDataS, coherence.RspDataE, coherence.MsgInv, coherence.MsgFwd:
 					m.L1s[i].Handle(p)
@@ -336,7 +365,7 @@ func (m *Machine) RunCtx(ctx context.Context, deadline sim.Time) (_ sim.Time, er
 			// so their goroutines unwind instead of leaking, then surface
 			// the panic as a structured error the harness can tag.
 			m.Complex.Kill()
-			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+			err = &PanicError{Value: r, Stack: string(debug.Stack()), Flight: m.Flight.Events()}
 		}
 	}()
 	var drained bool
@@ -361,14 +390,14 @@ func (m *Machine) RunCtx(ctx context.Context, deadline sim.Time) (_ sim.Time, er
 	}
 	if !drained {
 		reason := fmt.Sprintf("machine: deadline %d reached with work pending", deadline)
-		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason)}
+		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason), Flight: m.Flight.Events()}
 	}
 	if r := m.Complex.Running(); r > 0 {
 		reason := fmt.Sprintf("machine: quiesced with %d threads blocked (deadlock)", r)
-		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason)}
+		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason), Flight: m.Flight.Events()}
 	}
 	if v := m.Checker.Violations(); len(v) > 0 {
-		return m.Engine.Now(), &SafetyError{Violations: v}
+		return m.Engine.Now(), &SafetyError{Violations: v, Flight: m.Flight.Events()}
 	}
 	return m.Engine.Now(), nil
 }

@@ -12,6 +12,7 @@ package machine
 // a single deterministic seed.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,8 +21,29 @@ import (
 	"misar/internal/fault"
 	"misar/internal/isa"
 	"misar/internal/memory"
+	"misar/internal/obs"
 	"misar/internal/sim"
 )
+
+// FlightOf extracts the flight-recorder dump carried by a structured run
+// error (LivenessError, SafetyError, PanicError), or nil for other errors.
+// Callers get the machine's last protocol events without caring which
+// failure class produced them.
+func FlightOf(err error) []obs.FlightEvent {
+	var le *LivenessError
+	if errors.As(err, &le) {
+		return le.Flight
+	}
+	var se *SafetyError
+	if errors.As(err, &se) {
+		return se.Flight
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe.Flight
+	}
+	return nil
+}
 
 // ThreadDiag describes one unfinished thread at diagnosis time.
 type ThreadDiag struct {
@@ -331,6 +353,9 @@ func normalizeCycle(c []int) []int {
 type LivenessError struct {
 	Reason string
 	Diag   *Diagnosis
+	// Flight is the machine's flight-recorder tail at failure time: the
+	// last protocol events leading into the hang (see obs.FlightRecorder).
+	Flight []obs.FlightEvent
 }
 
 func (e *LivenessError) Error() string {
@@ -346,6 +371,8 @@ func (e *LivenessError) Error() string {
 // separation was broken along the way).
 type SafetyError struct {
 	Violations []fault.Violation
+	// Flight is the flight-recorder tail at completion (see LivenessError).
+	Flight []obs.FlightEvent
 }
 
 func (e *SafetyError) Error() string {
@@ -363,6 +390,8 @@ func (e *SafetyError) Error() string {
 type PanicError struct {
 	Value any
 	Stack string
+	// Flight is the flight-recorder tail at the panic (see LivenessError).
+	Flight []obs.FlightEvent
 }
 
 func (e *PanicError) Error() string {

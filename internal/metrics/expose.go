@@ -26,6 +26,9 @@ func WriteText(w io.Writer, prefix string, s Snapshot) error {
 	for name, v := range s.Gauges {
 		add(name, "%d", v)
 	}
+	for name, v := range s.Levels {
+		add(name, "%d", v)
+	}
 	for name, h := range s.Histograms {
 		add(name+"_count", "%d", h.Count)
 		add(name+"_sum", "%d", h.Sum)

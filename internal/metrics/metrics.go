@@ -72,6 +72,39 @@ func (g *Gauge) Value() uint64 {
 	return g.v
 }
 
+// LevelGauge is a true level instrument: it tracks the *current* value of a
+// quantity that rises and falls (queue depth, jobs in flight), where Gauge
+// deliberately retains only the maximum. Keep both when a level matters
+// operationally and its high-water mark matters for capacity planning: the
+// convention is the level under the plain name and the watermark under
+// "<name>.max". A nil LevelGauge records nothing. Like every instrument
+// here it is not internally synchronized — writers serialize externally
+// (the sim is single-threaded; the serving layer holds its metrics lock).
+type LevelGauge struct{ v int64 }
+
+// Set replaces the level. Safe on a nil receiver.
+func (g *LevelGauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the level by delta (negative to decrease). Safe on a nil
+// receiver.
+func (g *LevelGauge) Add(delta int64) {
+	if g != nil {
+		g.v += delta
+	}
+}
+
+// Value returns the current level (0 for nil).
+func (g *LevelGauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
 // Histogram is a power-of-two bucketed latency histogram (see
 // stats.Histogram for the bucket-edge semantics). A nil Histogram records
 // nothing.
@@ -110,6 +143,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	levels     map[string]*LevelGauge
 	histograms map[string]*Histogram
 }
 
@@ -118,6 +152,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
+		levels:     make(map[string]*LevelGauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -150,6 +185,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// Level returns the level gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Level(name string) *LevelGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.levels[name]
+	if !ok {
+		g = &LevelGauge{}
+		r.levels[name] = g
 	}
 	return g
 }
@@ -210,6 +261,7 @@ func SnapshotHistogram(h *stats.Histogram) HistogramSnapshot {
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]uint64            `json:"gauges,omitempty"`
+	Levels     map[string]int64             `json:"levels,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
@@ -231,6 +283,12 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[name] = g.Value()
 		}
 	}
+	if len(r.levels) > 0 {
+		s.Levels = make(map[string]int64, len(r.levels))
+		for name, g := range r.levels {
+			s.Levels[name] = g.Value()
+		}
+	}
 	if len(r.histograms) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
 		for name, h := range r.histograms {
@@ -248,12 +306,15 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.levels)+len(r.histograms))
 	for n := range r.counters {
 		out = append(out, "counter:"+n)
 	}
 	for n := range r.gauges {
 		out = append(out, "gauge:"+n)
+	}
+	for n := range r.levels {
+		out = append(out, "level:"+n)
 	}
 	for n := range r.histograms {
 		out = append(out, "histogram:"+n)

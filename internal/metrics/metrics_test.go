@@ -79,13 +79,46 @@ func TestGaugeKeepsMax(t *testing.T) {
 	}
 }
 
+func TestLevelGaugeTracksCurrentValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Level("serve.queue.depth")
+	g.Add(3)
+	g.Add(-2)
+	if g.Value() != 1 {
+		t.Fatalf("level = %d, want 1 (levels must go down, not keep max)", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("level = %d after Set, want 7", g.Value())
+	}
+	if got := r.Snapshot().Levels["serve.queue.depth"]; got != 7 {
+		t.Fatalf("snapshot level = %d, want 7", got)
+	}
+	// Identity: re-resolution returns the same instrument.
+	if r.Level("serve.queue.depth") != g {
+		t.Fatal("Level did not memoize")
+	}
+	// Nil safety.
+	var ng *LevelGauge
+	ng.Set(5)
+	ng.Add(1)
+	if ng.Value() != 0 {
+		t.Fatal("nil level gauge recorded")
+	}
+	var nr *Registry
+	if nr.Level("x") != nil {
+		t.Fatal("nil registry returned a live level gauge")
+	}
+}
+
 func TestNames(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b")
 	r.Gauge("a")
 	r.Histogram("c")
+	r.Level("d")
 	got := r.Names()
-	want := []string{"counter:b", "gauge:a", "histogram:c"}
+	want := []string{"counter:b", "gauge:a", "histogram:c", "level:d"}
 	if len(got) != len(want) {
 		t.Fatalf("names = %v", got)
 	}

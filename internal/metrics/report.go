@@ -42,11 +42,13 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		*alias
 		Counters   map[string]uint64            `json:"counters"`
 		Gauges     map[string]uint64            `json:"gauges,omitempty"`
+		Levels     map[string]int64             `json:"levels,omitempty"`
 		Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	}{
 		alias:      (*alias)(r),
 		Counters:   r.Metrics.Counters,
 		Gauges:     r.Metrics.Gauges,
+		Levels:     r.Metrics.Levels,
 		Histograms: r.Metrics.Histograms,
 	})
 }
@@ -58,12 +60,13 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 		*alias
 		Counters   map[string]uint64            `json:"counters"`
 		Gauges     map[string]uint64            `json:"gauges"`
+		Levels     map[string]int64             `json:"levels"`
 		Histograms map[string]HistogramSnapshot `json:"histograms"`
 	}{alias: (*alias)(r)}
 	if err := json.Unmarshal(b, &aux); err != nil {
 		return err
 	}
-	r.Metrics = Snapshot{Counters: aux.Counters, Gauges: aux.Gauges, Histograms: aux.Histograms}
+	r.Metrics = Snapshot{Counters: aux.Counters, Gauges: aux.Gauges, Levels: aux.Levels, Histograms: aux.Histograms}
 	if r.Metrics.Counters == nil {
 		r.Metrics.Counters = map[string]uint64{}
 	}

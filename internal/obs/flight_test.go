@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"misar/internal/isa"
+	"misar/internal/sim"
+	"misar/internal/trace"
+)
+
+func at(i int) sim.Time { return sim.Time(i) }
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightEvent{At: at(i), Kind: FMsaReq, Tile: int16(i)})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	evs := f.Events()
+	for i, ev := range evs {
+		if want := at(6 + i); ev.At != want {
+			t.Errorf("event %d at cycle %d, want %d (oldest-first after wrap)", i, ev.At, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(FlightEvent{At: 1})
+	f.Record(FlightEvent{At: 2})
+	evs := f.Events()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("partial fill events = %+v", evs)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{}) // must not panic
+	if f.Len() != 0 || f.Total() != 0 || f.Events() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestFlightRecordZeroAllocs(t *testing.T) {
+	f := NewFlightRecorder(64)
+	ev := FlightEvent{At: 3, Kind: FMsaReq, Tile: 1, Core: 2, Addr: 0x40, Arg: uint32(isa.OpLock)}
+	allocs := testing.AllocsPerRun(1000, func() { f.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFlightEventJSONRoundTrip(t *testing.T) {
+	in := []FlightEvent{
+		{At: 100, Kind: FMsaReq, Tile: 3, Core: 7, Addr: 0x1000040, Arg: uint32(isa.OpLock)},
+		{At: 150, Kind: FMsaResp, Tile: 3, Core: 7, Addr: 0x1000040,
+			Arg: uint32(isa.OpLock)<<8 | uint32(isa.Fail)},
+		{At: 160, Kind: FSteer, Tile: 3, Core: -1, Addr: 0x1000040, Arg: uint32(isa.TypeLock)},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []FlightEvent
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost events: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("event %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	if !strings.Contains(string(blob), `"kind":"msa-resp"`) {
+		t.Errorf("marshalled form should name kinds: %s", blob)
+	}
+}
+
+func TestFlightEventDetail(t *testing.T) {
+	resp := FlightEvent{Kind: FMsaResp, Arg: uint32(isa.OpLock)<<8 | uint32(isa.Fail)}
+	if d := resp.Detail(); !strings.Contains(d, "LOCK") || !strings.Contains(d, "FAIL") {
+		t.Errorf("resp detail %q should carry op and result", d)
+	}
+	RegisterArgNames(FCoh, []string{"GetS", "GetX"})
+	if d := (FlightEvent{Kind: FCoh, Arg: 1}).Detail(); d != "GetX" {
+		t.Errorf("registered arg name not used: %q", d)
+	}
+	if d := (FlightEvent{Kind: FCoh, Arg: 99}).Detail(); d != "arg=99" {
+		t.Errorf("out-of-range arg should render numerically, got %q", d)
+	}
+}
+
+func TestFlightTraceEventConversion(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(FlightEvent{At: 10, Kind: FMsaReq, Tile: 2, Core: 5, Addr: 0x40, Arg: uint32(isa.OpBarrier)})
+	f.Record(FlightEvent{At: 20, Kind: FGrant, Tile: 2, Core: 5, Addr: 0x40})
+	evs := TraceEvents(f.Events())
+	if evs[0].Kind != trace.SyncReq || evs[1].Kind != trace.Grant {
+		t.Fatalf("converted kinds = %v, %v", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[0].Tile != 2 || evs[0].Core != 5 || evs[0].Addr != 0x40 {
+		t.Errorf("converted fields lost: %+v", evs[0])
+	}
+	if !strings.Contains(evs[0].Detail, "BARRIER") {
+		t.Errorf("detail %q should name the op", evs[0].Detail)
+	}
+}
+
+func TestFlightDumpSnapshot(t *testing.T) {
+	f := NewFlightRecorder(2)
+	for i := 0; i < 5; i++ {
+		f.Record(FlightEvent{At: at(i)})
+	}
+	d := f.Snapshot()
+	if d.Schema != FlightDumpSchema || d.Total != 5 || len(d.Events) != 2 {
+		t.Fatalf("snapshot = %+v", d)
+	}
+}
+

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"misar/internal/trace"
+)
+
+// NewTraceID mints a 16-hex-character random trace ID at the request edge
+// (the HTTP client or misar-sim -remote). Everything downstream propagates
+// it; nothing downstream mints one — a span without a trace ID means the
+// caller did not ask for tracing.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken host; a constant ID keeps tracing
+		// functional (spans still correlate within one process).
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey keys the obs context values.
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	recorderKey
+)
+
+// WithTrace returns ctx tagged with the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// TraceIDOf returns the trace ID carried by ctx ("" when untraced).
+func TraceIDOf(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}
+
+// WithRecorder returns ctx carrying the span recorder.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderOf returns the span recorder carried by ctx (nil when absent).
+func RecorderOf(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
+
+// Transfer copies the obs values (trace ID, recorder) from src onto dst.
+// The harness uses it to detach a run's lifecycle from the submitter's
+// cancellation while keeping the submitter's tracing: the run context must
+// not die with the request, but its spans still belong to the request's
+// trace.
+func Transfer(dst, src context.Context) context.Context {
+	if id := TraceIDOf(src); id != "" {
+		dst = WithTrace(dst, id)
+	}
+	if r := RecorderOf(src); r != nil {
+		dst = WithRecorder(dst, r)
+	}
+	return dst
+}
+
+// Recorder collects wall-clock spans, bounded so a long-running server's
+// span memory cannot grow without limit: when full, the oldest spans are
+// overwritten and Dropped counts them. Safe for concurrent use; a nil
+// *Recorder records nothing.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []trace.Span
+	next    int
+	dropped uint64
+}
+
+// DefaultSpanCapacity bounds a Recorder built with capacity < 1: roomy
+// enough for thousands of served jobs between scrapes of a /trace endpoint.
+const DefaultSpanCapacity = 8192
+
+// NewRecorder builds a span recorder retaining up to capacity spans.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Recorder{ring: make([]trace.Span, 0, capacity)}
+}
+
+// Record appends one finished span. Safe on a nil receiver.
+func (r *Recorder) Record(sp trace.Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, sp)
+	} else {
+		r.ring[r.next] = sp
+		r.next = (r.next + 1) % len(r.ring)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of every retained span, oldest-first.
+func (r *Recorder) Spans() []trace.Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]trace.Span, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) && r.dropped > 0 {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// SpansFor returns the retained spans tagged with trace ID id, oldest-first.
+func (r *Recorder) SpansFor(id string) []trace.Span {
+	var out []trace.Span
+	for _, sp := range r.Spans() {
+		if sp.Trace == id {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Dropped reports how many spans were lost to ring overwrites.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ActiveSpan is an in-progress span started by StartSpan. A nil *ActiveSpan
+// (the untraced case) accepts every method as a no-op, so instrumentation
+// sites never branch.
+type ActiveSpan struct {
+	rec   *Recorder
+	sp    trace.Span
+	start time.Time
+}
+
+// StartSpan opens a span on the recorder and trace ID carried by ctx.
+// Returns nil — a no-op span — when ctx carries no recorder, so untraced
+// runs pay only a context lookup.
+func StartSpan(ctx context.Context, proc, name string) *ActiveSpan {
+	rec := RecorderOf(ctx)
+	if rec == nil {
+		return nil
+	}
+	now := time.Now()
+	return &ActiveSpan{
+		rec:   rec,
+		start: now,
+		sp: trace.Span{
+			Trace: TraceIDOf(ctx),
+			Proc:  proc,
+			Name:  name,
+			Start: now.UnixMicro(),
+		},
+	}
+}
+
+// SetArg attaches one key/value shown in the trace UI. Safe on nil.
+func (a *ActiveSpan) SetArg(k, v string) {
+	if a == nil {
+		return
+	}
+	if a.sp.Args == nil {
+		a.sp.Args = map[string]string{}
+	}
+	a.sp.Args[k] = v
+}
+
+// End closes the span and records it. Safe on nil; idempotence is not
+// required — call exactly once, usually via defer.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.sp.Dur = time.Since(a.start).Microseconds()
+	a.rec.Record(a.sp)
+}

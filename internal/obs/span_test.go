@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"misar/internal/trace"
+)
+
+func TestTraceContextPropagation(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(WithTrace(context.Background(), "abc123"), rec)
+	if TraceIDOf(ctx) != "abc123" || RecorderOf(ctx) != rec {
+		t.Fatal("context values lost")
+	}
+
+	// Transfer carries obs values onto a fresh lifecycle context.
+	detached := Transfer(context.Background(), ctx)
+	if TraceIDOf(detached) != "abc123" || RecorderOf(detached) != rec {
+		t.Fatal("Transfer lost obs values")
+	}
+	// ...but not cancellation: detached must survive the source's death.
+	if detached.Done() != nil {
+		t.Fatal("Transfer must not inherit cancellation")
+	}
+}
+
+func TestStartSpanRecords(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(WithTrace(context.Background(), "t1"), rec)
+	sp := StartSpan(ctx, "sim", "sim.run")
+	sp.SetArg("label", "x on y")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	got := spans[0]
+	if got.Trace != "t1" || got.Proc != "sim" || got.Name != "sim.run" {
+		t.Errorf("span = %+v", got)
+	}
+	if got.Dur <= 0 {
+		t.Errorf("span duration %d, want > 0", got.Dur)
+	}
+	if got.Args["label"] != "x on y" {
+		t.Errorf("span args = %v", got.Args)
+	}
+}
+
+func TestStartSpanUntracedIsNoop(t *testing.T) {
+	sp := StartSpan(context.Background(), "sim", "sim.run")
+	if sp != nil {
+		t.Fatal("untraced context should yield a nil span")
+	}
+	sp.SetArg("k", "v") // must not panic
+	sp.End()
+}
+
+func TestRecorderRingAndFilter(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		id := "even"
+		if i%2 == 1 {
+			id = "odd"
+		}
+		rec.Record(trace.Span{Trace: id, Name: "s", Start: int64(i)})
+	}
+	if got := len(rec.Spans()); got != 4 {
+		t.Fatalf("retained %d spans, want 4", got)
+	}
+	if rec.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", rec.Dropped())
+	}
+	odd := rec.SpansFor("odd")
+	for _, sp := range odd {
+		if sp.Trace != "odd" {
+			t.Errorf("filter leaked %+v", sp)
+		}
+	}
+	if len(odd) != 2 { // spans 3 and 5 survive the ring
+		t.Errorf("odd spans = %d, want 2", len(odd))
+	}
+	// Oldest-first after wrapping.
+	all := rec.Spans()
+	for i := 1; i < len(all); i++ {
+		if all[i].Start < all[i-1].Start {
+			t.Fatalf("spans out of order: %+v", all)
+		}
+	}
+}
+
+func TestNilRecorderAndNilSpan(t *testing.T) {
+	var rec *Recorder
+	rec.Record(trace.Span{})
+	if rec.Spans() != nil || rec.Dropped() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace IDs %q / %q: want 16 hex chars, distinct", a, b)
+	}
+}

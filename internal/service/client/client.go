@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"misar/internal/obs"
 	"misar/internal/service"
 )
 
@@ -64,7 +65,17 @@ func (e *APIError) Error() string {
 // event. onEvent (may be nil) observes every event, heartbeats included.
 // The returned event is the terminal "done"; an "error" event becomes a Go
 // error.
+//
+// Tracing: when ctx carries a trace ID (obs.WithTrace) it is sent in the
+// X-Misar-Trace header and the server adopts it, so client-side spans
+// (recorded when ctx also carries an obs.Recorder) and the server's spans
+// share one timeline. Without one, the server mints an ID; either way the
+// effective ID is on the terminal event's Trace field.
 func (c *Client) Submit(ctx context.Context, req service.JobRequest, onEvent func(service.JobEvent)) (*service.JobEvent, error) {
+	sp := obs.StartSpan(ctx, "client", "client.submit")
+	sp.SetArg("app", req.App)
+	sp.SetArg("config", req.Config)
+	defer sp.End()
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -74,6 +85,9 @@ func (c *Client) Submit(ctx context.Context, req service.JobRequest, onEvent fun
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if id := obs.TraceIDOf(ctx); id != "" {
+		hreq.Header.Set(service.TraceHeader, id)
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, err

@@ -3,10 +3,16 @@ package service
 import (
 	"misar/internal/fault"
 	"misar/internal/harness"
+	"misar/internal/trace"
 )
 
 // The wire schema of the job API ("misar-served/v1"). Requests and events
 // are plain JSON; POST /v1/jobs responses are NDJSON streams of JobEvent.
+
+// TraceHeader carries the request's trace ID. A client that sets it owns the
+// ID (the server adopts it); otherwise the server mints one. The response
+// always echoes the effective ID in the same header.
+const TraceHeader = "X-Misar-Trace"
 
 // JobRequest describes one simulation to run.
 type JobRequest struct {
@@ -51,6 +57,12 @@ type JobEvent struct {
 	Error string `json:"error,omitempty"`
 	// Result carries the simulation outcome on a "done" event.
 	Result *harness.Result `json:"result,omitempty"`
+	// Trace is the job's end-to-end trace ID (terminal events).
+	Trace string `json:"trace,omitempty"`
+	// Spans carries the server-side wall-clock spans of this job's trace on
+	// the terminal event, so the client can merge them with its own spans
+	// into one Chrome/Perfetto timeline.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // JobStatus is the response of GET /v1/jobs/{id}.
@@ -64,12 +76,18 @@ type JobStatus struct {
 	FromStore bool            `json:"from_store,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Result    *harness.Result `json:"result,omitempty"`
+	Trace     string          `json:"trace,omitempty"`
 }
 
 // Health is the response of GET /healthz.
 type Health struct {
-	Status     string `json:"status"` // "ok" or "draining"
+	Status string `json:"status"` // "ok" or "draining"
+	// Draining mirrors Status == "draining" as a boolean, so health probes
+	// need no string comparison to gate traffic away.
+	Draining   bool   `json:"draining"`
 	InFlight   int    `json:"in_flight"`
+	QueueDepth int    `json:"queue_depth"` // occupied queue slots (== InFlight)
+	QueueFree  int    `json:"queue_free"`  // slots before admission refuses
 	QueueLimit int    `json:"queue_limit"`
 	Accepted   uint64 `json:"jobs_accepted_total"`
 	UptimeMS   int64  `json:"uptime_ms"`

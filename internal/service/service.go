@@ -27,7 +27,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -36,7 +38,9 @@ import (
 	"misar/internal/harness"
 	"misar/internal/machine"
 	"misar/internal/metrics"
+	"misar/internal/obs"
 	"misar/internal/store"
+	"misar/internal/trace"
 	"misar/internal/workload"
 )
 
@@ -55,6 +59,18 @@ type Options struct {
 	// DefaultTimeout caps each job's wall-clock execution when the request
 	// does not set its own timeout_ms; 0 means unbounded.
 	DefaultTimeout time.Duration
+	// Logger receives structured request and job-lifecycle logs, each line
+	// tagged with the job's trace ID; nil disables logging.
+	Logger *slog.Logger
+	// SampleInterval is the live-telemetry sampling cadence (queue depth,
+	// in-flight jobs, store hit ratio into the /v1/timeseries ring);
+	// <= 0 means 5s.
+	SampleInterval time.Duration
+	// StreamWriteTimeout bounds each write on a job's NDJSON stream. A
+	// consumer that cannot drain a write within this budget is disconnected
+	// (the job itself is unaffected), so one stalled client can never pin a
+	// handler goroutine forever. <= 0 means 30s.
+	StreamWriteTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +83,12 @@ func (o Options) withDefaults() Options {
 	if o.Heartbeat <= 0 {
 		o.Heartbeat = 500 * time.Millisecond
 	}
+	if o.SampleInterval <= 0 {
+		o.SampleInterval = 5 * time.Second
+	}
+	if o.StreamWriteTimeout <= 0 {
+		o.StreamWriteTimeout = 30 * time.Second
+	}
 	return o
 }
 
@@ -77,6 +99,9 @@ type Server struct {
 	runner *harness.Runner
 	store  *store.Store
 	start  time.Time
+	log    *slog.Logger  // nil disables logging
+	spans  *obs.Recorder // server-side wall-clock span ring
+	ts     *timeseries   // live telemetry sample ring
 
 	baseCtx context.Context // parent of every job; cancelled by Close
 	stop    context.CancelFunc
@@ -107,6 +132,7 @@ const keepFinished = 1024
 type Job struct {
 	ID    string
 	Label string
+	Trace string // end-to-end trace ID (client-minted or server-minted)
 
 	cancel context.CancelFunc
 	run    *harness.Run
@@ -118,6 +144,7 @@ type Job struct {
 	errMsg    string
 	fromStore bool
 	elapsed   time.Duration
+	flight    obs.FlightDump // the simulation's flight-recorder tail
 }
 
 // New builds a Server (opening the store when configured) but does not
@@ -127,7 +154,10 @@ func New(opt Options) (*Server, error) {
 	s := &Server{
 		opt:   opt,
 		start: time.Now(),
+		log:   opt.Logger,
 		reg:   metrics.NewRegistry(),
+		spans: obs.NewRecorder(0),
+		ts:    newTimeseries(timeseriesCapacity),
 		jobs:  make(map[string]*Job),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
@@ -146,7 +176,20 @@ func New(opt Options) (*Server, error) {
 	mux.Handle("POST /v1/jobs", s.instrument("jobs_submit", s.handleSubmit))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleJobCancel))
+	mux.Handle("GET /v1/jobs/{id}/flight", s.instrument("jobs_flight", s.handleJobFlight))
+	mux.Handle("GET /v1/jobs/{id}/trace", s.instrument("jobs_trace", s.handleJobTrace))
+	mux.Handle("GET /v1/timeseries", s.instrument("timeseries", s.handleTimeseries))
+	// Profiling and runtime tracing, mounted explicitly (no blanket
+	// DefaultServeMux import): /debug/pprof/profile?seconds=N captures a CPU
+	// profile of a live server, /debug/pprof/trace?seconds=N a runtime
+	// execution trace (loadable with `go tool trace`).
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	s.mux = mux
+	go s.sampleLoop()
 	return s, nil
 }
 
@@ -200,18 +243,75 @@ func (s *Server) inc(name string) {
 	s.met.Unlock()
 }
 
-// instrument wraps a handler with request counting and a latency histogram
-// (microseconds), keyed per endpoint.
+// statusWriter captures the response status for request logging while
+// passing Flush and (via Unwrap, for http.ResponseController) write
+// deadlines through to the underlying writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps a handler with request counting, a latency histogram
+// (microseconds) keyed per endpoint, and structured request logging tagged
+// with the request's trace ID.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		h(w, r)
-		us := uint64(time.Since(t0).Microseconds())
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(t0)
 		s.met.Lock()
 		s.reg.Counter("http.requests." + name).Inc()
-		s.reg.Histogram("http.latency_us." + name).Observe(us)
+		s.reg.Histogram("http.latency_us." + name).Observe(uint64(elapsed.Microseconds()))
 		s.met.Unlock()
+		if s.log != nil {
+			attrs := []any{
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "dur_ms", elapsed.Milliseconds(),
+			}
+			// The handler echoes the effective trace ID; fall back to the
+			// client's header for requests that do not mint one.
+			id := sw.Header().Get(TraceHeader)
+			if id == "" {
+				id = r.Header.Get(TraceHeader)
+			}
+			if id != "" {
+				attrs = append(attrs, "trace", id)
+			}
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "http "+name, toAttrs(attrs)...)
+		}
 	})
+}
+
+// toAttrs converts alternating key/value pairs to slog attributes.
+func toAttrs(kv []any) []slog.Attr {
+	out := make([]slog.Attr, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, slog.Any(kv[i].(string), kv[i+1]))
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -225,30 +325,39 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	h := Health{
 		Status:     "ok",
 		InFlight:   s.admitted,
+		QueueDepth: s.admitted,
+		QueueFree:  s.opt.QueueLimit - s.admitted,
 		QueueLimit: s.opt.QueueLimit,
 		Accepted:   s.accepted,
 		UptimeMS:   time.Since(s.start).Milliseconds(),
 	}
 	if s.draining {
 		h.Status = "draining"
+		h.Draining = true
 	}
 	s.mu.Unlock()
+	if h.QueueFree < 0 {
+		h.QueueFree = 0
+	}
 	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.met.Lock()
-	snap := s.reg.Snapshot()
-	s.met.Unlock()
-
 	s.mu.Lock()
-	depth := s.admitted
 	draining := 0
 	if s.draining {
 		draining = 1
 	}
 	s.mu.Unlock()
 	rs := s.runner.Stats()
+
+	// The level gauges reflect the instant of the scrape: queue depth is
+	// maintained at admission/reap, simulations in flight derives from the
+	// runner counters here (the runner has no level hook of its own).
+	s.met.Lock()
+	s.reg.Level("serve.sims.inflight").Set(int64(rs.Unique - rs.Done))
+	snap := s.reg.Snapshot()
+	s.met.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	metrics.WriteText(w, "misar", snap)
@@ -264,7 +373,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "misar_serve_draining %d\n", draining)
 	fmt.Fprintf(w, "misar_serve_inflight %d\n", rs.Unique-rs.Done)
-	fmt.Fprintf(w, "misar_serve_queue_depth %d\n", depth)
 	fmt.Fprintf(w, "misar_serve_queue_limit %d\n", s.opt.QueueLimit)
 	if s.store != nil {
 		ss := s.store.Stats()
@@ -338,6 +446,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace identity: a client that sets the header owns the ID (its spans
+	// and ours share one timeline); otherwise the server mints one. Either
+	// way the response echoes the effective ID.
+	traceID := r.Header.Get(TraceHeader)
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+
 	// The job's context descends from the SERVER lifecycle, not the
 	// request: a client that hangs up has abandoned the stream, not the
 	// simulation. Its result still lands in the store.
@@ -352,6 +468,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		jobCtx, cancel = context.WithCancel(s.baseCtx)
 	}
+	jobCtx = obs.WithRecorder(obs.WithTrace(jobCtx, traceID), s.spans)
 
 	// Admission control: bounded queue of unfinished jobs.
 	s.mu.Lock()
@@ -373,9 +490,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.admitted++
 	s.accepted++
 	s.nextID++
+	depth := s.admitted
 	job := &Job{
 		ID:     fmt.Sprintf("j-%08d", s.nextID),
 		Label:  label,
+		Trace:  traceID,
 		cancel: cancel,
 		start:  time.Now(),
 		done:   make(chan struct{}),
@@ -383,14 +502,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[job.ID] = job
 	s.wg.Add(1)
 	s.mu.Unlock()
-	s.inc("serve.jobs_accepted")
+	s.met.Lock()
+	s.reg.Counter("serve.jobs_accepted").Inc()
+	s.reg.Level("serve.queue.depth").Set(int64(depth))
+	s.reg.Gauge("serve.queue.depth.max").Observe(uint64(depth))
+	s.met.Unlock()
+	if s.log != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "job accepted",
+			slog.String("job", job.ID), slog.String("label", job.Label),
+			slog.String("trace", job.Trace), slog.Int("queue_depth", depth))
+	}
 
 	job.run = submit(jobCtx, s.runner)
 	go s.reap(job)
 
+	w.Header().Set(TraceHeader, traceID)
+
 	// ?wait=0: fire-and-poll. One "accepted" JSON object, then done.
 	if r.URL.Query().Get("wait") == "0" {
-		writeJSON(w, http.StatusAccepted, JobEvent{Event: "accepted", Job: job.ID, Label: job.Label})
+		writeJSON(w, http.StatusAccepted, JobEvent{Event: "accepted", Job: job.ID, Label: job.Label, Trace: job.Trace})
 		return
 	}
 	s.stream(w, r, job)
@@ -407,21 +537,52 @@ func (s *Server) reap(job *Job) {
 		job.fromStore = job.run.FromStore()
 	}
 	job.elapsed = time.Since(job.start)
+	// Capture the flight-recorder tail before publishing the job as done:
+	// on failure it is the dump embedded in the error (the window around
+	// the hang/violation), on success the machine's live ring.
+	if evs := job.run.Flight(); len(evs) > 0 {
+		job.flight = obs.FlightDump{
+			Schema: obs.FlightDumpSchema,
+			Job:    job.ID,
+			Label:  job.Label,
+			Trace:  job.Trace,
+			Total:  uint64(len(evs)),
+			Events: evs,
+		}
+	}
+	// One umbrella span per job, covering admission to completion, so the
+	// Chrome trace shows queue wait + store lookup + sim phases nested
+	// under the job they belong to.
+	s.spans.Record(trace.Span{
+		Trace: job.Trace,
+		Proc:  "served",
+		Name:  "job " + job.ID,
+		Start: job.start.UnixMicro(),
+		Dur:   job.elapsed.Microseconds(),
+		Args:  map[string]string{"label": job.Label, "from_store": fmt.Sprint(job.fromStore)},
+	})
 	close(job.done)
 
 	s.mu.Lock()
 	s.admitted--
+	depth := s.admitted
 	s.finished = append(s.finished, job.ID)
 	for len(s.finished) > keepFinished {
 		delete(s.jobs, s.finished[0])
 		s.finished = s.finished[1:]
 	}
 	s.mu.Unlock()
+	s.met.Lock()
+	s.reg.Level("serve.queue.depth").Set(int64(depth))
+	s.met.Unlock()
+	outcome := "done"
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.inc("serve.jobs_cancelled")
+			outcome = "cancelled"
 		} else {
 			s.inc("serve.jobs_failed")
+			outcome = "failed"
 		}
 	} else {
 		s.inc("serve.jobs_done")
@@ -429,24 +590,54 @@ func (s *Server) reap(job *Job) {
 			s.inc("serve.jobs_from_store")
 		}
 	}
+	if s.log != nil {
+		attrs := []slog.Attr{
+			slog.String("job", job.ID), slog.String("label", job.Label),
+			slog.String("trace", job.Trace), slog.String("outcome", outcome),
+			slog.Int64("elapsed_ms", job.elapsed.Milliseconds()),
+			slog.Bool("from_store", job.fromStore),
+		}
+		if job.errMsg != "" {
+			attrs = append(attrs, slog.String("error", job.errMsg))
+		}
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "job "+outcome, attrs...)
+	}
 	s.wg.Done()
 }
 
 // stream writes the job's NDJSON event stream: accepted, periodic running
 // heartbeats, and a final done/error event. A client disconnect ends the
-// stream silently; the job itself keeps running.
+// stream silently; the job itself keeps running. Every write carries a
+// deadline (Options.StreamWriteTimeout) so a consumer that stops reading
+// is disconnected instead of pinning this goroutine on a full socket
+// buffer — the job is unaffected either way.
 func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	emit := func(ev JobEvent) {
-		enc.Encode(ev)
+	deadlines := true
+	emit := func(ev JobEvent) bool {
+		if deadlines {
+			if err := rc.SetWriteDeadline(time.Now().Add(s.opt.StreamWriteTimeout)); err != nil {
+				// Recorders (httptest) don't support deadlines; stream
+				// unbounded rather than fail.
+				deadlines = false
+			}
+		}
+		if err := enc.Encode(ev); err != nil {
+			s.inc("serve.streams_dropped_slow")
+			return false
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		return true
 	}
-	emit(JobEvent{Event: "accepted", Job: job.ID, Label: job.Label})
+	if !emit(JobEvent{Event: "accepted", Job: job.ID, Label: job.Label, Trace: job.Trace}) {
+		return
+	}
 
 	ticker := time.NewTicker(s.opt.Heartbeat)
 	defer ticker.Stop()
@@ -458,6 +649,8 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
 				Label:     job.Label,
 				ElapsedMS: job.elapsed.Milliseconds(),
 				FromStore: job.fromStore,
+				Trace:     job.Trace,
+				Spans:     s.spans.SpansFor(job.Trace),
 			}
 			if job.errMsg != "" {
 				ev.Event, ev.Error = "error", job.errMsg
@@ -467,12 +660,14 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
 			emit(ev)
 			return
 		case <-ticker.C:
-			emit(JobEvent{
+			if !emit(JobEvent{
 				Event:     "running",
 				Job:       job.ID,
 				Label:     job.Label,
 				ElapsedMS: time.Since(job.start).Milliseconds(),
-			})
+			}) {
+				return
+			}
 		case <-r.Context().Done():
 			// Client gone; the job continues under s.baseCtx.
 			s.inc("serve.streams_disconnected")
@@ -483,7 +678,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request, job *Job) {
 
 // status snapshots a job's public state.
 func (s *Server) status(job *Job) JobStatus {
-	st := JobStatus{ID: job.ID, Label: job.Label}
+	st := JobStatus{ID: job.ID, Label: job.Label, Trace: job.Trace}
 	select {
 	case <-job.done:
 		st.ElapsedMS = job.elapsed.Milliseconds()
@@ -524,4 +719,47 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	job.cancel()
 	writeJSON(w, http.StatusOK, s.status(job))
+}
+
+// handleJobFlight serves the job's flight-recorder dump: the tail of sim
+// events leading up to completion (or, for a failed job, up to the hang or
+// violation the watchdog diagnosed). Render it with misar-trace -from-flight.
+func (s *Server) handleJobFlight(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	select {
+	case <-job.done:
+	default:
+		writeJSON(w, http.StatusConflict, apiError{Error: "job still running; flight dump is available on completion"})
+		return
+	}
+	if len(job.flight.Events) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no flight events recorded (result served from cache or store)"})
+		return
+	}
+	w.Header().Set(TraceHeader, job.Trace)
+	writeJSON(w, http.StatusOK, job.flight)
+}
+
+// handleJobTrace serves the job's server-side spans as a Chrome trace (load
+// at ui.perfetto.dev or chrome://tracing). The client's NDJSON terminal
+// event carries the same spans, so this endpoint exists for operators
+// inspecting jobs they did not submit.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	spans := s.spans.SpansFor(job.Trace)
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no spans recorded for this job yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, job.Trace)
+	trace.WriteChromeSpans(w, spans)
 }

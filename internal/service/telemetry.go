@@ -1,0 +1,133 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// timeseriesCapacity bounds the live-telemetry ring: at the default 5s
+// cadence, 512 samples cover the last ~42 minutes of server history.
+const timeseriesCapacity = 512
+
+// Sample is one point of the server's live telemetry, taken every
+// Options.SampleInterval and served by GET /v1/timeseries.
+type Sample struct {
+	// UnixMS is the sample's wall-clock timestamp.
+	UnixMS int64 `json:"unix_ms"`
+	// QueueDepth is the number of admitted-but-unfinished jobs.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of unique simulations currently executing
+	// (deduplicated jobs share one).
+	InFlight int `json:"in_flight"`
+	// Accepted is the cumulative count of admitted jobs.
+	Accepted uint64 `json:"jobs_accepted_total"`
+	// Done is the cumulative count of completed simulations.
+	Done int `json:"sims_done_total"`
+	// HitRatio is the fraction of submissions satisfied without executing
+	// (memo + store hits); 0 until the first submission.
+	HitRatio float64 `json:"hit_ratio"`
+	// StoreHits/StoreMisses are cumulative persistent-store counters; zero
+	// when the server runs without a store.
+	StoreHits   uint64 `json:"store_hits_total"`
+	StoreMisses uint64 `json:"store_misses_total"`
+}
+
+// timeseries is a fixed-size ring of telemetry samples. Unlike the flight
+// recorder it is multi-reader (HTTP handlers) + single-writer (sampleLoop),
+// so it takes a plain mutex — it is nowhere near a hot path.
+type timeseries struct {
+	mu    sync.Mutex
+	ring  []Sample
+	next  int
+	total uint64
+}
+
+func newTimeseries(capacity int) *timeseries {
+	if capacity < 1 {
+		capacity = timeseriesCapacity
+	}
+	return &timeseries{ring: make([]Sample, capacity)}
+}
+
+func (t *timeseries) record(s Sample) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// samples returns the retained window, oldest first.
+func (t *timeseries) samples() []Sample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := int(t.total)
+	if uint64(len(t.ring)) < t.total {
+		n = len(t.ring)
+	}
+	out := make([]Sample, 0, n)
+	start := (t.next - n + len(t.ring)) % len(t.ring)
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// sample takes one telemetry reading of the server's current state.
+func (s *Server) sample() Sample {
+	s.mu.Lock()
+	depth := s.admitted
+	accepted := s.accepted
+	s.mu.Unlock()
+	rs := s.runner.Stats()
+	p := Sample{
+		UnixMS:     time.Now().UnixMilli(),
+		QueueDepth: depth,
+		InFlight:   int(rs.Unique - rs.Done),
+		Accepted:   accepted,
+		Done:       rs.Done,
+	}
+	if rs.Submitted > 0 {
+		p.HitRatio = float64(rs.Submitted-rs.Executed) / float64(rs.Submitted)
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		p.StoreHits, p.StoreMisses = ss.Hits, ss.Misses
+	}
+	return p
+}
+
+// sampleLoop records one telemetry sample per Options.SampleInterval until
+// the server is closed. Started by New; there is exactly one per Server.
+func (s *Server) sampleLoop() {
+	ticker := time.NewTicker(s.opt.SampleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.ts.record(s.sample())
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// timeseriesResponse is the body of GET /v1/timeseries.
+type timeseriesResponse struct {
+	// IntervalMS is the sampling cadence.
+	IntervalMS int64 `json:"interval_ms"`
+	// Current is a fresh sample taken at request time, so a scrape always
+	// sees live state even before the first tick.
+	Current Sample `json:"current"`
+	// Samples is the retained history, oldest first.
+	Samples []Sample `json:"samples"`
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, timeseriesResponse{
+		IntervalMS: s.opt.SampleInterval.Milliseconds(),
+		Current:    s.sample(),
+		Samples:    s.ts.samples(),
+	})
+}

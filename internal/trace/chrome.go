@@ -148,8 +148,13 @@ func ChromeEventsFromBuffer(events []Event) []chromeEvent {
 // WriteChrome writes the timeline as Chrome trace-event JSON, loadable in
 // Perfetto or chrome://tracing.
 func WriteChrome(w io.Writer, events []Event) error {
+	return writeChromeEvents(w, ChromeEventsFromBuffer(events))
+}
+
+// writeChromeEvents wraps converted events in the Perfetto envelope.
+func writeChromeEvents(w io.Writer, events []chromeEvent) error {
 	tr := chromeTrace{
-		TraceEvents:     ChromeEventsFromBuffer(events),
+		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
 	}
 	enc := json.NewEncoder(w)

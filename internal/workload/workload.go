@@ -9,10 +9,12 @@ package workload
 
 import (
 	"context"
+	"fmt"
 
 	"misar/internal/cpu"
 	"misar/internal/machine"
 	"misar/internal/memory"
+	"misar/internal/obs"
 	"misar/internal/sim"
 	"misar/internal/syncrt"
 )
@@ -50,11 +52,20 @@ func RunBudget(app App, cfg machine.Config, lib *syncrt.Lib, deadline sim.Time) 
 // per-job contexts through here so an abandoned job stops consuming a
 // worker.
 func RunBudgetCtx(ctx context.Context, app App, cfg machine.Config, lib *syncrt.Lib, deadline sim.Time) (*machine.Machine, sim.Time, error) {
+	build := obs.StartSpan(ctx, "sim", "sim.build")
 	m := machine.New(cfg)
 	arena := syncrt.NewArena(0x1000000)
 	body := app.Build(arena, cfg.Tiles, lib)
 	m.SpawnAll(cfg.Tiles, body)
+	build.SetArg("app", app.Name)
+	build.SetArg("config", cfg.Name)
+	build.End()
+	run := obs.StartSpan(ctx, "sim", "sim.run")
 	end, err := m.RunCtx(ctx, deadline)
+	run.SetArg("app", app.Name)
+	run.SetArg("config", cfg.Name)
+	run.SetArg("cycles", fmt.Sprint(uint64(end)))
+	run.End()
 	return m, end, err
 }
 
