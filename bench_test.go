@@ -25,6 +25,7 @@ import (
 
 var (
 	benchParallel = flag.Int("parallel", 1, "Runner worker-pool size for figure benchmarks")
+	benchShards   = flag.Int("shards", 2, "shard count for the BenchmarkParallel* sharded-kernel suite")
 	// -store warms benchmarks from a persistent result store. Note the
 	// semantics: with a store attached, only the first iteration of each
 	// figure simulates; later iterations (and later runs over the same
@@ -172,6 +173,47 @@ func BenchmarkFigSweepShared(b *testing.B) {
 		hits = float64(st.Submitted - st.Unique)
 	}
 	b.ReportMetric(hits, "memo-hits")
+}
+
+// --- Sharded conservative kernel (BENCH_parallel.json) ---
+//
+// The BenchmarkParallel* suite measures the sharded kernel's serving paths:
+// cmd/misar-bench runs it in a separate pass and writes the results, tagged
+// with the shard count and GOMAXPROCS, to BENCH_parallel.json. Tiles are
+// pinned to 16 (the smallest mesh every ScaleShards count divides) so the
+// sharded path — not a serial fallback — is what gets measured.
+
+// BenchmarkParallelFig6Sharded is the figure-regeneration path on the
+// sharded kernel: Fig. 6 with every compatible simulation split into
+// -shards row bands. Comparing its ns/op against BenchmarkFig6Speedup
+// measures the windowed kernel's overhead at paper scale.
+func BenchmarkParallelFig6Sharded(b *testing.B) {
+	o := benchOptions()
+	o.Tiles = []int{16}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		r.SetConfigTransform(misar.ShardTransform(*benchShards))
+		t, err := r.Fig6(o)
+		must(b, err)
+		if t.Rows() == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkParallelScaleSweep is the headline scaling workload: the
+// 3-phase tree-barrier program at 64 tiles across every shard count the
+// mesh admits (1, 2, 4, 8), exactly what `misar-fig -fig scale` runs at
+// 256/1024 tiles.
+func BenchmarkParallelScaleSweep(b *testing.B) {
+	o := misar.Options{Tiles: []int{64}}
+	for i := 0; i < b.N; i++ {
+		t, err := misar.ScaleSweep(o)
+		must(b, err)
+		if t.Rows() == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
 }
 
 func BenchmarkAblationOMUSweep(b *testing.B) {

@@ -5,17 +5,26 @@
 // (baseline.txt: commit 6fedd5c, container/heap engine, closure-per-hop NoC,
 // unpooled messages) to report speedup and allocation ratios.
 //
+// A second pass runs the BenchmarkParallel* suite — the sharded conservative
+// kernel's serving paths — and writes BENCH_parallel.json, tagged with the
+// shard count and GOMAXPROCS so reports from differently provisioned hosts
+// are never compared blindly.
+//
 // Usage:
 //
 //	misar-bench                         # figures at -benchtime=1x, kernel microbench
 //	misar-bench -benchtime 3x -out b.json
 //	misar-bench -against BENCH_kernel.json -max-regress 15
+//	misar-bench -shards 4 -parallel-out b_par.json
+//	misar-bench -against-parallel BENCH_parallel.json
 //
-// With -against, the freshly measured numbers are compared to a previously
-// committed report: any benchmark whose ns/op or allocs/op regressed by more
-// than -max-regress percent fails the run with exit 1. CI runs this against
-// the checked-in BENCH_kernel.json; see .github/workflows/ci.yml and the
-// Makefile `bench` target.
+// With -against (and -against-parallel for the sharded report), the freshly
+// measured numbers are compared to a previously committed report: any
+// benchmark whose ns/op or allocs/op regressed by more than -max-regress
+// percent fails the run with exit 1. The parallel gate additionally refuses
+// to compare reports taken at different shard counts or GOMAXPROCS. CI runs
+// both gates against the checked-in reports; see .github/workflows/ci.yml
+// and the Makefile `bench` target.
 package main
 
 import (
@@ -52,10 +61,15 @@ type result struct {
 }
 
 type report struct {
-	Schema         string    `json:"schema"`
-	GoVersion      string    `json:"go_version"`
-	Benchtime      string    `json:"benchtime"`
-	BaselineCommit string    `json:"baseline_commit"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	Benchtime string `json:"benchtime"`
+	// Shards and GOMAXPROCS are set only in the parallel report
+	// (misar-bench/parallel/v1): sharded wall-clock depends on both, so a
+	// gate must never compare reports taken under different values.
+	Shards         int       `json:"shards,omitempty"`
+	GOMAXPROCS     int       `json:"gomaxprocs,omitempty"`
+	BaselineCommit string    `json:"baseline_commit,omitempty"`
 	Results        []result  `json:"results"`
 	TotalNs        float64   `json:"total_ns"`
 	BaselineNs     float64   `json:"baseline_total_ns"`
@@ -172,6 +186,9 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store for the figure benchmarks (warm runs measure store replay, not simulation)")
 	against := flag.String("against", "", "committed report to gate against; >max-regress%% slowdown fails")
 	maxRegress := flag.Float64("max-regress", 15, "regression threshold in percent for -against")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output JSON path for the sharded-kernel report")
+	shards := flag.Int("shards", 2, "shard count for the BenchmarkParallel* suite")
+	againstParallel := flag.String("against-parallel", "", "committed parallel report to gate against (same thresholds as -against)")
 	flag.Parse()
 
 	start := time.Now()
@@ -290,5 +307,66 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("no regressions against %s (limit %.0f%%)\n", *against, *maxRegress)
+	}
+
+	// Second pass: the sharded conservative kernel. Its own report file and
+	// gate, because the numbers are parameterized by shard count and host
+	// parallelism in a way the serial kernel's are not.
+	parStart := time.Now()
+	parBench, err := run(".", "BenchmarkParallel", *benchtime,
+		append(append([]string{}, extra...), "-shards", strconv.Itoa(*shards))...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	parRep := report{
+		Schema:      "misar-bench/parallel/v1",
+		GoVersion:   runtime.Version(),
+		Benchtime:   *benchtime,
+		Shards:      *shards,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Results:     parse(parBench),
+		GeneratedAt: time.Now().UTC(),
+	}
+	for _, r := range parRep.Results {
+		parRep.TotalNs += r.NsPerOp
+	}
+	parRep.WallSeconds = time.Since(parStart).Seconds()
+	buf, err = json.MarshalIndent(parRep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*parallelOut, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "misar-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d sharded benchmarks at %d shards, GOMAXPROCS=%d, total %.2fs\n",
+		*parallelOut, len(parRep.Results), parRep.Shards, parRep.GOMAXPROCS, parRep.TotalNs/1e9)
+
+	if *againstParallel != "" {
+		prevBuf, err := os.ReadFile(*againstParallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misar-bench:", err)
+			os.Exit(1)
+		}
+		var prev report
+		if err := json.Unmarshal(prevBuf, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "misar-bench: %s: %v\n", *againstParallel, err)
+			os.Exit(1)
+		}
+		if prev.Shards != parRep.Shards || prev.GOMAXPROCS != parRep.GOMAXPROCS {
+			fmt.Fprintf(os.Stderr, "misar-bench: %s was taken at shards=%d GOMAXPROCS=%d; this run is shards=%d GOMAXPROCS=%d — sharded wall-clock is not comparable across those\n",
+				*againstParallel, prev.Shards, prev.GOMAXPROCS, parRep.Shards, parRep.GOMAXPROCS)
+			os.Exit(1)
+		}
+		if bad := regressions(parRep.Results, prev.Results, *maxRegress); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "misar-bench: %d regression(s) against %s:\n", len(bad), *againstParallel)
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "  "+line)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions against %s (limit %.0f%%)\n", *againstParallel, *maxRegress)
 	}
 }

@@ -10,9 +10,16 @@
 //	misar-fig -fig headline          # the abstract's three claims
 //	misar-fig -fig all -parallel 8   # 8 simulations in flight
 //	misar-fig -fig 6 -store cache/   # persist results; reruns are instant
+//	misar-fig -fig 6 -shards 4       # sharded conservative kernel
+//	misar-fig -fig scale -tiles 256,1024  # wall-clock scaling sweep
 //
 // Figures: table1, 5, 6, 7, 8, 9, headline, omu-sweep, entry-sweep,
-// fairness, suspend, sync-overhead, all.
+// fairness, suspend, sync-overhead, scale, all.
+//
+// -shards N runs every compatible simulation on the sharded conservative
+// kernel (incompatible configurations fall back to the serial kernel).
+// Results are deterministic per shard count but, under same-cycle
+// contention, not cycle-identical to the serial kernel — see DESIGN.md §14.
 //
 // -report dir/ meters every simulation and writes one JSON metrics report
 // per unique run into dir/ (deterministic filenames; see internal/metrics).
@@ -41,8 +48,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "headline", "artifact to regenerate (table1, 5-9, headline, omu-sweep, entry-sweep, fairness, suspend, all)")
+	fig := flag.String("fig", "headline", "artifact to regenerate (table1, 5-9, headline, omu-sweep, entry-sweep, fairness, suspend, scale, all)")
 	tiles := flag.String("tiles", "16,64", "comma-separated core counts")
+	shards := flag.Int("shards", 0, "run compatible simulations on the sharded kernel with N shards (0 = serial)")
 	apps := flag.String("apps", "", "comma-separated app subset (default: full suite)")
 	quick := flag.Bool("quick", false, "use the reduced test-scale options")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max simulations in flight (1 = serial)")
@@ -59,7 +67,7 @@ func main() {
 		o.Tiles = nil
 		for _, t := range strings.Split(*tiles, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(t))
-			if err != nil || n < 1 || n > 64 {
+			if err != nil || n < 1 || n > 1024 {
 				fmt.Fprintf(os.Stderr, "misar-fig: bad tile count %q\n", t)
 				os.Exit(2)
 			}
@@ -71,6 +79,9 @@ func main() {
 	}
 
 	r := harness.NewRunner(*parallel)
+	if *shards > 0 {
+		r.SetConfigTransform(harness.ShardTransform(*shards))
+	}
 	if *report != "" {
 		r.EnableMetrics()
 	}
@@ -113,10 +124,13 @@ func main() {
 			return harness.SuspendStress(o)
 		},
 		"sync-overhead": (*harness.Runner).SyncOverhead,
+		"scale": func(_ *harness.Runner, o harness.Options) (*stats.Table, error) {
+			return harness.ScaleSweep(o)
+		},
 	}
 	order := []string{"table1", "5", "6", "7", "8", "9", "headline",
 		"omu-sweep", "bloom-sweep", "entry-sweep", "fairness", "suspend",
-		"sync-overhead"}
+		"sync-overhead", "scale"}
 
 	var selected []string
 	if *fig == "all" {

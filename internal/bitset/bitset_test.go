@@ -1,0 +1,128 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130) // three words, last partially used
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 5 || s.Empty() {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 4 {
+		t.Fatal("Remove(64) did not stick")
+	}
+	s.Remove(64) // idempotent
+	if s.Count() != 4 {
+		t.Fatal("double Remove changed the count")
+	}
+	if s.Has(-1) || s.Has(1000) {
+		t.Fatal("out-of-range Has must report absent")
+	}
+	if got := s.String(); got != "{0,63,127,129}" {
+		t.Fatalf("String = %q", got)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left members behind")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(100)
+	s.Add(7)
+	c := s.Clone()
+	s.Add(70)
+	if c.Has(70) {
+		t.Fatal("clone aliases the original")
+	}
+	if !c.Has(7) {
+		t.Fatal("clone lost a member")
+	}
+	if Set(nil).Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := New(256)
+	for _, i := range []int{5, 64, 200} {
+		s.Add(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 200}, {200, 200}, {201, -1}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if New(64).Next(0) != -1 {
+		t.Error("Next on empty set should be -1")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(1024)
+	want := []int{0, 1, 63, 64, 511, 512, 1023}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("visited %d members, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: got %v", i, got)
+		}
+	}
+}
+
+// TestAgainstReference fuzzes the set against a map at the 1024-tile scale
+// the sharded machine needs.
+func TestAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(1024)
+	ref := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		i := rng.Intn(1024)
+		if rng.Intn(2) == 0 {
+			s.Add(i)
+			ref[i] = true
+		} else {
+			s.Remove(i)
+			delete(ref, i)
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("count %d, reference %d", s.Count(), len(ref))
+	}
+	for i := 0; i < 1024; i++ {
+		if s.Has(i) != ref[i] {
+			t.Fatalf("membership of %d diverged", i)
+		}
+	}
+	n := 0
+	s.ForEach(func(i int) {
+		n++
+		if !ref[i] {
+			t.Fatalf("ForEach visited non-member %d", i)
+		}
+	})
+	if n != len(ref) {
+		t.Fatalf("ForEach visited %d, want %d", n, len(ref))
+	}
+}

@@ -2,8 +2,8 @@ package coherence
 
 import (
 	"fmt"
-	"math/bits"
 
+	"misar/internal/bitset"
 	"misar/internal/memory"
 	"misar/internal/sim"
 )
@@ -63,7 +63,7 @@ type dirEntry struct {
 
 	state   dirState
 	owner   int
-	sharers uint64 // bit per core; tiles <= 64
+	sharers bitset.Set // one bit per core, sized to the machine's tile count
 
 	busy       bool
 	cur        *txn
@@ -107,9 +107,6 @@ func (d *Directory) SetExtraLatency(fn func() sim.Time) { d.extraLat = fn }
 
 // NewDirectory builds the controller for one tile.
 func NewDirectory(tile, tiles int, cfg DirConfig, engine *sim.Engine, send SendFunc) *Directory {
-	if tiles > 64 {
-		panic("coherence: directory bitvector supports at most 64 tiles")
-	}
 	return &Directory{
 		tile: tile, tiles: tiles, cfg: cfg,
 		engine: engine, send: send,
@@ -131,7 +128,7 @@ func (d *Directory) IsExclusiveAt(line memory.Addr, core int) bool {
 func (d *Directory) entry(line memory.Addr) (*dirEntry, bool) {
 	e, ok := d.lines[line]
 	if !ok {
-		e = &dirEntry{d: d, line: line}
+		e = &dirEntry{d: d, line: line, sharers: bitset.New(d.tiles)}
 		d.lines[line] = e
 		d.stats.ColdMisses++
 	}
@@ -242,27 +239,28 @@ func (d *Directory) start(line memory.Addr, e *dirEntry) {
 		d.finishExclusive(line, e)
 	case dirShared:
 		if t.kind == txnGetS {
-			e.sharers |= 1 << uint(t.core)
+			e.sharers.Add(t.core)
 			d.respond(line, e, RspDataS)
 			return
 		}
 		// GetX/grant: invalidate all sharers except the requester.
 		// A revoke (core == -1) invalidates everyone.
-		invs := e.sharers
-		if t.core >= 0 {
-			invs &^= 1 << uint(t.core)
+		invs := e.sharers.Count()
+		if e.sharers.Has(t.core) {
+			invs--
 		}
 		if invs == 0 {
 			d.finishExclusive(line, e)
 			return
 		}
-		e.pendingInv = bits.OnesCount64(invs)
-		for c := 0; c < d.tiles; c++ {
-			if invs&(1<<uint(c)) != 0 {
-				d.stats.InvSent++
-				d.send(c, d.pool.Get(Msg{Kind: MsgInv, Line: line}))
+		e.pendingInv = invs
+		e.sharers.ForEach(func(c int) {
+			if c == t.core {
+				return
 			}
-		}
+			d.stats.InvSent++
+			d.send(c, d.pool.Get(Msg{Kind: MsgInv, Line: line}))
+		})
 	case dirExclusive:
 		if e.owner == t.core {
 			// Degenerate re-request (e.g. a grant to the current owner, or a
@@ -291,13 +289,14 @@ func (d *Directory) finishExclusive(line memory.Addr, e *dirEntry) {
 	if t.kind == txnRevoke {
 		e.state = dirInvalid
 		e.owner = 0
-		e.sharers = 0
+		e.sharers.Clear()
 		d.conclude(line, e, nil)
 		return
 	}
 	e.state = dirExclusive
 	e.owner = t.core
-	e.sharers = 1 << uint(t.core)
+	e.sharers.Clear()
+	e.sharers.Add(t.core)
 	d.respond(line, e, RspDataE)
 }
 
@@ -345,8 +344,8 @@ func (d *Directory) handlePutS(line memory.Addr, core int) {
 	if !ok {
 		return
 	}
-	e.sharers &^= 1 << uint(core)
-	if !e.busy && e.state == dirShared && e.sharers == 0 {
+	e.sharers.Remove(core)
+	if !e.busy && e.state == dirShared && e.sharers.Empty() {
 		e.state = dirInvalid
 	}
 }
@@ -359,7 +358,7 @@ func (d *Directory) handlePutEM(line memory.Addr, core int) {
 	if e.busy {
 		// The current transaction's Fwd will miss at this (former) owner.
 		e.ownerGone = true
-		e.sharers &^= 1 << uint(core)
+		e.sharers.Remove(core)
 		if e.awaitingWB {
 			e.awaitingWB = false
 			d.finishExclusive(line, e)
@@ -367,7 +366,7 @@ func (d *Directory) handlePutEM(line memory.Addr, core int) {
 		return
 	}
 	e.state = dirInvalid
-	e.sharers = 0
+	e.sharers.Clear()
 }
 
 func (d *Directory) handleInvAck(line memory.Addr) {
@@ -382,7 +381,9 @@ func (d *Directory) handleFwdAckS(line memory.Addr, oldOwner int) {
 	e := d.mustBusy(line, "FwdAckS")
 	t := e.cur
 	e.state = dirShared
-	e.sharers = (1 << uint(oldOwner)) | (1 << uint(t.core))
+	e.sharers.Clear()
+	e.sharers.Add(oldOwner)
+	e.sharers.Add(t.core)
 	d.respond(line, e, RspDataS)
 }
 

@@ -103,12 +103,12 @@ func (s *Slice) deliverSignal(e *entry, signaler int, bcast bool) {
 // on the waiter's behalf — LOCK&UNPIN if this empties the queue, which also
 // frees the entry. It reports whether a waiter was woken.
 func (s *Slice) wakeOne(e *entry) bool {
-	if !e.valid || e.waiters == 0 {
+	if !e.valid || e.waiters.Empty() {
 		return false
 	}
 	w := s.pickWaiter(e.waiters)
-	e.waiters &^= bit(w)
-	last := e.waiters == 0
+	e.waiters.Remove(w)
+	last := e.waiters.Empty()
 	s.sendMsa(memory.HomeOf(e.lockAddr, s.tiles), &MsaMsg{
 		Kind: kindLockBehalf, Lock: e.lockAddr, Cond: e.addr, Core: w, Unpin: last,
 	})
@@ -122,10 +122,10 @@ func (s *Slice) wakeOne(e *entry) bool {
 // The fallback re-acquires the lock and FINISHes, so the cond's OMU counter
 // is pre-charged here to keep the books balanced.
 func (s *Slice) suspendCondWaiter(e *entry, c int) {
-	e.waiters &^= bit(c)
+	e.waiters.Remove(c)
 	s.omuInc(e.addr)
 	s.respond(c, isa.OpCondWait, e.addr, isa.Abort, ReasonFallback)
-	if e.waiters == 0 && !e.reserved && e.pinCore < 0 {
+	if e.waiters.Empty() && !e.reserved && e.pinCore < 0 {
 		s.sendMsa(memory.HomeOf(e.lockAddr, s.tiles), &MsaMsg{
 			Kind: kindUnpinOnly, Lock: e.lockAddr, Cond: e.addr,
 		})
@@ -174,7 +174,7 @@ func (s *Slice) handleUnlockPin(m *MsaMsg) {
 	if m.NeedPin {
 		e.pins++
 	}
-	if e.waiters != 0 {
+	if !e.waiters.Empty() {
 		s.promote(e)
 	}
 	// A pinned entry with no owner and no waiters stays allocated (§4.3.1).
@@ -191,7 +191,7 @@ func (s *Slice) handleUnlockPinResp(m *MsaMsg) {
 	e.pinCore = -1
 	if m.OK {
 		e.reserved = false
-		e.waiters |= bit(c)
+		e.waiters.Add(c)
 		s.stats.CondHW++
 		s.drainPendingSignals(e)
 		return
@@ -213,7 +213,7 @@ func (s *Slice) drainPendingSignals(e *entry) {
 	sigs, bcasts := e.pendSig, e.pendBcast
 	e.pendSig, e.pendBcast = nil, nil
 	for _, sg := range sigs {
-		if e.valid && e.waiters != 0 {
+		if e.valid && !e.waiters.Empty() {
 			s.deliverSignal(e, sg, false)
 		} else {
 			s.stats.CondSW++
@@ -221,7 +221,7 @@ func (s *Slice) drainPendingSignals(e *entry) {
 		}
 	}
 	for _, sg := range bcasts {
-		if e.valid && e.waiters != 0 {
+		if e.valid && !e.waiters.Empty() {
 			s.deliverSignal(e, sg, true)
 		} else {
 			s.stats.CondSW++
@@ -275,7 +275,7 @@ func (s *Slice) handleUnpinOnly(m *MsaMsg) {
 	if e.pins > 0 {
 		e.pins--
 	}
-	if e.pins == 0 && e.owner == -1 && e.waiters == 0 && !e.draining && !e.revoking {
+	if e.pins == 0 && e.owner == -1 && e.waiters.Empty() && !e.draining && !e.revoking {
 		s.maybeRetire(e)
 	}
 }

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 
+	"misar/internal/bitset"
 	"misar/internal/coherence"
 	"misar/internal/fault"
 	"misar/internal/isa"
@@ -126,8 +126,8 @@ type entry struct {
 	addr    memory.Addr
 	lastUse uint64 // slice op tick, for LRU standby reclaim
 
-	waiters uint64 // bit per waiting core (barriers: arrived cores)
-	owner   int    // locks: owning core, -1 when free
+	waiters bitset.Set // one bit per waiting core (barriers: arrived cores)
+	owner   int        // locks: owning core, -1 when free
 
 	// AuxInfo (paper Fig. 1) — meaning depends on typ:
 	goal     int         // barrier: participant count
@@ -154,7 +154,11 @@ type entry struct {
 	pendBcast []int
 }
 
-func bit(core int) uint64 { return 1 << uint(core) }
+// newEntry builds a recyclable entry with its HWQueue vector sized to the
+// machine; the vector is cleared, never reallocated, across reuse.
+func newEntry(tiles int) *entry {
+	return &entry{owner: -1, standbyCore: -1, pinCore: -1, waiters: bitset.New(tiles)}
+}
 
 // Slice is one tile's MSA slice plus its OMU.
 type Slice struct {
@@ -279,9 +283,6 @@ func (s *Slice) trace(kind trace.Kind, addr memory.Addr, core int, detail string
 // directory used for HWSync block grants and revocations.
 func NewSlice(tile, tiles int, cfg Config, engine *sim.Engine, dir *coherence.Directory,
 	sendResp func(core int, r *Resp), sendMsa func(tile int, m *MsaMsg)) *Slice {
-	if tiles > 64 {
-		panic("core: HWQueue bit vector supports at most 64 cores")
-	}
 	var omu overflowTracker = NewOMU(cfg.OMUCounters)
 	if cfg.OMUBloom {
 		omu = NewBloomOMU(cfg.OMUCounters, cfg.OMUHashes)
@@ -297,7 +298,7 @@ func NewSlice(tile, tiles int, cfg Config, engine *sim.Engine, dir *coherence.Di
 	}
 	s.entries = make([]*entry, 0, n)
 	for i := 0; i < n; i++ {
-		s.entries = append(s.entries, &entry{owner: -1, standbyCore: -1, pinCore: -1})
+		s.entries = append(s.entries, newEntry(tiles))
 	}
 	return s
 }
@@ -389,7 +390,9 @@ func (s *Slice) tryAllocate(typ isa.SyncType, addr memory.Addr) *entry {
 	s.stats.Allocs++
 	s.met.allocs.Inc()
 	s.tick++
-	*e = entry{valid: true, typ: typ, addr: addr, owner: -1, standbyCore: -1, pinCore: -1, lastUse: s.tick}
+	e.waiters.Clear()
+	*e = entry{valid: true, typ: typ, addr: addr, owner: -1, standbyCore: -1, pinCore: -1,
+		lastUse: s.tick, waiters: e.waiters}
 	s.fl(obs.FAlloc, addr, -1, uint32(typ))
 	s.trace(trace.EntryAlloc, addr, -1, typ.String())
 	// Invariant: no thread may be active in the software path of addr while
@@ -421,7 +424,7 @@ func (s *Slice) freeEntry() *entry {
 		}
 	}
 	if s.cfg.Entries < 0 {
-		e := &entry{owner: -1, standbyCore: -1, pinCore: -1}
+		e := newEntry(s.tiles)
 		s.entries = append(s.entries, e)
 		return e
 	}
@@ -432,7 +435,7 @@ func (s *Slice) freeEntry() *entry {
 	// never be silently re-acquired again, so it is safe to reclaim.
 	for _, e := range s.entries {
 		if e.valid && e.typ == isa.TypeLock && e.standby && !e.revoking &&
-			!e.draining && e.grantsOut == 0 && e.pins == 0 && e.waiters == 0 &&
+			!e.draining && e.grantsOut == 0 && e.pins == 0 && e.waiters.Empty() &&
 			!s.dir.IsExclusiveAt(memory.LineOf(e.addr), e.standbyCore) {
 			s.stats.Reclaims++
 			s.stats.Deallocs++
@@ -466,8 +469,9 @@ func (s *Slice) dealloc(e *entry) {
 		// its address forever (paper Fig. 7 "without OMU" baseline) but
 		// becomes inactive, so the next acquire re-allocates it and runs
 		// the full allocation protocol (e.g. the cond-var pin handshake).
+		e.waiters.Clear()
 		*e = entry{valid: true, empty: true, typ: e.typ, addr: e.addr,
-			owner: -1, standbyCore: -1, pinCore: -1}
+			owner: -1, standbyCore: -1, pinCore: -1, waiters: e.waiters}
 		return
 	}
 	s.stats.Deallocs++
@@ -620,7 +624,7 @@ func (s *Slice) enqueueLocker(e *entry, core int, respOp isa.SyncOp, respAddr me
 		}
 		e.behalf[core] = respAddr
 	}
-	e.waiters |= bit(core)
+	e.waiters.Add(core)
 	if e.owner == -1 && !e.revoking {
 		if s.cfg.HWSyncOpt && e.standby && e.standbyCore != core {
 			// A silent holder may exist: revoke its block before granting.
@@ -650,7 +654,7 @@ func (s *Slice) afterRevoke(e *entry) {
 	}
 	if e.reclaiming {
 		e.reclaiming = false
-		if e.owner == -1 && e.waiters == 0 && e.pins == 0 {
+		if e.owner == -1 && e.waiters.Empty() && e.pins == 0 {
 			// No one slipped in during the revocation: free the slot.
 			s.stats.Reclaims++
 			s.met.reclaims.Inc()
@@ -679,7 +683,7 @@ func (s *Slice) startReclaim(except *entry) {
 		}
 		if e.valid && e.typ == isa.TypeLock && e.standby && !e.revoking &&
 			!e.reclaiming && !e.draining && e.grantsOut == 0 && e.pins == 0 &&
-			e.owner == -1 && e.waiters == 0 {
+			e.owner == -1 && e.waiters.Empty() {
 			if victim == nil || e.lastUse < victim.lastUse {
 				victim = e
 			}
@@ -699,33 +703,32 @@ func (s *Slice) startReclaim(except *entry) {
 
 // pickWaiter selects the next core to grant: round-robin from the slice's
 // NBTC register (§4.1 fairness), or lowest-first under FixedPriority.
-func (s *Slice) pickWaiter(waiters uint64) int {
+func (s *Slice) pickWaiter(waiters bitset.Set) int {
 	if s.cfg.FixedPriority {
-		for c := 0; c < s.tiles; c++ {
-			if waiters&bit(c) != 0 {
-				return c
-			}
+		if c := waiters.Next(0); c >= 0 {
+			return c
 		}
 		panic("core: pickWaiter on empty set")
 	}
-	for i := 0; i < s.tiles; i++ {
-		c := (s.nbtc + i) % s.tiles
-		if waiters&bit(c) != 0 {
-			s.nbtc = (c + 1) % s.tiles
-			return c
-		}
+	c := waiters.Next(s.nbtc)
+	if c < 0 {
+		c = waiters.Next(0)
 	}
-	panic("core: pickWaiter on empty set")
+	if c < 0 {
+		panic("core: pickWaiter on empty set")
+	}
+	s.nbtc = (c + 1) % s.tiles
+	return c
 }
 
 // promote grants the lock to the next waiter, chosen round-robin starting at
 // the slice's NBTC register (§4.1 fairness).
 func (s *Slice) promote(e *entry) {
-	if e.owner != -1 || e.revoking || e.draining || e.waiters == 0 {
+	if e.owner != -1 || e.revoking || e.draining || e.waiters.Empty() {
 		return
 	}
 	next := s.pickWaiter(e.waiters)
-	e.waiters &^= bit(next)
+	e.waiters.Remove(next)
 	e.owner = next
 	s.check.LockAcquired(e.addr, next, fault.WorldHW)
 	respOp, respAddr := isa.OpLock, e.addr
@@ -770,7 +773,7 @@ func (s *Slice) handleUnlock(r *Req) {
 	if e.owner == r.Core {
 		e.owner = -1
 		s.check.LockReleased(r.Addr, fault.WorldHW)
-		handoff := e.waiters != 0
+		handoff := !e.waiters.Empty()
 		// On a handoff the unlocker must drop its HWSync bit: the lock is
 		// about to belong to someone else, so a silent re-acquire from the
 		// stale bit would break mutual exclusion.
@@ -799,7 +802,7 @@ func (s *Slice) abortLockEntry(e *entry) {
 		panic("core: lock abort requires the OMU (no safe software fallback without it)")
 	}
 	for c := 0; c < s.tiles; c++ {
-		if e.waiters&bit(c) == 0 {
+		if !e.waiters.Has(c) {
 			continue
 		}
 		if condAddr, ok := e.behalf[c]; ok {
@@ -816,7 +819,7 @@ func (s *Slice) abortLockEntry(e *entry) {
 		s.omuInc(e.addr)
 		s.respond(c, isa.OpLock, e.addr, isa.Abort, ReasonFallback)
 	}
-	e.waiters = 0
+	e.waiters.Clear()
 	e.owner = -1
 	e.draining = true
 	if e.grantsOut == 0 && !e.revoking {
@@ -866,7 +869,7 @@ func (s *Slice) handleLockSilent(r *Req) {
 		panic(fmt.Sprintf("core: LOCK_SILENT for %#x with no entry (invariant violation)", r.Addr))
 	}
 	if e.owner != -1 || e.draining {
-		panic(fmt.Sprintf("core: LOCK_SILENT for %#x from core %d in invalid state (owner=%d draining=%v standby=%v revoking=%v reclaiming=%v standbyCore=%d grantsOut=%d waiters=%x)",
+		panic(fmt.Sprintf("core: LOCK_SILENT for %#x from core %d in invalid state (owner=%d draining=%v standby=%v revoking=%v reclaiming=%v standbyCore=%d grantsOut=%d waiters=%v)",
 			r.Addr, r.Core, e.owner, e.draining, e.standby, e.revoking, e.reclaiming, e.standbyCore, e.grantsOut, e.waiters))
 	}
 	s.stats.SilentLocks++
@@ -901,17 +904,15 @@ func (s *Slice) handleBarrier(r *Req) {
 		panic(fmt.Sprintf("core: barrier %#x goal mismatch %d vs %d", r.Addr, e.goal, r.Goal))
 	}
 	s.stats.BarrierHW++
-	e.waiters |= bit(r.Core)
+	e.waiters.Add(r.Core)
 	s.check.BarrierArrive(r.Addr, r.Core, e.goal, fault.WorldHW)
-	if bits.OnesCount64(e.waiters) == e.goal {
+	if e.waiters.Count() == e.goal {
 		// All arrived: release everyone (direct notification).
 		s.check.BarrierRelease(r.Addr)
-		for c := 0; c < s.tiles; c++ {
-			if e.waiters&bit(c) != 0 {
-				s.respond(c, isa.OpBarrier, r.Addr, isa.Success, ReasonNone)
-			}
-		}
-		e.waiters = 0
+		e.waiters.ForEach(func(c int) {
+			s.respond(c, isa.OpBarrier, r.Addr, isa.Success, ReasonNone)
+		})
+		e.waiters.Clear()
 		e.goal = 0
 		s.dealloc(e)
 	}
@@ -922,30 +923,28 @@ func (s *Slice) handleBarrier(r *Req) {
 func (s *Slice) handleSuspend(r *Req) {
 	// The request addresses whichever entry the address resolves to; the
 	// core sends it only while a LOCK/BARRIER/COND_WAIT is outstanding.
-	if e := s.find(isa.TypeLock, r.Addr); e != nil && e.waiters&bit(r.Core) != 0 {
+	if e := s.find(isa.TypeLock, r.Addr); e != nil && e.waiters.Has(r.Core) {
 		// Dequeue the lock waiter; the core re-executes LOCK on resume.
-		e.waiters &^= bit(r.Core)
+		e.waiters.Remove(r.Core)
 		s.respond(r.Core, isa.OpLock, r.Addr, isa.Abort, ReasonRequeue)
 		return
 	}
-	if e := s.find(isa.TypeBarrier, r.Addr); e != nil && e.waiters&bit(r.Core) != 0 {
+	if e := s.find(isa.TypeBarrier, r.Addr); e != nil && e.waiters.Has(r.Core) {
 		// Force the whole barrier to software (§4.2.2).
 		if !s.cfg.OMUEnabled {
 			panic("core: barrier abort requires the OMU")
 		}
-		for c := 0; c < s.tiles; c++ {
-			if e.waiters&bit(c) != 0 {
-				s.omuInc(e.addr)
-				s.respond(c, isa.OpBarrier, e.addr, isa.Abort, ReasonFallback)
-			}
-		}
+		e.waiters.ForEach(func(c int) {
+			s.omuInc(e.addr)
+			s.respond(c, isa.OpBarrier, e.addr, isa.Abort, ReasonFallback)
+		})
 		s.check.BarrierAbort(e.addr)
-		e.waiters = 0
+		e.waiters.Clear()
 		e.goal = 0
 		s.dealloc(e)
 		return
 	}
-	if e := s.find(isa.TypeCond, r.Addr); e != nil && e.waiters&bit(r.Core) != 0 {
+	if e := s.find(isa.TypeCond, r.Addr); e != nil && e.waiters.Has(r.Core) {
 		s.suspendCondWaiter(e, r.Core)
 		return
 	}
@@ -961,10 +960,10 @@ func (s *Slice) handleSuspend(r *Req) {
 type EntrySnapshot struct {
 	Typ      isa.SyncType
 	Addr     memory.Addr
-	Owner    int    // locks: owning core, -1 free
-	Waiters  uint64 // bit per waiting core (barriers: arrived cores)
-	Goal     int    // barriers: participant count
-	Pins     int    // locks: condition variables pinning the entry
+	Owner    int        // locks: owning core, -1 free
+	Waiters  bitset.Set // one bit per waiting core (barriers: arrived cores)
+	Goal     int        // barriers: participant count
+	Pins     int        // locks: condition variables pinning the entry
 	Standby  bool
 	Draining bool
 	Revoking bool
@@ -979,7 +978,7 @@ func (s *Slice) Snapshot() []EntrySnapshot {
 			continue
 		}
 		out = append(out, EntrySnapshot{
-			Typ: e.typ, Addr: e.addr, Owner: e.owner, Waiters: e.waiters,
+			Typ: e.typ, Addr: e.addr, Owner: e.owner, Waiters: e.waiters.Clone(),
 			Goal: e.goal, Pins: e.pins, Standby: e.standby,
 			Draining: e.draining, Revoking: e.revoking, LockAddr: e.lockAddr,
 		})

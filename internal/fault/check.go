@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"misar/internal/memory"
 	"misar/internal/metrics"
@@ -47,6 +48,11 @@ const (
 	// the MSA and the software barrier — a split episode that deadlocks
 	// (each side waits for the full goal).
 	ViolationBarrierWorld
+	// ViolationShardDelivery: a cross-shard NoC message arrived at a
+	// destination shard carrying a timestamp behind an earlier arrival on
+	// that shard — the conservative parallel kernel's no-straggler property
+	// (every delivery lands in the receiver's future) broken at runtime.
+	ViolationShardDelivery
 )
 
 func (k ViolationKind) String() string {
@@ -61,6 +67,8 @@ func (k ViolationKind) String() string {
 		return "barrier-epoch"
 	case ViolationBarrierWorld:
 		return "barrier-world-split"
+	case ViolationShardDelivery:
+		return "shard-delivery"
 	}
 	return "unknown"
 }
@@ -99,11 +107,15 @@ type barrierEpoch struct {
 // no simulated operations, no event scheduling — so an attached checker is
 // timing-invisible: cycle counts are identical with it on or off.
 //
-// It is driven only from the simulation's single-threaded world (kernel
-// event handlers, and thread code that runs while the kernel is parked on
-// the synchronous handoff channel), so it needs no locking.
+// On a serial machine it is driven only from the simulation's
+// single-threaded world (kernel event handlers, and thread code that runs
+// while the kernel is parked on the synchronous handoff channel), so it
+// needs no locking. A sharded machine feeds it from every shard goroutine
+// concurrently; Synchronize installs an internal mutex for that case. The
+// lock affects only host wall-clock, never simulated timing.
 type Checker struct {
 	now        func() sim.Time
+	mu         *sync.Mutex // nil on serial machines; see Synchronize
 	violations []Violation
 	count      *metrics.Counter
 
@@ -112,6 +124,7 @@ type Checker struct {
 	lockWts map[memory.Addr]map[int]World // threads waiting for a lock in SW
 	condWts map[memory.Addr]map[int]bool  // threads waiting on a SW condvar
 	epochs  map[memory.Addr]*barrierEpoch
+	shardHWM map[int]sim.Time // per-shard high-water cross-shard delivery timestamp
 }
 
 // NewChecker builds a checker; now supplies the simulation clock for
@@ -124,6 +137,48 @@ func NewChecker(now func() sim.Time) *Checker {
 		lockWts: make(map[memory.Addr]map[int]World),
 		condWts: make(map[memory.Addr]map[int]bool),
 		epochs:  make(map[memory.Addr]*barrierEpoch),
+		shardHWM: make(map[int]sim.Time),
+	}
+}
+
+// ShardDelivery records a cross-shard NoC arrival at a destination shard
+// with the message's scheduled timestamp. The conservative kernel delivers
+// each shard's cross-shard messages in non-decreasing timestamp order
+// (every injection lands at or beyond the shard's window start), so a
+// timestamp behind the shard's high-water mark is a straggler — the runtime
+// shadow of the window-protocol model's no-straggler property.
+func (c *Checker) ShardDelivery(shard int, when sim.Time) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if hwm, ok := c.shardHWM[shard]; ok && when < hwm {
+		c.violate(ViolationShardDelivery, 0,
+			"shard %d delivery at t=%d behind high-water t=%d (straggler)", shard, when, hwm)
+		return
+	}
+	c.shardHWM[shard] = when
+}
+
+// Synchronize guards every checker method with a mutex, for machines that
+// feed the checker from multiple shard goroutines. Call before the run
+// starts. Safe on a nil checker.
+func (c *Checker) Synchronize() {
+	if c != nil {
+		c.mu = new(sync.Mutex)
+	}
+}
+
+func (c *Checker) lock() {
+	if c.mu != nil {
+		c.mu.Lock()
+	}
+}
+
+func (c *Checker) unlock() {
+	if c.mu != nil {
+		c.mu.Unlock()
 	}
 }
 
@@ -154,6 +209,8 @@ func (c *Checker) Violations() []Violation {
 	if c == nil {
 		return nil
 	}
+	c.lock()
+	defer c.unlock()
 	return c.violations
 }
 
@@ -166,6 +223,8 @@ func (c *Checker) SWEnter(addr memory.Addr) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	c.swLevel[addr]++
 }
 
@@ -174,6 +233,8 @@ func (c *Checker) SWExit(addr memory.Addr) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	if c.swLevel[addr] <= 0 {
 		c.violate(ViolationExclusivity, addr, "SW-activity underflow (exit without enter)")
 		return
@@ -189,6 +250,8 @@ func (c *Checker) SWLevel(addr memory.Addr) int {
 	if c == nil {
 		return 0
 	}
+	c.lock()
+	defer c.unlock()
 	return c.swLevel[addr]
 }
 
@@ -200,6 +263,8 @@ func (c *Checker) HWAlloc(addr memory.Addr) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	if lvl := c.swLevel[addr]; lvl > 0 {
 		c.violate(ViolationExclusivity, addr,
 			"MSA entry allocated while %d thread(s) active in the software path", lvl)
@@ -214,6 +279,8 @@ func (c *Checker) LockWaiting(addr memory.Addr, id int, world World) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	w := c.lockWts[addr]
 	if w == nil {
 		w = make(map[int]World)
@@ -230,6 +297,8 @@ func (c *Checker) LockAcquired(addr memory.Addr, id int, world World) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	if w := c.lockWts[addr]; w != nil {
 		delete(w, id)
 		if len(w) == 0 {
@@ -252,6 +321,8 @@ func (c *Checker) LockReleased(addr memory.Addr, world World) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	h, held := c.locks[addr]
 	if !held {
 		c.violate(ViolationMutex, addr, "released while free (%s side)", world)
@@ -271,6 +342,8 @@ func (c *Checker) BarrierArrive(addr memory.Addr, id, goal int, world World) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	ep := c.epochs[addr]
 	if ep == nil {
 		ep = &barrierEpoch{goal: goal, world: world, arrived: make(map[int]bool)}
@@ -299,6 +372,8 @@ func (c *Checker) BarrierRelease(addr memory.Addr) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	ep := c.epochs[addr]
 	if ep == nil {
 		c.violate(ViolationBarrierEpoch, addr, "release with no open epoch")
@@ -318,6 +393,8 @@ func (c *Checker) BarrierAbort(addr memory.Addr) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	delete(c.epochs, addr)
 }
 
@@ -327,6 +404,8 @@ func (c *Checker) CondWaiting(addr memory.Addr, id int) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	w := c.condWts[addr]
 	if w == nil {
 		w = make(map[int]bool)
@@ -340,6 +419,8 @@ func (c *Checker) CondWoken(addr memory.Addr, id int) {
 	if c == nil {
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	if w := c.condWts[addr]; w != nil {
 		delete(w, id)
 		if len(w) == 0 {
@@ -383,6 +464,8 @@ func (c *Checker) LockStates() []LockState {
 	if c == nil {
 		return nil
 	}
+	c.lock()
+	defer c.unlock()
 	addrs := make(map[memory.Addr]bool)
 	for a := range c.locks {
 		addrs[a] = true
@@ -411,6 +494,8 @@ func (c *Checker) BarrierStates() []BarrierState {
 	if c == nil {
 		return nil
 	}
+	c.lock()
+	defer c.unlock()
 	out := make([]BarrierState, 0, len(c.epochs))
 	for a, ep := range c.epochs {
 		st := BarrierState{Addr: a, Goal: ep.goal, World: ep.world}
@@ -429,6 +514,8 @@ func (c *Checker) CondStates() []CondState {
 	if c == nil {
 		return nil
 	}
+	c.lock()
+	defer c.unlock()
 	out := make([]CondState, 0, len(c.condWts))
 	for a, w := range c.condWts {
 		st := CondState{Addr: a}

@@ -10,6 +10,7 @@ func Kinds() []ViolationKind {
 		ViolationLockWorld,
 		ViolationBarrierEpoch,
 		ViolationBarrierWorld,
+		ViolationShardDelivery,
 	}
 }
 
@@ -28,6 +29,8 @@ func ModelsFor(k ViolationKind) []string {
 		return []string{"msa-lock-mutex"}
 	case ViolationBarrierEpoch, ViolationBarrierWorld:
 		return []string{"barrier-epoch"}
+	case ViolationShardDelivery:
+		return []string{"window-protocol"}
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ func variantTable() map[string]variantSpec {
 		"pthread":  {baselineCfg, syncrt.PthreadLib},
 		"spinlock": {baselineCfg, syncrt.SpinLib},
 		"mcs-tour": {baselineCfg, syncrt.MCSTourLib},
+		"mcs-tree": {baselineCfg, syncrt.MCSTreeLib},
 		"msa0":     {machine.MSA0, syncrt.HWLib},
 		"msaomu1":  {func(t int) machine.Config { return machine.MSAOMU(t, 1) }, syncrt.HWLib},
 		"msaomu2":  {func(t int) machine.Config { return machine.MSAOMU(t, 2) }, syncrt.HWLib},

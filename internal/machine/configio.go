@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"misar/internal/cpu"
 )
 
 // Machine configurations are plain data, so they round-trip through JSON —
@@ -42,8 +44,8 @@ func LoadConfig(path string) (Config, error) {
 // Validate rejects configurations the model cannot run.
 func Validate(cfg Config) error {
 	switch {
-	case cfg.Tiles < 1 || cfg.Tiles > 64:
-		return fmt.Errorf("machine: tiles %d out of range [1,64]", cfg.Tiles)
+	case cfg.Tiles < 1 || cfg.Tiles > 1024:
+		return fmt.Errorf("machine: tiles %d out of range [1,1024]", cfg.Tiles)
 	case cfg.NoC.Width*cfg.NoC.Height < cfg.Tiles:
 		return fmt.Errorf("machine: %dx%d mesh smaller than %d tiles",
 			cfg.NoC.Width, cfg.NoC.Height, cfg.Tiles)
@@ -53,6 +55,33 @@ func Validate(cfg Config) error {
 		return fmt.Errorf("machine: MSA entries must be nonzero (negative = unbounded); use CPU mode MSA-0 for no accelerator")
 	case cfg.MSA.OMUCounters < 1:
 		return fmt.Errorf("machine: OMU needs at least one counter")
+	}
+	return validateSharding(cfg)
+}
+
+// validateSharding checks the constraints of the conservative parallel
+// kernel; always nil for serial configurations. Sharding partitions the
+// mesh into contiguous row bands and requires every cross-shard interaction
+// to carry at least one hop of latency, so features that share mutable
+// state across tiles with zero latency are rejected.
+func validateSharding(cfg Config) error {
+	k := cfg.ShardCount()
+	if k == 1 {
+		if cfg.Shards < 0 {
+			return fmt.Errorf("machine: negative shard count %d", cfg.Shards)
+		}
+		return nil
+	}
+	switch {
+	case cfg.NoC.Height%k != 0:
+		return fmt.Errorf("machine: %d shards do not divide mesh height %d into row bands",
+			k, cfg.NoC.Height)
+	case cfg.NoC.RouteAtInjection:
+		return fmt.Errorf("machine: route-at-injection reserves remote links eagerly; incompatible with %d shards", k)
+	case cfg.CPU.Mode == cpu.ModeIdeal:
+		return fmt.Errorf("machine: Ideal mode uses zero-latency shared sync tables; incompatible with %d shards", k)
+	case cfg.Fault.Enabled():
+		return fmt.Errorf("machine: fault injection uses cross-tile delay hooks; incompatible with %d shards", k)
 	}
 	return nil
 }

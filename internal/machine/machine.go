@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sort"
 
 	"misar/internal/coherence"
 	corepkg "misar/internal/core"
@@ -65,6 +66,22 @@ type Config struct {
 	// bookkeeping — it schedules no events and issues no simulated
 	// operations — so enabling it cannot change simulated timing.
 	Invariants bool
+	// Shards selects the conservative parallel kernel: 0 or 1 is the serial
+	// event loop; N>1 partitions the mesh into N contiguous row bands, each
+	// advancing on its own engine in lookahead-bounded time windows (see
+	// internal/sim ShardGroup and DESIGN.md §14). Sharding changes which
+	// goroutine executes an event but never which events exist; each shard
+	// count is run-to-run deterministic. The Name deliberately does not
+	// mention Shards, so sharded and serial sweeps render comparable tables.
+	Shards int
+}
+
+// ShardCount normalizes Cfg.Shards: 0 means serial, i.e. one shard.
+func (c Config) ShardCount() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
 }
 
 // meshDims picks the squarest W×H decomposition for n tiles.
@@ -176,15 +193,24 @@ func BarrierOnly(c Config) Config {
 
 // Machine is a fully wired model instance.
 type Machine struct {
-	Cfg     Config
-	Engine  *sim.Engine
-	Net     *noc.Network
-	Store   *memory.Store
-	L1s     []*coherence.L1
-	Dirs    []*coherence.Directory
-	Slices  []*corepkg.Slice
-	Cores   []*cpu.Core
-	Complex *cpu.Complex
+	Cfg    Config
+	Engine *sim.Engine // serial engine, or shard 0's engine when sharded
+	// Group is the conservative shard coordinator (nil on a serial machine).
+	// External schedulers (examples, chaos scenarios, ablation helpers) that
+	// call m.Engine.At directly require a serial machine.
+	Group  *sim.ShardGroup
+	Net    *noc.Network
+	Store  *memory.Store
+	L1s    []*coherence.L1
+	Dirs   []*coherence.Directory
+	Slices []*corepkg.Slice
+	Cores  []*cpu.Core
+	// Complex is shard 0's scheduler; Complexes holds one per shard (len 1
+	// on a serial machine). Thread state for diagnostics should go through
+	// Threads()/RunningThreads(), which merge across shards.
+	Complex   *cpu.Complex
+	Complexes []*cpu.Complex
+	shardOf   []int // tile -> shard (nil on serial machines)
 	// Metrics is the machine's instrument registry (nil unless Cfg.Metrics).
 	Metrics *metrics.Registry
 	// Injector drives fault injection (nil unless Cfg.Fault enables a site).
@@ -197,14 +223,122 @@ type Machine struct {
 	// PanicError so failures carry their own last moments. It is not a
 	// Config knob — Config stays a pure value for memo/store fingerprints —
 	// and recording is allocation-free, so every machine carries one.
-	Flight *obs.FlightRecorder
+	// Sharded machines carry one single-writer ring per shard (Flights;
+	// Flight aliases shard 0's) and FlightEvents merges them by timestamp.
+	Flight  *obs.FlightRecorder
+	Flights []*obs.FlightRecorder
+
+	// regs holds the per-shard metric registries (len 1 serial); Metrics
+	// aliases regs[0], into which collectMetrics merges the rest.
+	regs []*metrics.Registry
 
 	collected bool // machine-wide totals already folded into Metrics
 }
 
-// New builds and wires a machine.
+// ShardOf returns the shard owning tile (always 0 on a serial machine).
+func (m *Machine) ShardOf(tile int) int {
+	if m.shardOf == nil {
+		return 0
+	}
+	return m.shardOf[tile]
+}
+
+// Now returns the machine's completion clock: the serial engine's time, or
+// the latest shard clock on a sharded machine. Call between windows (the
+// run loop, error paths, and post-run reporting all qualify).
+func (m *Machine) Now() sim.Time {
+	if m.Group == nil {
+		return m.Engine.Now()
+	}
+	return m.Group.MaxNow()
+}
+
+// Threads returns every spawned thread, shard 0 first (identical to
+// Complex.Threads() on a serial machine).
+func (m *Machine) Threads() []*cpu.Thread {
+	if len(m.Complexes) == 1 {
+		return m.Complex.Threads()
+	}
+	var out []*cpu.Thread
+	for _, x := range m.Complexes {
+		out = append(out, x.Threads()...)
+	}
+	return out
+}
+
+// RunningThreads sums started-but-unfinished threads across shards.
+func (m *Machine) RunningThreads() int {
+	n := 0
+	for _, x := range m.Complexes {
+		n += x.Running()
+	}
+	return n
+}
+
+// killThreads tears down unfinished threads on every shard.
+func (m *Machine) killThreads() {
+	for _, x := range m.Complexes {
+		x.Kill()
+	}
+}
+
+// FlightEvents merges the per-shard flight-recorder rings into one
+// timestamp-ordered dump (stable by shard at equal cycles). On a serial
+// machine it is exactly Flight.Events().
+func (m *Machine) FlightEvents() []obs.FlightEvent {
+	if len(m.Flights) == 1 {
+		return m.Flight.Events()
+	}
+	var all []obs.FlightEvent
+	for _, f := range m.Flights {
+		all = append(all, f.Events()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+// shardMap partitions the mesh into contiguous row bands, one per shard:
+// tile t of a width-w mesh with rowsPer rows per shard lives on shard
+// (t/w)/rowsPer. Contiguity matters — boundary crossings (and thus
+// cross-shard mail) happen only on the north/south links between bands.
+// The map covers every mesh POSITION (width×height), not just the
+// populated tiles: on a ragged mesh (e.g. 8 tiles on 3×3) the trailing
+// core-less routers still carry pass-through traffic, so their hop events
+// need a shard owner like any other.
+func shardMap(tiles, width, height, shards int) []int {
+	rowsPer := height / shards
+	out := make([]int, tiles)
+	for t := range out {
+		s := (t / width) / rowsPer
+		if s >= shards {
+			s = shards - 1
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// New builds and wires a machine. With Cfg.Shards > 1 the machine runs on
+// the conservative parallel kernel: one engine per shard, cross-shard NoC
+// hops handed over through the shard group, and every piece of mutable
+// per-tile state (component structs, payload pools, flight rings, metric
+// registries) owned by its tile's shard. Combinations that would share
+// zero-latency mutable state across shards (Ideal mode, fault injection,
+// route-at-injection) panic here; Validate reports them as errors first
+// for configurations arriving from files.
 func New(cfg Config) *Machine {
-	engine := sim.NewEngine()
+	shards := cfg.ShardCount()
+	var group *sim.ShardGroup
+	var engine *sim.Engine
+	if shards > 1 {
+		if err := validateSharding(cfg); err != nil {
+			panic("machine: " + err.Error())
+		}
+		group = sim.NewShardGroup(shards, cfg.NoC.RouterLatency+cfg.NoC.LinkLatency)
+		engine = group.Engine(0)
+	} else {
+		engine = sim.NewEngine()
+	}
 	net := noc.New(engine, cfg.NoC)
 	if net.Tiles() < cfg.Tiles {
 		panic("machine: mesh smaller than tile count")
@@ -212,28 +346,55 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		Cfg:    cfg,
 		Engine: engine,
+		Group:  group,
 		Net:    net,
-		Store:  memory.NewStore(),
 		L1s:    make([]*coherence.L1, cfg.Tiles),
 		Dirs:   make([]*coherence.Directory, cfg.Tiles),
 		Slices: make([]*corepkg.Slice, cfg.Tiles),
 		Cores:  make([]*cpu.Core, cfg.Tiles),
-		Flight: obs.NewFlightRecorder(0),
 	}
+	if shards > 1 {
+		m.Store = memory.NewSharedStore()
+		m.shardOf = shardMap(net.Tiles(), cfg.NoC.Width, cfg.NoC.Height, shards)
+		net.SetShards(group, func(t int) int { return m.shardOf[t] })
+	} else {
+		m.Store = memory.NewStore()
+	}
+	engineOf := func(tile int) *sim.Engine {
+		if group == nil {
+			return engine
+		}
+		return group.Engine(m.shardOf[tile])
+	}
+	m.Flights = make([]*obs.FlightRecorder, shards)
+	for s := range m.Flights {
+		m.Flights[s] = obs.NewFlightRecorder(0)
+	}
+	m.Flight = m.Flights[0]
 	var ideal *cpu.Ideal
 	if cfg.CPU.Mode == cpu.ModeIdeal {
 		ideal = cpu.NewIdeal()
 	}
-	// One payload pool per message type, shared machine-wide. The attach
-	// handler below is the sole consumer of every payload (the coherence
-	// controllers, slices, and cores retain copies of the fields they need,
-	// never the pointer — see the pool doc comments), so each record is
-	// recycled the moment its Handle call returns.
-	msgPool := new(coherence.MsgPool)
-	reqPool := new(corepkg.ReqPool)
-	respPool := new(corepkg.RespPool)
+	// One payload pool set per shard (one total on a serial machine). The
+	// attach handler below is the sole consumer of every payload (the
+	// coherence controllers, slices, and cores retain copies of the fields
+	// they need, never the pointer — see the pool doc comments), so each
+	// record is recycled the moment its Handle call returns — always into
+	// the pool of the shard whose goroutine is executing.
+	msgPools := make([]*coherence.MsgPool, shards)
+	reqPools := make([]*corepkg.ReqPool, shards)
+	respPools := make([]*corepkg.RespPool, shards)
+	for s := 0; s < shards; s++ {
+		msgPools[s] = new(coherence.MsgPool)
+		reqPools[s] = new(corepkg.ReqPool)
+		respPools[s] = new(corepkg.RespPool)
+	}
 	for i := 0; i < cfg.Tiles; i++ {
 		i := i
+		eng := engineOf(i)
+		shard := m.ShardOf(i)
+		msgPool, reqPool, respPool := msgPools[shard], reqPools[shard], respPools[shard]
+		flight := m.Flights[shard]
 		// All component senders go through the network's pooled Post path:
 		// the machine's attach handler consumes each message synchronously,
 		// so the Message structs recycle and the send fan-out allocates only
@@ -241,31 +402,31 @@ func New(cfg Config) *Machine {
 		sendCoh := func(dst int, msg *coherence.Msg) {
 			net.Post(i, dst, msg.Bytes(), msg)
 		}
-		m.L1s[i] = coherence.NewL1(i, cfg.Tiles, cfg.L1, engine, m.Store, sendCoh)
+		m.L1s[i] = coherence.NewL1(i, cfg.Tiles, cfg.L1, eng, m.Store, sendCoh)
 		m.L1s[i].SetMsgPool(msgPool)
-		m.Dirs[i] = coherence.NewDirectory(i, cfg.Tiles, cfg.Dir, engine, sendCoh)
+		m.Dirs[i] = coherence.NewDirectory(i, cfg.Tiles, cfg.Dir, eng, sendCoh)
 		m.Dirs[i].SetMsgPool(msgPool)
-		m.Slices[i] = corepkg.NewSlice(i, cfg.Tiles, cfg.MSA, engine, m.Dirs[i],
+		m.Slices[i] = corepkg.NewSlice(i, cfg.Tiles, cfg.MSA, eng, m.Dirs[i],
 			func(c int, r *corepkg.Resp) {
 				net.Post(i, c, corepkg.RespBytes, r)
 			},
 			func(tile int, msg *corepkg.MsaMsg) {
 				net.Post(i, tile, corepkg.MsaBytes, msg)
 			})
-		m.Cores[i] = cpu.NewCore(i, cfg.Tiles, cfg.CPU, engine, m.L1s[i],
+		m.Cores[i] = cpu.NewCore(i, cfg.Tiles, cfg.CPU, eng, m.L1s[i],
 			func(home int, r *corepkg.Req) {
 				net.Post(i, home, corepkg.ReqBytes, r)
 			}, ideal)
 		m.Cores[i].SetReqPool(reqPool)
 		m.Slices[i].SetRespPool(respPool)
-		m.Slices[i].SetFlight(m.Flight)
+		m.Slices[i].SetFlight(flight)
 		net.Attach(i, func(nm *noc.Message) {
 			switch p := nm.Payload.(type) {
 			case *coherence.Msg:
 				// Every coherence message funnels through here on delivery,
 				// so one record covers NoC traffic and protocol transitions.
-				m.Flight.Record(obs.FlightEvent{
-					At: engine.Now(), Kind: obs.FCoh, Tile: int16(i),
+				flight.Record(obs.FlightEvent{
+					At: eng.Now(), Kind: obs.FCoh, Tile: int16(i),
 					Core: int16(p.Core), Addr: p.Line, Arg: uint32(p.Kind),
 				})
 				switch p.Kind {
@@ -299,7 +460,15 @@ func New(cfg Config) *Machine {
 		}
 	}
 	if cfg.Invariants {
-		m.Checker = fault.NewChecker(engine.Now)
+		if group != nil {
+			// The checker is shared bookkeeping fed from every shard: give
+			// it the (monotone, barrier-published) window clock and a lock.
+			m.Checker = fault.NewChecker(group.Now)
+			m.Checker.Synchronize()
+			net.SetDeliveryCheck(m.Checker.ShardDelivery)
+		} else {
+			m.Checker = fault.NewChecker(engine.Now)
+		}
 		for _, sl := range m.Slices {
 			sl.SetChecker(m.Checker)
 		}
@@ -308,30 +477,47 @@ func New(cfg Config) *Machine {
 		}
 	}
 	if cfg.Metrics {
-		m.Metrics = metrics.NewRegistry()
-		for _, sl := range m.Slices {
-			sl.SetMetrics(m.Metrics)
+		m.regs = make([]*metrics.Registry, shards)
+		for s := range m.regs {
+			m.regs[s] = metrics.NewRegistry()
 		}
-		for _, c := range m.Cores {
-			c.SetMetrics(m.Metrics)
+		m.Metrics = m.regs[0]
+		for i, sl := range m.Slices {
+			sl.SetMetrics(m.regs[m.ShardOf(i)])
+		}
+		for i, c := range m.Cores {
+			c.SetMetrics(m.regs[m.ShardOf(i)])
 		}
 		m.Injector.AttachMetrics(m.Metrics)
+		// The checker's violation counter lives in shard 0's registry; its
+		// increments happen under the checker lock in sharded mode.
 		m.Checker.AttachMetrics(m.Metrics)
 	}
-	m.Complex = cpu.NewComplex(engine, m.Cores)
+	if group != nil {
+		m.Complexes = make([]*cpu.Complex, shards)
+		for s := range m.Complexes {
+			m.Complexes[s] = cpu.NewComplex(group.Engine(s), m.Cores)
+		}
+	} else {
+		m.Complexes = []*cpu.Complex{cpu.NewComplex(engine, m.Cores)}
+	}
+	m.Complex = m.Complexes[0]
 	return m
 }
 
 // SpawnAll starts one thread per core (thread i on core i) at time 0,
-// running body with the thread id.
+// running body with the thread id. On a sharded machine each thread is
+// spawned on its core's shard complex, so its start event and all its
+// synchronous handoffs stay on the owning shard's engine.
 func (m *Machine) SpawnAll(n int, body func(tid int, e cpu.Env)) {
 	if n > m.Cfg.Tiles {
 		panic("machine: more threads than cores")
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		t := m.Complex.Spawn(i, func(e cpu.Env) { body(i, e) })
-		m.Complex.Start(t, i, 0)
+		x := m.Complexes[m.ShardOf(i)]
+		t := x.Spawn(i, func(e cpu.Env) { body(i, e) })
+		x.Start(t, i, 0)
 	}
 }
 
@@ -350,6 +536,12 @@ func (m *Machine) Run(deadline sim.Time) (sim.Time, error) {
 // cancellation latency to a few milliseconds of wall clock.
 const cancelCheckEvery = 1 << 16
 
+// shardCancelCheckWindows spaces cancellation polls on the sharded kernel,
+// where the natural poll point is the window barrier: 4Ki windows is a few
+// thousand simulated cycles between polls, comparable wall-clock spacing to
+// the serial constant.
+const shardCancelCheckWindows = 1 << 12
+
 // RunCtx is Run with caller cancellation. When ctx ends before the
 // simulation finishes, the threads are torn down (their goroutines unwind,
 // nothing leaks) and the error is a *CancelError wrapping the context's
@@ -363,43 +555,64 @@ func (m *Machine) RunCtx(ctx context.Context, deadline sim.Time) (_ sim.Time, er
 			// Thread bodies are recovered inside their own goroutines, so
 			// this is a model bug, not a workload bug. Tear the threads down
 			// so their goroutines unwind instead of leaking, then surface
-			// the panic as a structured error the harness can tag.
-			m.Complex.Kill()
-			err = &PanicError{Value: r, Stack: string(debug.Stack()), Flight: m.Flight.Events()}
+			// the panic as a structured error the harness can tag. On the
+			// sharded kernel the panic arrives pre-wrapped as *ShardPanic
+			// with the faulting shard's own stack.
+			m.killThreads()
+			if sp, ok := r.(*sim.ShardPanic); ok {
+				err = &PanicError{Value: sp.Value, Stack: sp.Stack, Flight: m.FlightEvents()}
+			} else {
+				err = &PanicError{Value: r, Stack: string(debug.Stack()), Flight: m.FlightEvents()}
+			}
 		}
 	}()
 	var drained bool
-	if ctx.Done() == nil {
+	switch {
+	case m.Group != nil:
+		var interrupt func() bool
+		if ctx.Done() != nil {
+			if ctx.Err() != nil {
+				return m.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Now()}
+			}
+			interrupt = func() bool { return ctx.Err() != nil }
+		}
+		var interrupted bool
+		drained, interrupted = m.Group.RunUntilCheck(deadline, shardCancelCheckWindows, interrupt)
+		if interrupted {
+			m.killThreads()
+			return m.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Now()}
+		}
+	case ctx.Done() == nil:
 		drained = m.Engine.RunUntil(deadline)
-	} else {
+	default:
 		if ctx.Err() != nil {
-			return m.Engine.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Engine.Now()}
+			return m.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Now()}
 		}
 		var interrupted bool
 		drained, interrupted = m.Engine.RunUntilCheck(deadline, cancelCheckEvery,
 			func() bool { return ctx.Err() != nil })
 		if interrupted {
-			m.Complex.Kill()
-			return m.Engine.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Engine.Now()}
+			m.killThreads()
+			return m.Now(), &CancelError{Cause: context.Cause(ctx), At: m.Now()}
 		}
 	}
-	for _, t := range m.Complex.Threads() {
+	for _, t := range m.Threads() {
 		if t.Err() != nil {
-			return m.Engine.Now(), fmt.Errorf("machine: thread %d panicked: %v", t.ID(), t.Err())
+			return m.Now(), fmt.Errorf("machine: thread %d panicked: %v", t.ID(), t.Err())
 		}
 	}
 	if !drained {
 		reason := fmt.Sprintf("machine: deadline %d reached with work pending", deadline)
-		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason), Flight: m.Flight.Events()}
+		return m.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason), Flight: m.FlightEvents()}
 	}
-	if r := m.Complex.Running(); r > 0 {
+	if r := m.RunningThreads(); r > 0 {
 		reason := fmt.Sprintf("machine: quiesced with %d threads blocked (deadlock)", r)
-		return m.Engine.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason), Flight: m.Flight.Events()}
+		return m.Now(), &LivenessError{Reason: reason, Diag: m.Diagnose(reason), Flight: m.FlightEvents()}
 	}
 	if v := m.Checker.Violations(); len(v) > 0 {
-		return m.Engine.Now(), &SafetyError{Violations: v, Flight: m.Flight.Events()}
+		return m.Now(), &SafetyError{Violations: v, Flight: m.FlightEvents()}
 	}
-	return m.Engine.Now(), nil
+	return m.Now(), nil
 }
 
 // latNames labels the cpu.LatencyKind histogram classes for metric names.
@@ -426,7 +639,15 @@ func (m *Machine) collectMetrics() {
 	}
 	m.collected = true
 
-	r.Gauge("sim.cycles").Observe(uint64(m.Engine.Now()))
+	// Sharded machines recorded tile-local instruments into per-shard
+	// registries; fold shards 1..K-1 into shard 0's before adding the
+	// machine-wide totals. The merge order is fixed (shard index), so the
+	// combined registry is deterministic for a deterministic run.
+	for _, reg := range m.regs[1:] {
+		r.Merge(reg)
+	}
+
+	r.Gauge("sim.cycles").Observe(uint64(m.Now()))
 
 	// MSA operation mix (machine totals; per-tile entry/steer counters are
 	// recorded inline by the slices).
@@ -572,14 +793,18 @@ func (m *Machine) MetricsReport(kind, app, lib string) *metrics.Report {
 		Config:  m.Cfg.Name,
 		Lib:     lib,
 		Tiles:   m.Cfg.Tiles,
-		Cycles:  uint64(m.Engine.Now()),
+		Cycles:  uint64(m.Now()),
 		Metrics: m.Metrics.Snapshot(),
 	}
 }
 
 // AttachTracer records protocol events from every MSA slice and core into
-// b (see cmd/misar-trace). Pass nil to detach.
+// b (see cmd/misar-trace). Pass nil to detach. The trace buffer is a shared
+// single-writer structure, so tracing requires the serial kernel.
 func (m *Machine) AttachTracer(b *trace.Buffer) {
+	if b != nil && m.Group != nil {
+		panic("machine: tracing requires a serial machine (Shards <= 1)")
+	}
 	for _, sl := range m.Slices {
 		sl.SetTracer(b)
 	}

@@ -159,16 +159,17 @@ func (d *Diagnosis) Summary() string {
 // read-only and safe to call at any point the engine is not mid-event; Run
 // calls it when a liveness check trips.
 func (m *Machine) Diagnose(reason string) *Diagnosis {
-	d := &Diagnosis{Reason: reason, Now: m.Engine.Now()}
+	d := &Diagnosis{Reason: reason, Now: m.Now()}
 
 	// Thread states, with the outstanding instruction when the thread is
-	// the one installed on its core.
-	for _, t := range m.Complex.Threads() {
+	// the one installed on its core. Threads() merges every shard complex,
+	// so a sharded machine's diagnosis spans the whole machine.
+	for _, t := range m.Threads() {
 		if t.Done() {
 			continue
 		}
 		td := ThreadDiag{ID: t.ID(), Core: t.CoreID(), Parked: t.Parked()}
-		if c := t.CoreID(); c >= 0 && m.Complex.Core(c).Current() == t {
+		if c := t.CoreID(); c >= 0 && m.Cores[c].Current() == t {
 			if op, addr, since, ok := m.Cores[c].Outstanding(); ok {
 				td.OutOp = op.String()
 				td.OutAddr = addr
@@ -177,6 +178,9 @@ func (m *Machine) Diagnose(reason string) *Diagnosis {
 		}
 		d.Blocked = append(d.Blocked, td)
 	}
+	// Threads() groups by shard; re-sort by id so the report is stable
+	// regardless of how threads were distributed.
+	sort.Slice(d.Blocked, func(i, j int) bool { return d.Blocked[i].ID < d.Blocked[j].ID })
 
 	// Hardware world: live MSA entries and per-tile last-request times.
 	d.LastReq = make([]sim.Time, len(m.Slices))
@@ -206,7 +210,7 @@ func (m *Machine) threadOnCore(c int) int {
 	if c < 0 || c >= len(m.Cores) {
 		return -1
 	}
-	if t := m.Complex.Core(c).Current(); t != nil {
+	if t := m.Cores[c].Current(); t != nil {
 		return t.ID()
 	}
 	return -1
@@ -233,7 +237,7 @@ func (m *Machine) waitEdges(d *Diagnosis) []WaitEdge {
 		}
 		holder := m.threadOnCore(e.Owner)
 		for c := 0; c < len(m.Cores); c++ {
-			if e.Waiters&(1<<uint(c)) != 0 {
+			if e.Waiters.Has(c) {
 				add(m.threadOnCore(c), holder, e.Addr)
 			}
 		}

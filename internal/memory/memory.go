@@ -9,7 +9,10 @@
 // memory is linearizable.
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // LineSize is the coherence granularity in bytes.
 const LineSize = 64
@@ -34,40 +37,118 @@ func HomeOf(a Addr, tiles int) int {
 
 // Store is the flat functional memory, word granular. The zero value is an
 // all-zeroes memory.
+//
+// A Store built with NewStore is the serial mode: a single flat map with no
+// synchronization, matching the single-threaded event kernel. A Store built
+// with NewSharedStore is safe for concurrent access from the sharded kernel:
+// words live in lock-striped sub-maps, so accesses to different stripes never
+// contend and Go's map implementation is never raced. The *model-level*
+// serialization of conflicting accesses is still the coherence protocol's
+// job (permission transfer between tiles costs at least one NoC hop, which
+// exceeds the shard window width); the stripes only make the Go-level map
+// mutation safe and linearizable per word.
 type Store struct {
-	words map[Addr]uint64
+	words   map[Addr]uint64 // serial mode; nil in shared mode
+	stripes []storeStripe   // shared mode; nil in serial mode
+	mask    uint64          // len(stripes)-1, stripes is a power of two
 }
 
-// NewStore returns an empty (all-zero) memory.
+// storeStripe is one lock-guarded sub-map, padded so neighboring stripes do
+// not share a cache line under concurrent hammering.
+type storeStripe struct {
+	mu    sync.Mutex
+	words map[Addr]uint64
+	_     [40]byte
+}
+
+// NewStore returns an empty (all-zero) memory for the serial kernel.
 func NewStore() *Store {
 	return &Store{words: make(map[Addr]uint64)}
 }
 
+// sharedStripes is the stripe count of a shared store. 64 stripes keep the
+// probability of two concurrently-executing shards colliding on a stripe
+// low while staying cheap to construct per simulated machine.
+const sharedStripes = 64
+
+// NewSharedStore returns an empty memory safe for concurrent access from
+// multiple shard goroutines.
+func NewSharedStore() *Store {
+	s := &Store{stripes: make([]storeStripe, sharedStripes), mask: sharedStripes - 1}
+	for i := range s.stripes {
+		s.stripes[i].words = make(map[Addr]uint64)
+	}
+	return s
+}
+
+// Shared reports whether the store is in the concurrent (striped) mode.
+func (s *Store) Shared() bool { return s.stripes != nil }
+
+// stripe returns the stripe owning word-aligned address w.
+func (s *Store) stripe(w Addr) *storeStripe {
+	// Word index mixed so striding by one word or one line both spread.
+	h := uint64(w) >> 3
+	h ^= h >> 7
+	return &s.stripes[h&s.mask]
+}
+
 // Load returns the 64-bit word containing a.
 func (s *Store) Load(a Addr) uint64 {
-	return s.words[WordOf(a)]
+	w := WordOf(a)
+	if s.stripes == nil {
+		return s.words[w]
+	}
+	st := s.stripe(w)
+	st.mu.Lock()
+	v := st.words[w]
+	st.mu.Unlock()
+	return v
 }
 
 // Store writes the 64-bit word containing a.
 func (s *Store) Store(a Addr, v uint64) {
-	s.words[WordOf(a)] = v
+	w := WordOf(a)
+	if s.stripes == nil {
+		s.words[w] = v
+		return
+	}
+	st := s.stripe(w)
+	st.mu.Lock()
+	st.words[w] = v
+	st.mu.Unlock()
 }
 
 // Add atomically adds delta and returns the previous value. Atomicity is
-// inherent: the caller invokes this at commit time under the single-threaded
-// kernel.
+// inherent in serial mode (the caller invokes this at commit time under the
+// single-threaded kernel) and lock-guaranteed in shared mode.
 func (s *Store) Add(a Addr, delta uint64) uint64 {
 	w := WordOf(a)
-	old := s.words[w]
-	s.words[w] = old + delta
+	if s.stripes == nil {
+		old := s.words[w]
+		s.words[w] = old + delta
+		return old
+	}
+	st := s.stripe(w)
+	st.mu.Lock()
+	old := st.words[w]
+	st.words[w] = old + delta
+	st.mu.Unlock()
 	return old
 }
 
 // Swap stores v and returns the previous value.
 func (s *Store) Swap(a Addr, v uint64) uint64 {
 	w := WordOf(a)
-	old := s.words[w]
-	s.words[w] = v
+	if s.stripes == nil {
+		old := s.words[w]
+		s.words[w] = v
+		return old
+	}
+	st := s.stripe(w)
+	st.mu.Lock()
+	old := st.words[w]
+	st.words[w] = v
+	st.mu.Unlock()
 	return old
 }
 
@@ -75,14 +156,34 @@ func (s *Store) Swap(a Addr, v uint64) uint64 {
 // previous value and whether the swap happened.
 func (s *Store) CompareAndSwap(a Addr, oldV, newV uint64) (uint64, bool) {
 	w := WordOf(a)
-	cur := s.words[w]
+	if s.stripes == nil {
+		cur := s.words[w]
+		if cur == oldV {
+			s.words[w] = newV
+			return cur, true
+		}
+		return cur, false
+	}
+	st := s.stripe(w)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.words[w]
 	if cur == oldV {
-		s.words[w] = newV
+		st.words[w] = newV
 		return cur, true
 	}
 	return cur, false
 }
 
 func (s *Store) String() string {
+	if s.stripes != nil {
+		n := 0
+		for i := range s.stripes {
+			s.stripes[i].mu.Lock()
+			n += len(s.stripes[i].words)
+			s.stripes[i].mu.Unlock()
+		}
+		return fmt.Sprintf("Store{%d words, shared}", n)
+	}
 	return fmt.Sprintf("Store{%d words}", len(s.words))
 }

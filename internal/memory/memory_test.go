@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -115,5 +116,65 @@ func TestPropertyAdd(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Shared-mode Store must behave exactly like the serial Store under a
+// single goroutine...
+func TestSharedStoreMatchesSerial(t *testing.T) {
+	f := func(a Addr, init, delta, v, casOld, casNew uint64) bool {
+		ser, sh := NewStore(), NewSharedStore()
+		if !sh.Shared() || ser.Shared() {
+			return false
+		}
+		for _, s := range []*Store{ser, sh} {
+			s.Store(a, init)
+		}
+		if ser.Add(a, delta) != sh.Add(a, delta) || ser.Load(a) != sh.Load(a) {
+			return false
+		}
+		if ser.Swap(a, v) != sh.Swap(a, v) {
+			return false
+		}
+		o1, ok1 := ser.CompareAndSwap(a, casOld, casNew)
+		o2, ok2 := sh.CompareAndSwap(a, casOld, casNew)
+		return o1 == o2 && ok1 == ok2 && ser.Load(a) == sh.Load(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ...and must survive concurrent hammering from many goroutines: per-word
+// atomicity of Add (sums conserved) and no map-level races (run with -race).
+func TestSharedStoreConcurrent(t *testing.T) {
+	s := NewSharedStore()
+	const (
+		workers = 8
+		words   = 32 // deliberately fewer than stripes AND colliding across them
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				a := Addr(((seed*2654435761 + uint64(i)) % words) * WordSize)
+				s.Add(a, 1)
+				s.Load(a)
+				if i%7 == 0 {
+					s.CompareAndSwap(a+words*WordSize, 0, seed) // disjoint CAS area
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < words; i++ {
+		total += s.Load(Addr(i * WordSize))
+	}
+	if want := uint64(workers * rounds); total != want {
+		t.Fatalf("concurrent Adds lost updates: total %d, want %d", total, want)
 	}
 }

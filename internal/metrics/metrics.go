@@ -221,6 +221,31 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Merge folds every instrument of o into r: counters and level gauges sum,
+// max-gauges keep the larger observation, histograms accumulate buckets.
+// Instruments that exist only in o are created in r. The sharded machine
+// merges its per-shard registries in shard order after the run, so the
+// result is deterministic. Safe when either registry is nil (no-op).
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil || r == o {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range o.gauges {
+		r.Gauge(name).Observe(g.Value())
+	}
+	for name, g := range o.levels {
+		r.Level(name).Add(g.Value())
+	}
+	for name, h := range o.histograms {
+		r.Histogram(name).Merge(&h.h)
+	}
+}
+
 // Name joins hierarchical name parts with dots: Name("noc", "flits") ==
 // "noc.flits".
 func Name(parts ...string) string { return strings.Join(parts, ".") }

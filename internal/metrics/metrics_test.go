@@ -186,3 +186,72 @@ func TestSnapshotHistogramPercentiles(t *testing.T) {
 		t.Fatalf("percentiles not monotone: %+v", s)
 	}
 }
+
+// TestMergeFoldsEveryInstrumentKind: the sharded machine's post-run merge —
+// counters and levels sum, max-gauges keep the larger value, histograms
+// accumulate, and instruments unknown to the destination are created.
+func TestMergeFoldsEveryInstrumentKind(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("shared").Add(10)
+	dst.Gauge("peak").Observe(7)
+	dst.Level("depth").Add(3)
+	dst.Histogram("lat").Observe(4)
+
+	src := NewRegistry()
+	src.Counter("shared").Add(5)
+	src.Counter("only_src").Add(2)
+	src.Gauge("peak").Observe(9)
+	src.Level("depth").Add(-1)
+	src.Histogram("lat").Observe(16)
+
+	dst.Merge(src)
+	if v := dst.Counter("shared").Value(); v != 15 {
+		t.Errorf("shared counter = %d, want 15", v)
+	}
+	if v := dst.Counter("only_src").Value(); v != 2 {
+		t.Errorf("src-only counter = %d, want 2", v)
+	}
+	if v := dst.Gauge("peak").Value(); v != 9 {
+		t.Errorf("peak gauge = %d, want 9", v)
+	}
+	if v := dst.Level("depth").Value(); v != 2 {
+		t.Errorf("depth level = %d, want 2", v)
+	}
+	if c := dst.Histogram("lat").Hist().Count(); c != 2 {
+		t.Errorf("histogram count = %d, want 2", c)
+	}
+	// src is untouched; nil/self merges are no-ops.
+	if v := src.Counter("shared").Value(); v != 5 {
+		t.Errorf("merge mutated source: %d", v)
+	}
+	dst.Merge(nil)
+	(*Registry)(nil).Merge(src)
+	dst.Merge(dst)
+	if v := dst.Counter("shared").Value(); v != 15 {
+		t.Errorf("no-op merges changed counter to %d", v)
+	}
+}
+
+// TestMergeOrderInvariantTotals: merging per-shard registries in any order
+// yields identical snapshots — the machine merges in shard order for
+// determinism, but the totals themselves are order-free.
+func TestMergeOrderInvariantTotals(t *testing.T) {
+	mk := func(seed uint64) *Registry {
+		r := NewRegistry()
+		r.Counter("ops").Add(seed)
+		r.Gauge("hwm").Observe(seed * 3 % 17)
+		r.Histogram("lat").Observe(seed + 1)
+		return r
+	}
+	ab := NewRegistry()
+	ab.Merge(mk(1))
+	ab.Merge(mk(2))
+	ba := NewRegistry()
+	ba.Merge(mk(2))
+	ba.Merge(mk(1))
+	a, _ := json.Marshal(ab.Snapshot())
+	b, _ := json.Marshal(ba.Snapshot())
+	if string(a) != string(b) {
+		t.Fatalf("merge order changed totals:\n%s\n%s", a, b)
+	}
+}

@@ -122,9 +122,28 @@ type Network struct {
 	linkFree [][]sim.Time
 	// linkFlits[tile][dir] counts flits carried by that directed link.
 	linkFlits [][]uint64
-	// free recycles Post-injected messages after delivery.
-	free  []*Message
-	stats Stats
+	// free[shard] recycles Post-injected messages after delivery. Serial
+	// networks have exactly one pool. In sharded mode Post pops from the
+	// source tile's shard pool and delivery pushes to the destination
+	// tile's, so each pool is touched only by its own shard's goroutine.
+	free [][]*Message
+	// stats[shard] accumulates network activity; Stats() merges. Injection
+	// counts accrue to the source tile's shard, hop counts to the hopping
+	// tile's, latency to the destination's — always the shard executing.
+	stats []Stats
+
+	// Sharded mode (nil group = serial). shardOf maps tile -> shard; every
+	// event touching tile state runs on that tile's shard engine, and hops
+	// crossing a shard boundary travel through group.Post with at least
+	// RouterLatency+LinkLatency of slack — which is why the group lookahead
+	// must not exceed that sum.
+	group   *sim.ShardGroup
+	shardOf []int
+	// crossCheck, when installed on a sharded network, observes every
+	// boundary-crossing arrival (destination shard, arrival cycle). The
+	// machine wires it to fault.Checker.ShardDelivery, the runtime monitor
+	// of the conservative kernel's no-straggler property.
+	crossCheck func(shard int, when sim.Time)
 
 	// delay, when installed, returns extra injection latency per message
 	// (fault-campaign jitter). minStart[src*tiles+dst] is the earliest route
@@ -156,7 +175,65 @@ func New(engine *sim.Engine, cfg Config) *Network {
 		nw.linkFree[i] = make([]sim.Time, numDirs)
 		nw.linkFlits[i] = make([]uint64, numDirs)
 	}
+	nw.free = make([][]*Message, 1)
+	nw.stats = make([]Stats, 1)
 	return nw
+}
+
+// SetShards switches the network into sharded mode: tile state is owned by
+// the shard tileShard assigns it, hop events execute on the owning shard's
+// engine, and boundary-crossing hops are handed over through the group.
+// Must be called before any traffic. The group's lookahead must not exceed
+// RouterLatency+LinkLatency (the minimum cross-tile hop), and the
+// approximate route-at-injection model and injection-delay hooks are
+// incompatible with sharding (both touch remote-tile state directly).
+func (n *Network) SetShards(g *sim.ShardGroup, tileShard func(tile int) int) {
+	if n.cfg.RouteAtInjection {
+		panic("noc: RouteAtInjection is incompatible with sharded mode (eager remote link reservation)")
+	}
+	if n.delay != nil {
+		panic("noc: injection-delay hook is incompatible with sharded mode")
+	}
+	if minHop := n.cfg.RouterLatency + n.cfg.LinkLatency; g.Lookahead() > minHop {
+		panic(fmt.Sprintf("noc: shard lookahead %d exceeds min hop latency %d", g.Lookahead(), minHop))
+	}
+	n.group = g
+	n.shardOf = make([]int, n.Tiles())
+	for t := range n.shardOf {
+		s := tileShard(t)
+		if s < 0 || s >= g.Shards() {
+			panic(fmt.Sprintf("noc: tile %d mapped to shard %d of %d", t, s, g.Shards()))
+		}
+		n.shardOf[t] = s
+	}
+	n.free = make([][]*Message, g.Shards())
+	n.stats = make([]Stats, g.Shards())
+}
+
+// SetDeliveryCheck installs the cross-shard arrival monitor (sharded mode
+// only). fn runs on the destination shard's goroutine at each boundary
+// arrival; it must be internally synchronized (fault.Checker.Synchronize).
+func (n *Network) SetDeliveryCheck(fn func(shard int, when sim.Time)) {
+	if n.group == nil {
+		panic("noc: SetDeliveryCheck requires sharded mode (SetShards first)")
+	}
+	n.crossCheck = fn
+}
+
+// engineAt returns the engine on which events for tile's state must run.
+func (n *Network) engineAt(tile int) *sim.Engine {
+	if n.group == nil {
+		return n.engine
+	}
+	return n.group.Engine(n.shardOf[tile])
+}
+
+// statsAt returns the stats accumulator owned by tile's shard.
+func (n *Network) statsAt(tile int) *Stats {
+	if n.group == nil {
+		return &n.stats[0]
+	}
+	return &n.stats[n.shardOf[tile]]
 }
 
 // Tiles returns the number of tiles in the mesh.
@@ -171,14 +248,38 @@ func (n *Network) Attach(tile int, h Handler) {
 	n.handlers[tile] = h
 }
 
-// Stats returns a snapshot of accumulated network statistics.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of accumulated network statistics. In sharded
+// mode the per-shard accumulators are merged in shard order — sums for
+// counts and latency totals, max for the latency high-water mark, histogram
+// merge for the hop distribution — so the result is deterministic for a
+// deterministic run. Call only between windows (e.g. after the run).
+func (n *Network) Stats() Stats {
+	if len(n.stats) == 1 {
+		return n.stats[0]
+	}
+	var out Stats
+	for i := range n.stats {
+		s := &n.stats[i]
+		out.Messages += s.Messages
+		out.Flits += s.Flits
+		out.TotalLatency += s.TotalLatency
+		if s.MaxLatency > out.MaxLatency {
+			out.MaxLatency = s.MaxLatency
+		}
+		out.HopCount += s.HopCount
+		out.HopHist.Merge(&s.HopHist)
+	}
+	return out
+}
 
 // SetDelay installs a per-message injection-delay hook (nil removes it).
 // With no hook installed the send path is untouched; with one installed,
 // every message's route start is clamped to preserve per-(src,dst) FIFO
 // order even when only some messages are delayed.
 func (n *Network) SetDelay(fn func(src, dst int) sim.Time) {
+	if n.group != nil && fn != nil {
+		panic("noc: injection-delay hook is incompatible with sharded mode")
+	}
 	n.delay = fn
 	if fn != nil && n.minStart == nil {
 		n.minStart = make([]sim.Time, n.Tiles()*n.Tiles())
@@ -223,11 +324,15 @@ func (n *Network) flits(bytes int) int {
 // *Message past their return (retaining the Payload is fine — the network
 // never touches it after delivery).
 func (n *Network) Post(src, dst, bytes int, payload any) {
+	pool := 0
+	if n.group != nil {
+		pool = n.shardOf[src]
+	}
 	var m *Message
-	if k := len(n.free); k > 0 {
-		m = n.free[k-1]
-		n.free[k-1] = nil
-		n.free = n.free[:k-1]
+	if k := len(n.free[pool]); k > 0 {
+		m = n.free[pool][k-1]
+		n.free[pool][k-1] = nil
+		n.free[pool] = n.free[pool][:k-1]
 	} else {
 		m = &Message{}
 	}
@@ -278,17 +383,18 @@ func (n *Network) routeNow(m *Message) {
 	if m.Src < 0 || m.Src >= n.Tiles() || m.Dst < 0 || m.Dst >= n.Tiles() {
 		panic(fmt.Sprintf("noc: bad route %d->%d", m.Src, m.Dst))
 	}
-	inject := n.engine.Now()
+	inject := n.engineAt(m.Src).Now()
 	flits := n.flits(m.Bytes)
-	n.stats.Messages++
-	n.stats.Flits += uint64(flits)
-	n.stats.HopHist.Observe(uint64(n.Hops(m.Src, m.Dst)))
+	st := n.statsAt(m.Src)
+	st.Messages++
+	st.Flits += uint64(flits)
+	st.HopHist.Observe(uint64(n.Hops(m.Src, m.Dst)))
 	m.net = n
 	m.inject = inject
 	m.nflits = flits
 
 	if m.Src == m.Dst {
-		n.engine.AtCall(inject+n.cfg.LocalLatency, deliverMsg, m)
+		n.engineAt(m.Src).AtCall(inject+n.cfg.LocalLatency, deliverMsg, m)
 		return
 	}
 	if !n.cfg.RouteAtInjection {
@@ -311,7 +417,7 @@ func (n *Network) routeNow(m *Message) {
 		}
 		n.linkFree[at][dir] = start + sim.Time(flits)
 		n.linkFlits[at][dir] += uint64(flits)
-		n.stats.HopCount++
+		n.stats[0].HopCount++ // route-at-injection is serial-only
 		head = start + n.cfg.RouterLatency + n.cfg.LinkLatency
 		at = next
 	}
@@ -327,15 +433,41 @@ func (n *Network) hop(m *Message) {
 	next, dir := n.nextHop(m.at, m.Dst)
 	// The head must wait for the link to be free, then occupies it for the
 	// message's full flit count.
-	start := n.engine.Now()
+	start := n.engineAt(m.at).Now()
 	if free := n.linkFree[m.at][dir]; free > start {
 		start = free
 	}
 	n.linkFree[m.at][dir] = start + sim.Time(m.nflits)
 	n.linkFlits[m.at][dir] += uint64(m.nflits)
-	n.stats.HopCount++
+	n.statsAt(m.at).HopCount++
+	arrive := start + n.cfg.RouterLatency + n.cfg.LinkLatency
+	if n.group != nil {
+		if from, to := n.shardOf[m.at], n.shardOf[next]; from != to {
+			// Boundary hop: hand the message to the owning shard. arrive is
+			// at least now+RouterLatency+LinkLatency >= now+lookahead (the
+			// constraint SetShards enforced), so the post is always
+			// timestamp-safe; after this call the source shard must not
+			// touch m again.
+			m.at = next
+			if n.crossCheck != nil {
+				n.group.Post(from, to, arrive, crossArrived, m)
+			} else {
+				n.group.Post(from, to, arrive, hopArrived, m)
+			}
+			return
+		}
+	}
 	m.at = next
-	n.engine.AtCall(start+n.cfg.RouterLatency+n.cfg.LinkLatency, hopArrived, m)
+	n.engineAt(m.at).AtCall(arrive, hopArrived, m)
+}
+
+// crossArrived is hopArrived for boundary-crossing hops on a monitored
+// network: it reports the arrival to the installed crossCheck first.
+func crossArrived(arg any) {
+	m := arg.(*Message)
+	n := m.net
+	n.crossCheck(n.shardOf[m.at], n.engineAt(m.at).Now())
+	hopArrived(arg)
 }
 
 // hopArrived fires when the head flit reaches a router: either the
@@ -345,7 +477,8 @@ func hopArrived(arg any) {
 	m := arg.(*Message)
 	n := m.net
 	if m.at == m.Dst {
-		n.engine.AtCall(n.engine.Now()+sim.Time(m.nflits-1), deliverMsg, m)
+		e := n.engineAt(m.at)
+		e.AtCall(e.Now()+sim.Time(m.nflits-1), deliverMsg, m)
 		return
 	}
 	n.hop(m)
@@ -356,19 +489,24 @@ func hopArrived(arg any) {
 func deliverMsg(arg any) {
 	m := arg.(*Message)
 	n := m.net
-	lat := n.engine.Now() - m.inject
-	n.stats.TotalLatency += lat
-	if lat > n.stats.MaxLatency {
-		n.stats.MaxLatency = lat
+	st := n.statsAt(m.Dst)
+	lat := n.engineAt(m.Dst).Now() - m.inject
+	st.TotalLatency += lat
+	if lat > st.MaxLatency {
+		st.MaxLatency = lat
 	}
 	h := n.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("noc: no handler attached to tile %d", m.Dst))
 	}
+	pool := 0
+	if n.group != nil {
+		pool = n.shardOf[m.Dst]
+	}
 	h(m)
 	if m.pooled {
 		*m = Message{}
-		n.free = append(n.free, m)
+		n.free[pool] = append(n.free[pool], m)
 	}
 }
 

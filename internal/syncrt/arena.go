@@ -55,15 +55,22 @@ func (a *Arena) DataArray(n int) []memory.Addr {
 // Cond allocates a condition variable on its own line.
 func (a *Arena) Cond() Cond { return Cond{Addr: a.lines(1)} }
 
-// Barrier allocates a barrier for goal participants, including the
-// tournament flag arena ((rounds+1) * goal lines).
+// Barrier allocates a barrier for goal participants, including a flag arena
+// big enough for whichever software implementation the library picks: the
+// tournament needs (rounds+1)*goal lines, the combining tree two lines per
+// node. The tournament footprint dominates for every goal >= 2, but the
+// sizing takes the max explicitly so the layouts stay independently
+// changeable.
 func (a *Arena) Barrier(goal int) Barrier {
 	if goal < 1 {
 		panic("syncrt: barrier goal must be >= 1")
 	}
 	b := Barrier{Addr: a.lines(1), Goal: goal}
-	rounds := tourRounds(goal)
-	b.flagBase = a.lines((rounds + 1) * goal)
+	flagLines := (tourRounds(goal) + 1) * goal
+	if tl := treeNodeLines(goal); tl > flagLines {
+		flagLines = tl
+	}
+	b.flagBase = a.lines(flagLines)
 	return b
 }
 

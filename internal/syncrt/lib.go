@@ -57,6 +57,10 @@ const (
 	BarrierCentral BarrierKind = iota
 	// BarrierTournament is the MCS tournament barrier ("Tour" baseline).
 	BarrierTournament
+	// BarrierTree is the treeAry-way combining-tree barrier: shallower than
+	// the tournament at large participant counts, with bounded fan-in at
+	// every counter. The software baseline for the 256/1024-tile sweeps.
+	BarrierTree
 )
 
 // Lib is a library configuration: whether the hardware instructions are
@@ -75,7 +79,7 @@ type Lib struct {
 // Stringer would collapse distinct configurations sharing a description.
 func (l *Lib) Desc() string {
 	lock := [...]string{"tts", "spin", "ticket", "mcs"}[l.Lock]
-	bar := [...]string{"central", "tour"}[l.Barrier]
+	bar := [...]string{"central", "tour", "tree"}[l.Barrier]
 	cond := [...]string{"mesa", "nospurious"}[l.Cond]
 	prefix := "sw"
 	if l.UseHW {
@@ -93,6 +97,11 @@ func SpinLib() *Lib { return &Lib{Lock: LockSpin, Barrier: BarrierCentral} }
 // MCSTourLib is the advanced software baseline: MCS locks and tournament
 // barriers (the paper's "MCS-Tour").
 func MCSTourLib() *Lib { return &Lib{Lock: LockMCS, Barrier: BarrierTournament} }
+
+// MCSTreeLib pairs MCS locks with the combining-tree barrier — the scaling
+// software baseline for the 256/1024-tile machines, where the tournament's
+// log2 depth starts to dominate barrier latency.
+func MCSTreeLib() *Lib { return &Lib{Lock: LockMCS, Barrier: BarrierTree} }
 
 // HWLib is the paper's modified library (Algorithms 1-3): hardware first,
 // pthread-style software fallback.

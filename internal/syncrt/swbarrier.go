@@ -16,6 +16,11 @@ import (
 //   tournament : per-(round,thread) arrival flags and per-thread release
 //                flags, each on a private cache line in the flag arena, so
 //                all spinning is local (MCS & Scott's tournament barrier)
+//   tree       : treeAry-way combining tree — per-node arrival counters and
+//                release generations on private lines. Depth log4(goal)
+//                instead of the tournament's log2(goal), at the price of a
+//                fetch-and-add per node; the natural software baseline for
+//                the 256/1024-tile machines, where log2 depth dominates.
 
 const barrierPollCycles = 24 // polling interval while waiting for release
 
@@ -34,6 +39,8 @@ func (t *T) swBarrier(b Barrier) {
 		t.centralBarrier(b)
 	case BarrierTournament:
 		t.tournamentBarrier(b)
+	case BarrierTree:
+		t.treeBarrier(b)
 	default:
 		panic(fmt.Sprintf("syncrt: unknown barrier kind %d", t.lib.Barrier))
 	}
@@ -121,5 +128,118 @@ func (t *T) tournamentBarrier(b Barrier) {
 		if partner < b.Goal {
 			t.E.Store(tourRelease(b, rounds, partner), g)
 		}
+	}
+}
+
+// treeAry is the combining tree's fan-in. Four balances depth against
+// per-node counter contention: a 1024-thread barrier is 5 levels deep
+// (versus the tournament's 10 rounds) with at most 4 adders per counter.
+const treeAry = 4
+
+// treeNodes returns the per-level node counts of the combining tree over
+// goal threads, leaves first: level 0 has ceil(goal/treeAry) nodes, each
+// next level combines treeAry of the previous, down to a single root.
+func treeNodes(goal int) []int {
+	if goal <= 1 {
+		return nil
+	}
+	var levels []int
+	for n := goal; n > 1; {
+		n = (n + treeAry - 1) / treeAry
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// treeNodeLines is the flag-arena footprint: two private lines per node
+// (arrival counter, release generation).
+func treeNodeLines(goal int) int {
+	total := 0
+	for _, n := range treeNodes(goal) {
+		total += n
+	}
+	return 2 * total
+}
+
+// Tree node addressing within the barrier's arena. Nodes are numbered level
+// by level from the leaves; node (level, idx) owns two consecutive lines.
+func treeNodeBase(b Barrier, levels []int, level, idx int) memory.Addr {
+	before := 0
+	for l := 0; l < level; l++ {
+		before += levels[l]
+	}
+	return b.flagBase + memory.Addr(2*(before+idx)*memory.LineSize)
+}
+
+func treeArrive(b Barrier, levels []int, level, idx int) memory.Addr {
+	return treeNodeBase(b, levels, level, idx)
+}
+
+func treeRelease(b Barrier, levels []int, level, idx int) memory.Addr {
+	return treeNodeBase(b, levels, level, idx) + memory.Addr(memory.LineSize)
+}
+
+// treeFanIn returns how many arrivals node (level, idx) collects: treeAry
+// for interior positions, fewer for the ragged last node of a level.
+func treeFanIn(goal int, levels []int, level, idx int) int {
+	prev := goal // arrivals into level 0 come from the threads themselves
+	if level > 0 {
+		prev = levels[level-1]
+	}
+	fan := prev - idx*treeAry
+	if fan > treeAry {
+		fan = treeAry
+	}
+	return fan
+}
+
+// treeBarrier is the combining-tree barrier: each thread fetch-adds into its
+// leaf node's counter; the arrival that completes a node climbs to the
+// parent, and the thread that completes the root starts a top-down release
+// cascade along every climbed path. All spinning is on a node-private line.
+func (t *T) treeBarrier(b Barrier) {
+	if b.Goal == 1 {
+		return
+	}
+	if b.flagBase == 0 {
+		panic("syncrt: tree barrier requires an arena (use Arena.Barrier)")
+	}
+	i := t.E.ThreadID() % b.Goal
+	g := t.generation(b.Addr)
+	levels := treeNodes(b.Goal)
+
+	// Climb while this thread's arrival completes a node, recording the
+	// climbed path; stop (and spin) at the first incomplete node.
+	idx := i / treeAry
+	type node struct{ level, idx int }
+	var climbed []node
+	spinAt := node{-1, -1}
+	for level := range levels {
+		arrived := t.E.FetchAdd(treeArrive(b, levels, level, idx), 1) + 1
+		if int(arrived) < treeFanIn(b.Goal, levels, level, idx) {
+			spinAt = node{level, idx}
+			break
+		}
+		// Completed the node: reset its counter for the next episode. Safe
+		// before climbing — nobody re-arrives here until this thread's own
+		// release write (below) lets the node's spinners leave the barrier.
+		t.E.Store(treeArrive(b, levels, level, idx), 0)
+		climbed = append(climbed, node{level, idx})
+		idx /= treeAry
+	}
+	if spinAt.level >= 0 {
+		for t.E.Load(treeRelease(b, levels, spinAt.level, spinAt.idx)) < g {
+			t.E.Compute(barrierPollCycles)
+		}
+	} else {
+		// Completed the root: every participant's arrival has been combined
+		// into this thread's final count — close the checker episode before
+		// the cascade frees anyone into the next one.
+		t.check.BarrierRelease(b.Addr)
+	}
+	// Release top-down: wake the spinners of every node this thread
+	// completed; each of them continues the cascade below its own node.
+	for k := len(climbed) - 1; k >= 0; k-- {
+		t.E.Store(treeRelease(b, levels, climbed[k].level, climbed[k].idx), g)
 	}
 }

@@ -104,12 +104,9 @@ func TestTicketLockFIFO(t *testing.T) {
 // TestBarriersAllKinds: both software barriers must provide the separation
 // property over many reuses.
 func TestBarriersAllKinds(t *testing.T) {
-	for _, kind := range []syncrt.BarrierKind{syncrt.BarrierCentral, syncrt.BarrierTournament} {
+	for _, kind := range []syncrt.BarrierKind{syncrt.BarrierCentral, syncrt.BarrierTournament, syncrt.BarrierTree} {
 		kind := kind
-		name := "central"
-		if kind == syncrt.BarrierTournament {
-			name = "tournament"
-		}
+		name := [...]string{"central", "tournament", "tree"}[kind]
 		t.Run(name, func(t *testing.T) {
 			// Include non-power-of-two participant counts.
 			for _, tiles := range []int{2, 3, 5, 8, 13} {

@@ -1,0 +1,71 @@
+package syncrt
+
+import "testing"
+
+// White-box checks of the combining tree's shape math; the behavioral
+// separation property is covered by TestBarriersAllKinds.
+
+func TestTreeNodesShape(t *testing.T) {
+	cases := []struct {
+		goal   int
+		levels []int
+	}{
+		{1, nil},
+		{2, []int{1}},
+		{4, []int{1}},
+		{5, []int{2, 1}},
+		{16, []int{4, 1}},
+		{17, []int{5, 2, 1}},
+		{256, []int{64, 16, 4, 1}},
+		{1024, []int{256, 64, 16, 4, 1}},
+	}
+	for _, c := range cases {
+		got := treeNodes(c.goal)
+		if len(got) != len(c.levels) {
+			t.Fatalf("goal %d: levels %v, want %v", c.goal, got, c.levels)
+		}
+		for i := range got {
+			if got[i] != c.levels[i] {
+				t.Fatalf("goal %d: levels %v, want %v", c.goal, got, c.levels)
+			}
+		}
+	}
+}
+
+// Every node's fan-in must be in [1, treeAry] and each level's fan-ins must
+// sum to the arrival count feeding it, so no arrival is lost or double
+// counted — the invariant the climb loop relies on to terminate.
+func TestTreeFanInsCoverEveryArrival(t *testing.T) {
+	for goal := 2; goal <= 300; goal++ {
+		levels := treeNodes(goal)
+		feed := goal
+		for level, n := range levels {
+			sum := 0
+			for idx := 0; idx < n; idx++ {
+				fan := treeFanIn(goal, levels, level, idx)
+				if fan < 1 || fan > treeAry {
+					t.Fatalf("goal %d node (%d,%d): fan-in %d", goal, level, idx, fan)
+				}
+				sum += fan
+			}
+			if sum != feed {
+				t.Fatalf("goal %d level %d: fan-ins sum to %d, feed is %d", goal, level, sum, feed)
+			}
+			feed = n
+		}
+		if feed != 1 {
+			t.Fatalf("goal %d: tree does not converge to a root", goal)
+		}
+	}
+}
+
+// The tournament footprint dominates the tree's at every goal the arena
+// accepts, so Arena.Barrier's max() keeps existing layouts byte-identical.
+func TestTreeArenaFitsUnderTournament(t *testing.T) {
+	for goal := 2; goal <= 1024; goal++ {
+		tour := (tourRounds(goal) + 1) * goal
+		if tree := treeNodeLines(goal); tree > tour {
+			t.Fatalf("goal %d: tree needs %d lines, tournament arena only %d", goal, tree, tour)
+		}
+	}
+}

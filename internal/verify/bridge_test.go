@@ -13,7 +13,6 @@ package verify_test
 // abstract rule exists without a concrete counterpart being exercised.
 
 import (
-	"math/bits"
 	"testing"
 
 	"misar/internal/coherence"
@@ -156,6 +155,18 @@ var barrierRules = [][]string{
 	{"next-arrive"}, {"next-arrive"}, {"next-arrive", "shift", "release", "shift"},
 }
 
+// windowRules is the three-window shard-bridge script: window work steps
+// alternate with coordinator flips. The final flip is intentionally absent —
+// after the last scripted window the recycled-token flip would predict the
+// NEXT window's load, and there is none.
+var windowRules = [][]string{
+	{"send-exec", "send-exec", "send-post", "recv-exec", "recv-exec"},
+	{"window-flip"},
+	{"send-exec", "send-post", "recv-exec", "recv-exec", "deliver"},
+	{"window-flip"},
+	{"send-exec", "recv-exec", "recv-exec", "recv-exec", "deliver"},
+}
+
 var omuBarrierRules = [][]string{
 	{"alloc"}, {"hw-join"}, {"hw-join", "hw-complete", "hw-complete", "hw-complete", "retire"},
 	{"alloc"}, {"hw-join"}, {"hw-join", "hw-complete", "hw-complete", "hw-complete", "retire"},
@@ -167,6 +178,7 @@ func TestBridgeRuleCoverage(t *testing.T) {
 		"msa-lock-mutex":  concatRules(lockHWRules, lockSteerRules, lockAbortRules, lockSWRules),
 		"omu-exclusivity": concatRules(omuHWRules, omuSteerRules, omuAbortRules, omuSWRules, omuBarrierRules),
 		"barrier-epoch":   barrierRules,
+		"window-protocol": windowRules,
 	}
 	for name, steps := range declared {
 		sys := mustModel(t, name)
@@ -413,7 +425,7 @@ func (r *msaRig) abstractLock(a memory.Addr) []int {
 			if e.Owner >= 0 {
 				conc[2]++
 			}
-			conc[3] += bits.OnesCount64(e.Waiters)
+			conc[3] += e.Waiters.Count()
 		}
 	}
 	if r.store.Load(a) != 0 {
@@ -439,7 +451,7 @@ func (r *msaRig) abstractOMU(a memory.Addr) []int {
 				continue
 			}
 			conc[0]++
-			conc[2] += bits.OnesCount64(e.Waiters)
+			conc[2] += e.Waiters.Count()
 		}
 	}
 	conc[3] = r.check.SWLevel(a)
@@ -611,8 +623,8 @@ func TestBridgeLockSoftware(t *testing.T) {
 				if e.Owner >= 0 {
 					conc[2]++
 				}
-				conc[3] += bits.OnesCount64(e.Waiters)
-				oconc[2] += bits.OnesCount64(e.Waiters)
+				conc[3] += e.Waiters.Count()
+				oconc[2] += e.Waiters.Count()
 			}
 		}
 		if mach.Store.Load(a) != 0 {
@@ -720,5 +732,144 @@ func TestBridgeBarrier(t *testing.T) {
 	}
 	if v := rig.check.Violations(); len(v) != 0 {
 		t.Fatalf("runtime checker flagged the barrier bridge: %v", v)
+	}
+}
+
+// --- shard window-protocol bridge (internal/sim ShardGroup) ---
+
+// TestBridgeWindowProtocol drives a REAL two-shard sim.ShardGroup window by
+// window and narrows the abstract window-protocol model against a ledger of
+// what the concrete kernel actually executed. Shard 0 is the sender, shard 1
+// the receiver; lookahead is 3, so the windows are [0,2], [3,5], [6,8]. The
+// scripted load deliberately exercises the recycled-token flip: window 1's
+// sender work (2 events) equals window 0's preDone, window 2's receiver work
+// (3 events) equals window 1's done, and each window's injectable mail
+// equals the previous window's posts.
+func TestBridgeWindowProtocol(t *testing.T) {
+	const lookahead = 3
+	sys := mustModel(t, "window-protocol")
+	g := sim.NewShardGroup(2, lookahead)
+	e0, e1 := g.Engine(0), g.Engine(1)
+
+	check := fault.NewChecker(e1.Now)
+	check.Synchronize() // mirror machine wiring in sharded mode
+
+	// Concrete ledger. Each field is written by exactly one shard's
+	// goroutine; reads happen after RunUntilCheck returns (the window
+	// barrier's done-atomic publishes the writes).
+	var led struct {
+		s0exec int      // sender events without cross-shard output
+		posts  int      // sender events that posted cross-shard mail
+		s1done int      // receiver executions: local events + deliveries
+		late   int      // deliveries behind the receiver clock
+		hwm    sim.Time // receiver delivery high-water mark
+	}
+	exec0 := func() { led.s0exec++ }
+	exec1 := func() { led.s1done++ }
+	onDeliver := func(arg any) {
+		want := arg.(sim.Time)
+		now := e1.Now()
+		if now != want || now < led.hwm {
+			led.late++
+		}
+		led.hwm = now
+		led.s1done++
+		check.ShardDelivery(1, now) // the runtime shadow of "straggler"
+	}
+	post := func(when sim.Time) func() {
+		return func() { led.posts++; g.Post(0, 1, when, onDeliver, when) }
+	}
+
+	// Window 0: sender execs at 0,1 and posts at 2 (delivery 2+3=5);
+	// receiver execs at 0,1.
+	e0.At(0, exec0)
+	e0.At(1, exec0)
+	e0.At(2, post(5))
+	e1.At(0, exec1)
+	e1.At(1, exec1)
+	// Window 1: sender exec at 3, post at 4 (delivery 7); receiver execs
+	// at 3,4 plus the injected delivery at 5.
+	e0.At(3, exec0)
+	e0.At(4, post(7))
+	e1.At(3, exec1)
+	e1.At(4, exec1)
+	// Window 2: sender exec at 6; receiver execs at 6,7,8 plus the
+	// delivery at 7.
+	e0.At(6, exec0)
+	e1.At(6, exec1)
+	e1.At(7, exec1)
+	e1.At(8, exec1)
+
+	// Per-window scripted loads, cross-checked below against the engines'
+	// own Fired/Posted counters: total sender events (execs+posts),
+	// receiver local events, and deliveries injected.
+	s0Sched := []int{3, 2, 1}
+	s1Sched := []int{2, 2, 3}
+
+	// One RunUntilCheck drives all three windows; the interrupt poll runs on
+	// the coordinator after each window barrier — every shard parked, all
+	// ledger writes published by the barrier's done-atomic — so it is the
+	// exact concrete counterpart of the abstract "between rules" instant.
+	type snap struct {
+		s0exec, posts, s1done, late int
+		fired0, fired1              uint64
+	}
+	var snaps []snap
+	drained, interrupted := g.RunUntilCheck(8, 1, func() bool {
+		snaps = append(snaps, snap{led.s0exec, led.posts, led.s1done, led.late,
+			e0.Fired(), e1.Fired()})
+		return false
+	})
+	if !drained || interrupted {
+		t.Fatalf("drained=%v interrupted=%v, want drained cleanly", drained, interrupted)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("captured %d window barriers, want 3 ([0,2] [3,5] [6,8])", len(snaps))
+	}
+
+	set := initSet(sys)
+	prev := snap{}
+	pendingMail := 0 // posts made last window, injectable this window
+	for w, s := range snaps {
+		// The kernel must have executed exactly the scripted load — the
+		// ledger is only a valid abstraction if it matches the engines.
+		if d := s.fired0 - prev.fired0; int(d) != s0Sched[w] {
+			t.Fatalf("window %d: sender fired %d events, script says %d", w, d, s0Sched[w])
+		}
+		if d := s.fired1 - prev.fired1; int(d) != s1Sched[w]+pendingMail {
+			t.Fatalf("window %d: receiver fired %d events, script says %d", w, d, s1Sched[w]+pendingMail)
+		}
+
+		// Work step: at the barrier every shard has drained its window
+		// (pre=run=cur=0); preDone/done/next come from the ledger deltas.
+		conc := []int{0, s.s0exec - prev.s0exec, 0, 0,
+			s.s1done - prev.s1done, 0, s.posts - prev.posts, s.late}
+		set = fold(t, sys, set, windowRules[2*w])
+		set = narrow(t, sys, set, conc, windowRules[2*w][0])
+
+		// Flip step (except after the final window): the recycled tokens
+		// must equal the NEXT window's scripted load, with this window's
+		// posts as the injectable mail.
+		if w < 2 {
+			flipConc := []int{s0Sched[w+1], 0, 0, s1Sched[w+1], 0,
+				s.posts - prev.posts, 0, s.late}
+			set = fold(t, sys, set, windowRules[2*w+1])
+			set = narrow(t, sys, set, flipConc, "window-flip")
+		}
+		pendingMail = s.posts - prev.posts
+		prev = s
+	}
+
+	if led.late != 0 {
+		t.Fatalf("%d stragglers observed — conservative windows failed", led.late)
+	}
+	if got := g.Posted(); got != 2 {
+		t.Fatalf("group mailed %d cross-shard events, script says 2", got)
+	}
+	if got := g.Windows(); got != 3 {
+		t.Fatalf("group executed %d windows, script says 3", got)
+	}
+	if v := check.Violations(); len(v) != 0 {
+		t.Fatalf("runtime shard-delivery checker flagged the bridge: %v", v)
 	}
 }

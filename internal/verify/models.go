@@ -2,11 +2,12 @@ package verify
 
 import "fmt"
 
-// This file holds the four shipped protocol models, extracted from the
+// This file holds the five shipped protocol models, extracted from the
 // simulator (not invented): the MESI directory protocol as implemented in
 // internal/coherence, the OMU's HW/SW-world exclusivity per sync address,
-// MSA lock mutual exclusion including the overflow-to-SW handoff, and
-// barrier epoch separation. Every rule's Doc names the concrete transition
+// MSA lock mutual exclusion including the overflow-to-SW handoff, barrier
+// epoch separation, and the conservative shard window protocol of the
+// parallel event kernel. Every rule's Doc names the concrete transition
 // it models; internal/verify/bridge_test.go drives the concrete machine
 // through those transitions and asserts the abstract post-states, so the
 // models cannot silently drift from the simulator.
@@ -50,6 +51,11 @@ func Models() []Model {
 			System:     BarrierEpoch(),
 			Broken:     []*System{BarrierEarlyRelease()},
 			Invariants: []string{"barrier-epoch", "barrier-world-split"},
+		},
+		{
+			System:     WindowProtocol(),
+			Broken:     []*System{WindowZeroLookahead(), WindowEarlyFlip()},
+			Invariants: []string{"shard-delivery"},
 		},
 	}
 }
@@ -640,6 +646,149 @@ func BarrierEarlyRelease() *System {
 		Guard: []Atom{{bA, GE, 1}},
 		Update: []Expr{
 			u(0, bQ), u(0), u(0, bD, bA), u(0, bA2),
+		},
+	})
+	return sys
+}
+
+// --- Model 5: conservative shard window protocol (internal/sim ShardGroup) ---
+
+// Window-protocol variable indices. The abstraction is receiver-centric:
+// one destination shard observed across one window boundary, ω sender
+// events. Tokens are conserved through the flip (next window's work is the
+// recycled previous-window work), which keeps every update linear.
+const (
+	wPre     = iota // source-shard events of the current window, unexecuted
+	wPreDone        // source-shard events already executed this window
+	wStale          // source events stranded behind an early flip (broken variants only)
+	wRun            // destination-shard events of the current window, unexecuted
+	wDone           // destination-shard events already executed this window
+	wCur            // injected cross-shard messages deliverable in the current window
+	wNext           // posted cross-shard messages buffered for the next window
+	wLate           // messages timestamped behind the destination clock (stragglers)
+)
+
+// WindowProtocol models sim.ShardGroup's conservative window loop: sources
+// post cross-shard messages only with at least `lookahead` of slack (the
+// Post panic guard), posts buffer on the fill side of the double-buffered
+// mailbox, and the coordinator flips the buffers only at the barrier, after
+// every shard has drained its window. Under those three guards no message
+// can ever carry a timestamp behind its destination shard's clock — the
+// no-straggler property that makes the parallel kernel's timing exact. Its
+// runtime shadow is fault.ViolationShardDelivery (the NoC's cross-shard
+// arrival monitor); the broken variants below delete one guard each and
+// must be refuted.
+func WindowProtocol() *System {
+	const n = 8
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	return &System{
+		Name: "window-protocol",
+		Vars: []string{"pre", "preDone", "stale", "run", "done", "cur", "next", "late"},
+		Inits: []Config{
+			{Omega, N(0), N(0), Omega, N(0), N(0), N(0), N(0)},
+		},
+		Rules: []Rule{
+			{
+				Name:  "send-exec",
+				Doc:   "a source-shard event with no cross-shard output runs inside Engine.RunUntil(windowEnd)",
+				Guard: []Atom{{wPre, GE, 1}},
+				Update: []Expr{
+					u(-1, wPre), u(1, wPreDone), u(0, wStale), u(0, wRun),
+					u(0, wDone), u(0, wCur), u(0, wNext), u(0, wLate),
+				},
+			},
+			{
+				Name:  "send-post",
+				Doc:   "ShardGroup.Post: the `when < now+lookahead` panic guard forces delivery past windowEnd, onto the fill side of the mailbox",
+				Guard: []Atom{{wPre, GE, 1}},
+				Update: []Expr{
+					u(-1, wPre), u(0, wPreDone), u(0, wStale), u(0, wRun),
+					u(0, wDone), u(0, wCur), u(1, wNext), u(0, wLate),
+				},
+			},
+			{
+				Name:  "recv-exec",
+				Doc:   "a destination-shard local event runs; the shard clock advances within [T, T+L-1]",
+				Guard: []Atom{{wRun, GE, 1}},
+				Update: []Expr{
+					u(0, wPre), u(0, wPreDone), u(0, wStale), u(-1, wRun),
+					u(1, wDone), u(0, wCur), u(0, wNext), u(0, wLate),
+				},
+			},
+			{
+				Name:  "deliver",
+				Doc:   "inject() drained this message at the window barrier and AtCall'd it at its timestamp >= T, so it executes in heap order like any local event",
+				Guard: []Atom{{wCur, GE, 1}},
+				Update: []Expr{
+					u(0, wPre), u(0, wPreDone), u(0, wStale), u(0, wRun),
+					u(1, wDone), u(-1, wCur), u(0, wNext), u(0, wLate),
+				},
+			},
+			{
+				Name:  "window-flip",
+				Doc:   "coordinator barrier: await() until every shard drained its window (pre==0, run==0, cur==0), then fill^=1 and release(); destinations drain the quiescent side next window",
+				Guard: []Atom{{wPre, EQ, 0}, {wRun, EQ, 0}, {wCur, EQ, 0}},
+				Update: []Expr{
+					u(0, wPreDone), u(0), u(0, wStale), u(0, wDone),
+					u(0), u(0, wNext), u(0), u(0, wLate),
+				},
+			},
+		},
+		Unsafe: []Pred{
+			{Name: "straggler", Atoms: []Atom{{wLate, GE, 1}}},
+		},
+	}
+}
+
+// WindowZeroLookahead removes the Post lookahead guard: a source may post a
+// delivery time inside the destination's current window, and once the
+// destination clock has advanced (done >= 1) the message lands in its past.
+// The concrete shape is sim.ShardGroup.Post without its panic guard, or a
+// NoC accepting a sharded lookahead above the min hop latency (the check
+// SetShards enforces). Must verify Unsafe.
+func WindowZeroLookahead() *System {
+	sys := brokenCopy(WindowProtocol(), "zero-lookahead")
+	const n = 8
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "send-post", Rule{
+		Name:  "send-post",
+		Doc:   "BROKEN: no lookahead slack — the post targets the destination's current window behind its clock",
+		Guard: []Atom{{wPre, GE, 1}, {wDone, GE, 1}},
+		Update: []Expr{
+			u(-1, wPre), u(0, wPreDone), u(0, wStale), u(0, wRun),
+			u(0, wDone), u(0, wCur), u(0, wNext), u(1, wLate),
+		},
+	})
+	return sys
+}
+
+// WindowEarlyFlip removes the barrier's source-drained guard: the
+// coordinator flips the mailbox buffers while source events of the old
+// window are still pending. Those stranded events later post with
+// timestamps computed against their stale clock — behind the advanced
+// window start. The concrete shape is release() before await(), the
+// double-buffer race the epoch barrier exists to prevent. Must verify
+// Unsafe.
+func WindowEarlyFlip() *System {
+	sys := brokenCopy(WindowProtocol(), "early-flip")
+	const n = 8
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "window-flip", Rule{
+		Name:  "window-flip",
+		Doc:   "BROKEN: the flip no longer waits for the source shard to drain; its pending events are stranded on a stale clock",
+		Guard: []Atom{{wRun, EQ, 0}, {wCur, EQ, 0}},
+		Update: []Expr{
+			u(0, wPreDone), u(0), u(0, wStale, wPre), u(0, wDone),
+			u(0), u(0, wNext), u(0), u(0, wLate),
+		},
+	})
+	sys.Rules = append(sys.Rules, Rule{
+		Name:  "stale-post",
+		Doc:   "BROKEN: a stranded source event posts `oldNow+lookahead`, which is behind the flipped window's start",
+		Guard: []Atom{{wStale, GE, 1}},
+		Update: []Expr{
+			u(0, wPre), u(0, wPreDone), u(-1, wStale), u(0, wRun),
+			u(0, wDone), u(0, wCur), u(0, wNext), u(1, wLate),
 		},
 	})
 	return sys

@@ -148,6 +148,7 @@ var (
 	PthreadLib = syncrt.PthreadLib
 	SpinLib    = syncrt.SpinLib
 	MCSTourLib = syncrt.MCSTourLib
+	MCSTreeLib = syncrt.MCSTreeLib
 	HWLib      = syncrt.HWLib
 )
 
@@ -198,6 +199,12 @@ var (
 	SyncOverhead   = harness.SyncOverhead
 	DefaultOptions = harness.DefaultOptions
 	QuickOptions   = harness.QuickOptions
+	// ScaleSweep measures the sharded kernel's wall-clock scaling at
+	// machine sizes beyond the paper's evaluation (256/1024 tiles).
+	ScaleSweep = harness.ScaleSweep
+	// ShardTransform is the Runner config transform that moves every
+	// compatible simulation onto the N-shard conservative kernel.
+	ShardTransform = harness.ShardTransform
 	// NewRunner builds the parallel, memoizing experiment executor.
 	NewRunner = harness.NewRunner
 )
