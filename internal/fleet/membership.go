@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's position in the failure-detection state machine:
+//
+//	alive ──probe fails──▶ suspect ──DeadAfter consecutive fails──▶ dead
+//	  ▲                       │                                      │
+//	  └────── probe succeeds ──┴──────── probe succeeds ─────────────┘
+//
+// Suspect peers stay in the routing ring (a single dropped probe must not
+// remap every key they own); dead peers are ejected until a probe succeeds
+// again. Transport failures observed by the router or peer store also count
+// as probe failures (MarkSuspect), so detection is bounded by traffic, not
+// just the probe cadence.
+type PeerState int
+
+const (
+	StateAlive PeerState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// PeerStatus is one peer's externally visible health (GET /v1/fleet).
+type PeerStatus struct {
+	URL      string `json:"url"`
+	State    string `json:"state"`
+	Failures int    `json:"consecutive_failures"`
+	LastErr  string `json:"last_error,omitempty"`
+	// LastProbeMS is the wall-clock timestamp of the last probe attempt.
+	LastProbeMS int64 `json:"last_probe_unix_ms,omitempty"`
+}
+
+// MembershipOptions configure the failure detector.
+type MembershipOptions struct {
+	// ProbeInterval is the /healthz probe cadence; <= 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe; <= 0 means ProbeInterval/2.
+	ProbeTimeout time.Duration
+	// DeadAfter is the consecutive-failure count that marks a peer dead;
+	// < 1 means 2.
+	DeadAfter int
+	// Logger receives state-transition logs; nil disables.
+	Logger *slog.Logger
+}
+
+func (o MembershipOptions) withDefaults() MembershipOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbeInterval / 2
+	}
+	if o.DeadAfter < 1 {
+		o.DeadAfter = 2
+	}
+	return o
+}
+
+// peerRecord is the detector's per-peer state.
+type peerRecord struct {
+	url       string
+	state     PeerState
+	failures  int
+	lastErr   string
+	lastProbe time.Time
+}
+
+// Membership is one node's live view of the fleet: itself plus every
+// configured peer, each tracked through the alive/suspect/dead state
+// machine by a background prober and by transport evidence from the data
+// path. Ring() projects the non-dead members onto a consistent-hash ring.
+type Membership struct {
+	self string
+	opt  MembershipOptions
+	hc   *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerRecord
+	ring  *Ring  // cached; rebuilt when the member set changes
+	key   string // member-set signature the cached ring was built for
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NormalizeURL gives addresses the canonical form membership keys on:
+// scheme prefix, no trailing slash.
+func NormalizeURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// NewMembership builds the detector for self (this node's advertised base
+// URL) and its peers. Call Start to begin probing; a Membership that is
+// never started still routes — every peer optimistically alive.
+func NewMembership(self string, peers []string, opt MembershipOptions) *Membership {
+	m := &Membership{
+		self:  NormalizeURL(self),
+		opt:   opt.withDefaults(),
+		peers: make(map[string]*peerRecord),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	m.hc = &http.Client{Timeout: m.opt.ProbeTimeout}
+	for _, p := range peers {
+		u := NormalizeURL(p)
+		if u == m.self || u == "http://" {
+			continue
+		}
+		m.peers[u] = &peerRecord{url: u, state: StateAlive}
+	}
+	return m
+}
+
+// Self returns this node's advertised base URL.
+func (m *Membership) Self() string { return m.self }
+
+// Start launches the background prober. Call at most once, paired with
+// Stop.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
+	go m.probeLoop()
+}
+
+// Stop terminates the prober (if started) and waits for it to exit.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
+}
+
+func (m *Membership) probeLoop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.opt.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.probeAll()
+		}
+	}
+}
+
+// probeAll probes every peer concurrently and folds the verdicts in. One
+// slow peer must not delay detection of the others.
+func (m *Membership) probeAll() {
+	m.mu.Lock()
+	urls := make([]string, 0, len(m.peers))
+	for u := range m.peers {
+		urls = append(urls, u)
+	}
+	m.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			err := m.probe(u)
+			if err == nil {
+				m.MarkAlive(u)
+			} else {
+				m.markFailure(u, err.Error())
+			}
+		}(u)
+	}
+	wg.Wait()
+}
+
+// probe is one /healthz round-trip. Any answer — even "draining" — counts
+// as alive: a draining node refuses new jobs itself (503) but can still
+// serve peer store fetches.
+func (m *Membership) probe(url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), m.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &probeStatusError{code: resp.StatusCode}
+	}
+	return nil
+}
+
+type probeStatusError struct{ code int }
+
+func (e *probeStatusError) Error() string {
+	return "healthz status " + http.StatusText(e.code)
+}
+
+// MarkAlive records a successful contact with peer url (probe or data
+// path), resurrecting it if it was suspect or dead.
+func (m *Membership) MarkAlive(url string) {
+	m.transition(NormalizeURL(url), true, "")
+}
+
+// MarkSuspect records a transport failure observed on the data path
+// (forwarding a job, fetching a record). Counted exactly like a failed
+// probe, so a busy fleet detects death in one round-trip instead of
+// waiting out the probe interval.
+func (m *Membership) MarkSuspect(url string, reason string) {
+	m.markFailure(NormalizeURL(url), reason)
+}
+
+func (m *Membership) markFailure(url, reason string) {
+	m.transition(url, false, reason)
+}
+
+func (m *Membership) transition(url string, ok bool, reason string) {
+	m.mu.Lock()
+	rec := m.peers[url]
+	if rec == nil {
+		m.mu.Unlock()
+		return
+	}
+	was := rec.state
+	rec.lastProbe = time.Now()
+	if ok {
+		rec.state, rec.failures, rec.lastErr = StateAlive, 0, ""
+	} else {
+		rec.failures++
+		rec.lastErr = reason
+		if rec.failures >= m.opt.DeadAfter {
+			rec.state = StateDead
+		} else {
+			rec.state = StateSuspect
+		}
+	}
+	now := rec.state
+	m.mu.Unlock()
+	if was != now && m.opt.Logger != nil {
+		m.opt.Logger.LogAttrs(context.Background(), slog.LevelWarn, "fleet: peer state change",
+			slog.String("peer", url), slog.String("from", was.String()),
+			slog.String("to", now.String()), slog.String("reason", reason))
+	}
+}
+
+// Members returns self plus every non-dead peer — the routing ring's node
+// set. Sorted for determinism.
+func (m *Membership) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.membersLocked()
+}
+
+func (m *Membership) membersLocked() []string {
+	out := []string{m.self}
+	for _, rec := range m.peers {
+		if rec.state != StateDead {
+			out = append(out, rec.url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AlivePeers returns the non-dead peers (self excluded) — the peer-fetch
+// candidate pool.
+func (m *Membership) AlivePeers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, rec := range m.peers {
+		if rec.state != StateDead {
+			out = append(out, rec.url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ring returns the consistent-hash ring over the current members. The ring
+// is rebuilt only when the member set changes, so the submit path pays a
+// signature comparison, not a sort.
+func (m *Membership) Ring() *Ring {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	members := m.membersLocked()
+	key := strings.Join(members, "\n")
+	if m.ring == nil || m.key != key {
+		m.ring = NewRing(members)
+		m.key = key
+	}
+	return m.ring
+}
+
+// Snapshot reports every peer's detector state, self excluded, sorted by
+// URL.
+func (m *Membership) Snapshot() []PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerStatus, 0, len(m.peers))
+	for _, rec := range m.peers {
+		st := PeerStatus{
+			URL:      rec.url,
+			State:    rec.state.String(),
+			Failures: rec.failures,
+			LastErr:  rec.lastErr,
+		}
+		if !rec.lastProbe.IsZero() {
+			st.LastProbeMS = rec.lastProbe.UnixMilli()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalizeURL(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8091":         "http://127.0.0.1:8091",
+		"http://a:1/":            "http://a:1",
+		"https://b.example.com/": "https://b.example.com",
+	}
+	for in, want := range cases {
+		if got := NormalizeURL(in); got != want {
+			t.Errorf("NormalizeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The state machine: one failure suspects (peer stays routable), DeadAfter
+// consecutive failures kill (peer leaves the ring), one success resurrects.
+func TestMembershipStateMachine(t *testing.T) {
+	m := NewMembership("http://self:1", []string{"http://peer:2"}, MembershipOptions{DeadAfter: 2})
+
+	if got := m.Members(); len(got) != 2 {
+		t.Fatalf("members = %v, want self+peer", got)
+	}
+
+	m.MarkSuspect("http://peer:2", "transport error")
+	if st := m.Snapshot()[0]; st.State != "suspect" || st.Failures != 1 {
+		t.Fatalf("after 1 failure: %+v", st)
+	}
+	// Suspect peers still route: a single dropped probe must not remap keys.
+	if got := m.Members(); len(got) != 2 {
+		t.Fatalf("suspect peer left the member set: %v", got)
+	}
+
+	m.MarkSuspect("http://peer:2", "transport error again")
+	if st := m.Snapshot()[0]; st.State != "dead" {
+		t.Fatalf("after %d failures: %+v", 2, st)
+	}
+	if got := m.Members(); len(got) != 1 || got[0] != "http://self:1" {
+		t.Fatalf("dead peer still in member set: %v", got)
+	}
+	if got := m.AlivePeers(); len(got) != 0 {
+		t.Fatalf("dead peer still a fetch candidate: %v", got)
+	}
+
+	m.MarkAlive("http://peer:2")
+	if st := m.Snapshot()[0]; st.State != "alive" || st.Failures != 0 {
+		t.Fatalf("after resurrection: %+v", st)
+	}
+	if got := m.Members(); len(got) != 2 {
+		t.Fatalf("resurrected peer missing from member set: %v", got)
+	}
+}
+
+// The ring must be rebuilt when membership changes and cached when it
+// doesn't.
+func TestMembershipRingTracksMembers(t *testing.T) {
+	m := NewMembership("http://self:1", []string{"http://peer:2"}, MembershipOptions{DeadAfter: 1})
+	r1 := m.Ring()
+	if len(r1.Nodes()) != 2 {
+		t.Fatalf("ring nodes = %v", r1.Nodes())
+	}
+	if m.Ring() != r1 {
+		t.Error("unchanged membership rebuilt the ring")
+	}
+	m.MarkSuspect("http://peer:2", "down") // DeadAfter 1: instantly dead
+	r2 := m.Ring()
+	if len(r2.Nodes()) != 1 {
+		t.Fatalf("ring after death = %v", r2.Nodes())
+	}
+}
+
+// End-to-end probe loop against real HTTP endpoints: a healthy peer stays
+// alive, a killed one is detected dead within a few probe intervals, and an
+// unstarted Membership still stops cleanly.
+func TestMembershipProbing(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer healthy.Close()
+	var dying atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dying.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer flaky.Close()
+
+	m := NewMembership("http://self:1", []string{healthy.URL, flaky.URL}, MembershipOptions{
+		ProbeInterval: 10 * time.Millisecond,
+		DeadAfter:     2,
+	})
+	m.Start()
+	defer m.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(m.AlivePeers()) == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := m.AlivePeers(); len(got) != 2 {
+		t.Fatalf("healthy peers never confirmed alive: %v", got)
+	}
+
+	dying.Store(true)
+	for time.Now().Before(deadline) {
+		if len(m.AlivePeers()) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := m.AlivePeers(); len(got) != 1 || got[0] != healthy.URL {
+		t.Fatalf("failing peer never detected: %v", got)
+	}
+
+	dying.Store(false)
+	for time.Now().Before(deadline) {
+		if len(m.AlivePeers()) == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := m.AlivePeers(); len(got) != 2 {
+		t.Fatalf("recovered peer never resurrected: %v", got)
+	}
+}
+
+func TestMembershipStopWithoutStart(t *testing.T) {
+	m := NewMembership("http://self:1", []string{"http://peer:2"}, MembershipOptions{})
+	done := make(chan struct{})
+	go func() {
+		m.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop() on an unstarted Membership hung")
+	}
+}

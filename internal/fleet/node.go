@@ -1,0 +1,338 @@
+package fleet
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"misar/internal/obs"
+	"misar/internal/service"
+)
+
+// maxRecordBytes bounds one store record on the wire. Result records are a
+// few KB of JSON; 32 MiB leaves two orders of magnitude of headroom while
+// still refusing to buffer something pathological.
+const maxRecordBytes = 32 << 20
+
+// ForwardedHeader marks a job request already routed once. A node that
+// receives it executes locally no matter what its ring says — membership
+// views can disagree transiently during churn, and without this marker two
+// nodes with crossed views would bounce a job between them forever.
+const ForwardedHeader = "X-Misar-Forwarded"
+
+// NodeOptions configure one fleet node.
+type NodeOptions struct {
+	// ForwardTimeout bounds the *connection* to the owner, not the job: once
+	// the owner starts streaming, the stream runs as long as the job does.
+	// <= 0 means 10s.
+	ForwardTimeout time.Duration
+	// Logger receives routing logs; nil disables.
+	Logger *slog.Logger
+}
+
+// Node wraps one misar-served Server with fleet behavior. Its handler
+// intercepts job submissions and routes each to the node whose store owns
+// the job's content fingerprint (consistent hashing over the live member
+// set); everything else — and any job this node owns, or that was already
+// forwarded once — falls through to the local service. It also exposes the
+// store-record endpoints peers fetch and replicate through, and the
+// membership view.
+//
+// Failover is server-side here and client-side in client.Fleet; the two
+// compose. If the owner cannot be reached, the forwarding node degrades to
+// local execution (the result is byte-identical — the simulator is
+// deterministic — only warmth is lost). If the owner answers with an error
+// status, that status is proxied through untouched so the client's retry
+// policy sees the truth.
+type Node struct {
+	svc  *service.Server
+	mem  *Membership
+	ps   *PeerStore
+	opt  NodeOptions
+	hc   *http.Client
+	mux  *http.ServeMux
+	fwds chan struct{} // bounds concurrent outbound forwards
+}
+
+// NewNode assembles the fleet wrapper. ps may be nil (routing without peer
+// replication); mem is required.
+func NewNode(svc *service.Server, mem *Membership, ps *PeerStore, opt NodeOptions) *Node {
+	if opt.ForwardTimeout <= 0 {
+		opt.ForwardTimeout = 10 * time.Second
+	}
+	n := &Node{
+		svc: svc,
+		mem: mem,
+		ps:  ps,
+		opt: opt,
+		// Transport-level timeout only for dialing/headers; the body stream
+		// must live as long as the job.
+		hc:   &http.Client{Transport: http.DefaultTransport},
+		fwds: make(chan struct{}, 64),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
+	mux.HandleFunc("GET /v1/store/{fp}", n.handleStoreGet)
+	mux.HandleFunc("PUT /v1/store/{fp}", n.handleStorePut)
+	mux.HandleFunc("GET /v1/fleet", n.handleFleet)
+	mux.Handle("/", svc.Handler())
+	n.mux = mux
+	return n
+}
+
+// Handler returns the node's HTTP handler: fleet routes layered over the
+// wrapped service.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Membership returns the node's membership view.
+func (n *Node) Membership() *Membership { return n.mem }
+
+// handleSubmit routes one job submission. The decision tree:
+//
+//  1. Already forwarded, or fingerprint unknown, or ring empty, or we own
+//     it → run locally.
+//  2. Otherwise → proxy the stream from the owner, marking it forwarded.
+//     Owner unreachable → mark it suspect and run locally (degraded, still
+//     correct).
+func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(ForwardedHeader) != "" {
+		n.svc.Handler().ServeHTTP(w, r)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, `{"error":"request body too large or unreadable"}`, http.StatusBadRequest)
+		return
+	}
+	r.Body.Close()
+
+	owner := ""
+	var req service.JobRequest
+	if json.Unmarshal(body, &req) == nil {
+		if fp, err := service.RequestFingerprint(&req); err == nil {
+			owner = n.mem.Ring().Owner(fp)
+		}
+		// An unroutable request (bad JSON, unknown app) runs locally, where
+		// the service will produce its usual diagnostic.
+	}
+	if owner == "" || owner == n.mem.Self() {
+		n.serveLocal(w, r, body)
+		return
+	}
+	if !n.forward(w, r, owner, body) {
+		n.serveLocal(w, r, body)
+	}
+}
+
+// serveLocal replays the buffered body into the wrapped service.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(newByteReader(body))
+	r2.ContentLength = int64(len(body))
+	n.svc.Handler().ServeHTTP(w, r2)
+}
+
+// forward proxies the submission to the owner and streams its NDJSON reply
+// back, flushing per write so heartbeats and progress arrive live. Returns
+// false only on transport failure before any byte was relayed — the caller
+// then degrades to local execution. HTTP-level errors (429, 5xx) are
+// relayed, not retried: the client's retry policy owns that decision.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	select {
+	case n.fwds <- struct{}{}:
+		defer func() { <-n.fwds }()
+	default:
+		return false // forwarding saturated; run locally rather than queue
+	}
+
+	ctx := r.Context()
+	traceID := r.Header.Get(service.TraceHeader)
+	if traceID != "" {
+		ctx = obs.WithTrace(ctx, traceID)
+	}
+	if rec := n.svc.Recorder(); rec != nil {
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	sp := obs.StartSpan(ctx, "fleet", "fleet.forward")
+	sp.SetArg("owner", owner)
+	defer sp.End()
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Bound only the connection phase: cancel if no response arrives in
+	// ForwardTimeout, but once streaming starts the job owns the clock.
+	connTimer := time.AfterFunc(n.opt.ForwardTimeout, cancel)
+
+	preq, err := http.NewRequestWithContext(cctx, http.MethodPost, owner+"/v1/jobs", newByteReader(body))
+	if err != nil {
+		connTimer.Stop()
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(ForwardedHeader, n.mem.Self())
+	if traceID != "" {
+		preq.Header.Set(service.TraceHeader, traceID)
+	}
+	resp, err := n.hc.Do(preq)
+	if !connTimer.Stop() {
+		// Timer already fired: the owner took too long to answer.
+		if resp != nil {
+			resp.Body.Close()
+		}
+		n.mem.MarkSuspect(owner, "forward: connect timeout")
+		n.logForwardFail(owner, traceID, "connect timeout")
+		return false
+	}
+	if err != nil {
+		n.mem.MarkSuspect(owner, "forward: "+err.Error())
+		n.logForwardFail(owner, traceID, err.Error())
+		return false
+	}
+	defer resp.Body.Close()
+	n.mem.MarkAlive(owner)
+
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After", service.TraceHeader} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		m, rerr := resp.Body.Read(buf)
+		if m > 0 {
+			if _, werr := w.Write(buf[:m]); werr != nil {
+				return true // client went away; nothing left to salvage
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			// Stream ended — cleanly or not. Bytes already reached the
+			// client, so local fallback would corrupt the stream; the
+			// client-side watchdog handles a truncated one.
+			return true
+		}
+	}
+}
+
+func (n *Node) logForwardFail(owner, trace, reason string) {
+	if n.opt.Logger == nil {
+		return
+	}
+	n.opt.Logger.LogAttrs(context.Background(), slog.LevelWarn, "fleet: forward failed, running locally",
+		slog.String("owner", owner), slog.String("trace", trace), slog.String("reason", reason))
+}
+
+// handleStoreGet serves one local store record to a peer. Strictly local —
+// no recursive peer fetch — so two nodes missing the same record cannot
+// chase each other.
+func (n *Node) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) || n.svc.Store() == nil {
+		http.Error(w, `{"error":"bad fingerprint or no store"}`, http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if id := r.Header.Get(service.TraceHeader); id != "" {
+		ctx = obs.WithTrace(ctx, id)
+	}
+	payload, ok := n.svc.Store().GetCtx(ctx, fp)
+	if !ok {
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+// handleStorePut accepts one replicated record from a peer. The local store
+// re-verifies integrity on every read, so a corrupt push costs an eviction,
+// never a wrong answer.
+func (n *Node) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) || n.svc.Store() == nil {
+		http.Error(w, `{"error":"bad fingerprint or no store"}`, http.StatusBadRequest)
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
+	if err != nil {
+		http.Error(w, `{"error":"body unreadable or too large"}`, http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if id := r.Header.Get(service.TraceHeader); id != "" {
+		ctx = obs.WithTrace(ctx, id)
+	}
+	if err := n.svc.Store().PutCtx(ctx, fp, payload); err != nil {
+		http.Error(w, `{"error":"store write failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// FleetStatus is the GET /v1/fleet response: this node's view of the fleet.
+type FleetStatus struct {
+	Self    string          `json:"self"`
+	Members []string        `json:"members"`
+	Peers   []PeerStatus    `json:"peers"`
+	Store   *PeerStoreStats `json:"store,omitempty"`
+}
+
+func (n *Node) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st := FleetStatus{
+		Self:    n.mem.Self(),
+		Members: n.mem.Members(),
+		Peers:   n.mem.Snapshot(),
+	}
+	if n.ps != nil {
+		s := n.ps.Stats()
+		st.Store = &s
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// validFingerprint accepts hex SHA-256 fingerprints and the "micro:<op>"
+// form micro-benchmark results key on.
+func validFingerprint(fp string) bool {
+	if len(fp) == 0 || len(fp) > 128 {
+		return false
+	}
+	if _, err := hex.DecodeString(fp); err == nil {
+		return true
+	}
+	for _, c := range fp {
+		ok := c == ':' || c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// newByteReader returns a fresh reader over b (forward needs a rewindable
+// body; http.NewRequest special-cases *bytes.Reader for retries).
+func newByteReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	m := copy(p, r.b[r.off:])
+	r.off += m
+	return m, nil
+}

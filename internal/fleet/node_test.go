@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"misar/internal/harness"
+	"misar/internal/obs"
+	"misar/internal/service"
+	"misar/internal/service/client"
+	"misar/internal/store"
+)
+
+// testFleetNode is one in-process fleet member.
+type testFleetNode struct {
+	url  string
+	svc  *service.Server
+	mem  *Membership
+	ps   *PeerStore
+	node *Node
+	hs   *httptest.Server
+}
+
+// startTestFleet boots n fleet nodes on real loopback listeners (the
+// membership needs each node's URL before its handler exists, so listeners
+// come first). Probing is not started: peers stay optimistically alive,
+// which keeps the tests deterministic; the data path supplies failure
+// evidence where a test needs it.
+func startTestFleet(t *testing.T, n int) []*testFleetNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*testFleetNode, n)
+	for i := range nodes {
+		mem := NewMembership(urls[i], urls, MembershipOptions{})
+		var ps *PeerStore
+		svc, err := service.New(service.Options{
+			Workers:   2,
+			StoreDir:  t.TempDir(),
+			Heartbeat: 20 * time.Millisecond,
+			WrapStore: func(st *store.Store) harness.ResultStore {
+				ps = NewPeerStore(st, mem, PeerStoreOptions{FetchTimeout: 2 * time.Second})
+				return ps
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewNode(svc, mem, ps, NodeOptions{ForwardTimeout: 2 * time.Second})
+		hs := &httptest.Server{
+			Listener: listeners[i],
+			Config:   &http.Server{Handler: node.Handler()},
+		}
+		hs.Start()
+		nodes[i] = &testFleetNode{url: urls[i], svc: svc, mem: mem, ps: ps, node: node, hs: hs}
+		t.Cleanup(func() {
+			nodes[i].svc.Close()
+			nodes[i].hs.Close()
+		})
+	}
+	return nodes
+}
+
+func microJob(op string) service.JobRequest {
+	return service.JobRequest{Kind: "micro", App: op, Config: "msaomu2", Tiles: 4}
+}
+
+// ownerOf maps a request to the node the fleet should run it on.
+func ownerOf(t *testing.T, nodes []*testFleetNode, req service.JobRequest) int {
+	t.Helper()
+	fp, err := service.RequestFingerprint(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := nodes[0].mem.Ring().Owner(fp)
+	for i, nd := range nodes {
+		if nd.url == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %s is not a fleet member", owner)
+	return -1
+}
+
+// A job submitted to a non-owner must execute on the owner — that is the
+// whole point of the ring.
+func TestNodeRoutesToOwner(t *testing.T) {
+	nodes := startTestFleet(t, 3)
+	req := microJob("LockAcquire")
+	owner := ownerOf(t, nodes, req)
+	entry := (owner + 1) % len(nodes) // deliberately not the owner
+
+	c := client.New(nodes[entry].url)
+	final, err := c.Submit(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result == nil || final.Result.Micro == nil {
+		t.Fatalf("no micro result: %+v", final)
+	}
+	for i, nd := range nodes {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if got := nd.svc.RunnerStats().Executed; got != want {
+			t.Errorf("node %d executed %d sims, want %d", i, got, want)
+		}
+	}
+}
+
+// A forwarded request must execute where it lands, even on a non-owner:
+// the loop-prevention contract.
+func TestNodeForwardedHeaderExecutesLocally(t *testing.T) {
+	nodes := startTestFleet(t, 3)
+	req := microJob("CondSignal")
+	owner := ownerOf(t, nodes, req)
+	entry := (owner + 1) % len(nodes)
+
+	body, _ := json.Marshal(req)
+	hreq, _ := http.NewRequest(http.MethodPost, nodes[entry].url+"/v1/jobs", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(ForwardedHeader, "http://someone-else:1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Drain the NDJSON stream to completion.
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var ev service.JobEvent
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+	}
+	if got := nodes[entry].svc.RunnerStats().Executed; got != 1 {
+		t.Errorf("forwarded job executed on entry node %d times, want 1", got)
+	}
+	if got := nodes[owner].svc.RunnerStats().Executed; got != 0 {
+		t.Errorf("forwarded job re-forwarded to owner (%d executions)", got)
+	}
+}
+
+// Kill the owner: the entry node's forward fails, it degrades to local
+// execution, the client sees a normal successful stream, and the owner is
+// marked suspect.
+func TestNodeFallsBackWhenOwnerUnreachable(t *testing.T) {
+	nodes := startTestFleet(t, 3)
+	req := microJob("BarrierHandoff")
+	owner := ownerOf(t, nodes, req)
+	entry := (owner + 1) % len(nodes)
+
+	nodes[owner].hs.CloseClientConnections()
+	nodes[owner].hs.Close() // the "kill"
+
+	ctx := obs.WithTrace(context.Background(), "trace-failover-test")
+	c := client.New(nodes[entry].url)
+	final, err := c.Submit(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Result == nil || final.Result.Micro == nil {
+		t.Fatalf("no micro result after failover: %+v", final)
+	}
+	if final.Trace != "trace-failover-test" {
+		t.Errorf("trace ID lost across failover: %q", final.Trace)
+	}
+	if got := nodes[entry].svc.RunnerStats().Executed; got != 1 {
+		t.Errorf("entry node executed %d sims, want 1 (local fallback)", got)
+	}
+	snap := nodes[entry].mem.Snapshot()
+	var found bool
+	for _, st := range snap {
+		if st.URL == nodes[owner].url && st.Failures > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead owner not marked by the detector: %+v", snap)
+	}
+}
+
+// The failover result must be byte-identical to what the owner would have
+// produced: determinism is what makes re-execution a correct recovery
+// strategy.
+func TestNodeFailoverResultIdentical(t *testing.T) {
+	nodes := startTestFleet(t, 3)
+	req := microJob("LockHandoff")
+	owner := ownerOf(t, nodes, req)
+	entry := (owner + 1) % len(nodes)
+
+	// First run on the healthy fleet (executes on the owner).
+	c := client.New(nodes[entry].url)
+	healthy, err := c.Submit(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the owner; the re-execution happens on the entry node.
+	nodes[owner].hs.Close()
+	failed, err := c.Submit(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(healthy.Result)
+	b, _ := json.Marshal(failed.Result)
+	if !bytes.Equal(a, b) {
+		t.Errorf("failover result differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestNodeStoreEndpoints(t *testing.T) {
+	nodes := startTestFleet(t, 2)
+	fp := store.Fingerprint("endpoint test")
+	payload := []byte("record payload")
+
+	// PUT to node 0, GET it back.
+	preq, _ := http.NewRequest(http.MethodPut, nodes[0].url+"/v1/store/"+fp, bytes.NewReader(payload))
+	resp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	g, err := http.Get(nodes[0].url + "/v1/store/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(g.Body)
+	if g.StatusCode != http.StatusOK || !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatalf("GET = %d %q", g.StatusCode, buf.Bytes())
+	}
+
+	// Missing record is a clean 404, malformed fingerprint a 400.
+	if r2, _ := http.Get(nodes[0].url + "/v1/store/" + store.Fingerprint("absent")); r2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing record status %d", r2.StatusCode)
+	}
+	if r3, _ := http.Get(nodes[0].url + "/v1/store/..%2F..%2Fetc"); r3.StatusCode == http.StatusOK {
+		t.Errorf("malformed fingerprint accepted: %d", r3.StatusCode)
+	}
+}
+
+func TestNodeFleetStatusEndpoint(t *testing.T) {
+	nodes := startTestFleet(t, 3)
+	resp, err := http.Get(nodes[0].url + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != nodes[0].url {
+		t.Errorf("self = %q, want %q", st.Self, nodes[0].url)
+	}
+	if len(st.Members) != 3 {
+		t.Errorf("members = %v, want 3", st.Members)
+	}
+	if len(st.Peers) != 2 {
+		t.Errorf("peers = %v, want 2", st.Peers)
+	}
+	if st.Store == nil {
+		t.Error("store stats missing from fleet status")
+	}
+}

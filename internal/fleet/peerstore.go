@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"misar/internal/obs"
+	"misar/internal/service"
+	"misar/internal/store"
+)
+
+// PeerStoreOptions configure the fleet-aware result store.
+type PeerStoreOptions struct {
+	// Replicas is the replication factor for freshly computed results
+	// (owner included): after a local Put, the record is pushed to the
+	// key's next Replicas-1 ring successors. < 1 means 2 — every result
+	// survives one node loss.
+	Replicas int
+	// Fanout bounds how many peers a local miss consults before giving up
+	// and re-simulating; < 1 means 3. The ring replicas are tried first
+	// (most likely holders), then other alive peers up to the bound.
+	Fanout int
+	// FetchTimeout bounds one peer GET/PUT; <= 0 means 5s.
+	FetchTimeout time.Duration
+	// Logger receives replication and fetch-failure logs; nil disables.
+	Logger *slog.Logger
+}
+
+func (o PeerStoreOptions) withDefaults() PeerStoreOptions {
+	if o.Replicas < 1 {
+		o.Replicas = 2
+	}
+	if o.Fanout < 1 {
+		o.Fanout = 3
+	}
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// PeerStoreStats counts peer-path activity since construction.
+type PeerStoreStats struct {
+	PeerHits    uint64 `json:"peer_hits"`    // local misses satisfied by a peer
+	PeerMisses  uint64 `json:"peer_misses"`  // fan-outs that found nothing
+	PeerErrors  uint64 `json:"peer_errors"`  // transport failures during fetch
+	Replicated  uint64 `json:"replicated"`   // records pushed to a peer
+	ReplicaErrs uint64 `json:"replica_errs"` // failed replication pushes
+}
+
+// inflightFetch is one single-flight peer fan-out; joiners wait on done and
+// read the shared outcome.
+type inflightFetch struct {
+	done    chan struct{}
+	payload []byte
+	ok      bool
+}
+
+// PeerStore implements harness.ResultStore over a local *store.Store plus
+// the fleet: a local miss fans out (bounded, single-flight per fingerprint)
+// to the peers most likely to hold the record — the key's ring replicas
+// first — and backfills the local store on a hit, so the next lookup is
+// local. Local puts replicate asynchronously to the key's ring successors.
+// Every network failure is treated as a miss: the worst case is always a
+// re-simulation, never a wedged lookup.
+type PeerStore struct {
+	local *store.Store
+	mem   *Membership
+	opt   PeerStoreOptions
+	hc    *http.Client
+
+	mu       sync.Mutex
+	inflight map[string]*inflightFetch
+
+	wg sync.WaitGroup // outstanding async replications
+
+	peerHits    atomic.Uint64
+	peerMisses  atomic.Uint64
+	peerErrors  atomic.Uint64
+	replicated  atomic.Uint64
+	replicaErrs atomic.Uint64
+}
+
+// NewPeerStore wraps local with peer fetch and replication over the
+// membership view.
+func NewPeerStore(local *store.Store, mem *Membership, opt PeerStoreOptions) *PeerStore {
+	opt = opt.withDefaults()
+	return &PeerStore{
+		local:    local,
+		mem:      mem,
+		opt:      opt,
+		hc:       &http.Client{Timeout: opt.FetchTimeout},
+		inflight: make(map[string]*inflightFetch),
+	}
+}
+
+// Local returns the wrapped on-disk store.
+func (p *PeerStore) Local() *store.Store { return p.local }
+
+// Stats returns the peer-path counters.
+func (p *PeerStore) Stats() PeerStoreStats {
+	return PeerStoreStats{
+		PeerHits:    p.peerHits.Load(),
+		PeerMisses:  p.peerMisses.Load(),
+		PeerErrors:  p.peerErrors.Load(),
+		Replicated:  p.replicated.Load(),
+		ReplicaErrs: p.replicaErrs.Load(),
+	}
+}
+
+// Wait blocks until every in-flight async replication has finished —
+// draining servers and tests call it; the hot path never does.
+func (p *PeerStore) Wait() { p.wg.Wait() }
+
+// GetCtx looks up fp locally, then across the fleet. Concurrent misses on
+// the same fingerprint share one fan-out (single-flight), so a thundering
+// herd of identical cold requests costs the fleet one set of peer GETs —
+// and, upstream of here, the owner's runner single-flights the simulation
+// itself.
+func (p *PeerStore) GetCtx(ctx context.Context, fp string) ([]byte, bool) {
+	if b, ok := p.local.GetCtx(ctx, fp); ok {
+		return b, true
+	}
+	if p.mem == nil {
+		return nil, false
+	}
+
+	p.mu.Lock()
+	if f, ok := p.inflight[fp]; ok {
+		p.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.payload, f.ok
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+	f := &inflightFetch{done: make(chan struct{})}
+	p.inflight[fp] = f
+	p.mu.Unlock()
+
+	f.payload, f.ok = p.fetchFromPeers(ctx, fp)
+	p.mu.Lock()
+	delete(p.inflight, fp)
+	p.mu.Unlock()
+	close(f.done)
+	return f.payload, f.ok
+}
+
+// fetchCandidates orders the peers to try: the key's ring replicas (minus
+// self) first, then any other alive peers, truncated to the fan-out bound.
+func (p *PeerStore) fetchCandidates(fp string) []string {
+	ring := p.mem.Ring()
+	seen := map[string]bool{p.mem.Self(): true}
+	var out []string
+	add := func(u string) {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	for _, u := range ring.Replicas(fp, p.opt.Replicas+1) {
+		add(u)
+	}
+	for _, u := range p.mem.AlivePeers() {
+		add(u)
+	}
+	if len(out) > p.opt.Fanout {
+		out = out[:p.opt.Fanout]
+	}
+	return out
+}
+
+func (p *PeerStore) fetchFromPeers(ctx context.Context, fp string) ([]byte, bool) {
+	for _, peer := range p.fetchCandidates(fp) {
+		payload, err := p.fetchOne(ctx, peer, fp)
+		if err != nil {
+			p.peerErrors.Add(1)
+			p.mem.MarkSuspect(peer, "store fetch: "+err.Error())
+			continue
+		}
+		if payload == nil {
+			continue // clean 404: peer answered, record not there
+		}
+		p.peerHits.Add(1)
+		// Backfill so the next lookup — and every future restart — is
+		// local. A failed backfill only costs warmth.
+		p.local.PutCtx(ctx, fp, payload)
+		return payload, true
+	}
+	p.peerMisses.Add(1)
+	return nil, false
+}
+
+// fetchOne GETs one record from one peer. (nil, nil) means a clean miss.
+func (p *PeerStore) fetchOne(ctx context.Context, peer, fp string) ([]byte, error) {
+	fctx, cancel := context.WithTimeout(ctx, p.opt.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, peer+"/v1/store/"+fp, nil)
+	if err != nil {
+		return nil, err
+	}
+	if id := obs.TraceIDOf(ctx); id != "" {
+		req.Header.Set(service.TraceHeader, id)
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) > maxRecordBytes {
+			return nil, fmt.Errorf("record exceeds %d bytes", maxRecordBytes)
+		}
+		return payload, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// PutCtx persists locally, then replicates to the key's ring successors in
+// the background. Replication is best-effort by design: the record is
+// already durable on the owner, and a peer that missed it will fetch it on
+// demand — the async push only buys recovery latency after a node loss.
+func (p *PeerStore) PutCtx(ctx context.Context, fp string, payload []byte) error {
+	if err := p.local.PutCtx(ctx, fp, payload); err != nil {
+		return err
+	}
+	if p.mem == nil || p.opt.Replicas < 2 {
+		return nil
+	}
+	trace := obs.TraceIDOf(ctx)
+	for _, peer := range p.replicaTargets(fp) {
+		p.wg.Add(1)
+		go func(peer string) {
+			defer p.wg.Done()
+			if err := p.replicateOne(peer, fp, payload, trace); err != nil {
+				p.replicaErrs.Add(1)
+				p.mem.MarkSuspect(peer, "replicate: "+err.Error())
+				if p.opt.Logger != nil {
+					p.opt.Logger.LogAttrs(context.Background(), slog.LevelWarn, "fleet: replication failed",
+						slog.String("peer", peer), slog.String("fingerprint", fp),
+						slog.String("error", err.Error()))
+				}
+				return
+			}
+			p.replicated.Add(1)
+		}(peer)
+	}
+	return nil
+}
+
+// replicaTargets returns the peers (self excluded) among the key's first
+// Replicas ring positions.
+func (p *PeerStore) replicaTargets(fp string) []string {
+	var out []string
+	for _, u := range p.mem.Ring().Replicas(fp, p.opt.Replicas) {
+		if u != p.mem.Self() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (p *PeerStore) replicateOne(peer, fp string, payload []byte, trace string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), p.opt.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/store/"+fp, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if trace != "" {
+		req.Header.Set(service.TraceHeader, trace)
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

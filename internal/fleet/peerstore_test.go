@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"misar/internal/obs"
+	"misar/internal/store"
+)
+
+// peerServer is a minimal stand-in for a fleet node's store endpoints,
+// backed by its own store directory.
+func peerServer(t *testing.T) (*store.Store, *httptest.Server, *atomic.Uint64) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gets atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/store/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		payload, ok := st.Get(r.PathValue("fp"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(payload)
+	})
+	mux.HandleFunc("PUT /v1/store/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		payload, _ := io.ReadAll(r.Body)
+		if err := st.Put(r.PathValue("fp"), payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return st, hs, &gets
+}
+
+func newPeerStore(t *testing.T, peerURLs []string) (*PeerStore, *Membership) {
+	t.Helper()
+	local, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMembership("http://self-not-listening:1", peerURLs, MembershipOptions{})
+	ps := NewPeerStore(local, mem, PeerStoreOptions{FetchTimeout: 2 * time.Second})
+	return ps, mem
+}
+
+func TestPeerFetchBackfills(t *testing.T) {
+	peerSt, peer, gets := peerServer(t)
+	fp := store.Fingerprint("warm result")
+	payload := []byte(`{"cycles":777}`)
+	if err := peerSt.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	ps, _ := newPeerStore(t, []string{peer.URL})
+	got, ok := ps.GetCtx(context.Background(), fp)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("peer fetch = %q, %v", got, ok)
+	}
+	if st := ps.Stats(); st.PeerHits != 1 {
+		t.Errorf("stats = %+v, want 1 peer hit", st)
+	}
+
+	// Backfilled: the second lookup is local, no new peer GET.
+	before := gets.Load()
+	if got, ok := ps.GetCtx(context.Background(), fp); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-backfill lookup = %q, %v", got, ok)
+	}
+	if gets.Load() != before {
+		t.Error("backfilled record still fetched from the peer")
+	}
+}
+
+// A thundering herd of identical cold lookups must collapse to one peer
+// fan-out.
+func TestPeerFetchSingleFlight(t *testing.T) {
+	peerSt, _, _ := peerServer(t)
+	fp := store.Fingerprint("contended")
+	if err := peerSt.Put(fp, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A slow proxy in front of the peer so the herd piles up behind one
+	// in-flight fetch.
+	var slowGets atomic.Uint64
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slowGets.Add(1)
+		<-release
+		payload, ok := peerSt.Get(strings.TrimPrefix(r.URL.Path, "/v1/store/"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(payload)
+	}))
+	defer slow.Close()
+
+	ps, _ := newPeerStore(t, []string{slow.URL})
+	const herd = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, ok := ps.GetCtx(context.Background(), fp)
+			if ok {
+				results[i] = b
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // herd assembles behind the in-flight fetch
+	close(release)
+	wg.Wait()
+
+	if n := slowGets.Load(); n != 1 {
+		t.Errorf("herd of %d caused %d peer GETs, want 1", herd, n)
+	}
+	for i, r := range results {
+		if string(r) != "payload" {
+			t.Errorf("herd member %d got %q", i, r)
+		}
+	}
+}
+
+func TestPutReplicatesToRingSuccessors(t *testing.T) {
+	peerSt, peer, _ := peerServer(t)
+	ps, _ := newPeerStore(t, []string{peer.URL})
+
+	fp := store.Fingerprint("fresh result")
+	payload := []byte(`{"cycles":1234}`)
+	if err := ps.PutCtx(context.Background(), fp, payload); err != nil {
+		t.Fatal(err)
+	}
+	ps.Wait() // replication is async; drain it
+
+	if got, ok := peerSt.Get(fp); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("replica on peer = %q, %v", got, ok)
+	}
+	if st := ps.Stats(); st.Replicated != 1 || st.ReplicaErrs != 0 {
+		t.Errorf("stats = %+v, want 1 replication", st)
+	}
+	// And the local copy is there too, of course.
+	if got, ok := ps.Local().Get(fp); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("local copy = %q, %v", got, ok)
+	}
+}
+
+// countingHandler counts slog records whose message matches.
+type countingHandler struct {
+	msg string
+	n   *atomic.Uint64
+}
+
+func (h countingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h countingHandler) Handle(_ context.Context, r slog.Record) error {
+	if r.Message == h.msg {
+		h.n.Add(1)
+	}
+	return nil
+}
+func (h countingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h countingHandler) WithGroup(string) slog.Handler      { return h }
+
+// The satellite acceptance test: a torn-write (truncated) local record is
+// evicted exactly once — one eviction counter tick, one log line — and the
+// lookup transparently recovers the payload from a peer replica.
+func TestTornWriteEvictedOnceAndRefetchedFromPeer(t *testing.T) {
+	peerSt, peer, _ := peerServer(t)
+	fp := store.Fingerprint("torn record")
+	payload := []byte(`{"cycles":4242,"coverage":1.0}`)
+	if err := peerSt.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	ps, _ := newPeerStore(t, []string{peer.URL})
+	local := ps.Local()
+	var evictLogs atomic.Uint64
+	local.SetLogger(slog.New(countingHandler{msg: "store: corrupt record evicted", n: &evictLogs}))
+
+	// Write the record locally, then tear it: truncate to half, as a crash
+	// mid-write (without the store's atomic rename) would.
+	if err := local.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+	recPath := filepath.Join(local.Dir(), fp[:2], fp[2:]+".rec")
+	fi, err := os.Stat(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(recPath, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := obs.WithTrace(context.Background(), "trace-torn-write")
+	got, ok := ps.GetCtx(ctx, fp)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("recovery fetch = %q, %v; want peer payload", got, ok)
+	}
+	if ev := local.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want exactly 1", ev)
+	}
+	if n := evictLogs.Load(); n != 1 {
+		t.Errorf("eviction log lines = %d, want exactly 1", n)
+	}
+	if st := ps.Stats(); st.PeerHits != 1 {
+		t.Errorf("peer stats = %+v, want 1 hit", st)
+	}
+
+	// The backfill repaired the local copy: no second eviction, no second
+	// peer fetch.
+	got2, ok := ps.GetCtx(ctx, fp)
+	if !ok || !bytes.Equal(got2, payload) {
+		t.Fatalf("post-repair lookup = %q, %v", got2, ok)
+	}
+	if ev := local.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions after repair = %d, still want exactly 1", ev)
+	}
+	if n := evictLogs.Load(); n != 1 {
+		t.Errorf("eviction log lines after repair = %d, still want exactly 1", n)
+	}
+}
+
+// A dead peer costs one failed candidate, feeds the failure detector, and
+// the lookup degrades to a clean miss (the caller re-simulates).
+func TestPeerFetchDegradesOnDeadPeer(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listening anymore
+
+	ps, mem := newPeerStore(t, []string{deadURL})
+	fp := store.Fingerprint("nowhere")
+	if _, ok := ps.GetCtx(context.Background(), fp); ok {
+		t.Fatal("hit from a dead fleet")
+	}
+	if st := ps.Stats(); st.PeerErrors != 1 || st.PeerMisses != 1 {
+		t.Errorf("stats = %+v, want 1 error + 1 miss", st)
+	}
+	snap := mem.Snapshot()
+	if len(snap) != 1 || snap[0].Failures == 0 {
+		t.Errorf("transport failure not fed to the detector: %+v", snap)
+	}
+}

@@ -1,0 +1,136 @@
+// Package fleet turns N independent misar-served processes into one
+// resilient service: a consistent-hash ring routes each job to the node
+// whose store owns its content fingerprint, a health-checked membership
+// view routes around dead nodes, a peer-aware result store lets any node
+// serve any warm result (owner miss → bounded-fanout peer GET → local
+// backfill, with single-flight dedup), and successful results replicate to
+// ring successors so a killed node's warmth survives it.
+//
+// The design follows MiSAR's own overflow-management philosophy: when the
+// fast path (the owner's warm store) saturates or fails, degrade
+// deterministically to a slower-but-correct path — a peer's replica, then a
+// local re-simulation — instead of wedging. See DESIGN.md §15.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is the number of ring points each node projects. 128 keeps
+// the ownership split within a few percent of uniform for small fleets
+// while the ring stays tiny (3 nodes → 384 points).
+const vnodesPerNode = 128
+
+// ringPoint is one virtual node position.
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node base URLs.
+// Keys are content fingerprints (hex SHA-256 of the canonical run key, see
+// harness.StoreKey); Owner maps a key to the node whose store should hold
+// it. Adding or removing one node remaps only the keys that node owned —
+// the property that makes membership churn cheap: every other node's warm
+// store stays authoritative.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// hash64 positions a string on the ring. FNV-1a is not cryptographic, but
+// ring placement only needs dispersion, not adversarial resistance — the
+// keys themselves are already SHA-256 fingerprints.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds a ring over nodes (duplicates ignored). An empty node set
+// yields a ring whose Owner is always "".
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{h: hash64(fmt2(n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Hash ties between different nodes are broken lexically so every
+		// member computes the identical ring regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	sort.Strings(r.nodes)
+	return r
+}
+
+// fmt2 renders the vnode label without fmt.Sprintf (this runs 128× per
+// node on every membership change).
+func fmt2(node string, v int) string {
+	buf := make([]byte, 0, len(node)+8)
+	buf = append(buf, node...)
+	buf = append(buf, '#')
+	if v == 0 {
+		return string(append(buf, '0'))
+	}
+	var digits [8]byte
+	i := len(digits)
+	for v > 0 {
+		i--
+		digits[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(append(buf, digits[i:]...))
+}
+
+// Nodes returns the ring's member set, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's hash, wrapping. "" when the ring is empty.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Replicas returns up to n distinct nodes for key in ring order, the owner
+// first — the replication set for the key's record and the preference order
+// for peer fetches.
+func (r *Ring) Replicas(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", rng.Uint64())
+	}
+	return out
+}
+
+// Every member must compute the identical ring regardless of the order it
+// learned the node list in — otherwise two nodes route the same key to
+// different owners and the fleet loses its locality.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	perms := [][]string{
+		{nodes[0], nodes[1], nodes[2]},
+		{nodes[2], nodes[0], nodes[1]},
+		{nodes[1], nodes[2], nodes[0], nodes[0]}, // duplicate ignored
+	}
+	rings := make([]*Ring, len(perms))
+	for i, p := range perms {
+		rings[i] = NewRing(p)
+	}
+	for _, k := range keys(200) {
+		want := rings[0].Owner(k)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].Owner(k); got != want {
+				t.Fatalf("ring %d owner(%s) = %s, want %s", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsOwnership(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(nodes)
+	counts := map[string]int{}
+	const n = 3000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.0f%% of keys (counts %v)", node, share*100, counts)
+		}
+	}
+}
+
+// Removing one node must remap only the keys that node owned; everyone
+// else's warm store stays authoritative.
+func TestRingMinimalRemapOnNodeLoss(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	full := NewRing(nodes)
+	without := NewRing(nodes[:2]) // c died
+	for _, k := range keys(500) {
+		before := full.Owner(k)
+		after := without.Owner(k)
+		if before != nodes[2] && after != before {
+			t.Fatalf("key %s moved from surviving node %s to %s", k, before, after)
+		}
+		if after == nodes[2] {
+			t.Fatalf("key %s routed to a removed node", k)
+		}
+	}
+}
+
+func TestRingReplicas(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(nodes)
+	for _, k := range keys(100) {
+		reps := r.Replicas(k, 2)
+		if len(reps) != 2 {
+			t.Fatalf("Replicas(%s, 2) = %v", k, reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Errorf("first replica %s is not the owner %s", reps[0], r.Owner(k))
+		}
+		if reps[0] == reps[1] {
+			t.Errorf("duplicate replica %v", reps)
+		}
+		// Asking for more than the fleet has returns the whole fleet.
+		if all := r.Replicas(k, 10); len(all) != len(nodes) {
+			t.Errorf("Replicas(k, 10) = %v, want all %d nodes", all, len(nodes))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if NewRing(nil).Owner("k") != "" {
+		t.Error("empty ring owner should be \"\"")
+	}
+	if got := NewRing(nil).Replicas("k", 2); got != nil {
+		t.Errorf("empty ring replicas = %v", got)
+	}
+	one := NewRing([]string{"http://solo:1"})
+	if one.Owner("anything") != "http://solo:1" {
+		t.Error("single-node ring must own every key")
+	}
+	if !reflect.DeepEqual(one.Replicas("k", 5), []string{"http://solo:1"}) {
+		t.Error("single-node replicas should be just the node")
+	}
+}

@@ -1,0 +1,455 @@
+package fleet_test
+
+// Multi-process fault-tolerance stress: three real misar-served processes
+// joined into a fleet, hundreds of concurrent clients, one node SIGKILLed
+// mid-sweep. The acceptance bar (ISSUE 9): zero client-visible errors,
+// byte-identical results before and after the kill, a single trace ID
+// spanning a failed-over request, and overload degrading to fast 429s —
+// never timeouts. Run under -race in CI (the client side is instrumented;
+// the servers are separate processes).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"misar/internal/fleet"
+	"misar/internal/obs"
+	"misar/internal/service"
+	"misar/internal/service/client"
+	"misar/internal/trace"
+)
+
+// buildServed compiles the real misar-served binary (go run cannot receive
+// a SIGKILL aimed at the server itself).
+func buildServed(t *testing.T) string {
+	t.Helper()
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	if root == "." || root == "/" {
+		t.Fatal("not inside a module")
+	}
+	bin := filepath.Join(t.TempDir(), "misar-served")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/misar-served")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building misar-served: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePorts reserves n distinct loopback ports by binding and releasing
+// them. The tiny race against other processes is acceptable in tests.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	listeners := make([]net.Listener, n)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return ports
+}
+
+type servedProc struct {
+	url string
+	cmd *exec.Cmd
+}
+
+// startFleetProcs boots n misar-served processes wired into one fleet.
+func startFleetProcs(t *testing.T, bin string, n int, extraArgs ...string) []*servedProc {
+	t.Helper()
+	ports := freePorts(t, n)
+	urls := make([]string, n)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	procs := make([]*servedProc, n)
+	for i := range procs {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		args := []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-self", urls[i],
+			"-peers", strings.Join(peers, ","),
+			"-store", filepath.Join(t.TempDir(), fmt.Sprintf("store-%d", i)),
+			"-workers", "4",
+			"-queue", "1024",
+			"-heartbeat", "50ms",
+			"-probe-interval", "200ms",
+			"-log=false",
+		}
+		args = append(args, extraArgs...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = &servedProc{url: urls[i], cmd: cmd}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.cmd.Process != nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, p := range procs {
+		if err := client.New(p.url).WaitHealthy(ctx); err != nil {
+			t.Fatalf("%s never became healthy: %v", p.url, err)
+		}
+	}
+	return procs
+}
+
+// jobMatrix is the sweep: every micro op at several tile counts — small
+// enough that a full stress run finishes in seconds, wide enough that every
+// node owns several keys.
+func jobMatrix() []service.JobRequest {
+	ops := []string{"LockAcquire", "LockHandoff", "BarrierHandoff", "CondSignal", "CondBroadcast"}
+	tiles := []int{2, 4, 8, 16}
+	var out []service.JobRequest
+	for _, op := range ops {
+		for _, n := range tiles {
+			out = append(out, service.JobRequest{Kind: "micro", App: op, Config: "msaomu2", Tiles: n})
+		}
+	}
+	return out
+}
+
+// canonicalResult strips run-environment variance (elapsed, spans, job IDs)
+// down to the simulation outcome, which must be byte-identical across
+// nodes, retries, and failover.
+func canonicalResult(t *testing.T, ev *service.JobEvent) []byte {
+	t.Helper()
+	if ev == nil || ev.Result == nil {
+		t.Fatal("terminal event without a result")
+	}
+	b, err := json.Marshal(ev.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFleetKillANodeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process stress; skipped in -short")
+	}
+	bin := buildServed(t)
+	procs := startFleetProcs(t, bin, 3)
+	urls := []string{procs[0].url, procs[1].url, procs[2].url}
+	matrix := jobMatrix()
+
+	f := client.NewFleet(urls, client.RetryPolicy{
+		MaxAttempts:    6,
+		BaseBackoff:    50 * time.Millisecond,
+		MaxBackoff:     2 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+	})
+
+	// Phase 1 — baseline on the healthy fleet: one result per matrix key.
+	baseline := make(map[string][]byte, len(matrix))
+	for _, req := range matrix {
+		ev, err := f.Submit(context.Background(), req, nil)
+		if err != nil {
+			t.Fatalf("baseline %s/%d: %v", req.App, req.Tiles, err)
+		}
+		baseline[req.App+"/"+fmt.Sprint(req.Tiles)] = canonicalResult(t, ev)
+	}
+
+	// Pick the victim and, for the traced failover probe, a key it owns.
+	ring := fleet.NewRing(urls)
+	victim := 2
+	var victimKey *service.JobRequest
+	for i := range matrix {
+		fp, err := service.RequestFingerprint(&matrix[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(fp) == urls[victim] {
+			victimKey = &matrix[i]
+			break
+		}
+	}
+	if victimKey == nil {
+		// With 20 keys and 3 nodes this is (1-1/3)^20 ≈ 0.03% — but don't
+		// leave a theoretical flake in the suite.
+		victimKey = &matrix[0]
+	}
+
+	// Phase 2 — the stampede: hundreds of concurrent clients sweeping the
+	// matrix while the victim dies mid-flight.
+	const clients = 200
+	const perClient = 6
+	var (
+		errCount   atomic.Uint64
+		mismatches atomic.Uint64
+		killOnce   sync.Once
+		killedAt   atomic.Int64
+		wg         sync.WaitGroup
+	)
+	startGun := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-startGun
+			for i := 0; i < perClient; i++ {
+				req := matrix[(c*perClient+i)%len(matrix)]
+				key := req.App + "/" + fmt.Sprint(req.Tiles)
+				ev, err := f.Submit(context.Background(), req, nil)
+				if err != nil {
+					errCount.Add(1)
+					t.Errorf("client %d job %d (%s): %v", c, i, key, err)
+					continue
+				}
+				if got := canonicalResult(t, ev); !bytes.Equal(got, baseline[key]) {
+					mismatches.Add(1)
+					t.Errorf("client %d job %d (%s): result differs from baseline\n got %s\nwant %s",
+						c, i, key, got, baseline[key])
+				}
+			}
+		}(c)
+	}
+	close(startGun)
+
+	// SIGKILL the victim while the sweep is in flight.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		killOnce.Do(func() {
+			killedAt.Store(time.Now().UnixNano())
+			procs[victim].cmd.Process.Kill()
+			procs[victim].cmd.Wait()
+		})
+	}()
+	wg.Wait()
+
+	if n := errCount.Load(); n != 0 {
+		t.Fatalf("%d client-visible errors across %d submissions; the bar is zero", n, clients*perClient)
+	}
+	if n := mismatches.Load(); n != 0 {
+		t.Fatalf("%d result mismatches after failover; results must be byte-identical", n)
+	}
+
+	// Recovery latency: time from SIGKILL until a survivor's failure
+	// detector marks the victim dead.
+	survivor := urls[(victim+1)%3]
+	detectDeadline := time.Now().Add(15 * time.Second)
+	var detected time.Time
+	for time.Now().Before(detectDeadline) {
+		resp, err := http.Get(survivor + "/v1/fleet")
+		if err == nil {
+			var st fleet.FleetStatus
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			for _, p := range st.Peers {
+				if p.URL == urls[victim] && p.State == "dead" {
+					detected = time.Now()
+				}
+			}
+		}
+		if !detected.IsZero() {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if detected.IsZero() {
+		t.Fatal("survivors never marked the killed node dead")
+	}
+	t.Logf("kill-to-detection latency: %v", detected.Sub(time.Unix(0, killedAt.Load())))
+
+	// The traced failover probe: a cold key (a tile count the sweep never
+	// ran) submitted through a client whose rotation starts at the corpse,
+	// under a caller-chosen trace ID with an attempt recorder. The first
+	// attempt dies against the dead node, the retry lands on a survivor and
+	// executes the job cold — and every span, from the failed client attempt
+	// through the winning one to the server-side execution, must carry that
+	// single ID. That is the "trace survives failover" guarantee.
+	traceID := "stress-failover-trace"
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(obs.WithTrace(context.Background(), traceID), rec)
+	probe := *victimKey
+	probe.Tiles = 32 // not in jobMatrix: cold everywhere, so failover re-executes
+	probeFleet := client.NewFleet(
+		[]string{urls[victim], urls[(victim+1)%3], urls[(victim+2)%3]},
+		client.RetryPolicy{
+			MaxAttempts:    6,
+			BaseBackoff:    50 * time.Millisecond,
+			MaxBackoff:     2 * time.Second,
+			AttemptTimeout: 10 * time.Second,
+		})
+	final, err := probeFleet.Submit(ctx, probe, nil)
+	if err != nil {
+		t.Fatalf("traced failover submission: %v", err)
+	}
+	if final.Trace != traceID {
+		t.Fatalf("terminal trace = %q, want %q", final.Trace, traceID)
+	}
+	if len(final.Spans) == 0 {
+		t.Fatal("terminal event carries no spans")
+	}
+	merged := append(rec.SpansFor(traceID), final.Spans...)
+	if len(merged) < 3 {
+		t.Errorf("merged failover trace has %d spans, want >= 3 (failed attempt, winning attempt, execution)", len(merged))
+	}
+	clientAttempts := 0
+	for _, sp := range merged {
+		if sp.Trace != traceID {
+			t.Errorf("span %s/%s carries trace %q, want %q", sp.Proc, sp.Name, sp.Trace, traceID)
+		}
+		if sp.Name == "client.submit" {
+			clientAttempts++
+		}
+	}
+	if clientAttempts < 2 {
+		t.Errorf("recorded %d client.submit attempts, want >= 2 (the probe must actually fail over)", clientAttempts)
+	}
+
+	// Merged Chrome trace of the failed-over job, for CI artifact upload.
+	if out := os.Getenv("FLEET_TRACE_OUT"); out != "" {
+		fh, err := os.Create(out)
+		if err != nil {
+			t.Fatalf("FLEET_TRACE_OUT: %v", err)
+		}
+		if err := trace.WriteChromeSpans(fh, merged); err != nil {
+			t.Fatalf("writing Chrome trace: %v", err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote failed-over job trace (%d spans) to %s", len(merged), out)
+	}
+
+	// The fleet still works at full strength minus one: a final clean sweep
+	// on the survivors, still byte-identical.
+	for _, req := range matrix {
+		ev, err := f.Submit(context.Background(), req, nil)
+		if err != nil {
+			t.Fatalf("post-kill sweep %s/%d: %v", req.App, req.Tiles, err)
+		}
+		key := req.App + "/" + fmt.Sprint(req.Tiles)
+		if got := canonicalResult(t, ev); !bytes.Equal(got, baseline[key]) {
+			t.Errorf("post-kill sweep %s: result differs from baseline", key)
+		}
+	}
+}
+
+// Overload must answer fast — a 429 with an honest Retry-After — never hang
+// the client into a timeout. This is the degradation ladder's bottom rung,
+// exercised against a real process.
+func TestFleetOverloadDegradesToFast429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process stress; skipped in -short")
+	}
+	bin := buildServed(t)
+	ports := freePorts(t, 1)
+	url := fmt.Sprintf("http://127.0.0.1:%d", ports[0])
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		"-store", filepath.Join(t.TempDir(), "store"),
+		"-workers", "1",
+		"-queue", "2",
+		"-heartbeat", "50ms",
+		"-log=false",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := client.New(url).WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the queue (workers 1, queue 2) with slow app simulations.
+	submitAsync := func(req service.JobRequest) int {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(url+"/v1/jobs?wait=0", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		json.NewDecoder(resp.Body).Decode(&struct{}{})
+		return resp.StatusCode
+	}
+	slow := func(tiles int) service.JobRequest {
+		return service.JobRequest{App: "fluidanimate", Config: "msaomu2", Tiles: tiles}
+	}
+	if c1 := submitAsync(slow(64)); c1 != http.StatusAccepted {
+		t.Fatalf("first fill got %d", c1)
+	}
+	if c2 := submitAsync(slow(48)); c2 != http.StatusAccepted {
+		t.Fatalf("second fill got %d", c2)
+	}
+
+	// Flood with batch jobs: every rejection must land fast, as a 429 with
+	// a Retry-After — not dangle until a client timeout.
+	var rejected int
+	for i := 0; i < 20; i++ {
+		req := slow(32 + i)
+		req.Priority = service.PriorityBatch
+		body, _ := json.Marshal(req)
+		start := time.Now()
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hreq, _ := http.NewRequestWithContext(hctx, http.MethodPost, url+"/v1/jobs?wait=0", bytes.NewReader(body))
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(hreq)
+		elapsed := time.Since(start)
+		hcancel()
+		if err != nil {
+			t.Fatalf("flood request %d timed out or failed after %v: %v", i, elapsed, err)
+		}
+		ra := resp.Header.Get("Retry-After")
+		json.NewDecoder(resp.Body).Decode(&struct{}{})
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected++
+			if elapsed > 2*time.Second {
+				t.Errorf("flood request %d: 429 took %v, want fast rejection", i, elapsed)
+			}
+			if ra == "" {
+				t.Errorf("flood request %d: 429 without Retry-After", i)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("overload never produced a 429; queue should have been saturated")
+	}
+	t.Logf("flood: %d/20 batch submissions shed with fast 429s", rejected)
+}

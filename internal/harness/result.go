@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -85,7 +86,7 @@ func (r *Run) applyResult(res *Result) {
 	}
 }
 
-// storeKey builds the canonical cross-process identity of one simulation.
+// StoreKey builds the canonical cross-process identity of one simulation.
 // Unlike the in-memory runKey (a %+v fingerprint that only needs to be
 // stable within one process), the store key must survive process restarts
 // and version skew, so the config goes through its canonical JSON encoding.
@@ -93,7 +94,11 @@ func (r *Run) applyResult(res *Result) {
 // tight chaos budget is not the same experiment as one under RunDeadline.
 // An unmarshalable config (impossible today; Config is a pure value struct)
 // returns "" and the run simply bypasses the store.
-func storeKey(kind string, cfg machine.Config, lib *syncrt.Lib, budget sim.Time) string {
+//
+// Exported because store.Fingerprint(StoreKey(...)) is also the fleet's
+// consistent-hash routing key (service.RequestFingerprint): routing and
+// storage must agree on identity, so both derive it here.
+func StoreKey(kind string, cfg machine.Config, lib *syncrt.Lib, budget sim.Time) string {
 	cb, err := json.Marshal(cfg)
 	if err != nil {
 		return ""
@@ -104,8 +109,8 @@ func storeKey(kind string, cfg machine.Config, lib *syncrt.Lib, budget sim.Time)
 // tryStore attempts to satisfy run from the persistent store. Records that
 // fail to decode or carry the wrong schema/kind are ignored (the next Put
 // overwrites them); store-level corruption is already evicted by Get.
-func (r *Runner) tryStore(st *store.Store, skey string, run *Run) bool {
-	blob, ok := st.Get(store.Fingerprint(skey))
+func (r *Runner) tryStore(ctx context.Context, st ResultStore, skey string, run *Run) bool {
+	blob, ok := st.GetCtx(ctx, store.Fingerprint(skey))
 	if !ok {
 		return false
 	}
@@ -121,10 +126,10 @@ func (r *Runner) tryStore(st *store.Store, skey string, run *Run) bool {
 // putStore persists a successful run. Store write failures (disk full,
 // permissions) are deliberately non-fatal: the result is still served from
 // memory; only warmth is lost.
-func (r *Runner) putStore(st *store.Store, skey string, run *Run) {
+func (r *Runner) putStore(ctx context.Context, st ResultStore, skey string, run *Run) {
 	blob, err := json.Marshal(run.buildResult())
 	if err != nil {
 		return
 	}
-	st.Put(store.Fingerprint(skey), blob)
+	st.PutCtx(ctx, store.Fingerprint(skey), blob)
 }

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box tests for the derived Retry-After estimate and the batch
+// admission limit — the queue math, separated from HTTP plumbing.
+
+func newBareServer(t *testing.T, queue int) *Server {
+	t.Helper()
+	s, err := New(Options{Workers: 1, QueueLimit: queue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestRetryAfterDerivedFromDrainRate(t *testing.T) {
+	s := newBareServer(t, 64)
+
+	// No history, empty queue: the floor.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("cold estimate = %d, want 1", got)
+	}
+
+	// 5 completions over the last second, 10 jobs queued: ~2s to drain.
+	now := time.Now()
+	s.mu.Lock()
+	s.admitted = 10
+	s.drains = nil
+	for i := 0; i < 5; i++ {
+		s.drains = append(s.drains, now.Add(-time.Second+time.Duration(i)*200*time.Millisecond))
+	}
+	s.mu.Unlock()
+	if got := s.retryAfterSeconds(); got < 2 || got > 3 {
+		t.Errorf("estimate = %ds, want ~2 (10 queued / 5 per sec)", got)
+	}
+
+	// A glacial drain rate clamps at 30s, not an unbounded promise.
+	s.mu.Lock()
+	s.admitted = 64
+	s.drains = []time.Time{now.Add(-time.Minute)}
+	s.mu.Unlock()
+	if got := s.retryAfterSeconds(); got != 30 {
+		t.Errorf("clamped estimate = %d, want 30", got)
+	}
+
+	// Full history but an empty queue: nothing to wait for, floor again.
+	s.mu.Lock()
+	s.admitted = 0
+	s.mu.Unlock()
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("empty-queue estimate = %d, want 1", got)
+	}
+}
+
+func TestBatchLimitIsHalfQueue(t *testing.T) {
+	if got := newBareServer(t, 64).batchLimit(); got != 32 {
+		t.Errorf("batchLimit(64) = %d, want 32", got)
+	}
+	if got := newBareServer(t, 1).batchLimit(); got != 1 {
+		t.Errorf("batchLimit(1) = %d, want 1 (never zero)", got)
+	}
+}

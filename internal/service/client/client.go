@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,25 +41,63 @@ func New(addr string) *Client {
 // decodeError turns a non-2xx response into an error, preserving the
 // server's message and the status code.
 func decodeError(resp *http.Response) error {
+	ra := resp.Header.Get("Retry-After")
 	var ae struct {
 		Error string `json:"error"`
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
-		return &APIError{Status: resp.StatusCode, Message: ae.Error, RetryAfter: resp.Header.Get("Retry-After")}
+		return &APIError{Status: resp.StatusCode, Message: ae.Error, RetryAfter: ra, RetryAfterDuration: parseRetryAfter(ra)}
 	}
-	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body)), RetryAfter: ra, RetryAfterDuration: parseRetryAfter(ra)}
+}
+
+// parseRetryAfter decodes a Retry-After header: RFC 9110 allows
+// delta-seconds or an HTTP-date. Unparseable or absent values yield 0 —
+// the retry loop falls back to its own backoff.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // APIError is a non-2xx response from the server.
 type APIError struct {
 	Status     int
 	Message    string
-	RetryAfter string // the Retry-After header, when present (429)
+	RetryAfter string // the raw Retry-After header, when present (429); kept for compatibility
+	// RetryAfterDuration is the parsed form of RetryAfter (delta-seconds or
+	// HTTP-date); 0 when absent or unparseable. The Fleet retry loop waits
+	// at least this long before the next attempt.
+	RetryAfterDuration time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server: %d %s", e.Status, e.Message)
+}
+
+// JobError is a job that ran and failed ("error" terminal event). The
+// simulator is deterministic, so retrying a JobError on another node would
+// reproduce the same failure — the Fleet retry loop treats it as permanent.
+type JobError struct {
+	Job     string
+	Message string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %s failed: %s", e.Job, e.Message)
 }
 
 // Submit posts one job and follows its NDJSON stream until the terminal
@@ -115,7 +154,7 @@ func (c *Client) Submit(ctx context.Context, req service.JobRequest, onEvent fun
 		case "done":
 			return &ev, nil
 		case "error":
-			return nil, fmt.Errorf("job %s failed: %s", ev.Job, ev.Error)
+			return nil, &JobError{Job: ev.Job, Message: ev.Error}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"fmt"
+
+	"misar/internal/fault"
+	"misar/internal/harness"
+	"misar/internal/store"
+	"misar/internal/workload"
+)
+
+// RequestFingerprint maps a job request onto the content fingerprint its
+// result will be stored under — the fleet's consistent-hash routing key.
+// Identity here MUST agree with what the runner actually persists: the
+// config mutations mirror buildSubmit exactly, and the key goes through
+// harness.StoreKey with the same budget the runner uses (the default
+// workload.RunDeadline for apps, the fixed 0 for micros), so a request
+// routed by this fingerprint lands on the node whose store holds (or will
+// hold) its record. Routing is only an optimization — a stale or mismatched
+// fingerprint costs locality, never correctness — but the service test
+// suite pins the agreement anyway.
+func RequestFingerprint(req *JobRequest) (string, error) {
+	cfg, libf, err := harness.Variant(req.Config, req.Tiles)
+	if err != nil {
+		return "", err
+	}
+	cfg.Metrics = req.Metrics
+	if req.FaultPlan != nil {
+		cfg.Fault = *req.FaultPlan
+		cfg.Invariants = true
+	} else if req.FaultSeed != 0 {
+		cfg.Fault = fault.DefaultPlan(req.FaultSeed)
+		cfg.Invariants = true
+	}
+	if req.Invariants {
+		cfg.Invariants = true
+	}
+	switch req.Kind {
+	case "", "app":
+		if _, ok := workload.ByName(req.App); !ok {
+			return "", fmt.Errorf("unknown app %q", req.App)
+		}
+		return store.Fingerprint(harness.StoreKey("app:"+req.App, cfg, libf(), workload.RunDeadline)), nil
+	case "micro":
+		if _, ok := harness.MicroOp(req.App); !ok {
+			return "", fmt.Errorf("unknown micro op %q", req.App)
+		}
+		return store.Fingerprint(harness.StoreKey("micro:"+req.App, cfg, libf(), 0)), nil
+	default:
+		return "", fmt.Errorf("unknown kind %q (want \"app\" or \"micro\")", req.Kind)
+	}
+}

@@ -39,7 +39,18 @@ type JobRequest struct {
 	// TimeoutMS bounds the job's wall-clock execution; 0 means no per-job
 	// deadline beyond the server's configured default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority classes the job for admission: "interactive" (the default)
+	// may fill the whole queue; "batch" is shed with a fast 429 once the
+	// queue passes half occupancy, so background sweeps degrade before they
+	// can starve interactive work (the overload ladder, DESIGN.md §15).
+	Priority string `json:"priority,omitempty"`
 }
+
+// Admission priority classes.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
 
 // JobEvent is one line of a job's NDJSON stream.
 type JobEvent struct {
@@ -84,13 +95,19 @@ type Health struct {
 	Status string `json:"status"` // "ok" or "draining"
 	// Draining mirrors Status == "draining" as a boolean, so health probes
 	// need no string comparison to gate traffic away.
-	Draining   bool   `json:"draining"`
-	InFlight   int    `json:"in_flight"`
-	QueueDepth int    `json:"queue_depth"` // occupied queue slots (== InFlight)
-	QueueFree  int    `json:"queue_free"`  // slots before admission refuses
-	QueueLimit int    `json:"queue_limit"`
+	Draining   bool `json:"draining"`
+	InFlight   int  `json:"in_flight"`
+	QueueDepth int  `json:"queue_depth"` // occupied queue slots (== InFlight)
+	QueueFree  int  `json:"queue_free"`  // slots before admission refuses
+	QueueLimit int  `json:"queue_limit"`
+	// BatchLimit is the occupancy beyond which batch-priority jobs are shed.
+	BatchLimit int    `json:"batch_limit"`
 	Accepted   uint64 `json:"jobs_accepted_total"`
 	UptimeMS   int64  `json:"uptime_ms"`
+	// RetryAfterS is the backoff hint a refused client would receive right
+	// now: queue depth over the recent drain rate, clamped to [1, 30]
+	// seconds. Load balancers can read it to steer away before the 429.
+	RetryAfterS int `json:"retry_after_s"`
 }
 
 // apiError is the JSON body of every non-2xx response.

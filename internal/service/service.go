@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,6 +72,11 @@ type Options struct {
 	// (the job itself is unaffected), so one stalled client can never pin a
 	// handler goroutine forever. <= 0 means 30s.
 	StreamWriteTimeout time.Duration
+	// WrapStore, when set, wraps the opened persistent store before it is
+	// attached to the runner. The fleet layer uses it to interpose peer
+	// fetch and replication (internal/fleet.PeerStore) under the runner's
+	// store lookups without the service knowing about membership.
+	WrapStore func(*store.Store) harness.ResultStore
 }
 
 func (o Options) withDefaults() Options {
@@ -120,8 +126,14 @@ type Server struct {
 	admitted int // accepted, not yet finished
 	accepted uint64
 	draining bool
+	drains   []time.Time    // completion times of the last reaps, for Retry-After
 	wg       sync.WaitGroup // one per admitted job
 }
+
+// drainWindow bounds the completion-time history behind the Retry-After
+// estimate: enough reaps to smooth burstiness, few enough that the rate
+// tracks the last seconds of behavior, not ancient history.
+const drainWindow = 32
 
 // keepFinished bounds how many completed job records stay queryable; older
 // ones are pruned so a long-running server's job table cannot grow without
@@ -168,7 +180,14 @@ func New(opt Options) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
-		s.runner.SetStore(st)
+		if opt.Logger != nil {
+			st.SetLogger(opt.Logger)
+		}
+		var rs harness.ResultStore = st
+		if opt.WrapStore != nil {
+			rs = opt.WrapStore(st)
+		}
+		s.runner.SetStore(rs)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealth))
@@ -198,6 +217,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // RunnerStats exposes the underlying runner's counters (tests, ops).
 func (s *Server) RunnerStats() harness.RunnerStats { return s.runner.Stats() }
+
+// Store exposes the persistent store handle (nil when persistence is off).
+// The fleet layer serves GET/PUT /v1/store/{fp} straight off it.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Recorder exposes the server-side span recorder so the fleet layer can
+// record routing hops (fleet/route.forward) into the same timeline the job
+// spans land in.
+func (s *Server) Recorder() *obs.Recorder { return s.spans }
 
 // StoreStats exposes the persistent store's counters; zero when no store.
 func (s *Server) StoreStats() store.Stats {
@@ -234,6 +262,51 @@ func (s *Server) Close() {
 	s.draining = true
 	s.mu.Unlock()
 	s.stop()
+}
+
+// batchLimit is the queue occupancy beyond which batch-priority jobs are
+// refused: half the queue (at least one slot), reserving the rest for
+// interactive work. This is the first rung of the overload ladder — batch
+// degrades to fast 429s while interactive admission is still healthy.
+func (s *Server) batchLimit() int {
+	l := s.opt.QueueLimit / 2
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// retryAfterSeconds estimates how long a refused client should wait for the
+// queue to drain enough to admit it: current depth divided by the recent
+// drain rate (reaps in the window spanned by the last drainWindow
+// completions, measured up to now so a stalled server's estimate grows),
+// clamped to [1, 30] seconds. Before any job has drained the floor applies —
+// there is no evidence the server is slow, only that it is momentarily full.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	depth := s.admitted
+	var oldest time.Time
+	n := len(s.drains)
+	if n > 0 {
+		oldest = s.drains[0]
+	}
+	s.mu.Unlock()
+	if n == 0 || depth == 0 {
+		return 1
+	}
+	window := time.Since(oldest)
+	if window <= 0 {
+		return 1
+	}
+	rate := float64(n) / window.Seconds() // completions per second
+	secs := int(float64(depth)/rate + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // inc bumps a serving-side counter under the metrics lock.
@@ -328,6 +401,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth: s.admitted,
 		QueueFree:  s.opt.QueueLimit - s.admitted,
 		QueueLimit: s.opt.QueueLimit,
+		BatchLimit: s.batchLimit(),
 		Accepted:   s.accepted,
 		UptimeMS:   time.Since(s.start).Milliseconds(),
 	}
@@ -339,6 +413,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if h.QueueFree < 0 {
 		h.QueueFree = 0
 	}
+	h.RetryAfterS = s.retryAfterSeconds()
 	writeJSON(w, http.StatusOK, h)
 }
 
@@ -387,6 +462,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // validation happens before admission, so a malformed request never
 // occupies a queue slot.
 func buildSubmit(req *JobRequest) (label string, submit func(context.Context, *harness.Runner) *harness.Run, err error) {
+	switch req.Priority {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return "", nil, fmt.Errorf("unknown priority %q (want %q or %q)", req.Priority, PriorityInteractive, PriorityBatch)
+	}
 	cfg, libf, err := harness.Variant(req.Config, req.Tiles)
 	if err != nil {
 		return "", nil, err
@@ -479,12 +559,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
 		return
 	}
-	if s.admitted >= s.opt.QueueLimit {
+	// Priority-classed admission: batch fills only half the queue, so an
+	// overload of background work degrades to fast 429s while interactive
+	// slots remain. The Retry-After is derived from the live drain rate —
+	// a saturated-but-draining server answers with an honest estimate
+	// instead of a hardcoded second.
+	limit := s.opt.QueueLimit
+	if req.Priority == PriorityBatch {
+		limit = s.batchLimit()
+	}
+	if s.admitted >= limit {
+		shedBatch := req.Priority == PriorityBatch && s.admitted < s.opt.QueueLimit
 		s.mu.Unlock()
 		cancel()
 		s.inc("serve.jobs_rejected_queue_full")
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "queue full"})
+		msg := "queue full"
+		if shedBatch {
+			s.inc("serve.jobs_shed_batch")
+			msg = "queue beyond batch occupancy limit"
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: msg})
 		return
 	}
 	s.admitted++
@@ -566,6 +661,10 @@ func (s *Server) reap(job *Job) {
 	s.mu.Lock()
 	s.admitted--
 	depth := s.admitted
+	s.drains = append(s.drains, time.Now())
+	if len(s.drains) > drainWindow {
+		s.drains = s.drains[len(s.drains)-drainWindow:]
+	}
 	s.finished = append(s.finished, job.ID)
 	for len(s.finished) > keepFinished {
 		delete(s.jobs, s.finished[0])

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"sync"
+	"testing"
+
+	"misar/internal/obs"
+)
+
+// recordingHandler captures slog records for assertion.
+type recordingHandler struct {
+	mu   sync.Mutex
+	recs []map[string]string
+}
+
+func (h *recordingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *recordingHandler) Handle(_ context.Context, r slog.Record) error {
+	attrs := map[string]string{"msg": r.Message}
+	r.Attrs(func(a slog.Attr) bool {
+		attrs[a.Key] = a.Value.String()
+		return true
+	})
+	h.mu.Lock()
+	h.recs = append(h.recs, attrs)
+	h.mu.Unlock()
+	return nil
+}
+func (h *recordingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *recordingHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *recordingHandler) snapshot() []map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]map[string]string(nil), h.recs...)
+}
+
+// A torn write is evicted exactly once — one counter tick, one log line
+// carrying the fingerprint, the failure reason, and the trace ID of the
+// request that tripped over it. The retry is then a clean miss: no second
+// eviction, no second log.
+func TestTornWriteEvictionLoggedOnce(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &recordingHandler{}
+	s.SetLogger(slog.New(h))
+
+	fp := Fingerprint("torn write under test")
+	if err := s.Put(fp, []byte(`{"cycles":999}`)); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(fp)
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := obs.WithTrace(context.Background(), "trace-evict-log")
+	if _, ok := s.GetCtx(ctx, fp); ok {
+		t.Fatal("torn record served as a hit")
+	}
+	if _, ok := s.GetCtx(ctx, fp); ok {
+		t.Fatal("second lookup served a hit")
+	}
+
+	if ev := s.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want exactly 1", ev)
+	}
+	recs := h.snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("eviction log lines = %d, want exactly 1: %v", len(recs), recs)
+	}
+	r := recs[0]
+	if r["msg"] != "store: corrupt record evicted" {
+		t.Errorf("message = %q", r["msg"])
+	}
+	if r["fingerprint"] != fp {
+		t.Errorf("fingerprint attr = %q, want %q", r["fingerprint"], fp)
+	}
+	if r["reason"] == "" {
+		t.Error("log line has no verification-failure reason")
+	}
+	if r["trace"] != "trace-evict-log" {
+		t.Errorf("trace attr = %q, want the request's trace ID", r["trace"])
+	}
+}
+
+// Distinct corruption modes surface distinct reasons, so an operator can
+// tell bit rot (crc) from a torn write (truncation).
+func TestEvictionReasonsDistinguishCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mut    func(t *testing.T, path string)
+		reason string
+	}{
+		{"truncation", func(t *testing.T, path string) {
+			fi, _ := os.Stat(path)
+			if err := os.Truncate(path, fi.Size()-2); err != nil {
+				t.Fatal(err)
+			}
+		}, "length mismatch"},
+		{"bit rot", func(t *testing.T, path string) {
+			raw, _ := os.ReadFile(path)
+			raw[len(raw)-1] ^= 1
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "crc mismatch"},
+		{"foreign file", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "bad magic or truncated header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := Open(t.TempDir())
+			h := &recordingHandler{}
+			s.SetLogger(slog.New(h))
+			fp := Fingerprint(tc.name)
+			if err := s.Put(fp, []byte("victim payload")); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(t, s.path(fp))
+			if _, ok := s.Get(fp); ok {
+				t.Fatal("corrupt record served")
+			}
+			recs := h.snapshot()
+			if len(recs) != 1 || recs[0]["reason"] != tc.reason {
+				t.Fatalf("log = %v, want one line with reason %q", recs, tc.reason)
+			}
+		})
+	}
+}

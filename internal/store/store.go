@@ -15,15 +15,19 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"misar/internal/obs"
 )
 
 // magic brands every record file; "MSR1" bumps with any layout change.
@@ -51,6 +55,7 @@ type Stats struct {
 // into place, by multiple processes sharing the directory.
 type Store struct {
 	dir string
+	log atomic.Pointer[slog.Logger] // nil disables eviction logging
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -69,6 +74,13 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SetLogger attaches a structured logger. Corruption evictions — silent
+// before — are logged with the fingerprint, file path, verification failure
+// reason, and (via GetCtx) the trace ID of the request that tripped over
+// the bad record, so an operator can tell bit rot from a torn write and
+// correlate it with the job that paid the re-simulation.
+func (s *Store) SetLogger(l *slog.Logger) { s.log.Store(l) }
+
 // Fingerprint maps a canonical run key to its content address (the SHA-256
 // hex digest). Callers pass fingerprints, not raw keys, to Get/Put so the
 // hashing policy lives in exactly one place.
@@ -86,6 +98,13 @@ func (s *Store) path(fp string) string {
 // Get returns the payload stored under fp. A record that fails any
 // verification step is evicted (removed) and reported as a miss.
 func (s *Store) Get(fp string) ([]byte, bool) {
+	return s.GetCtx(context.Background(), fp)
+}
+
+// GetCtx is Get with a context for observability only: when the ctx carries
+// a trace ID (obs.WithTrace) an eviction log line is tagged with it. The
+// lookup itself never blocks on the context.
+func (s *Store) GetCtx(ctx context.Context, fp string) ([]byte, bool) {
 	if len(fp) != 2*sha256.Size {
 		s.misses.Add(1)
 		return nil, false
@@ -96,32 +115,51 @@ func (s *Store) Get(fp string) ([]byte, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	payload, ok := decode(raw)
-	if !ok {
+	payload, reason := decode(raw)
+	if reason != "" {
 		os.Remove(p)
 		s.evictions.Add(1)
 		s.misses.Add(1)
+		if l := s.log.Load(); l != nil {
+			attrs := []slog.Attr{
+				slog.String("fingerprint", fp),
+				slog.String("path", p),
+				slog.String("reason", reason),
+				slog.Int("bytes", len(raw)),
+			}
+			if id := obs.TraceIDOf(ctx); id != "" {
+				attrs = append(attrs, slog.String("trace", id))
+			}
+			l.LogAttrs(ctx, slog.LevelWarn, "store: corrupt record evicted", attrs...)
+		}
 		return nil, false
 	}
 	s.hits.Add(1)
 	return payload, true
 }
 
-// decode verifies a record image and returns its payload.
-func decode(raw []byte) ([]byte, bool) {
+// decode verifies a record image and returns its payload; a non-empty
+// reason names the verification step that failed.
+func decode(raw []byte) (payload []byte, reason string) {
 	if len(raw) < headerSize || string(raw[:len(magic)]) != magic {
-		return nil, false
+		return nil, "bad magic or truncated header"
 	}
 	n := binary.LittleEndian.Uint32(raw[len(magic):])
 	sum := binary.LittleEndian.Uint32(raw[len(magic)+4:])
 	if n > maxPayload || len(raw) != headerSize+int(n) {
-		return nil, false
+		return nil, "length mismatch"
 	}
-	payload := raw[headerSize:]
+	payload = raw[headerSize:]
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, false
+		return nil, "crc mismatch"
 	}
-	return payload, true
+	return payload, ""
+}
+
+// PutCtx is Put with a context for observability symmetry with GetCtx; the
+// write itself never blocks on the context.
+func (s *Store) PutCtx(_ context.Context, fp string, payload []byte) error {
+	return s.Put(fp, payload)
 }
 
 // Put stores payload under fp, atomically: the record is staged in a temp
