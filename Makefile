@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify chaos figs serve fleet clean
+.PHONY: all build test race bench verify chaos tm figs serve fleet clean
 
 all: build test
 
@@ -35,6 +35,18 @@ chaos:
 	$(GO) run ./cmd/misar-chaos -seeds 200 -out CHAOS.json
 	$(GO) run ./cmd/misar-chaos -seeds 30 -broken -quiet -out CHAOS_broken.json
 
+# tm exercises the transactional-memory backend end to end: unit + bridge
+# tests under the race detector, the tm-commit certification with its broken
+# variants (expected exit 1), the TM chaos campaign plus the skipped-
+# validation detection selftest, and the three-way figure; see DESIGN.md §16.
+tm:
+	$(GO) test -race ./internal/tm/ ./internal/verify/ ./internal/chaos/
+	$(GO) run ./cmd/misar-verify -model tm-commit -o /dev/null
+	$(GO) run ./cmd/misar-verify -model tm-commit -broken > /dev/null; test $$? -eq 1
+	$(GO) run ./cmd/misar-chaos -seeds 100 -tm -quiet -out CHAOS_tm.json
+	$(GO) run ./cmd/misar-chaos -seeds 30 -broken-tm -quiet -out CHAOS_tm_broken.json
+	$(GO) run ./cmd/misar-fig -fig tm -quick
+
 figs:
 	$(GO) run ./cmd/misar-fig -fig all
 
@@ -51,4 +63,4 @@ fleet:
 	FLEET_TRACE_OUT=/tmp/failover-trace.json $(GO) test -race -count=1 -v ./internal/fleet -run 'TestFleetKillANodeStress'
 
 clean:
-	rm -f CHAOS.json CHAOS_broken.json cert.json
+	rm -f CHAOS.json CHAOS_broken.json CHAOS_tm.json CHAOS_tm_broken.json cert.json

@@ -11,11 +11,13 @@
 //	misar-chaos                          # 200 faulted seeds, report to stdout summary + CHAOS.json
 //	misar-chaos -seeds 1000 -parallel 16
 //	misar-chaos -broken                  # detection selftest: runs with the OMU check disabled
+//	misar-chaos -tm                      # same scenarios on the TM backend (internal/tm)
+//	misar-chaos -tm -broken-tm           # TM detection selftest: validation skipped
 //	misar-chaos -shrink 42               # minimize the fault plan of failing seed 42
 //
-// Exit status is nonzero when any seed fails — except under -broken, where
-// failures are the expected outcome and the exit status flips: it is an error
-// if NOTHING is detected.
+// Exit status is nonzero when any seed fails — except under -broken or
+// -broken-tm, where failures are the expected outcome and the exit status
+// flips: it is an error if NOTHING is detected.
 //
 // CI runs a short campaign as a smoke job and uploads the JSON artifact; see
 // .github/workflows/ci.yml.
@@ -41,6 +43,8 @@ type report struct {
 	Seeds       int64            `json:"seeds"`
 	Faults      bool             `json:"faults"`
 	BrokenOMU   bool             `json:"broken_omu"`
+	TM          bool             `json:"tm,omitempty"`
+	BrokenTM    bool             `json:"broken_tm_validation,omitempty"`
 	Budget      uint64           `json:"budget_cycles"`
 	Failed      int              `json:"failed"`
 	FaultsFired uint64           `json:"faults_fired"`
@@ -57,13 +61,16 @@ func main() {
 		budget   = flag.Uint64("budget", 0, "per-run cycle budget (0 = package default)")
 		noFaults = flag.Bool("no-faults", false, "disable the fault injector (pure disturbance campaign)")
 		broken   = flag.Bool("broken", false, "disable the OMU exclusivity check (detection selftest; failures expected)")
+		tmMode   = flag.Bool("tm", false, "run the scenarios on the software transactional-memory backend")
+		brokenTM = flag.Bool("broken-tm", false, "skip TM commit validation (detection selftest; failures expected; implies -tm)")
 		shrink   = flag.Int64("shrink", -1, "shrink the fault plan of this failing seed and exit")
 		out      = flag.String("out", "CHAOS.json", "report path ('-' for stdout)")
 		quiet    = flag.Bool("quiet", false, "suppress per-failure progress lines")
 	)
 	flag.Parse()
 
-	opt := chaos.Options{Faults: !*noFaults, BrokenOMU: *broken, Budget: sim.Time(*budget)}
+	opt := chaos.Options{Faults: !*noFaults, BrokenOMU: *broken,
+		TM: *tmMode, BrokenTMValidation: *brokenTM, Budget: sim.Time(*budget)}
 
 	if *shrink >= 0 {
 		runShrink(*shrink, opt)
@@ -80,6 +87,7 @@ func main() {
 
 	rep := buildReport(*start, *seeds, opt, outs)
 	rep.WallSeconds = time.Since(t0).Seconds()
+	expectFailures := *broken || *brokenTM
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -93,7 +101,7 @@ func main() {
 
 	fmt.Printf("chaos: %d seeds, %d failed, %d faults fired, %.1fs\n",
 		*seeds, rep.Failed, rep.FaultsFired, rep.WallSeconds)
-	code, msg := exitCode(rep, *broken)
+	code, msg := exitCode(rep, expectFailures)
 	if msg != "" {
 		fmt.Fprintln(os.Stderr, "misar-chaos: "+msg)
 	}
@@ -107,6 +115,7 @@ func buildReport(start, seeds int64, opt chaos.Options, outs []*chaos.Outcome) *
 		GoVersion: runtime.Version(),
 		Start:     start, Seeds: seeds,
 		Faults: opt.Faults, BrokenOMU: opt.BrokenOMU,
+		TM: opt.TM || opt.BrokenTMValidation, BrokenTM: opt.BrokenTMValidation,
 		Budget:      uint64(opt.EffectiveBudget()),
 		Outcomes:    outs,
 		GeneratedAt: time.Now().UTC(),
@@ -122,12 +131,13 @@ func buildReport(start, seeds int64, opt chaos.Options, outs []*chaos.Outcome) *
 
 // exitCode is the CI gate: any recorded safety/liveness failure — a run
 // error, an invariant violation, an oracle overlap, or a lost update —
-// makes the campaign exit nonzero. Under -broken the status flips: the
-// detectors are deliberately blinded, so detecting NOTHING is the failure.
-func exitCode(rep *report, broken bool) (code int, msg string) {
-	if broken {
+// makes the campaign exit nonzero. Under -broken or -broken-tm the status
+// flips: the protocol is deliberately broken, so detecting NOTHING is the
+// failure.
+func exitCode(rep *report, expectFailures bool) (code int, msg string) {
+	if expectFailures {
 		if rep.Failed == 0 {
-			return 1, "broken-OMU campaign detected nothing — the safety net has a hole"
+			return 1, "broken-protocol campaign detected nothing — the safety net has a hole"
 		}
 		return 0, ""
 	}

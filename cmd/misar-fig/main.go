@@ -127,10 +127,11 @@ func main() {
 		"scale": func(_ *harness.Runner, o harness.Options) (*stats.Table, error) {
 			return harness.ScaleSweep(o)
 		},
+		"tm": (*harness.Runner).TMSweep,
 	}
 	order := []string{"table1", "5", "6", "7", "8", "9", "headline",
 		"omu-sweep", "bloom-sweep", "entry-sweep", "fairness", "suspend",
-		"sync-overhead", "scale"}
+		"sync-overhead", "scale", "tm"}
 
 	var selected []string
 	if *fig == "all" {

@@ -11,7 +11,7 @@
 //
 // Configs: pthread, spinlock, mcs-tour, msa0, msaomu1, msaomu2, msaomu4,
 // msaomu2-noomu, msaomu2-noopt, msaomu2-lockonly, msaomu2-barrieronly,
-// msainf, ideal.
+// msainf, ideal, tm (software transactional memory, internal/tm).
 //
 // With -remote the simulation is submitted to a misar-served instance
 // instead of running in-process: identical requests are deduplicated

@@ -2,10 +2,17 @@
 // machine model. Each seed deterministically derives a scenario — machine
 // shape, lock/barrier mix, a suspend/resume/migrate disturbance schedule —
 // and, when faults are enabled, a fault.Plan driving forced OMU steers,
-// capacity steals, entry evictions, delayed acknowledgments, NoC jitter, and
-// coherence delays. Every run carries the safety-invariant checker and a
-// tight cycle budget, so a bad interleaving surfaces as a structured
-// violation or a watchdog liveness diagnosis rather than a silent hang.
+// capacity steals, entry evictions, delayed acknowledgments, NoC jitter,
+// coherence delays, and — on the TM backend — forced transaction aborts.
+// Every run carries the safety-invariant checker and a tight cycle budget,
+// so a bad interleaving surfaces as a structured violation or a watchdog
+// liveness diagnosis rather than a silent hang.
+//
+// Options.TM reruns the same seeded scenarios with critical sections
+// executing as internal/tm transactions (syncrt.TMLib), and
+// Options.BrokenTMValidation is the TM detection selftest: validation is
+// skipped, and the checker's TM shadow plus the lost-update count must catch
+// the resulting atomicity breakage.
 //
 // The package is shared by the chaos tests (internal/machine) and the
 // cmd/misar-chaos campaign driver, and provides greedy shrinking of a
@@ -46,9 +53,25 @@ type Options struct {
 	// deliberately skipped (core.Config.UnsafeNoOMUCheck) — the
 	// fault-detection acceptance scenario. Such runs are EXPECTED to fail.
 	BrokenOMU bool
+	// TM runs each scenario on the software transactional-memory backend
+	// (syncrt.TMLib on a software-only machine): critical sections execute
+	// as internal/tm transactions, with the forced-abort fault site
+	// (fault.Plan.TMAbortRate) active when Faults is set. The Go-side
+	// holder oracle is skipped — overlapping optimistic attempts are the
+	// protocol working as designed — but the lost-update check and the
+	// checker's TM shadow still gate atomicity.
+	TM bool
+	// BrokenTMValidation runs the TM scenarios with commit-time read-set
+	// validation deliberately skipped (syncrt.Lib.TMNoValidate) — the TM
+	// detection acceptance scenario. Such runs are EXPECTED to fail with
+	// tm-atomicity violations or lost updates. Implies TM.
+	BrokenTMValidation bool
 	// Budget is the per-run cycle budget; 0 means DefaultBudget.
 	Budget sim.Time
 }
+
+// tmMode reports whether the scenario runs on the TM backend.
+func (o Options) tmMode() bool { return o.TM || o.BrokenTMValidation }
 
 // EffectiveBudget resolves the per-run cycle budget these options imply.
 func (o Options) EffectiveBudget() sim.Time {
@@ -117,9 +140,19 @@ func RunPlan(seed int64, plan fault.Plan, opt Options) *Outcome {
 	cfg.Fault = plan
 	cfg.Invariants = true
 	cfg.MSA.UnsafeNoOMUCheck = opt.BrokenOMU
+	if opt.tmMode() {
+		// The TM backend never issues MSA instructions; run it on the
+		// software-only machine the rest of the TM evaluation uses.
+		cfg.Name = "tm-chaos"
+		cfg.CPU.Mode = cpu.ModeAlwaysFail
+	}
 	m := machine.New(cfg)
 	arena := syncrt.NewArena(0x100000)
 	lib := syncrt.HWLib()
+	if opt.tmMode() {
+		lib = syncrt.TMLib()
+		lib.TMNoValidate = opt.BrokenTMValidation
+	}
 	if rng.Intn(3) == 0 {
 		lib.Cond = syncrt.CondNoSpurious
 	}
@@ -158,19 +191,30 @@ func RunPlan(seed int64, plan fault.Plan, opt Options) *Outcome {
 			rt := lib.Bind(e, qnodes[i])
 			for k := 0; k < iters; k++ {
 				l := plans[i][k]
-				rt.Lock(locks[l])
-				if holder[l] != -1 {
-					oracle++
+				if opt.tmMode() {
+					// Transactional read-modify-write: the body may re-run
+					// on abort, so it touches only transactional state (no
+					// holder bookkeeping — overlapping attempts are legal).
+					rt.Critical(locks[l], func() {
+						v := rt.Load(counters[l])
+						e.Compute(uint64(5 + (i*7+k*3)%20))
+						rt.Store(counters[l], v+1)
+					})
+				} else {
+					rt.Lock(locks[l])
+					if holder[l] != -1 {
+						oracle++
+					}
+					holder[l] = i
+					v := e.Load(counters[l])
+					e.Compute(uint64(5 + (i*7+k*3)%20))
+					e.Store(counters[l], v+1)
+					if holder[l] != i {
+						oracle++
+					}
+					holder[l] = -1
+					rt.Unlock(locks[l])
 				}
-				holder[l] = i
-				v := e.Load(counters[l])
-				e.Compute(uint64(5 + (i*7+k*3)%20))
-				e.Store(counters[l], v+1)
-				if holder[l] != i {
-					oracle++
-				}
-				holder[l] = -1
-				rt.Unlock(locks[l])
 				e.Compute(uint64(30 + (i*13+k*11)%60))
 				if useBarrier {
 					rt.Wait(bar)
@@ -183,8 +227,16 @@ func RunPlan(seed int64, plan fault.Plan, opt Options) *Outcome {
 
 	// Random disturbance schedule: suspend a victim, resume it on its home
 	// or spare core after a random delay (exercises the SUSPEND/ABORT and
-	// migration paths under fault pressure).
+	// migration paths under fault pressure). Disabled in TM mode: a
+	// suspension parks a thread between an operation's architectural commit
+	// and the transaction code that shadows it, which voids the TM
+	// freshness checks' exactness argument (see fault/check.go) — the TM
+	// campaigns rely on fault injection (jitter, delays, forced aborts) for
+	// their schedule pressure instead.
 	disturbances := rng.Intn(8)
+	if opt.tmMode() {
+		disturbances = 0
+	}
 	var schedule func(round int)
 	schedule = func(round int) {
 		if round >= disturbances {

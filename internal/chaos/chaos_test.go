@@ -10,7 +10,10 @@ import (
 // counts, violations — must be a pure function of (seed, plan, options).
 // This is what makes a failing seed a reproducer and the shrinker sound.
 func TestRunSeedDeterministic(t *testing.T) {
-	for _, opt := range []Options{{}, {Faults: true}, {Faults: true, BrokenOMU: true}} {
+	for _, opt := range []Options{
+		{}, {Faults: true}, {Faults: true, BrokenOMU: true},
+		{Faults: true, TM: true}, {Faults: true, BrokenTMValidation: true},
+	} {
 		a := RunSeed(11, opt)
 		b := RunSeed(11, opt)
 		if a.Cycles != b.Cycles || a.Err != b.Err || a.Counts != b.Counts ||
@@ -41,5 +44,54 @@ func TestRunPlanUsesPlanNotSeedDefaults(t *testing.T) {
 	}
 	if o.Failed() {
 		t.Fatalf("clean zero-plan run failed: %+v", o)
+	}
+}
+
+// TestTMCampaignClean: a faulted campaign over the TM backend must come back
+// green — every seed completes with no lost updates and no checker findings —
+// while the forced-abort site actually fires somewhere (the protocol is being
+// exercised under spurious aborts, not around them).
+func TestTMCampaignClean(t *testing.T) {
+	const seeds = 12
+	outs := Campaign(0, seeds, 4, Options{Faults: true, TM: true}, nil)
+	var tmAborts uint64
+	for _, o := range outs {
+		if o.Failed() {
+			t.Errorf("seed %d failed (%s / %s): err=%q lost=%d violations=%v",
+				o.Seed, o.Config, o.Lib, o.Err, o.LostUpdates, o.Violations)
+		}
+		tmAborts += o.Counts.TMAborts
+	}
+	if tmAborts == 0 {
+		t.Fatalf("no forced TM aborts across %d faulted seeds — the tmabort site is dead", seeds)
+	}
+}
+
+// TestBrokenTMValidationCaught: with commit-time validation skipped, the
+// detectors must catch the breakage — specifically the runtime checker's TM
+// shadow, whose tm-atomicity kind maps back to the statically certified
+// tm-commit model (fault.ModelsFor).
+func TestBrokenTMValidationCaught(t *testing.T) {
+	const seeds = 12
+	outs := Campaign(0, seeds, 4, Options{Faults: true, BrokenTMValidation: true}, nil)
+	caught, atomicity := 0, 0
+	for _, o := range outs {
+		if o.Failed() {
+			caught++
+		}
+		for _, v := range o.Violations {
+			if v.Kind == fault.ViolationTMAtomicity {
+				atomicity++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("broken TM validation detected by nothing across %d seeds", seeds)
+	}
+	if atomicity == 0 {
+		t.Fatalf("no tm-atomicity violation across %d broken seeds — the TM shadow is blind", seeds)
+	}
+	if models := fault.ModelsFor(fault.ViolationTMAtomicity); len(models) == 0 {
+		t.Fatal("tm-atomicity maps to no static model")
 	}
 }

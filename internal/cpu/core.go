@@ -9,6 +9,7 @@ import (
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
+	"misar/internal/obs"
 	"misar/internal/sim"
 	"misar/internal/stats"
 	"misar/internal/trace"
@@ -125,11 +126,13 @@ type Core struct {
 	// install, per line. Cleared on context switch.
 	expectGrant map[memory.Addr]int
 
-	stats   Stats
-	lat     [numLatKinds]stats.Histogram
-	tracer  *trace.Buffer     // nil unless tracing is attached
-	metrics *metrics.Registry // nil unless the machine is metered
-	check   *fault.Checker    // nil unless invariant checking is enabled
+	stats    Stats
+	lat      [numLatKinds]stats.Histogram
+	tracer   *trace.Buffer       // nil unless tracing is attached
+	metrics  *metrics.Registry   // nil unless the machine is metered
+	check    *fault.Checker      // nil unless invariant checking is enabled
+	injector *fault.Injector     // nil unless fault injection is enabled
+	flight   *obs.FlightRecorder // this core's shard recorder; nil when absent
 }
 
 // Latency returns the core's latency histogram for one operation class.
@@ -156,6 +159,16 @@ func (c *Core) SetChecker(ch *fault.Checker) { c.check = ch }
 // SetReqPool makes outgoing MSA requests come from p (the machine recycles
 // each request after the destination slice handles it).
 func (c *Core) SetReqPool(p *corepkg.ReqPool) { c.reqPool = p }
+
+// SetInjector attaches the machine's fault injector (nil detaches). The core
+// itself injects nothing; the injector is exposed to thread code via
+// Env.Faults so the TM runtime can roll its spurious-abort site.
+func (c *Core) SetInjector(i *fault.Injector) { c.injector = i }
+
+// SetFlight attaches this core's shard flight recorder (nil detaches),
+// exposed to thread code via Env.Flight for transaction begin/commit/abort
+// events.
+func (c *Core) SetFlight(f *obs.FlightRecorder) { c.flight = f }
 
 func (c *Core) trace(kind trace.Kind, addr memory.Addr, detail string) {
 	if c.tracer == nil {

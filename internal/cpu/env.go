@@ -17,6 +17,7 @@ import (
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
+	"misar/internal/obs"
 	"misar/internal/sim"
 )
 
@@ -48,6 +49,12 @@ type Env interface {
 	// invariant checking is disabled. Same bind-once contract as Metrics:
 	// a nil checker's methods are no-ops.
 	Check() *fault.Checker
+	// Faults returns the machine's fault injector, or nil when fault
+	// injection is disabled (nil-receiver-safe, like Check).
+	Faults() *fault.Injector
+	// Flight returns the flight recorder of this core's shard, or nil when
+	// none is attached (nil-receiver-safe, like Check).
+	Flight() *obs.FlightRecorder
 }
 
 // reqKind enumerates thread→kernel requests.
@@ -98,6 +105,10 @@ func (e env) Now() sim.Time { return e.t.core.engine.Now() }
 func (e env) Metrics() *metrics.Registry { return e.t.core.metrics }
 
 func (e env) Check() *fault.Checker { return e.t.core.check }
+
+func (e env) Faults() *fault.Injector { return e.t.core.injector }
+
+func (e env) Flight() *obs.FlightRecorder { return e.t.core.flight }
 
 // call sends a request to the kernel and blocks until its result arrives.
 func (e env) call(r threadReq) uint64 {

@@ -53,6 +53,16 @@ const (
 	// that shard — the conservative parallel kernel's no-straggler property
 	// (every delivery lands in the receiver's future) broken at runtime.
 	ViolationShardDelivery
+	// ViolationTMCommitOverlap: two in-flight TM commit phases held the same
+	// word's commit lock at once — conflicting write sets were not
+	// serialized (the tm-commit model's two-commit-writers predicate), or a
+	// commit lock was leaked/released while free (its lock-leak predicate).
+	ViolationTMCommitOverlap
+	// ViolationTMAtomicity: a transaction committed against a read snapshot
+	// that a concurrent committed write had invalidated — the atomicity
+	// read-set validation exists to guarantee (the tm-commit model's
+	// stale-commit predicate).
+	ViolationTMAtomicity
 )
 
 func (k ViolationKind) String() string {
@@ -69,6 +79,10 @@ func (k ViolationKind) String() string {
 		return "barrier-world-split"
 	case ViolationShardDelivery:
 		return "shard-delivery"
+	case ViolationTMCommitOverlap:
+		return "tm-commit-overlap"
+	case ViolationTMAtomicity:
+		return "tm-atomicity"
 	}
 	return "unknown"
 }
@@ -125,6 +139,13 @@ type Checker struct {
 	condWts map[memory.Addr]map[int]bool  // threads waiting on a SW condvar
 	epochs  map[memory.Addr]*barrierEpoch
 	shardHWM map[int]sim.Time // per-shard high-water cross-shard delivery timestamp
+
+	// TM shadow state (see internal/tm and the tm-commit model): a
+	// committed-write generation per word, each in-flight transaction's
+	// read snapshots of those generations, and the commit-lock holders.
+	tmGen    map[memory.Addr]uint64
+	tmReads  map[int]map[memory.Addr]uint64 // thread id -> word -> generation at first read
+	tmCommit map[memory.Addr]int            // word -> thread id holding its commit lock
 }
 
 // NewChecker builds a checker; now supplies the simulation clock for
@@ -138,6 +159,9 @@ func NewChecker(now func() sim.Time) *Checker {
 		condWts: make(map[memory.Addr]map[int]bool),
 		epochs:  make(map[memory.Addr]*barrierEpoch),
 		shardHWM: make(map[int]sim.Time),
+		tmGen:    make(map[memory.Addr]uint64),
+		tmReads:  make(map[int]map[memory.Addr]uint64),
+		tmCommit: make(map[memory.Addr]int),
 	}
 }
 
@@ -527,4 +551,145 @@ func (c *Checker) CondStates() []CondState {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
+}
+
+// --- TM shadow (internal/tm, certified by the tm-commit model) ---
+//
+// The checker keeps its own notion of "which committed write does this
+// transaction's read reflect": a per-word generation bumped exactly once per
+// committed writer, at the writer's commit decision. Each hook below is
+// invoked from transaction code immediately after one specific simulated
+// operation, so on a serial machine it is atomic with that operation:
+//
+//   TMRead        with TryRead's second (validating) lockword load
+//   TMCommitLock  with the commit phase's acquiring CAS
+//   TMValidated   with a successful validation re-load of one read word
+//   TMCommit      with the clock FetchAdd (validated=false: the wv==rv+1
+//                 fast path, or a broken variant that skipped validation)
+//                 or the last validation load (validated=true)
+//   TMCommitUnlock BEFORE the releasing store is issued (commit and abort)
+//
+// Under that placement the correct TL2 protocol never trips the checks (a
+// writer's generation bump happens strictly inside its commit-lock hold, so
+// any read that validates saw either the pre-acquire or post-release word),
+// while skipped or broken validation surfaces as ViolationTMAtomicity and
+// overlapping commit phases as ViolationTMCommitOverlap.
+//
+// Deferred completions: a thread suspension (cpu.Complex.Suspend) parks a
+// thread AT an operation boundary with the result held until Resume — the
+// operation's architectural effect lands at commit time, but the thread code
+// carrying the hook runs arbitrarily later. Each hook therefore linearizes
+// somewhere between its preceding operation's commit and its following
+// operation's issue. The commit-lock shadow is exact under that interval
+// semantics because TMCommitUnlock precedes the releasing store's issue: a
+// foreign CAS succeeds only after the release commits, so shadow releases
+// always order before foreign shadow acquires. The generation-freshness
+// checks (TMValidated, unvalidated TMCommit) compare against tmGen at hook
+// time and so assume no foreign commit slips between an operation's commit
+// and its hook — true whenever no thread is suspended mid-transaction, which
+// holds for every certification test and for the chaos TM campaigns (their
+// disturbance schedule is disabled in TM mode for exactly this reason).
+
+// TMRead records tid's first read of word a, snapshotting the word's
+// committed-write generation. Later reads of the same word keep the first
+// snapshot (the strictest sound choice: the transaction's outcome must be
+// consistent with its earliest read).
+func (c *Checker) TMRead(tid int, a memory.Addr) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	r := c.tmReads[tid]
+	if r == nil {
+		r = make(map[memory.Addr]uint64)
+		c.tmReads[tid] = r
+	}
+	if _, seen := r[a]; !seen {
+		r[a] = c.tmGen[a]
+	}
+}
+
+// TMCommitLock records tid's commit phase acquiring word a's commit lock
+// and asserts no other in-flight commit phase holds it.
+func (c *Checker) TMCommitLock(a memory.Addr, tid int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if holder, held := c.tmCommit[a]; held {
+		c.violate(ViolationTMCommitOverlap, a,
+			"commit lock acquired by txn %d while held by txn %d", tid, holder)
+	}
+	c.tmCommit[a] = tid
+}
+
+// TMCommitUnlock records tid's commit phase releasing word a's commit lock
+// (write-back and abort paths both end here).
+func (c *Checker) TMCommitUnlock(a memory.Addr, tid int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	holder, held := c.tmCommit[a]
+	if !held {
+		c.violate(ViolationTMCommitOverlap, a,
+			"commit lock released by txn %d while free", tid)
+		return
+	}
+	if holder == tid {
+		delete(c.tmCommit, a)
+	}
+}
+
+// TMValidated records tid successfully re-validating its read of word a at
+// commit and asserts no writer committed to a since the read.
+func (c *Checker) TMValidated(tid int, a memory.Addr) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if snap, seen := c.tmReads[tid][a]; seen && c.tmGen[a] != snap {
+		c.violate(ViolationTMAtomicity, a,
+			"txn %d validated a read of generation %d but generation is %d", tid, snap, c.tmGen[a])
+	}
+}
+
+// TMCommit records tid committing with write set written. When validated is
+// false (the wv==rv+1 fast path — or a variant that skipped validation) the
+// whole read set is asserted fresh here instead of per-word TMValidated
+// calls. Every written word's generation advances, invalidating other
+// transactions' snapshots of it.
+func (c *Checker) TMCommit(tid int, validated bool, written []memory.Addr) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if !validated {
+		for a, snap := range c.tmReads[tid] {
+			if c.tmGen[a] != snap {
+				c.violate(ViolationTMAtomicity, a,
+					"txn %d committed without validation over a stale read (generation %d, now %d)",
+					tid, snap, c.tmGen[a])
+			}
+		}
+	}
+	for _, a := range written {
+		c.tmGen[a]++
+	}
+	delete(c.tmReads, tid)
+}
+
+// TMAbort discards tid's read snapshots (the transaction will retry fresh).
+func (c *Checker) TMAbort(tid int) {
+	if c == nil {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	delete(c.tmReads, tid)
 }

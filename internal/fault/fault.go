@@ -38,6 +38,12 @@ type Plan struct {
 	NoCMax   uint32 // max extra cycles per jittered message
 	CohRate  uint32 // delay a coherence directory reply
 	CohMax   uint32 // max extra cycles per delayed reply
+
+	// TMAbortRate forces spurious TM aborts: a commit phase that acquired
+	// its locks and would have committed aborts anyway (internal/tm rolls
+	// this once per lock-holding commit attempt). Exercises the abort-release
+	// path — the tm-commit model's abort-release rule — under load.
+	TMAbortRate uint32
 }
 
 // Enabled reports whether any fault site can fire. A Plan carrying only a
@@ -45,7 +51,7 @@ type Plan struct {
 // and every hook stays nil.
 func (p Plan) Enabled() bool {
 	return p.SteerRate > 0 || p.CapRate > 0 || p.EvictRate > 0 ||
-		p.AckRate > 0 || p.NoCRate > 0 || p.CohRate > 0
+		p.AckRate > 0 || p.NoCRate > 0 || p.CohRate > 0 || p.TMAbortRate > 0
 }
 
 // Sites returns the names of the enabled fault sites, in a fixed order.
@@ -70,6 +76,9 @@ func (p Plan) Sites() []string {
 	if p.CohRate > 0 {
 		s = append(s, "coh")
 	}
+	if p.TMAbortRate > 0 {
+		s = append(s, "tmabort")
+	}
 	return s
 }
 
@@ -89,6 +98,8 @@ func (p Plan) Without(site string) Plan {
 		p.NoCRate, p.NoCMax = 0, 0
 	case "coh":
 		p.CohRate, p.CohMax = 0, 0
+	case "tmabort":
+		p.TMAbortRate = 0
 	}
 	return p
 }
@@ -107,6 +118,10 @@ func DefaultPlan(seed uint64) Plan {
 		NoCMax:    64,
 		CohRate:   4096,  // ~6% of directory replies delayed
 		CohMax:    100,
+		// ~12% of lock-holding TM commit attempts spuriously aborted. The
+		// site only fires on runs using the TM backend (internal/tm); lock
+		// and MSA campaigns never poll it, so their outcomes are unchanged.
+		TMAbortRate: 8192,
 	}
 }
 
@@ -114,17 +129,18 @@ func DefaultPlan(seed uint64) Plan {
 type Counts struct {
 	Steers, CapSteals, Evicts   uint64
 	AckDelays, Jitters, CohDelays uint64
+	TMAborts                    uint64
 	DelayCycles                 uint64 // total extra cycles across all delay sites
 }
 
 // Total returns the number of discrete faults injected.
 func (c Counts) Total() uint64 {
-	return c.Steers + c.CapSteals + c.Evicts + c.AckDelays + c.Jitters + c.CohDelays
+	return c.Steers + c.CapSteals + c.Evicts + c.AckDelays + c.Jitters + c.CohDelays + c.TMAborts
 }
 
 func (c Counts) String() string {
-	return fmt.Sprintf("steers=%d cap=%d evicts=%d ackDelays=%d jitters=%d cohDelays=%d (+%d cycles)",
-		c.Steers, c.CapSteals, c.Evicts, c.AckDelays, c.Jitters, c.CohDelays, c.DelayCycles)
+	return fmt.Sprintf("steers=%d cap=%d evicts=%d ackDelays=%d jitters=%d cohDelays=%d tmAborts=%d (+%d cycles)",
+		c.Steers, c.CapSteals, c.Evicts, c.AckDelays, c.Jitters, c.CohDelays, c.TMAborts, c.DelayCycles)
 }
 
 // injMetrics are the optional registry counters, one per site. Nil-safe like
@@ -132,6 +148,7 @@ func (c Counts) String() string {
 type injMetrics struct {
 	steers, capSteals, evicts     *metrics.Counter
 	ackDelays, jitters, cohDelays *metrics.Counter
+	tmAborts                      *metrics.Counter
 	delayCycles                   *metrics.Counter
 }
 
@@ -168,6 +185,7 @@ func (i *Injector) AttachMetrics(reg *metrics.Registry) {
 		ackDelays:   reg.Counter("fault.ack_delays"),
 		jitters:     reg.Counter("fault.noc_jitters"),
 		cohDelays:   reg.Counter("fault.coh_delays"),
+		tmAborts:    reg.Counter("fault.tm_aborts"),
 		delayCycles: reg.Counter("fault.delay_cycles"),
 	}
 }
@@ -288,6 +306,21 @@ func (i *Injector) MsgDelay(src, dst int) sim.Time {
 		i.met.jitters.Inc()
 	}
 	return d
+}
+
+// ForceTMAbort reports whether a TM commit phase that acquired its locks
+// should abort anyway (spurious abort). internal/tm rolls this once per
+// lock-holding commit attempt, from thread code that runs while the serial
+// kernel is parked — the same single-threaded discipline as the event-loop
+// sites (sharded machines reject fault plans outright, see
+// machine.Validate).
+func (i *Injector) ForceTMAbort() bool {
+	if i == nil || !i.roll(i.plan.TMAbortRate) {
+		return false
+	}
+	i.counts.TMAborts++
+	i.met.tmAborts.Inc()
+	return true
 }
 
 // CohDelay returns the extra cycles to add to one coherence directory

@@ -91,7 +91,7 @@ func TestDisabledSiteConsumesNoRandomness(t *testing.T) {
 // TestSitesAndWithout pins the shrinker's plan algebra.
 func TestSitesAndWithout(t *testing.T) {
 	p := DefaultPlan(1)
-	want := []string{"steer", "cap", "evict", "ack", "noc", "coh"}
+	want := []string{"steer", "cap", "evict", "ack", "noc", "coh", "tmabort"}
 	got := p.Sites()
 	if len(got) != len(want) {
 		t.Fatalf("DefaultPlan sites = %v, want %v", got, want)

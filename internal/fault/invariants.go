@@ -11,6 +11,8 @@ func Kinds() []ViolationKind {
 		ViolationBarrierEpoch,
 		ViolationBarrierWorld,
 		ViolationShardDelivery,
+		ViolationTMCommitOverlap,
+		ViolationTMAtomicity,
 	}
 }
 
@@ -31,6 +33,8 @@ func ModelsFor(k ViolationKind) []string {
 		return []string{"barrier-epoch"}
 	case ViolationShardDelivery:
 		return []string{"window-protocol"}
+	case ViolationTMCommitOverlap, ViolationTMAtomicity:
+		return []string{"tm-commit"}
 	}
 	return nil
 }

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+
+	"misar/internal/machine"
+	"misar/internal/stats"
+	"misar/internal/syncrt"
+	"misar/internal/workload"
+)
+
+// tmSweepLevels are the contention points of the three-way comparison: the
+// permille of critical sections that hit the shared hot set (see
+// workload.TMSweepApp). Low contention is TM's best case (conflict-free
+// sections commit without ever serializing); high contention is its worst
+// (abort/retry burns work a lock would simply queue).
+var tmSweepLevels = []struct {
+	name        string
+	hotPermille int
+}{
+	{"low", 50},
+	{"med", 300},
+	{"high", 800},
+}
+
+// TMSweep runs the package-level three-way comparison (see Runner.TMSweep).
+func TMSweep(o Options) (*stats.Table, error) { return NewRunner(o.Parallel).TMSweep(o) }
+
+// TMSweep compares the three synchronization backends — pthread-style
+// software locks, the MSA hardware path, and software transactional memory —
+// on the contention-parameterized sweep workload, reporting speedup over the
+// pthread baseline plus the TM backend's abort/commit ratio at each point.
+// The TM runs are always metered (the ratio comes from the tm.* counters);
+// metering never changes simulated timing, so the speedup columns are
+// comparable with the unmetered baselines.
+func (r *Runner) TMSweep(o Options) (*stats.Table, error) {
+	t := stats.NewTable("TM: three-way backend comparison",
+		"Pthread (cycles)", "MSA/OMU-2 x", "TM x", "TM aborts/commit")
+	type pointRuns struct {
+		label          string
+		base, msa, tm_ *Run
+	}
+	var points []pointRuns
+	for _, lvl := range tmSweepLevels {
+		app := workload.TMSweepApp(lvl.hotPermille)
+		for _, tiles := range o.Tiles {
+			tmc := tmCfg(tiles)
+			tmc.Metrics = true
+			points = append(points, pointRuns{
+				label: fmt.Sprintf("%s/%dc", lvl.name, tiles),
+				base:  r.App(app, baselineCfg(tiles), syncrt.PthreadLib()),
+				msa:   r.App(app, machine.MSAOMU(tiles, 2), syncrt.HWLib()),
+				tm_:   r.App(app, tmc, syncrt.TMLib()),
+			})
+		}
+	}
+	for _, p := range points {
+		base, err := p.base.Result()
+		if err != nil {
+			return nil, err
+		}
+		msa, err := p.msa.Result()
+		if err != nil {
+			return nil, err
+		}
+		tmRes, err := p.tm_.Result()
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if rep := tmRes.Report; rep != nil {
+			commits := rep.Metrics.Counters["tm.commits"]
+			aborts := rep.Metrics.Counters["tm.aborts"]
+			if commits > 0 {
+				ratio = float64(aborts) / float64(commits)
+			}
+		}
+		t.AddRow(p.label,
+			float64(base.Cycles),
+			float64(base.Cycles)/float64(msa.Cycles),
+			float64(base.Cycles)/float64(tmRes.Cycles),
+			ratio)
+	}
+	return t, nil
+}

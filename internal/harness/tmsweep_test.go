@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestTMSweepGolden pins the three-way backend comparison at the quick
+// scale: the rendered table must be byte-identical to
+// testdata/golden_tm_8c.txt and independent of runner parallelism. The
+// golden encodes the crossover story DESIGN.md §16 tells (MSA wins at low
+// contention, TM edges ahead at high), so a timing drift anywhere in the
+// TM metadata path — clock traffic, lock-word sandwich, backoff — lands
+// here as a byte diff.
+func TestTMSweepGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_tm_8c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		tbl, err := NewRunner(workers).TMSweep(QuickOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tbl.Render(&buf)
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(runtime.NumCPU())
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("TM sweep depends on runner parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Fatalf("TM sweep diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", serial, want)
+	}
+}

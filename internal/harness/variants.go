@@ -45,7 +45,19 @@ func variantTable() map[string]variantSpec {
 		}, syncrt.HWLib},
 		"msainf": {machine.MSAInf, syncrt.HWLib},
 		"ideal":  {machine.Ideal, syncrt.HWLib},
+		// Software transactional memory (internal/tm): critical sections run
+		// as TL2-style transactions on the same software-only machine as the
+		// lock baselines — the third point of the lock/MSA/TM axis.
+		"tm": {tmCfg, syncrt.TMLib},
 	}
+}
+
+// tmCfg is baselineCfg renamed so TM runs get their own memo-cache and
+// store keys (same hardware: the TM backend never issues MSA instructions).
+func tmCfg(tiles int) machine.Config {
+	c := baselineCfg(tiles)
+	c.Name = "tm"
+	return c
 }
 
 // Variant resolves a named configuration at a tile count. The returned lib

@@ -418,6 +418,7 @@ func New(cfg Config) *Machine {
 				net.Post(i, home, corepkg.ReqBytes, r)
 			}, ideal)
 		m.Cores[i].SetReqPool(reqPool)
+		m.Cores[i].SetFlight(flight)
 		m.Slices[i].SetRespPool(respPool)
 		m.Slices[i].SetFlight(flight)
 		net.Attach(i, func(nm *noc.Message) {
@@ -453,6 +454,12 @@ func New(cfg Config) *Machine {
 		m.Injector = fault.New(cfg.Fault)
 		for _, sl := range m.Slices {
 			sl.SetInjector(m.Injector)
+		}
+		for _, c := range m.Cores {
+			// Thread code reaches the injector via Env.Faults (the TM
+			// spurious-abort site); fault plans only run on serial machines
+			// (validateSharding), so the single-threaded contract holds.
+			c.SetInjector(m.Injector)
 		}
 		net.SetDelay(m.Injector.MsgDelay)
 		for _, d := range m.Dirs {

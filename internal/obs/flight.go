@@ -44,6 +44,9 @@ const (
 	FGrant              // HWSync block grant shipped; Core = grantee
 	FRevoke             // standby revocation issued
 	FSilent             // LOCK_SILENT recorded
+	FTxBegin            // TM transaction attempt began; Arg = attempt number (0 = first)
+	FTxCommit           // TM transaction committed; Arg = write-set size
+	FTxAbort            // TM transaction aborted; Arg = tm abort reason (see tm.AbortReason)
 	numFlightKinds
 )
 
@@ -62,6 +65,9 @@ var flightKindNames = [numFlightKinds]string{
 	FGrant:    "grant",
 	FRevoke:   "revoke",
 	FSilent:   "silent",
+	FTxBegin:  "tx-begin",
+	FTxCommit: "tx-commit",
+	FTxAbort:  "tx-abort",
 }
 
 func (k FlightKind) String() string {

@@ -14,6 +14,14 @@ import (
 // always echoes the effective ID in the same header.
 const TraceHeader = "X-Misar-Trace"
 
+// TenantHeader identifies the submitting tenant for per-tenant admission
+// quotas. A tenant may hold at most Options.TenantQuota unfinished jobs;
+// submissions beyond that are refused with 429 + Retry-After even while the
+// shared queue has room, so one chatty client cannot monopolize it.
+// Requests without the header are anonymous and subject only to the shared
+// queue limit.
+const TenantHeader = "X-Misar-Tenant"
+
 // JobRequest describes one simulation to run.
 type JobRequest struct {
 	// Kind selects the experiment type: "app" (default) runs a full
@@ -101,9 +109,13 @@ type Health struct {
 	QueueFree  int  `json:"queue_free"`  // slots before admission refuses
 	QueueLimit int  `json:"queue_limit"`
 	// BatchLimit is the occupancy beyond which batch-priority jobs are shed.
-	BatchLimit int    `json:"batch_limit"`
-	Accepted   uint64 `json:"jobs_accepted_total"`
-	UptimeMS   int64  `json:"uptime_ms"`
+	BatchLimit int `json:"batch_limit"`
+	// TenantQuota is the per-tenant unfinished-job cap (TenantHeader);
+	// Tenants counts tenants currently holding at least one queue slot.
+	TenantQuota int    `json:"tenant_quota"`
+	Tenants     int    `json:"tenants"`
+	Accepted    uint64 `json:"jobs_accepted_total"`
+	UptimeMS    int64  `json:"uptime_ms"`
 	// RetryAfterS is the backoff hint a refused client would receive right
 	// now: queue depth over the recent drain rate, clamped to [1, 30]
 	// seconds. Load balancers can read it to steer away before the 429.

@@ -52,6 +52,12 @@ type Options struct {
 	// QueueLimit bounds admitted-but-unfinished jobs; < 1 means 64.
 	// Admission beyond the limit is refused with 429 + Retry-After.
 	QueueLimit int
+	// TenantQuota bounds the unfinished jobs any single tenant (the
+	// TenantHeader value) may hold; over-quota submissions are refused
+	// with 429 + Retry-After while other tenants still admit normally.
+	// Anonymous requests (no header) are exempt — they contend only for
+	// the shared queue. < 1 means a quarter of QueueLimit, at least 1.
+	TenantQuota int
 	// StoreDir roots the persistent result store; "" disables persistence
 	// (memo cache only).
 	StoreDir string
@@ -85,6 +91,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueLimit < 1 {
 		o.QueueLimit = 64
+	}
+	if o.TenantQuota < 1 {
+		o.TenantQuota = o.QueueLimit / 4
+		if o.TenantQuota < 1 {
+			o.TenantQuota = 1
+		}
 	}
 	if o.Heartbeat <= 0 {
 		o.Heartbeat = 500 * time.Millisecond
@@ -123,7 +135,8 @@ type Server struct {
 	jobs     map[string]*Job
 	finished []string // finished job IDs in completion order, for pruning
 	nextID   uint64
-	admitted int // accepted, not yet finished
+	admitted int            // accepted, not yet finished
+	tenants  map[string]int // unfinished jobs per tenant (TenantHeader)
 	accepted uint64
 	draining bool
 	drains   []time.Time    // completion times of the last reaps, for Retry-After
@@ -149,6 +162,7 @@ type Job struct {
 	cancel context.CancelFunc
 	run    *harness.Run
 	start  time.Time
+	tenant string        // TenantHeader value at admission; "" = anonymous
 	done   chan struct{} // closed after the fields below are final
 
 	// Written by reap before close(done); read only after <-done.
@@ -164,13 +178,14 @@ type Job struct {
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:   opt,
-		start: time.Now(),
-		log:   opt.Logger,
-		reg:   metrics.NewRegistry(),
-		spans: obs.NewRecorder(0),
-		ts:    newTimeseries(timeseriesCapacity),
-		jobs:  make(map[string]*Job),
+		opt:     opt,
+		start:   time.Now(),
+		log:     opt.Logger,
+		reg:     metrics.NewRegistry(),
+		spans:   obs.NewRecorder(0),
+		ts:      newTimeseries(timeseriesCapacity),
+		jobs:    make(map[string]*Job),
+		tenants: make(map[string]int),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.runner = harness.NewRunner(opt.Workers)
@@ -396,14 +411,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	h := Health{
-		Status:     "ok",
-		InFlight:   s.admitted,
-		QueueDepth: s.admitted,
-		QueueFree:  s.opt.QueueLimit - s.admitted,
-		QueueLimit: s.opt.QueueLimit,
-		BatchLimit: s.batchLimit(),
-		Accepted:   s.accepted,
-		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Status:      "ok",
+		InFlight:    s.admitted,
+		QueueDepth:  s.admitted,
+		QueueFree:   s.opt.QueueLimit - s.admitted,
+		QueueLimit:  s.opt.QueueLimit,
+		BatchLimit:  s.batchLimit(),
+		TenantQuota: s.opt.TenantQuota,
+		Tenants:     len(s.tenants),
+		Accepted:    s.accepted,
+		UptimeMS:    time.Since(s.start).Milliseconds(),
 	}
 	if s.draining {
 		h.Status = "draining"
@@ -449,6 +466,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "misar_serve_draining %d\n", draining)
 	fmt.Fprintf(w, "misar_serve_inflight %d\n", rs.Unique-rs.Done)
 	fmt.Fprintf(w, "misar_serve_queue_limit %d\n", s.opt.QueueLimit)
+	fmt.Fprintf(w, "misar_serve_tenant_quota %d\n", s.opt.TenantQuota)
 	if s.store != nil {
 		ss := s.store.Stats()
 		fmt.Fprintf(w, "misar_store_evictions %d\n", ss.Evictions)
@@ -582,6 +600,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: msg})
 		return
 	}
+	// Per-tenant quota: a single identified tenant may hold at most
+	// TenantQuota unfinished jobs, so one chatty client degrades alone
+	// while the rest of the queue stays admittable. Checked after the
+	// global limit — a full queue is the more honest answer when both
+	// apply — and skipped for anonymous requests.
+	tenant := r.Header.Get(TenantHeader)
+	if tenant != "" && s.tenants[tenant] >= s.opt.TenantQuota {
+		s.mu.Unlock()
+		cancel()
+		s.inc("serve.queue.tenant_rejects")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Error: fmt.Sprintf("tenant %q over quota (%d unfinished jobs)", tenant, s.opt.TenantQuota)})
+		return
+	}
+	if tenant != "" {
+		s.tenants[tenant]++
+	}
 	s.admitted++
 	s.accepted++
 	s.nextID++
@@ -592,6 +628,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Trace:  traceID,
 		cancel: cancel,
 		start:  time.Now(),
+		tenant: tenant,
 		done:   make(chan struct{}),
 	}
 	s.jobs[job.ID] = job
@@ -660,6 +697,11 @@ func (s *Server) reap(job *Job) {
 
 	s.mu.Lock()
 	s.admitted--
+	if job.tenant != "" {
+		if s.tenants[job.tenant]--; s.tenants[job.tenant] <= 0 {
+			delete(s.tenants, job.tenant)
+		}
+	}
 	depth := s.admitted
 	s.drains = append(s.drains, time.Now())
 	if len(s.drains) > drainWindow {

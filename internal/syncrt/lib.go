@@ -19,6 +19,7 @@ import (
 	"misar/internal/isa"
 	"misar/internal/memory"
 	"misar/internal/metrics"
+	"misar/internal/tm"
 )
 
 // LockKind selects a software lock implementation.
@@ -71,6 +72,20 @@ type Lib struct {
 	Lock    LockKind
 	Barrier BarrierKind
 	Cond    CondKind
+
+	// TM runs critical sections as transactions (internal/tm) instead of
+	// lock/unlock pairs: Critical becomes a retried transaction and
+	// Load/Store inside it become transactional. Barriers and condition
+	// variables keep their configured (software or hardware) paths —
+	// transactions replace mutual exclusion, not rendezvous. Explicit
+	// Lock/Unlock calls still work under TM (workloads whose critical
+	// sections cannot be expressed as closures, e.g. cond-var wait loops,
+	// keep using them).
+	TM bool
+	// TMNoValidate disables commit-time read-set validation — a
+	// deliberately broken protocol used to prove the runtime checker and
+	// the tm-commit model both catch it. Never enable outside tests.
+	TMNoValidate bool
 }
 
 // Desc returns a short stable identifier for the configuration, e.g.
@@ -84,6 +99,12 @@ func (l *Lib) Desc() string {
 	prefix := "sw"
 	if l.UseHW {
 		prefix = "hw"
+	}
+	if l.TM {
+		prefix = "tm"
+		if l.TMNoValidate {
+			prefix = "tm-noval"
+		}
 	}
 	return prefix + "+" + lock + "/" + bar + "/" + cond
 }
@@ -106,6 +127,11 @@ func MCSTreeLib() *Lib { return &Lib{Lock: LockMCS, Barrier: BarrierTree} }
 // HWLib is the paper's modified library (Algorithms 1-3): hardware first,
 // pthread-style software fallback.
 func HWLib() *Lib { return &Lib{UseHW: true, Lock: LockTTS, Barrier: BarrierCentral} }
+
+// TMLib runs critical sections as TL2-style software transactions
+// (internal/tm), with the pthread-style software paths for barriers,
+// condition variables, and any explicit Lock/Unlock a workload still issues.
+func TMLib() *Lib { return &Lib{TM: true, Lock: LockTTS, Barrier: BarrierCentral} }
 
 // Mutex, Cond and Barrier are synchronization variables. They are plain
 // descriptors — all state lives in simulated memory (and the MSA).
@@ -140,6 +166,9 @@ type T struct {
 	// Safety-invariant checker, resolved once at bind time; nil (all methods
 	// no-op) when invariant checking is disabled.
 	check *fault.Checker
+
+	// tm is the thread's transaction context, bound only when lib.TM.
+	tm *tm.Ctx
 }
 
 // Bind creates the per-thread library handle. qnodeArena must give each
@@ -159,7 +188,50 @@ func (l *Lib) Bind(e cpu.Env, qnode memory.Addr) *T {
 		t.swCondLat = reg.Histogram("syncrt.sw_cond_wait_cycles")
 	}
 	t.check = e.Check()
+	if l.TM {
+		t.tm = tm.New(e, l.TMNoValidate)
+	}
 	return t
+}
+
+// TM returns the thread's transaction context, nil unless the library is
+// transactional.
+func (t *T) TM() *tm.Ctx { return t.tm }
+
+// Critical runs body as one critical section protected by m: a Lock/Unlock
+// pair under lock-based libraries (the exact operation sequence of writing
+// the pair by hand), a retried transaction under TM (m is then unused —
+// conflicts are data-driven, not name-driven). Inside a transactional body,
+// use t.Load / t.Store (or t.TM().Read / Write) for shared data; the body
+// may re-run after aborts, so it must be idempotent up to its transactional
+// writes.
+func (t *T) Critical(m Mutex, body func()) {
+	if t.lib.TM {
+		t.tm.Run(body)
+		return
+	}
+	t.Lock(m)
+	body()
+	t.Unlock(m)
+}
+
+// Load reads a shared word: transactionally when called inside a
+// transactional Critical, directly through the cache hierarchy otherwise.
+func (t *T) Load(a memory.Addr) uint64 {
+	if t.tm.InTx() {
+		return t.tm.Read(a)
+	}
+	return t.E.Load(a)
+}
+
+// Store writes a shared word; transactional inside a transactional Critical
+// (buffered until commit), direct otherwise.
+func (t *T) Store(a memory.Addr, v uint64) {
+	if t.tm.InTx() {
+		t.tm.Write(a, v)
+		return
+	}
+	t.E.Store(a, v)
 }
 
 // nextRand is a tiny deterministic xorshift for backoff jitter.

@@ -1,0 +1,447 @@
+package tm_test
+
+import (
+	"errors"
+	"testing"
+
+	"misar/internal/cpu"
+	"misar/internal/fault"
+	"misar/internal/machine"
+	"misar/internal/memory"
+	"misar/internal/sim"
+	"misar/internal/tm"
+)
+
+const deadline = sim.Time(200_000_000)
+
+// cfg builds the software-only machine TM runs on (the TM backend never
+// issues MSA instructions, so the accelerator is moot).
+func cfg(tiles int) machine.Config {
+	c := machine.Default(tiles)
+	c.Name = "tm-test"
+	c.CPU.Mode = cpu.ModeAlwaysFail
+	return c
+}
+
+// spin blocks (in simulated time) until the word at a becomes v.
+func spin(e cpu.Env, a memory.Addr, v uint64) {
+	for e.Load(a) != v {
+		e.Compute(50)
+	}
+}
+
+// TestAtomicIncrement is the TM analogue of the canonical mutual-exclusion
+// test: every thread transactionally read-modify-writes one hot word; no
+// update may be lost, no matter how many aborts the contention causes.
+func TestAtomicIncrement(t *testing.T) {
+	const tiles, iters = 8, 25
+	c := cfg(tiles)
+	c.Metrics = true
+	m := machine.New(c)
+	w := memory.Addr(0x100000)
+	m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		for i := 0; i < iters; i++ {
+			ctx.Run(func() {
+				ctx.Write(w, ctx.Read(w)+1)
+			})
+			e.Compute(30)
+		}
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(w); got != tiles*iters {
+		t.Fatalf("counter = %d, want %d (atomicity violated)", got, tiles*iters)
+	}
+	commits := m.Metrics.Counter("tm.commits").Value()
+	aborts := m.Metrics.Counter("tm.aborts").Value()
+	retries := m.Metrics.Counter("tm.retries").Value()
+	if commits != tiles*iters {
+		t.Fatalf("tm.commits = %d, want %d", commits, tiles*iters)
+	}
+	if aborts != retries {
+		t.Fatalf("tm.aborts = %d != tm.retries = %d (every abort retries exactly once)", aborts, retries)
+	}
+	if aborts == 0 {
+		t.Fatalf("expected contention aborts on one hot word across %d threads", tiles)
+	}
+}
+
+// TestCrossWordInvariant checks serializability, not just single-word
+// atomicity: each transaction increments two words, so they must stay equal
+// in every committed state.
+func TestCrossWordInvariant(t *testing.T) {
+	const tiles, iters = 8, 15
+	m := machine.New(cfg(tiles))
+	w1, w2 := memory.Addr(0x100000), memory.Addr(0x100040)
+	m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		for i := 0; i < iters; i++ {
+			ctx.Run(func() {
+				a, b := ctx.Read(w1), ctx.Read(w2)
+				if a != b {
+					t.Errorf("tid %d saw torn state: %d != %d", tid, a, b)
+				}
+				ctx.Write(w1, a+1)
+				ctx.Write(w2, b+1)
+			})
+			e.Compute(40)
+		}
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := m.Store.Load(w1), m.Store.Load(w2); a != tiles*iters || b != tiles*iters {
+		t.Fatalf("final state (%d, %d), want (%d, %d)", a, b, tiles*iters, tiles*iters)
+	}
+}
+
+// TestReadOnlyFastPath: a read-only transaction commits without locks and
+// without bumping the global clock (TL2's read-only rule).
+func TestReadOnlyFastPath(t *testing.T) {
+	c := cfg(1)
+	c.Metrics = true
+	m := machine.New(c)
+	w := memory.Addr(0x100000)
+	var got uint64
+	m.SpawnAll(1, func(tid int, e cpu.Env) {
+		e.Store(w, 42)
+		ctx := tm.New(e, false)
+		ctx.Run(func() { got = ctx.Read(w) })
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("read %d, want 42", got)
+	}
+	if clk := m.Store.Load(tm.ClockAddr); clk != 0 {
+		t.Fatalf("global clock = %d after read-only commit, want 0", clk)
+	}
+	if bumps := m.Metrics.Counter("tm.clock_bumps").Value(); bumps != 0 {
+		t.Fatalf("tm.clock_bumps = %d, want 0", bumps)
+	}
+}
+
+// TestReadYourOwnWrite: reads see the transaction's buffered writes, and
+// rewriting a word updates the buffer in place.
+func TestReadYourOwnWrite(t *testing.T) {
+	m := machine.New(cfg(1))
+	w := memory.Addr(0x100000)
+	m.SpawnAll(1, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		ctx.Run(func() {
+			ctx.Write(w, 5)
+			if v := ctx.Read(w); v != 5 {
+				t.Errorf("read-your-own-write saw %d, want 5", v)
+			}
+			ctx.Write(w, 7)
+		})
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(w); got != 7 {
+		t.Fatalf("final value %d, want 7", got)
+	}
+}
+
+// TestValidationAbort choreographs the stepping API: a writer commits to a
+// word after our transaction read it, so our commit (whose write version is
+// not rv+1) must fail read-set validation.
+func TestValidationAbort(t *testing.T) {
+	c := cfg(2)
+	c.Metrics = true
+	m := machine.New(c)
+	var (
+		w1    = memory.Addr(0x100000)
+		w3    = memory.Addr(0x100080)
+		flag1 = memory.Addr(0x200000)
+		flag2 = memory.Addr(0x200040)
+	)
+	m.SpawnAll(2, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		if tid == 0 {
+			ctx.Begin()
+			v, ok := ctx.TryRead(w1)
+			if !ok {
+				t.Error("initial TryRead aborted unexpectedly")
+				return
+			}
+			ctx.Write(w3, v+1)
+			e.Store(flag1, 1)
+			spin(e, flag2, 1)
+			if ctx.TryCommit() {
+				t.Error("commit validated a stale read set")
+			}
+			// The retry (now seeing the writer's value) must succeed.
+			ctx.Begin()
+			v, _ = ctx.TryRead(w1)
+			ctx.Write(w3, v+1)
+			if !ctx.TryCommit() {
+				t.Error("conflict-free retry failed to commit")
+			}
+			return
+		}
+		spin(e, flag1, 1)
+		ctx.Begin()
+		ctx.Write(w1, 9)
+		if !ctx.TryCommit() {
+			t.Error("uncontended writer failed to commit")
+		}
+		e.Store(flag2, 1)
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(w3); got != 10 {
+		t.Fatalf("w3 = %d, want 10 (retry must see the committed 9)", got)
+	}
+	if aborts := m.Metrics.Counter("tm.aborts").Value(); aborts != 1 {
+		t.Fatalf("tm.aborts = %d, want exactly 1", aborts)
+	}
+}
+
+// TestReadConflictAbort: reading a word whose version is newer than the
+// transaction's read version aborts at the read, not at commit.
+func TestReadConflictAbort(t *testing.T) {
+	m := machine.New(cfg(2))
+	var (
+		w1    = memory.Addr(0x100000)
+		flag1 = memory.Addr(0x200000)
+	)
+	m.SpawnAll(2, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		if tid == 0 {
+			ctx.Begin() // rv = 0
+			spin(e, flag1, 1)
+			if _, ok := ctx.TryRead(w1); ok {
+				t.Error("TryRead accepted a word newer than rv")
+			}
+			return
+		}
+		ctx.Begin()
+		ctx.Write(w1, 9)
+		if !ctx.TryCommit() {
+			t.Error("writer failed to commit")
+		}
+		e.Store(flag1, 1)
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfOwnedValidation: a transaction that reads and writes the same word
+// validates that word against its own lock acquisition (the pre-CAS value),
+// so an unrelated concurrent commit must not abort it.
+func TestSelfOwnedValidation(t *testing.T) {
+	m := machine.New(cfg(2))
+	var (
+		w1    = memory.Addr(0x100000)
+		other = memory.Addr(0x103000)
+		flag1 = memory.Addr(0x200000)
+		flag2 = memory.Addr(0x200040)
+	)
+	m.SpawnAll(2, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		if tid == 0 {
+			ctx.Begin()
+			v, _ := ctx.TryRead(w1)
+			ctx.Write(w1, v+1)
+			e.Store(flag1, 1)
+			spin(e, flag2, 1)
+			// The clock moved (wv != rv+1), forcing full validation; w1's
+			// slot is self-owned and unchanged, so the commit succeeds.
+			if !ctx.TryCommit() {
+				t.Error("self-owned validation aborted a serializable commit")
+			}
+			return
+		}
+		spin(e, flag1, 1)
+		ctx.Begin()
+		ctx.Write(other, 1)
+		if !ctx.TryCommit() {
+			t.Error("unrelated writer failed to commit")
+		}
+		e.Store(flag2, 1)
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(w1); got != 1 {
+		t.Fatalf("w1 = %d, want 1", got)
+	}
+}
+
+// TestLockBusyAbort: a held commit lock aborts the attempt, and the abort
+// restores nothing it did not change — releasing the lock lets the retry
+// commit.
+func TestLockBusyAbort(t *testing.T) {
+	m := machine.New(cfg(1))
+	w := memory.Addr(0x100000)
+	la := tm.LockAddr(w)
+	m.SpawnAll(1, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		if !e.CAS(la, 0, 1) { // hold w's commit lock, as a peer mid-commit would
+			t.Error("failed to seed a held lock word")
+		}
+		ctx.Begin()
+		ctx.Write(w, 5)
+		if ctx.TryCommit() {
+			t.Error("commit succeeded over a held lock word")
+		}
+		e.Store(la, 0)
+		ctx.Begin()
+		ctx.Write(w, 5)
+		if !ctx.TryCommit() {
+			t.Error("retry after lock release failed")
+		}
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(w); got != 5 {
+		t.Fatalf("w = %d, want 5", got)
+	}
+}
+
+// TestForcedAbort: the tmabort fault site makes lock-holding commit attempts
+// abort spuriously; the retry loop must still make progress and the injector
+// must tally its interventions.
+func TestForcedAbort(t *testing.T) {
+	const iters = 10
+	c := cfg(1)
+	c.Fault = fault.Plan{Seed: 7, TMAbortRate: 32768} // ~50% of commit attempts
+	m := machine.New(c)
+	w := memory.Addr(0x100000)
+	m.SpawnAll(1, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		for i := 0; i < iters; i++ {
+			ctx.Run(func() { ctx.Write(w, ctx.Read(w)+1) })
+		}
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Load(w); got != iters {
+		t.Fatalf("counter = %d, want %d despite forced aborts", got, iters)
+	}
+	if n := m.Injector.Counts().TMAborts; n == 0 {
+		t.Fatal("injector recorded no forced TM aborts at a 50% rate")
+	}
+}
+
+// TestNoValidateCaughtByChecker: the deliberately broken protocol variant
+// (validation skipped) commits a stale read set under the same choreography
+// TestValidationAbort uses — and the runtime checker's TM shadow flags it as
+// a tm-atomicity violation, failing the run.
+func TestNoValidateCaughtByChecker(t *testing.T) {
+	c := cfg(2)
+	c.Invariants = true
+	m := machine.New(c)
+	var (
+		w1    = memory.Addr(0x100000)
+		w3    = memory.Addr(0x100080)
+		flag1 = memory.Addr(0x200000)
+		flag2 = memory.Addr(0x200040)
+	)
+	m.SpawnAll(2, func(tid int, e cpu.Env) {
+		if tid == 0 {
+			broken := tm.New(e, true) // noValidate
+			broken.Begin()
+			v, _ := broken.TryRead(w1)
+			broken.Write(w3, v+1)
+			e.Store(flag1, 1)
+			spin(e, flag2, 1)
+			if !broken.TryCommit() {
+				t.Error("the broken variant was supposed to commit blindly")
+			}
+			return
+		}
+		ctx := tm.New(e, false)
+		spin(e, flag1, 1)
+		ctx.Begin()
+		ctx.Write(w1, 9)
+		if !ctx.TryCommit() {
+			t.Error("writer failed to commit")
+		}
+		e.Store(flag2, 1)
+	})
+	_, err := m.Run(deadline)
+	var se *machine.SafetyError
+	if !errors.As(err, &se) {
+		t.Fatalf("run error = %v, want a SafetyError from the TM shadow", err)
+	}
+	found := false
+	for _, v := range se.Violations {
+		if v.Kind == fault.ViolationTMAtomicity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v carry no tm-atomicity entry", se.Violations)
+	}
+}
+
+// TestCorrectProtocolCleanUnderChecker reruns the contended increment with
+// the invariant checker attached: the TM shadow must report nothing for the
+// real protocol (no false positives from its generation bookkeeping).
+func TestCorrectProtocolCleanUnderChecker(t *testing.T) {
+	const tiles, iters = 8, 15
+	c := cfg(tiles)
+	c.Invariants = true
+	m := machine.New(c)
+	w := memory.Addr(0x100000)
+	m.SpawnAll(tiles, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		for i := 0; i < iters; i++ {
+			ctx.Run(func() { ctx.Write(w, ctx.Read(w)+1) })
+			e.Compute(30)
+		}
+	})
+	if _, err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Checker.Violations(); len(v) != 0 {
+		t.Fatalf("correct protocol flagged: %v", v)
+	}
+}
+
+func TestLockAddrProperties(t *testing.T) {
+	seen := map[memory.Addr]bool{}
+	for a := memory.Addr(0x100000); a < 0x100000+4096*8; a += 8 {
+		la := tm.LockAddr(a)
+		if la < tm.LockBase || la >= tm.LockBase+tm.LockSlots*memory.LineSize {
+			t.Fatalf("LockAddr(%#x) = %#x outside the lock table", a, la)
+		}
+		if la%memory.LineSize != 0 {
+			t.Fatalf("LockAddr(%#x) = %#x not line-aligned", a, la)
+		}
+		if got := tm.LockAddr(a + 4); got != la {
+			t.Fatalf("sub-word addresses map to different slots: %#x vs %#x", got, la)
+		}
+		seen[la] = true
+	}
+	if len(seen) != tm.LockSlots {
+		t.Fatalf("4096 words hash to %d slots, want all %d in use", len(seen), tm.LockSlots)
+	}
+}
+
+func TestAbortReasonString(t *testing.T) {
+	want := map[tm.AbortReason]string{
+		tm.AbortReadConflict: "read-conflict",
+		tm.AbortLockBusy:     "lock-busy",
+		tm.AbortValidation:   "validation",
+		tm.AbortForced:       "forced",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Fatalf("AbortReason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+	if tm.AbortReason(200).String() != "AbortReason(?)" {
+		t.Fatal("out-of-range reason must not panic")
+	}
+}

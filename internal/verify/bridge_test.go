@@ -25,6 +25,7 @@ import (
 	"misar/internal/noc"
 	"misar/internal/sim"
 	"misar/internal/syncrt"
+	"misar/internal/tm"
 	"misar/internal/verify"
 )
 
@@ -172,6 +173,20 @@ var omuBarrierRules = [][]string{
 	{"alloc"}, {"hw-join"}, {"hw-join", "hw-complete", "hw-complete", "hw-complete", "retire"},
 }
 
+// tmRules is the tm-commit bridge script (TestBridgeTMCommit): the abstract
+// rules the tracked word w undergoes at each of the 8 choreographed steps.
+// The nil steps touch only words in other lock slots, so no w rule fires.
+var tmRules = [][]string{
+	{"read"},                               // 1: T1 opens and reads w
+	{"lock-acquire", "abort-release"},      // 2: T0 locks w's slot, aborts on x's busy slot
+	nil,                                    // 3: T0 releases the seeded x lock (raw store)
+	{"lock-acquire", "write-back-release"}, // 4: T0 commits w=7, invalidating T1's read
+	{"validate-abort"},                     // 5: T1's commit validates w stale and aborts
+	{"read"},                               // 6: T1 re-reads the committed w
+	nil,                                    // 7: T0 commits z (w's slot untouched)
+	{"validate-commit"},                    // 8: T1's commit re-validates w fresh
+}
+
 func TestBridgeRuleCoverage(t *testing.T) {
 	declared := map[string][][]string{
 		"mesi":            append(append([][]string{}, mesiBasicRules...), mesiEvictRules...),
@@ -179,6 +194,7 @@ func TestBridgeRuleCoverage(t *testing.T) {
 		"omu-exclusivity": concatRules(omuHWRules, omuSteerRules, omuAbortRules, omuSWRules, omuBarrierRules),
 		"barrier-epoch":   barrierRules,
 		"window-protocol": windowRules,
+		"tm-commit":       tmRules,
 	}
 	for name, steps := range declared {
 		sys := mustModel(t, name)
@@ -597,8 +613,8 @@ func TestBridgeLockSoftware(t *testing.T) {
 	cfg := machine.MSAOMU(2, 1)
 	cfg.Invariants = true
 	m := machine.New(cfg)
-	a := memory.Addr(0x10000)  // home slice 0
-	b := memory.Addr(0x10080)  // home slice 0, occupies the single entry
+	a := memory.Addr(0x10000) // home slice 0
+	b := memory.Addr(0x10080) // home slice 0, occupies the single entry
 	arena := syncrt.NewArena(0x100000)
 	qnodes := []memory.Addr{arena.QNode(), arena.QNode()}
 	lockSys := mustModel(t, "msa-lock-mutex")
@@ -871,5 +887,179 @@ func TestBridgeWindowProtocol(t *testing.T) {
 	}
 	if v := check.Violations(); len(v) != 0 {
 		t.Fatalf("runtime shard-delivery checker flagged the bridge: %v", v)
+	}
+}
+
+// --- TM commit-protocol bridge (internal/tm stepping API, full machine) ---
+
+// TestBridgeTMCommit drives the REAL STM runtime (tm.Ctx on a software-only
+// machine, invariant checker attached) through an 8-step two-thread
+// choreography that fires every tm-commit rule, and narrows the abstract
+// model against the concrete abstraction of one tracked word w:
+//
+//	[rv, ri, cl, lk, cw] = [valid readers of w, invalidated readers of w,
+//	commit-lock holders of w's slot, w's lock bit, stale commits]
+//
+// Every capture happens inside the active thread's code with the serial
+// kernel parked, after the step's last simulated op — so the concrete state
+// is exactly the abstract "between rules" instant. rv/ri come from a ledger
+// of what each thread's open read of w observed (the lock word at read time)
+// compared against w's current lock word; cl is 0 at every capture (no
+// commit phase spans a step boundary) and cw is 0 because the real protocol
+// never commits stale — the abstract fold agrees, which is the point.
+func TestBridgeTMCommit(t *testing.T) {
+	sys := mustModel(t, "tm-commit")
+	cfg := machine.Default(2)
+	cfg.Name = "tm-bridge"
+	cfg.CPU.Mode = cpu.ModeAlwaysFail
+	cfg.Invariants = true
+	m := machine.New(cfg)
+
+	// Word selection: w is the tracked word. x must hash to a LATER slot
+	// than w (sorted acquisition then locks w's slot first, and the busy x
+	// slot aborts the commit, restoring w — firing lock-acquire and
+	// abort-release in one step). y and z need slots distinct from w's and
+	// each other's, so their commit traffic fires no w rule.
+	w := memory.Addr(0x100000)
+	var picks []memory.Addr
+	for a := w + 8; len(picks) < 3 && a < w+1<<20; a += 8 {
+		la := tm.LockAddr(a)
+		if la <= tm.LockAddr(w) {
+			continue
+		}
+		dup := false
+		for _, p := range picks {
+			if tm.LockAddr(p) == la {
+				dup = true
+			}
+		}
+		if !dup {
+			picks = append(picks, a)
+		}
+	}
+	if len(picks) < 3 {
+		t.Fatal("no three slot-distinct words after w's slot found")
+	}
+	x, y, z := picks[0], picks[1], picks[2]
+
+	turn := memory.Addr(0x200000)
+	seen := [2]int64{-1, -1} // lock word each thread's open read of w saw; -1 = none
+	capture := func() []int {
+		lw := m.Store.Load(tm.LockAddr(w))
+		conc := []int{0, 0, 0, int(lw & 1), 0}
+		for _, s := range seen {
+			if s < 0 {
+				continue
+			}
+			if uint64(s) == lw {
+				conc[0]++
+			} else {
+				conc[1]++
+			}
+		}
+		return conc
+	}
+	var concs [][]int
+	step := func(e cpu.Env, k int, fn func()) {
+		for e.Load(turn) != uint64(k) {
+			e.Compute(20)
+		}
+		fn()
+		concs = append(concs, capture())
+		e.Store(turn, uint64(k+1))
+	}
+
+	m.SpawnAll(2, func(tid int, e cpu.Env) {
+		ctx := tm.New(e, false)
+		if tid == 1 {
+			step(e, 0, func() { // step 1: read
+				ctx.Begin() // rv = 0
+				if _, ok := ctx.TryRead(w); !ok {
+					t.Error("step 1: TryRead(w) aborted on a cold word")
+				}
+				seen[1] = int64(m.Store.Load(tm.LockAddr(w)))
+			})
+			step(e, 4, func() { // step 5: validate-abort
+				ctx.Write(y, 1)
+				if ctx.TryCommit() {
+					t.Error("step 5: commit validated a stale read of w")
+				}
+				seen[1] = -1
+			})
+			step(e, 5, func() { // step 6: read (fresh transaction)
+				ctx.Begin() // rv = 2
+				if _, ok := ctx.TryRead(w); !ok {
+					t.Error("step 6: re-read of the committed w aborted")
+				}
+				seen[1] = int64(m.Store.Load(tm.LockAddr(w)))
+			})
+			step(e, 7, func() { // step 8: validate-commit
+				ctx.Write(y, 2)
+				if !ctx.TryCommit() {
+					t.Error("step 8: fully validated commit failed")
+				}
+				seen[1] = -1
+			})
+			return
+		}
+		step(e, 1, func() { // step 2: lock-acquire + abort-release
+			if !e.CAS(tm.LockAddr(x), 0, 1) {
+				t.Error("step 2: failed to seed x's lock word held")
+			}
+			ctx.Begin()
+			ctx.Write(w, 5)
+			ctx.Write(x, 5)
+			if ctx.TryCommit() {
+				t.Error("step 2: commit succeeded over x's held lock")
+			}
+		})
+		step(e, 2, func() { e.Store(tm.LockAddr(x), 0) }) // step 3: unseed x
+		step(e, 3, func() {                               // step 4: lock-acquire + write-back-release
+			ctx.Begin() // rv = 0
+			ctx.Write(w, 7)
+			if !ctx.TryCommit() {
+				t.Error("step 4: uncontended commit of w failed")
+			}
+		})
+		step(e, 6, func() { // step 7: unrelated commit, no w rule
+			ctx.Begin() // rv = 2
+			ctx.Write(z, 3)
+			if !ctx.TryCommit() {
+				t.Error("step 7: unrelated commit of z failed")
+			}
+		})
+	})
+	if _, err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the concrete run shape the script reasons about.
+	if got := m.Store.Load(w); got != 7 {
+		t.Fatalf("w = %d, want 7 (step 4's commit)", got)
+	}
+	if got := m.Store.Load(y); got != 2 {
+		t.Fatalf("y = %d, want 2 (step 8's commit)", got)
+	}
+	if got := m.Store.Load(z); got != 3 {
+		t.Fatalf("z = %d, want 3 (step 7's commit)", got)
+	}
+	if clk := m.Store.Load(tm.ClockAddr); clk != 4 {
+		t.Fatalf("global clock = %d, want 4 (steps 4, 5, 7, 8 each bump)", clk)
+	}
+	if v := m.Checker.Violations(); len(v) != 0 {
+		t.Fatalf("runtime TM shadow flagged the bridge scenario: %v", v)
+	}
+
+	if len(concs) != len(tmRules) {
+		t.Fatalf("captured %d steps, script declares %d", len(concs), len(tmRules))
+	}
+	set := initSet(sys)
+	for i, conc := range concs {
+		set = fold(t, sys, set, tmRules[i])
+		label := "no-tm-rule"
+		if len(tmRules[i]) > 0 {
+			label = tmRules[i][0]
+		}
+		set = narrow(t, sys, set, conc, label)
 	}
 }

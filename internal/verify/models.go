@@ -57,6 +57,11 @@ func Models() []Model {
 			Broken:     []*System{WindowZeroLookahead(), WindowEarlyFlip()},
 			Invariants: []string{"shard-delivery"},
 		},
+		{
+			System:     TMCommit(),
+			Broken:     []*System{TMNoValidate(), TMLockLeak(), TMBlindAcquire()},
+			Invariants: []string{"tm-commit-overlap", "tm-atomicity"},
+		},
 	}
 }
 
@@ -789,6 +794,160 @@ func WindowEarlyFlip() *System {
 		Update: []Expr{
 			u(0, wPre), u(0, wPreDone), u(-1, wStale), u(0, wRun),
 			u(0, wDone), u(0, wCur), u(0, wNext), u(1, wLate),
+		},
+	})
+	return sys
+}
+
+// --- Model 6: TM commit protocol (internal/tm, TL2-style lazy versioning) ---
+
+// TM variable indices. The abstraction is word-centric: one transactional
+// word observed across ω concurrent transactions. The word carries a
+// versioned lock (tLK is its lock bit, versions are abstracted into the
+// valid/stale split of the readers), tCL counts transactions whose commit
+// phase holds that lock, and tCW is a poison counter: it can only rise when
+// a transaction with a stale read of the word commits anyway, which the
+// pristine protocol never allows.
+const (
+	tRV = iota // transactions holding a still-valid read of the word
+	tRI        // transactions whose read was invalidated by a committed write
+	tCL        // transactions whose commit phase holds the word's commit lock
+	tLK        // the word's versioned-lock lock bit (0 or 1)
+	tCW        // committed transactions with a stale read (broken variants only)
+)
+
+// TMCommit models internal/tm's TL2 commit protocol for one word: reads
+// sample the versioned lock only while it is unlocked (tm.Ctx.TryRead's
+// lockword sandwich), the commit phase CAS-acquires the lock before writing
+// back, a committed write-back invalidates every outstanding read of the
+// word (the version moves past each reader's snapshot), and read-set
+// validation at commit admits only transactions whose reads are still valid.
+// Safety: no two commit phases ever hold the same word's lock (conflicting
+// write sets are serialized), the lock is never leaked by an abort, and no
+// transaction with an invalidated read commits.
+//
+// A transaction that both reads and writes the same word validates that read
+// against its own held lock (tm.Ctx.TryCommit's self-owned-slot check); in
+// this abstraction such a read is subsumed by the lock-acquire/write-back
+// pair, so tRV counts only readers outside the word's commit phase.
+func TMCommit() *System {
+	const n = 5
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	return &System{
+		Name: "tm-commit",
+		Vars: []string{"rv", "ri", "cl", "lk", "cw"},
+		Inits: []Config{
+			{N(0), N(0), N(0), N(0), N(0)}, // ω idle transactions are implicit: read/lock-acquire fire unguarded
+		},
+		Rules: []Rule{
+			{
+				Name:  "read",
+				Doc:   "tm.Ctx.TryRead: load lockword (unlocked, version <= rv), load value, re-load lockword unchanged — the read is recorded valid",
+				Guard: []Atom{{tLK, EQ, 0}},
+				Update: []Expr{
+					u(1, tRV), u(0, tRI), u(0, tCL), u(0, tLK), u(0, tCW),
+				},
+			},
+			{
+				Name:  "lock-acquire",
+				Doc:   "tm.Ctx.TryCommit lock phase: CAS the word's versioned lock from unlocked to locked (sorted slot order); the transaction enters the word's commit phase",
+				Guard: []Atom{{tLK, EQ, 0}},
+				Update: []Expr{
+					u(0, tRV), u(0, tRI), u(1, tCL), u(1, tLK), u(0, tCW),
+				},
+			},
+			{
+				Name:  "write-back-release",
+				Doc:   "tm.Ctx.TryCommit write-back: store the buffered value, then store wv<<1 (unlocked, advanced version) — every outstanding read of the word becomes stale",
+				Guard: []Atom{{tCL, GE, 1}},
+				Update: []Expr{
+					u(0), u(0, tRI, tRV), u(-1, tCL), u(-1, tLK), u(0, tCW),
+				},
+			},
+			{
+				Name:  "abort-release",
+				Doc:   "tm.Ctx.abortCommit: validation failed or a later slot's lock was busy — every already-acquired lock is restored to its pre-CAS word (same version, unlocked)",
+				Guard: []Atom{{tCL, GE, 1}},
+				Update: []Expr{
+					u(0, tRV), u(0, tRI), u(-1, tCL), u(-1, tLK), u(0, tCW),
+				},
+			},
+			{
+				Name:  "validate-commit",
+				Doc:   "tm.Ctx.TryCommit validation: the word's lockword is re-loaded unlocked and unchanged since TryRead — the reader's commit proceeds",
+				Guard: []Atom{{tRV, GE, 1}, {tLK, EQ, 0}},
+				Update: []Expr{
+					u(-1, tRV), u(0, tRI), u(0, tCL), u(0, tLK), u(0, tCW),
+				},
+			},
+			{
+				Name:  "validate-abort",
+				Doc:   "tm.Ctx.TryCommit validation: the word's version moved (or its lock is held by another commit) — the stale reader aborts and retries",
+				Guard: []Atom{{tRI, GE, 1}},
+				Update: []Expr{
+					u(0, tRV), u(-1, tRI), u(0, tCL), u(0, tLK), u(0, tCW),
+				},
+			},
+		},
+		Unsafe: []Pred{
+			{Name: "two-commit-writers", Atoms: []Atom{{tCL, GE, 2}}},
+			{Name: "lock-leak", Atoms: []Atom{{tLK, GE, 1}, {tCL, EQ, 0}}},
+			{Name: "stale-commit", Atoms: []Atom{{tCW, GE, 1}}},
+		},
+	}
+}
+
+// TMNoValidate is the abstract counterpart of tm.Lib's broken-validation
+// toggle (syncrt.Lib.TMNoValidate): commit skips read-set validation, so a
+// transaction whose read was invalidated by a concurrent committed write
+// commits anyway. Must verify Unsafe (witness: read, lock-acquire,
+// write-back-release, then the stale reader commits).
+func TMNoValidate() *System {
+	sys := brokenCopy(TMCommit(), "no-validate")
+	const n = 5
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "validate-abort", Rule{
+		Name:  "validate-abort",
+		Doc:   "BROKEN (TMNoValidate): the stale read is never re-checked — the transaction commits on an invalidated snapshot",
+		Guard: []Atom{{tRI, GE, 1}},
+		Update: []Expr{
+			u(0, tRV), u(-1, tRI), u(0, tCL), u(0, tLK), u(1, tCW),
+		},
+	})
+	return sys
+}
+
+// TMLockLeak breaks the abort path: a failed commit releases its bookkeeping
+// but forgets to restore the word's lock bit. Must verify Unsafe
+// (lock-leak: the word stays locked with no commit phase owning it).
+func TMLockLeak() *System {
+	sys := brokenCopy(TMCommit(), "lock-leak")
+	const n = 5
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "abort-release", Rule{
+		Name:  "abort-release",
+		Doc:   "BROKEN: the abort path drops the commit phase without storing the original lockword back",
+		Guard: []Atom{{tCL, GE, 1}},
+		Update: []Expr{
+			u(0, tRV), u(0, tRI), u(-1, tCL), u(0, tLK), u(0, tCW),
+		},
+	})
+	return sys
+}
+
+// TMBlindAcquire breaks the lock phase: the commit writes the locked word
+// without the CAS's compare, so two commit phases can hold the same word's
+// lock and interleave their write-backs. Must verify Unsafe.
+func TMBlindAcquire() *System {
+	sys := brokenCopy(TMCommit(), "blind-acquire")
+	const n = 5
+	u := func(c int, vars ...int) Expr { return sum(n, c, vars...) }
+	replaceRule(sys, "lock-acquire", Rule{
+		Name:  "lock-acquire",
+		Doc:   "BROKEN: the commit lock is taken with a plain store (CAS without compare) — a second commit phase acquires a held lock",
+		Guard: nil,
+		Update: []Expr{
+			u(0, tRV), u(0, tRI), u(1, tCL), u(1, tLK), u(0, tCW),
 		},
 	})
 	return sys

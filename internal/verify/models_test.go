@@ -50,8 +50,8 @@ func TestBrokenVariantsDetected(t *testing.T) {
 // concrete code.
 func TestModelHygiene(t *testing.T) {
 	models := Models()
-	if len(models) != 5 {
-		t.Fatalf("want 5 shipped models, got %d", len(models))
+	if len(models) != 6 {
+		t.Fatalf("want 6 shipped models, got %d", len(models))
 	}
 	seen := map[string]bool{}
 	for _, m := range models {

@@ -88,15 +88,15 @@ func Radiosity() App {
 					}
 				}
 				q := victim*perThread + int(jitter(tid, i*3+2, perThread))
-				rt.Lock(locks[q])
-				e.Store(qdepth[q], e.Load(qdepth[q])+1)
-				e.Compute(30 + jitter(tid, i, 20)) // queue manipulation
-				rt.Unlock(locks[q])
+				rt.Critical(locks[q], func() {
+					rt.Store(qdepth[q], rt.Load(qdepth[q])+1)
+					e.Compute(30 + jitter(tid, i, 20)) // queue manipulation
+				})
 				e.Compute(130 + jitter(tid, i*5, 60)) // task body
 				// Push the result back onto the own queue.
-				rt.Lock(locks[tid*perThread])
-				e.Store(qdepth[tid*perThread], e.Load(qdepth[tid*perThread])+1)
-				rt.Unlock(locks[tid*perThread])
+				rt.Critical(locks[tid*perThread], func() {
+					rt.Store(qdepth[tid*perThread], rt.Load(qdepth[tid*perThread])+1)
+				})
 				e.Compute(60 + jitter(tid, i*9, 40))
 			}
 			rt.Wait(bar)
@@ -118,15 +118,15 @@ func Raytrace() App {
 			rt := lib.Bind(e, qn[tid])
 			iv.run(tid, rt, e)
 			for i := 0; i < rays; i++ {
-				rt.Lock(hot)
-				e.Store(counter, e.Load(counter)+1) // grab next ray id
-				rt.Unlock(hot)
+				rt.Critical(hot, func() {
+					rt.Store(counter, rt.Load(counter)+1) // grab next ray id
+				})
 				e.Compute(1400 + jitter(tid, i, 500)) // trace the ray
 				if jitter(tid, i*3, 4) == 0 {
 					m := int(jitter(tid, i*5, threads))
-					rt.Lock(misc[m])
-					e.Compute(15)
-					rt.Unlock(misc[m])
+					rt.Critical(misc[m], func() {
+						e.Compute(15)
+					})
 				}
 			}
 		}
@@ -150,9 +150,9 @@ func WaterSP() App {
 			for s := 0; s < steps; s++ {
 				for i := 0; i < 10; i++ {
 					m := int(jitter(tid, s*100+i, mols))
-					rt.Lock(locks[m])
-					e.Store(acc[m], e.Load(acc[m])+1) // accumulate forces
-					rt.Unlock(locks[m])
+					rt.Critical(locks[m], func() {
+						rt.Store(acc[m], rt.Load(acc[m])+1) // accumulate forces
+					})
 					e.Compute(140 + jitter(tid, s*31+i, 60))
 				}
 				rt.Wait(bar)
@@ -226,15 +226,24 @@ func Cholesky() App {
 			iv.run(tid, rt, e)
 			q := tid % nq
 			for {
-				rt.Lock(qlocks[q])
-				h := e.Load(heads[q])
-				if h >= perQueue {
-					rt.Unlock(qlocks[q])
+				// The dequeue is closure-shaped with an early exit: the body
+				// resets its outputs first because a transactional library
+				// may re-run it after an abort.
+				var done bool
+				var h uint64
+				rt.Critical(qlocks[q], func() {
+					done = false
+					h = rt.Load(heads[q])
+					if h >= perQueue {
+						done = true
+						return
+					}
+					rt.Store(heads[q], h+1)
+					e.Compute(25) // dequeue bookkeeping
+				})
+				if done {
 					break
 				}
-				e.Store(heads[q], h+1)
-				e.Compute(25) // dequeue bookkeeping
-				rt.Unlock(qlocks[q])
 				e.Compute(1100 + jitter(tid, int(h), 400)) // factor a block
 			}
 			rt.Wait(bar)
@@ -271,9 +280,9 @@ func Fluidanimate() App {
 					c := (ci + tid + tid/8) % perThread
 					l := tid*perThread + c
 					for p := 0; p < particlesPerCell; p++ {
-						rt.Lock(locks[l])
-						e.Store(cells[l], e.Load(cells[l])+1)
-						rt.Unlock(locks[l])
+						rt.Critical(locks[l], func() {
+							rt.Store(cells[l], rt.Load(cells[l])+1)
+						})
 						e.Compute(260 + jitter(tid, f*1000+c*100+p, 80))
 					}
 					e.Compute(120) // per-cell density interpolation
@@ -281,9 +290,9 @@ func Fluidanimate() App {
 					// neighbour's edge cell.
 					if jitter(tid, f*100+c, 8) == 0 {
 						nb := ((tid+1)%threads)*perThread + c
-						rt.Lock(locks[nb])
-						e.Store(cells[nb], e.Load(cells[nb])+1)
-						rt.Unlock(locks[nb])
+						rt.Critical(locks[nb], func() {
+							rt.Store(cells[nb], rt.Load(cells[nb])+1)
+						})
 					}
 				}
 				rt.Wait(bar)
@@ -312,7 +321,10 @@ func Streamcluster() App {
 }
 
 // Bodytrack: a condition-variable work pool — workers wait for frames, the
-// coordinator signals work and collects results at a barrier.
+// coordinator signals work and collects results at a barrier. Its critical
+// sections wrap condition-variable waits, which cannot be expressed as
+// transactions (a wait releases the section mid-body), so bodytrack keeps
+// explicit Lock/Unlock under every library, including TM (see DESIGN.md §16).
 func Bodytrack() App {
 	return App{Name: "bodytrack", SyncSensitive: true, Build: func(a *syncrt.Arena, threads int, lib *syncrt.Lib) func(int, cpu.Env) {
 		qn := bindQNodes(a, threads)
@@ -439,9 +451,9 @@ func computeHeavy(name string, compute, locksUsed, barriers int) App {
 				e.Compute(uint64(compute) + jitter(tid, i, compute/4))
 				if locksUsed > 0 && jitter(tid, i, 2) == 0 {
 					l := int(jitter(tid, i*3, locksUsed))
-					rt.Lock(locks[l])
-					e.Compute(20)
-					rt.Unlock(locks[l])
+					rt.Critical(locks[l], func() {
+						e.Compute(20)
+					})
 				}
 				for b := 0; b < barriers; b++ {
 					rt.Wait(bar)

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+
+	"misar/internal/cpu"
+	"misar/internal/syncrt"
+)
+
+// TMSweepApp builds the contention-parameterized workload behind the
+// three-way lock/MSA/TM evaluation (harness.TMSweep). Each thread performs a
+// fixed number of critical sections; a fraction hotPermille/1000 of them
+// read-modify-write two words of a four-word hot set shared by every thread
+// (under locks these serialize on one hot mutex; under TM they conflict on
+// data and abort/retry), and the rest update a thread-private word under a
+// private mutex (lock-free of contention, conflict-free under TM).
+//
+// The hot section's two-word update is deliberately not a blind increment:
+// the second word's new value depends on the first word's old one, so a TM
+// interleaving that misses a conflict would corrupt the sum — exactly what
+// the tm-commit model's stale-commit state abstracts.
+func TMSweepApp(hotPermille int) App {
+	if hotPermille < 0 {
+		hotPermille = 0
+	}
+	if hotPermille > 1000 {
+		hotPermille = 1000
+	}
+	name := fmt.Sprintf("tm-sweep-%03d", hotPermille)
+	return App{Name: name, Build: func(a *syncrt.Arena, threads int, lib *syncrt.Lib) func(int, cpu.Env) {
+		qn := bindQNodes(a, threads)
+		iv := newInitVars(a, threads)
+		hotLock := a.Mutex()
+		ownLocks := a.MutexArray(threads)
+		hotWords := a.DataArray(4)
+		ownWords := a.DataArray(threads)
+		bar := a.Barrier(threads)
+		const ops = 40
+		return func(tid int, e cpu.Env) {
+			rt := lib.Bind(e, qn[tid])
+			iv.run(tid, rt, e)
+			for i := 0; i < ops; i++ {
+				if jitter(tid, i, 1000) < uint64(hotPermille) {
+					w1 := int(jitter(tid, i*3+1, 4))
+					w2 := (w1 + 1) % 4
+					rt.Critical(hotLock, func() {
+						v := rt.Load(hotWords[w1])
+						rt.Store(hotWords[w1], v+1)
+						rt.Store(hotWords[w2], rt.Load(hotWords[w2])+v)
+						e.Compute(40) // update shared statistics
+					})
+				} else {
+					rt.Critical(ownLocks[tid], func() {
+						rt.Store(ownWords[tid], rt.Load(ownWords[tid])+1)
+						e.Compute(40)
+					})
+				}
+				e.Compute(220 + jitter(tid, i*7, 120)) // between-section work
+			}
+			rt.Wait(bar)
+		}
+	}}
+}

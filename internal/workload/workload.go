@@ -115,9 +115,9 @@ func newInitVars(a *syncrt.Arena, threads int) initVars {
 func (iv initVars) run(tid int, rt *syncrt.T, e cpu.Env) {
 	for k := 0; k < 2; k++ {
 		l := iv.locks[tid*2+k]
-		rt.Lock(l)
-		e.Compute(60) // initialize a shared structure
-		rt.Unlock(l)
+		rt.Critical(l, func() {
+			e.Compute(60) // initialize a shared structure
+		})
 		e.Compute(300)
 	}
 	rt.Wait(iv.bar)
